@@ -1,0 +1,217 @@
+//! The Theorem 3(3) adversary: without individual admissibility no online
+//! algorithm has a positive competitive ratio.
+//!
+//! The paper's detailed construction lives in an unpublished technical
+//! report; what we implement here is a faithful *qualitative* reproduction
+//! built from the proof sketch ("an input instance `I_n` … the job input of
+//! which contains one job not individually admissible, such that the
+//! competitive ratio for the singleton set `{I_n}` is disproportional with
+//! `n`"). Our gadget:
+//!
+//! * one **bait job** `B` with workload `δ·L` over a window of length `L`
+//!   (not individually admissible: it completes only if the capacity sits at
+//!   `c_hi = δ` for its *entire* window) and maximal value density `k`;
+//! * a stream of `m` **filler jobs** with zero conservative laxity covering
+//!   the same window at density 1 — any instant spent on the bait forfeits
+//!   the concurrent filler;
+//! * two capacity futures that agree until late in the window:
+//!   `stay-high` (capacity `δ` throughout — bait feasible, worth `k·δ`
+//!   versus filler worth `1`) and `drop` (capacity collapses to `c_lo` just
+//!   before the end — bait infeasible, filler is everything).
+//!
+//! The adaptive adversary watches the online algorithm: chase the bait and
+//! the capacity drops at the last moment (online salvages `O(1/m)` of the
+//! filler while the clairvoyant offline collects all of it); ignore the bait
+//! and the capacity stays high (offline collects `k·δ` times the filler
+//! value). Because the online scheduler cannot distinguish the futures
+//! before its filler jobs expire, chaining `n` independent rounds and
+//! letting the filler granularity `m` grow with `n` drives the achieved
+//! ratio to zero — which is exactly what the `adversary` experiment binary
+//! demonstrates against every scheduler in this workspace.
+
+use cloudsched_capacity::PiecewiseConstant;
+use cloudsched_core::{CoreError, JobSet};
+
+/// One round of the adversary game.
+#[derive(Debug, Clone)]
+pub struct TrapRound {
+    /// Bait + filler jobs, bait first (id 0), times relative to round start 0.
+    pub jobs: JobSet,
+    /// Future 1: capacity stays at `c_hi` forever.
+    pub cap_stay_high: PiecewiseConstant,
+    /// Future 2: capacity drops to `c_lo` at `L·(1 − 1/m)`.
+    pub cap_drop: PiecewiseConstant,
+    /// Clairvoyant optimum under `cap_stay_high` (runs the bait): `k·δ·L·c_lo`.
+    pub opt_stay_high: f64,
+    /// Clairvoyant optimum under `cap_drop` (runs the filler): `L·c_lo`
+    /// — the filler value (bait infeasible once the drop is fixed).
+    pub opt_drop: f64,
+}
+
+/// Parameters of the trap construction.
+#[derive(Debug, Clone, Copy)]
+pub struct TrapParams {
+    /// Importance-ratio bound `k >= 1` (bait density).
+    pub k: f64,
+    /// Capacity variation `δ > 1` (`c_lo = 1`, `c_hi = δ`).
+    pub delta: f64,
+    /// Window length of the round.
+    pub window: f64,
+    /// Number of filler jobs (granularity). More filler ⇒ less salvage for a
+    /// bait-chasing online algorithm ⇒ smaller achieved ratio.
+    pub fillers: usize,
+}
+
+impl TrapRound {
+    /// Builds one round.
+    pub fn build(p: TrapParams) -> Result<TrapRound, CoreError> {
+        let TrapParams {
+            k,
+            delta,
+            window: l,
+            fillers: m,
+        } = p;
+        if k < 1.0 || delta <= 1.0 || l <= 0.0 || m == 0 {
+            return Err(CoreError::InvalidCapacityProfile {
+                reason: format!("invalid trap parameters {p:?}"),
+            });
+        }
+        // Bait: completable only at full capacity δ over the whole window.
+        // Not individually admissible: p/c_lo = δ·l > l = d − r.
+        let mut tuples = vec![(0.0, l, delta * l, k * delta * l)];
+        // Fillers: m zero-conservative-laxity unit-density jobs tiling [0, l].
+        let step = l / m as f64;
+        for j in 0..m {
+            let r = j as f64 * step;
+            tuples.push((r, r + step, step, step));
+        }
+        let jobs = JobSet::from_tuples(&tuples)?;
+        let cap_stay_high =
+            PiecewiseConstant::constant(delta)?.with_declared_bounds(1.0, delta)?;
+        let drop_at = l * (1.0 - 1.0 / m as f64);
+        let cap_drop = if drop_at > 0.0 {
+            PiecewiseConstant::from_durations(&[(drop_at, delta), (1.0, 1.0)])?
+                .with_declared_bounds(1.0, delta)?
+        } else {
+            PiecewiseConstant::constant(1.0)?.with_declared_bounds(1.0, delta)?
+        };
+        Ok(TrapRound {
+            jobs,
+            cap_stay_high,
+            cap_drop,
+            opt_stay_high: k * delta * l,
+            opt_drop: l,
+        })
+    }
+
+    /// The theoretical best value any online algorithm can guarantee on this
+    /// round against the adaptive adversary: it either abandons the bait and
+    /// banks at most the filler (`l`), or chases the bait and salvages at
+    /// most one filler slot (`l/m`) after the drop.
+    pub fn online_guarantee(&self, p: TrapParams) -> f64 {
+        p.window.max(p.window / p.fillers as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_capacity::CapacityProfile;
+    use cloudsched_core::JobId;
+
+    fn params() -> TrapParams {
+        TrapParams {
+            k: 7.0,
+            delta: 5.0,
+            window: 1.0,
+            fillers: 10,
+        }
+    }
+
+    #[test]
+    fn bait_is_not_admissible_fillers_are() {
+        let r = TrapRound::build(params()).unwrap();
+        let bait = r.jobs.get(JobId(0));
+        assert!(!bait.individually_admissible(1.0));
+        for j in r.jobs.iter().skip(1) {
+            assert!(j.individually_admissible(1.0), "{} must be admissible", j.id);
+            // Zero conservative laxity exactly.
+            assert!(
+                (j.relative_deadline().as_f64() - j.workload).abs() < 1e-12,
+                "filler must have zero claxity"
+            );
+        }
+    }
+
+    #[test]
+    fn bait_feasible_only_in_stay_high_future() {
+        let r = TrapRound::build(params()).unwrap();
+        let bait = r.jobs.get(JobId(0));
+        let high = r
+            .cap_stay_high
+            .integrate(bait.release, bait.deadline);
+        assert!(high >= bait.workload - 1e-9, "bait fits under stay-high");
+        let drop = r.cap_drop.integrate(bait.release, bait.deadline);
+        assert!(drop < bait.workload, "bait must not fit under drop");
+    }
+
+    #[test]
+    fn importance_ratio_is_k() {
+        let r = TrapRound::build(params()).unwrap();
+        assert!((r.jobs.importance_ratio().unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optima_are_consistent() {
+        let r = TrapRound::build(params()).unwrap();
+        // Stay-high optimum is the bait's value; drop optimum the filler sum.
+        assert!((r.opt_stay_high - 35.0).abs() < 1e-12);
+        let filler_total: f64 = r.jobs.iter().skip(1).map(|j| j.value).sum();
+        assert!((r.opt_drop - filler_total).abs() < 1e-9);
+        // The adversarial ratio bound shrinks as fillers densify:
+        // guarantee / opt_stay_high = 1/(kδ) when abandoning the bait.
+        let g = r.online_guarantee(params());
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        for bad in [
+            TrapParams {
+                k: 0.5,
+                ..params()
+            },
+            TrapParams {
+                delta: 1.0,
+                ..params()
+            },
+            TrapParams {
+                window: 0.0,
+                ..params()
+            },
+            TrapParams {
+                fillers: 0,
+                ..params()
+            },
+        ] {
+            assert!(TrapRound::build(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn capacity_futures_share_declared_bounds() {
+        let r = TrapRound::build(params()).unwrap();
+        assert_eq!(r.cap_stay_high.bounds(), (1.0, 5.0));
+        assert_eq!(r.cap_drop.bounds(), (1.0, 5.0));
+        // Futures agree up to the drop instant.
+        let drop_at = 1.0 - 1.0 / 10.0;
+        assert_eq!(
+            r.cap_drop.rate_at(cloudsched_core::Time::new(drop_at - 1e-9)),
+            5.0
+        );
+        assert_eq!(
+            r.cap_drop.rate_at(cloudsched_core::Time::new(drop_at)),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Competitive-ratio formulas from Theorems 1 and 3.
+//!
+//! Conventions: `k >= 1` is the importance-ratio bound of the input job set
+//! (Definition 3, min value density normalised to 1), `δ = c_hi/c_lo > 1` is
+//! the maximum capacity variation (§II-A). All ratios are in `(0, 1]`.
+
+/// The overload penalty function of Theorem 3:
+/// `f(k, δ) = 2δ + 2 + log(δk) / log(δ/(δ−1))`.
+///
+/// Defined for `δ > 1` (for `δ = 1` the problem degenerates to the constant
+/// capacity case covered by Dover's `1/(1+√k)²`).
+///
+/// # Panics
+/// If `k < 1` or `δ <= 1`.
+pub fn f_overload(k: f64, delta: f64) -> f64 {
+    assert!(k >= 1.0, "importance ratio bound must be >= 1, got {k}");
+    assert!(delta > 1.0, "capacity variation must be > 1, got {delta}");
+    2.0 * delta + 2.0 + (delta * k).ln() / (delta / (delta - 1.0)).ln()
+}
+
+/// V-Dover's achievable competitive ratio under individual admissibility
+/// (Theorem 3(2)): `1 / ((√k + √f(k,δ))² + 1)`.
+pub fn vdover_achievable_ratio(k: f64, delta: f64) -> f64 {
+    let f = f_overload(k, delta);
+    1.0 / ((k.sqrt() + f.sqrt()).powi(2) + 1.0)
+}
+
+/// The upper bound on any online algorithm's competitive ratio for the
+/// varying-capacity overloaded problem (Theorem 3(1)): since the constant
+/// capacity inputs are a subset of `C(c_lo, c_hi)`, the classical bound
+/// `1/(1+√k)²` applies.
+pub fn vdover_upper_bound(k: f64) -> f64 {
+    dover_optimal_ratio(k)
+}
+
+/// Dover's optimal competitive ratio for constant capacity and importance
+/// ratio bound `k` (Theorem 1(2), Koren & Shasha): `1/(1+√k)²`.
+pub fn dover_optimal_ratio(k: f64) -> f64 {
+    assert!(k >= 1.0, "importance ratio bound must be >= 1, got {k}");
+    1.0 / (1.0 + k.sqrt()).powi(2)
+}
+
+/// The value-comparison threshold optimising V-Dover's competitive ratio
+/// (proof of Theorem 3(2)): `β* = 1 + √(k / f(k,δ))`.
+pub fn optimal_beta(k: f64, delta: f64) -> f64 {
+    1.0 + (k / f_overload(k, delta)).sqrt()
+}
+
+/// Dover's classical threshold for constant capacity: `1 + √k`.
+pub fn dover_beta(k: f64) -> f64 {
+    assert!(k >= 1.0, "importance ratio bound must be >= 1, got {k}");
+    1.0 + k.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_overload_reference_values() {
+        // δ = 2: log(2/(2-1)) = ln 2; f = 6 + ln(2k)/ln 2.
+        let f = f_overload(1.0, 2.0);
+        assert!((f - (6.0 + 2.0_f64.ln() / 2.0_f64.ln())).abs() < 1e-12);
+        // Paper's simulation: k = 7, δ = 35.
+        let f = f_overload(7.0, 35.0);
+        let expected = 72.0 + (245.0_f64).ln() / (35.0 / 34.0_f64).ln();
+        assert!((f - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f_grows_with_delta_and_k() {
+        assert!(f_overload(7.0, 10.0) < f_overload(7.0, 20.0));
+        assert!(f_overload(2.0, 10.0) < f_overload(8.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity variation")]
+    fn f_requires_delta_above_one() {
+        f_overload(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "importance ratio")]
+    fn f_requires_k_at_least_one() {
+        f_overload(0.5, 2.0);
+    }
+
+    #[test]
+    fn dover_ratio_matches_formula() {
+        assert!((dover_optimal_ratio(1.0) - 0.25).abs() < 1e-12);
+        assert!((dover_optimal_ratio(4.0) - 1.0 / 9.0).abs() < 1e-12);
+        assert!((dover_beta(4.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn achievable_is_below_upper_bound() {
+        for &k in &[1.0, 2.0, 7.0, 50.0] {
+            for &d in &[1.5, 2.0, 10.0, 35.0] {
+                let ach = vdover_achievable_ratio(k, d);
+                let ub = vdover_upper_bound(k);
+                assert!(ach > 0.0 && ach < ub, "k={k} δ={d}: {ach} !< {ub}");
+            }
+        }
+    }
+
+    #[test]
+    fn asymptotic_optimality_in_k() {
+        // Theorem 3 discussion: achievable/upper-bound -> 1 as k -> ∞.
+        let delta = 35.0;
+        let ratio_at = |k: f64| vdover_achievable_ratio(k, delta) / vdover_upper_bound(k);
+        let r3 = ratio_at(1e3);
+        let r6 = ratio_at(1e6);
+        let r9 = ratio_at(1e9);
+        assert!(r3 < r6 && r6 < r9, "ratio should increase toward 1");
+        assert!(r9 > 0.99, "ratio at k=1e9 should be near 1, got {r9}");
+    }
+
+    #[test]
+    fn optimal_beta_reference() {
+        let k = 7.0;
+        let d = 35.0;
+        let beta = optimal_beta(k, d);
+        assert!((beta - (1.0 + (k / f_overload(k, d)).sqrt())).abs() < 1e-12);
+        assert!(beta > 1.0);
+        // β* decreases as overload penalty grows (urgent jobs preempt less).
+        assert!(optimal_beta(7.0, 100.0) < optimal_beta(7.0, 2.0));
+    }
+
+    #[test]
+    fn beta_is_the_minimiser() {
+        // C(F) bound ∝ f(k,δ)·β + k + k/(β−1); β* should minimise
+        // g(β) = f·β + k/(β−1) over β > 1 (the k constant does not matter).
+        let (k, d) = (7.0, 35.0);
+        let f = f_overload(k, d);
+        let g = |b: f64| f * b + k / (b - 1.0);
+        let b_star = optimal_beta(k, d);
+        for &b in &[b_star * 0.9, b_star * 0.99, b_star * 1.01, b_star * 1.5] {
+            assert!(
+                g(b_star) <= g(b) + 1e-9,
+                "β*={b_star} not optimal vs {b}: {} > {}",
+                g(b_star),
+                g(b)
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Capacity-profile primitive costs: integration, inverse queries and the
+//! stretch transformation on profiles with many segments (the hot path of
+//! every kernel event).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cloudsched_capacity::{CapacityProfile, PiecewiseConstant, StretchMap};
+use cloudsched_core::Time;
+use std::hint::black_box;
+
+fn profile_with(n: usize) -> PiecewiseConstant {
+    let pairs: Vec<(f64, f64)> = (0..n)
+        .map(|i| (0.5 + (i % 3) as f64 * 0.25, 1.0 + (i % 5) as f64))
+        .collect();
+    PiecewiseConstant::from_durations(&pairs).expect("profile")
+}
+
+fn integration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity/integrate");
+    for &n in &[16usize, 256, 4096] {
+        let p = profile_with(n);
+        let end = 0.6 * n as f64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            let mut x = 0.1;
+            b.iter(|| {
+                x = (x * 1.37) % end;
+                black_box(p.integrate(Time::new(x * 0.5), Time::new(x)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn inverse_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity/time_to_complete");
+    for &n in &[16usize, 256, 4096] {
+        let p = profile_with(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            let mut w = 0.1;
+            b.iter(|| {
+                w = (w * 1.61) % 50.0;
+                black_box(p.time_to_complete(Time::new(1.0), w))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn stretch_map(c: &mut Criterion) {
+    let p = profile_with(1024);
+    let map = StretchMap::new(p);
+    c.bench_function("capacity/stretch-forward-inverse", |b| {
+        let mut x = 0.1;
+        b.iter(|| {
+            x = (x * 1.29) % 500.0;
+            let f = map.forward(Time::new(x));
+            black_box(map.inverse(f))
+        })
+    });
+}
+
+criterion_group!(benches, integration, inverse_queries, stretch_map);
+criterion_main!(benches);

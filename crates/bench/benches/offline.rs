@@ -1,0 +1,63 @@
+//! Offline-algorithm scaling: EDF feasibility testing and the exact
+//! branch-and-bound optimum as the instance grows (NP-hard problem — the
+//! point is to document where exactness stays affordable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cloudsched_capacity::PiecewiseConstant;
+use cloudsched_core::{Job, JobId, JobSet, Time};
+use cloudsched_offline::{edf_feasible, greedy_by_density, optimal_value};
+use std::hint::black_box;
+
+fn deterministic_jobs(n: usize) -> JobSet {
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| {
+            let f = i as f64;
+            let r = (f * 0.73) % 5.0;
+            let p = 0.3 + (f * 0.41) % 1.2;
+            let d = r + p * (0.8 + (f * 0.29) % 1.6);
+            let v = 1.0 + (f * 1.7) % 6.0;
+            Job::new(JobId(i as u64), Time::new(r), Time::new(d), p, v).expect("job")
+        })
+        .collect();
+    JobSet::new(jobs).expect("set")
+}
+
+fn capacity() -> PiecewiseConstant {
+    PiecewiseConstant::from_durations(&[(2.0, 1.0), (3.0, 3.0), (2.0, 2.0)]).expect("capacity")
+}
+
+fn feasibility(c: &mut Criterion) {
+    let cap = capacity();
+    let mut group = c.benchmark_group("offline/edf-feasible");
+    for &n in &[10usize, 100, 1000] {
+        let jobs = deterministic_jobs(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| black_box(edf_feasible(jobs.as_slice(), &cap)))
+        });
+    }
+    group.finish();
+}
+
+fn exact_optimum(c: &mut Criterion) {
+    let cap = capacity();
+    let mut group = c.benchmark_group("offline/exact-bnb");
+    group.sample_size(10);
+    for &n in &[8usize, 12, 16] {
+        let jobs = deterministic_jobs(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| black_box(optimal_value(jobs, &cap)))
+        });
+    }
+    group.finish();
+}
+
+fn greedy(c: &mut Criterion) {
+    let cap = capacity();
+    let jobs = deterministic_jobs(100);
+    c.bench_function("offline/greedy-density-100", |b| {
+        b.iter(|| black_box(greedy_by_density(&jobs, &cap)))
+    });
+}
+
+criterion_group!(benches, feasibility, exact_optimum, greedy);
+criterion_main!(benches);

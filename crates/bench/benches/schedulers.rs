@@ -1,0 +1,41 @@
+//! Per-scheduler decision overhead: identical Table-I instance (λ = 8),
+//! one full simulation per scheduler. Differences are pure scheduler cost
+//! (queue maintenance, timers, value comparisons) on top of the same kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cloudsched_bench::{run_instance, SchedulerSpec};
+use cloudsched_sim::RunOptions;
+use cloudsched_workload::PaperScenario;
+use std::hint::black_box;
+
+fn scheduler_overhead(c: &mut Criterion) {
+    let instance = PaperScenario::table1(8.0)
+        .generate(42)
+        .expect("generation")
+        .instance;
+    let specs: Vec<(&str, SchedulerSpec)> = vec![
+        ("edf", SchedulerSpec::Edf),
+        ("llf", SchedulerSpec::Llf(1.0)),
+        ("fifo", SchedulerSpec::Fifo),
+        ("hvdf", SchedulerSpec::GreedyDensity),
+        (
+            "dover",
+            SchedulerSpec::Dover {
+                k: 7.0,
+                c_estimate: 10.5,
+            },
+        ),
+        ("vdover", SchedulerSpec::VDover { k: 7.0, delta: 35.0 }),
+    ];
+    let mut group = c.benchmark_group("schedulers/lambda8");
+    group.sample_size(10);
+    for (name, spec) in specs {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_instance(&instance, &spec, RunOptions::lean())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduler_overhead);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Ablations of V-Dover's design choices (DESIGN.md §4) on the paper's
+//! Table-I scenario at λ = 6:
+//!
+//! 1. the supplement queue (on/off) — the paper's mechanism (ii);
+//! 2. the threshold β — paper-optimal `β* = 1+√(k/f)` vs Dover's `1+√k` vs a
+//!    sweep;
+//! 3. the supplement revival order — latest-deadline (paper) vs
+//!    earliest-deadline vs highest-value;
+//! 4. Dover's capacity estimate ĉ — fine sweep between `c_lo` and `c_hi`.
+//!
+//! Usage: `ablation [--runs N] [--threads N] [--out DIR]`
+
+use cloudsched_analysis::bounds::{dover_beta, optimal_beta};
+use cloudsched_analysis::stats::Summary;
+use cloudsched_analysis::table::{fnum, Table};
+use cloudsched_bench::{parallel_map, run_instance, SchedulerSpec};
+use cloudsched_sched::dover::SupplementOrder;
+use cloudsched_sim::RunOptions;
+use cloudsched_workload::PaperScenario;
+
+fn main() {
+    let args = Args::parse();
+    let lambda = 6.0;
+    let (k, delta) = (7.0, 35.0);
+    let beta_star = optimal_beta(k, delta);
+    let beta_dover = dover_beta(k);
+
+    let mut variants: Vec<(String, SchedulerSpec)> = vec![
+        (
+            format!("V-Dover β*={beta_star:.3} (paper)"),
+            SchedulerSpec::VDover { k, delta },
+        ),
+        (
+            "V-Dover, no supplement queue".into(),
+            SchedulerSpec::VDoverCustom {
+                beta: beta_star,
+                supplement: false,
+                order: SupplementOrder::LatestDeadline,
+            },
+        ),
+        (
+            format!("V-Dover β={beta_dover:.3} (Dover's 1+√k)"),
+            SchedulerSpec::VDoverCustom {
+                beta: beta_dover,
+                supplement: true,
+                order: SupplementOrder::LatestDeadline,
+            },
+        ),
+        (
+            "V-Dover, Qsupp earliest-deadline".into(),
+            SchedulerSpec::VDoverCustom {
+                beta: beta_star,
+                supplement: true,
+                order: SupplementOrder::EarliestDeadline,
+            },
+        ),
+        (
+            "V-Dover, Qsupp highest-value".into(),
+            SchedulerSpec::VDoverCustom {
+                beta: beta_star,
+                supplement: true,
+                order: SupplementOrder::HighestValue,
+            },
+        ),
+    ];
+    for beta in [1.2, 2.0, 4.0, 8.0] {
+        variants.push((
+            format!("V-Dover β={beta} (sweep)"),
+            SchedulerSpec::VDoverCustom {
+                beta,
+                supplement: true,
+                order: SupplementOrder::LatestDeadline,
+            },
+        ));
+    }
+    for c in [1.0, 5.0, 17.5, 35.0] {
+        variants.push((
+            format!("Dover ĉ={c} (estimate sweep)"),
+            SchedulerSpec::Dover { k, c_estimate: c },
+        ));
+    }
+    // Non-Dover baselines for context.
+    variants.push(("EDF".into(), SchedulerSpec::Edf));
+    variants.push(("LLF(ĉ=1)".into(), SchedulerSpec::Llf(1.0)));
+    variants.push(("HVDF".into(), SchedulerSpec::GreedyDensity));
+    variants.push(("Greedy(value)".into(), SchedulerSpec::GreedyValue));
+    variants.push(("FIFO".into(), SchedulerSpec::Fifo));
+
+    let scenario = PaperScenario::table1(lambda);
+    eprintln!(
+        "Ablation at λ={lambda}: {} variants × {} runs",
+        variants.len(),
+        args.runs
+    );
+    let rows: Vec<Vec<f64>> = parallel_map(args.runs, args.threads, |run| {
+        let seed = 0xAB1A7E + run as u64;
+        let inst = scenario.generate(seed).expect("generation").instance;
+        variants
+            .iter()
+            .map(|(_, spec)| run_instance(&inst, spec, RunOptions::lean()).value_fraction * 100.0)
+            .collect()
+    });
+
+    let mut table = Table::new(vec!["variant", "value %", "±95% CI"]);
+    for (a, (name, _)) in variants.iter().enumerate() {
+        let s = Summary::from_samples(&rows.iter().map(|r| r[a]).collect::<Vec<_>>());
+        table.push_row(vec![
+            name.clone(),
+            fnum(s.mean, 3),
+            fnum(s.ci95_half_width(), 3),
+        ]);
+    }
+    println!("\nV-Dover design ablations (λ = 6, {} runs):\n", args.runs);
+    println!("{}", table.to_markdown());
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    std::fs::write(format!("{}/ablation.csv", args.out), table.to_csv()).expect("write");
+    eprintln!("wrote {}/ablation.csv", args.out);
+}
+
+struct Args {
+    runs: usize,
+    threads: usize,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            runs: 200,
+            threads: cloudsched_bench::harness::default_threads(),
+            out: "results".into(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--runs" => args.runs = it.next().expect("--runs N").parse().expect("number"),
+                "--threads" => {
+                    args.threads = it.next().expect("--threads N").parse().expect("number")
+                }
+                "--out" => args.out = it.next().expect("--out DIR"),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}

@@ -1,0 +1,62 @@
+//! Prints the theoretical competitive-ratio landscape of Theorems 1 and 3:
+//! the overload penalty `f(k,δ)`, V-Dover's achievable ratio, the online
+//! upper bound `1/(1+√k)²`, their quotient (asymptotic optimality), and the
+//! optimal threshold `β*`.
+//!
+//! Usage: `bounds [--out DIR]`
+
+use cloudsched_analysis::bounds::{
+    dover_beta, f_overload, optimal_beta, vdover_achievable_ratio, vdover_upper_bound,
+};
+use cloudsched_analysis::table::{fnum, Table};
+
+fn main() {
+    let out = std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "results".into());
+
+    // Sweep over k at the paper's δ = 35, and over δ at the paper's k = 7.
+    let mut by_k = Table::new(vec![
+        "k", "f(k,35)", "beta*", "achievable", "upper bound", "ach/ub",
+    ]);
+    for &k in &[1.0, 2.0, 4.0, 7.0, 16.0, 64.0, 256.0, 1024.0, 1e6] {
+        let delta = 35.0;
+        by_k.push_row(vec![
+            fnum(k, 0),
+            fnum(f_overload(k, delta), 3),
+            fnum(optimal_beta(k, delta), 4),
+            format!("{:.3e}", vdover_achievable_ratio(k, delta)),
+            format!("{:.3e}", vdover_upper_bound(k)),
+            fnum(vdover_achievable_ratio(k, delta) / vdover_upper_bound(k), 4),
+        ]);
+    }
+    let mut by_delta = Table::new(vec![
+        "delta", "f(7,delta)", "beta*", "achievable", "Dover beta (1+sqrt k)",
+    ]);
+    for &delta in &[1.1, 1.5, 2.0, 5.0, 10.0, 35.0, 100.0, 1000.0] {
+        by_delta.push_row(vec![
+            fnum(delta, 1),
+            fnum(f_overload(7.0, delta), 3),
+            fnum(optimal_beta(7.0, delta), 4),
+            format!("{:.3e}", vdover_achievable_ratio(7.0, delta)),
+            fnum(dover_beta(7.0), 4),
+        ]);
+    }
+
+    println!("Theorem 3 bounds at δ = 35 (paper's capacity class), varying k:\n");
+    println!("{}", by_k.to_markdown());
+    println!("\nTheorem 3 bounds at k = 7 (paper's importance bound), varying δ:\n");
+    println!("{}", by_delta.to_markdown());
+    println!(
+        "\nAsymptotic optimality: ach/ub → 1 as k → ∞ (last rows of the first table)."
+    );
+
+    std::fs::create_dir_all(&out).expect("create output dir");
+    std::fs::write(format!("{out}/bounds_by_k.csv"), by_k.to_csv()).expect("write");
+    std::fs::write(format!("{out}/bounds_by_delta.csv"), by_delta.to_csv()).expect("write");
+    eprintln!("wrote {out}/bounds_by_k.csv and {out}/bounds_by_delta.csv");
+}

@@ -1,0 +1,133 @@
+//! Reproduces **Figure 1** of the paper: cumulative value versus time for
+//! V-Dover and Dover at λ = 6, one panel per Dover capacity estimate
+//! ĉ ∈ {1, 10.5, 24.5, 35}, on a single common sample path.
+//!
+//! Emits `results/fig1_<panel>.csv` step curves (`time,value`) per algorithm
+//! and an ASCII sketch of each panel to stdout.
+//!
+//! Usage: `fig1 [--seed N] [--lambda F] [--out DIR]`
+
+use cloudsched_bench::{run_instance, SchedulerSpec};
+use cloudsched_sim::{RunOptions, TrajectoryPoint};
+use cloudsched_workload::PaperScenario;
+
+fn main() {
+    let args = Args::parse();
+    let scenario = PaperScenario::table1(args.lambda);
+    let generated = scenario.generate(args.seed).expect("generation");
+    let instance = &generated.instance;
+    let total_value = instance.jobs.total_value();
+    eprintln!(
+        "Figure 1: λ={}, {} jobs, total value {:.1}, horizon {:.1}",
+        args.lambda,
+        instance.job_count(),
+        total_value,
+        scenario.horizon
+    );
+
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    let vdover = trajectory(instance, &SchedulerSpec::VDover { k: 7.0, delta: 35.0 });
+    write_curve(&args.out, "fig1_vdover", &vdover);
+
+    for &c in &[1.0, 10.5, 24.5, 35.0] {
+        let dover = trajectory(
+            instance,
+            &SchedulerSpec::Dover {
+                k: 7.0,
+                c_estimate: c,
+            },
+        );
+        let panel = format!("fig1_dover_c{}", c.to_string().replace('.', "_"));
+        write_curve(&args.out, &panel, &dover);
+        println!(
+            "\nPanel ĉ = {c}: final value V-Dover {:.1} vs Dover {:.1} (of {:.1} total)",
+            last_value(&vdover),
+            last_value(&dover),
+            total_value
+        );
+        ascii_panel(&vdover, &dover, scenario.horizon);
+    }
+    eprintln!("curves written under {}/", args.out);
+}
+
+fn trajectory(
+    instance: &cloudsched_capacity::Instance,
+    spec: &SchedulerSpec,
+) -> Vec<TrajectoryPoint> {
+    let mut opts = RunOptions::lean();
+    opts.record_trajectory = true;
+    run_instance(instance, spec, opts)
+        .trajectory
+        .expect("trajectory recorded")
+}
+
+fn last_value(t: &[TrajectoryPoint]) -> f64 {
+    t.last().map(|p| p.cumulative_value).unwrap_or(0.0)
+}
+
+fn write_curve(dir: &str, name: &str, t: &[TrajectoryPoint]) {
+    let mut out = String::from("time,value\n");
+    for p in t {
+        out.push_str(&format!("{:.6},{:.6}\n", p.time, p.cumulative_value));
+    }
+    let path = format!("{dir}/{name}.csv");
+    std::fs::write(&path, out).expect("write curve");
+}
+
+/// Tiny ASCII rendition: V-Dover `*`, Dover `o`, both `#`.
+fn ascii_panel(vd: &[TrajectoryPoint], dv: &[TrajectoryPoint], horizon: f64) {
+    const W: usize = 72;
+    const H: usize = 14;
+    let max = last_value(vd).max(last_value(dv)).max(1e-9);
+    let sample = |t: &[TrajectoryPoint], x: f64| -> f64 {
+        // Step function: last value at time <= x.
+        t.iter()
+            .take_while(|p| p.time <= x)
+            .last()
+            .map(|p| p.cumulative_value)
+            .unwrap_or(0.0)
+    };
+    let mut grid = vec![vec![' '; W]; H];
+    for (col, cell) in (0..W).zip(0..W) {
+        let x = horizon * (col as f64 + 0.5) / W as f64;
+        let yv = ((sample(vd, x) / max) * (H as f64 - 1.0)).round() as usize;
+        let yd = ((sample(dv, x) / max) * (H as f64 - 1.0)).round() as usize;
+        let rv = H - 1 - yv.min(H - 1);
+        let rd = H - 1 - yd.min(H - 1);
+        grid[rd][cell] = 'o';
+        grid[rv][cell] = if rv == rd { '#' } else { '*' };
+    }
+    for row in grid {
+        println!("  |{}", row.into_iter().collect::<String>());
+    }
+    println!("  +{}", "-".repeat(W));
+    println!("   0 {:>w$.1} (time)   [*: V-Dover, o: Dover, #: both]", horizon, w = W - 4);
+}
+
+struct Args {
+    seed: u64,
+    lambda: f64,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            seed: 2011,
+            lambda: 6.0,
+            out: "results".into(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--seed" => args.seed = it.next().expect("--seed N").parse().expect("number"),
+                "--lambda" => {
+                    args.lambda = it.next().expect("--lambda F").parse().expect("number")
+                }
+                "--out" => args.out = it.next().expect("--out DIR"),
+                other => panic!("unknown flag {other} (try --seed/--lambda/--out)"),
+            }
+        }
+        args
+    }
+}

@@ -1,0 +1,124 @@
+//! Reproduces **Table I** of the paper: percentage of the total generated
+//! value obtained by Dover (with capacity estimates ĉ ∈ {1, 10.5, 24.5, 35})
+//! and by V-Dover, for λ ∈ {4, 5, 6, 7, 8, 10, 12}, averaged over Monte-Carlo
+//! runs; plus the relative gain of V-Dover over the best Dover column.
+//!
+//! Usage: `table1 [--runs N] [--threads N] [--out DIR]`
+//! (paper defaults: 800 runs).
+
+use cloudsched_analysis::stats::Summary;
+use cloudsched_analysis::table::{fnum, Table};
+use cloudsched_bench::{parallel_map, run_instance, SchedulerSpec};
+use cloudsched_sim::RunOptions;
+use cloudsched_workload::PaperScenario;
+
+fn main() {
+    let args = Args::parse();
+    let lambdas = [4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0];
+    let c_estimates = [1.0, 10.5, 24.5, 35.0];
+    let k = 7.0;
+    let delta = 35.0;
+
+    let mut specs: Vec<SchedulerSpec> = c_estimates
+        .iter()
+        .map(|&c| SchedulerSpec::Dover { k, c_estimate: c })
+        .collect();
+    specs.push(SchedulerSpec::VDover { k, delta });
+    let names: Vec<String> = specs.iter().map(SchedulerSpec::name).collect();
+
+    let mut table = Table::new(
+        ["lambda"]
+            .into_iter()
+            .map(String::from)
+            .chain(names.iter().cloned())
+            .chain(["best Dover".into(), "gain %".into()])
+            .collect::<Vec<String>>(),
+    );
+    let mut csv = Table::new(
+        ["lambda"]
+            .into_iter()
+            .map(String::from)
+            .chain(names.iter().cloned())
+            .chain(["gain_percent".into()])
+            .collect::<Vec<String>>(),
+    );
+
+    eprintln!(
+        "Table I: {} runs per (lambda, algorithm) cell, {} threads",
+        args.runs, args.threads
+    );
+    for &lambda in &lambdas {
+        let scenario = PaperScenario::table1(lambda);
+        // One fraction per (run, algorithm): all algorithms see the SAME
+        // instance per seed (paired comparison, as the paper's Fig. 1 does).
+        let rows: Vec<Vec<f64>> = parallel_map(args.runs, args.threads, |run| {
+            let seed = 0x5EED_0000 + (lambda * 1000.0) as u64 * 1_000_003 + run as u64;
+            let generated = scenario.generate(seed).expect("generation");
+            specs
+                .iter()
+                .map(|spec| {
+                    run_instance(&generated.instance, spec, RunOptions::lean()).value_fraction
+                        * 100.0
+                })
+                .collect()
+        });
+        let means: Vec<Summary> = (0..specs.len())
+            .map(|a| Summary::from_samples(&rows.iter().map(|r| r[a]).collect::<Vec<_>>()))
+            .collect();
+        let dover_best = means[..c_estimates.len()]
+            .iter()
+            .map(|s| s.mean)
+            .fold(0.0f64, f64::max);
+        let vdover = means[c_estimates.len()].mean;
+        let gain = (vdover - dover_best) / dover_best * 100.0;
+
+        let mut row = vec![fnum(lambda, 0)];
+        row.extend(means.iter().map(|s| fnum(s.mean, 4)));
+        row.push(fnum(dover_best, 4));
+        row.push(fnum(gain, 2));
+        table.push_row(row);
+        let mut crow = vec![fnum(lambda, 1)];
+        crow.extend(means.iter().map(|s| fnum(s.mean, 6)));
+        crow.push(fnum(gain, 4));
+        csv.push_row(crow);
+        eprintln!(
+            "  λ={lambda:>4}: best Dover {:.2}%, V-Dover {:.2}% (gain {:+.2}%)",
+            dover_best, vdover, gain
+        );
+    }
+
+    println!("\nTable I (reproduced): % of total value obtained, {} runs\n", args.runs);
+    println!("{}", table.to_markdown());
+    let path = format!("{}/table1.csv", args.out);
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    std::fs::write(&path, csv.to_csv()).expect("write csv");
+    eprintln!("wrote {path}");
+}
+
+struct Args {
+    runs: usize,
+    threads: usize,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            runs: 800,
+            threads: cloudsched_bench::harness::default_threads(),
+            out: "results".into(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--runs" => args.runs = it.next().expect("--runs N").parse().expect("number"),
+                "--threads" => {
+                    args.threads = it.next().expect("--threads N").parse().expect("number")
+                }
+                "--out" => args.out = it.next().expect("--out DIR"),
+                other => panic!("unknown flag {other} (try --runs/--threads/--out)"),
+            }
+        }
+        args
+    }
+}

@@ -1,0 +1,113 @@
+//! Demonstrates the §III-A stretch transformation: solving the transformed
+//! constant-capacity problem gives *exactly* the optimal value of the
+//! original varying-capacity problem, and schedules map back bijectively.
+//!
+//! For random small instances we compare: (a) exact optimum computed
+//! directly on the varying-capacity system, (b) exact optimum via the
+//! stretch reduction, (c) the offline greedy heuristics on both sides.
+//!
+//! Usage: `transform [--instances N] [--jobs N]`
+
+use cloudsched_analysis::table::{fnum, Table};
+use cloudsched_capacity::Instance;
+use cloudsched_offline::exact::optimal_value;
+use cloudsched_offline::greedy::greedy_by_density;
+use cloudsched_offline::reduction::{reduce, solve_via_stretch};
+use cloudsched_workload::ctmc::CtmcCapacity;
+use cloudsched_workload::dist::{exponential, uniform};
+use cloudsched_core::{Job, JobId, JobSet, Time};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    let args = Args::parse();
+    let mut agree = 0usize;
+    let mut max_abs_diff: f64 = 0.0;
+    let mut table = Table::new(vec![
+        "instance",
+        "direct opt",
+        "via-stretch opt",
+        "greedy (orig)",
+        "greedy (stretched)",
+    ]);
+
+    for i in 0..args.instances {
+        let mut rng = StdRng::seed_from_u64(0x57E7C4 + i as u64);
+        let inst = random_instance(&mut rng, args.jobs);
+        let (direct, _) = optimal_value(&inst.jobs, &inst.capacity);
+        let (via, _) = solve_via_stretch(&inst).expect("reduction");
+        let (g_orig, _) = greedy_by_density(&inst.jobs, &inst.capacity);
+        let reduced = reduce(&inst).expect("reduction");
+        let (g_stretch, _) = greedy_by_density(&reduced.jobs, &reduced.capacity);
+        let diff = (direct - via).abs();
+        max_abs_diff = max_abs_diff.max(diff);
+        if diff < 1e-6 {
+            agree += 1;
+        }
+        if i < 10 {
+            table.push_row(vec![
+                fnum(i as f64, 0),
+                fnum(direct, 4),
+                fnum(via, 4),
+                fnum(g_orig, 4),
+                fnum(g_stretch, 4),
+            ]);
+        }
+    }
+
+    println!(
+        "Stretch-transformation equivalence over {} random instances ({} jobs each):\n",
+        args.instances, args.jobs
+    );
+    println!("{}", table.to_markdown());
+    println!(
+        "\nDirect and via-stretch optima agree on {agree}/{} instances \
+         (max |difference| = {max_abs_diff:.2e}).",
+        args.instances
+    );
+    println!(
+        "The greedy heuristic is also invariant under the transformation — the\n\
+         bijection maps feasible sets to feasible sets, so any subset-selection\n\
+         algorithm that only queries feasibility behaves identically."
+    );
+}
+
+fn random_instance(rng: &mut StdRng, jobs: usize) -> Instance {
+    let chain = CtmcCapacity::two_state(1.0, 3.0, 2.0).expect("chain");
+    let capacity = chain.sample(rng, 30.0).expect("trace");
+    let tuples: Vec<Job> = (0..jobs)
+        .map(|i| {
+            let r = rng.gen::<f64>() * 10.0;
+            let p = exponential(rng, 1.0).max(0.05);
+            let slack = 0.3 + rng.gen::<f64>() * 2.0;
+            let d = r + p * slack;
+            let v = p * uniform(rng, 1.0, 7.0);
+            Job::new(JobId(i as u64), Time::new(r), Time::new(d), p, v).expect("job")
+        })
+        .collect();
+    Instance::new(JobSet::new(tuples).expect("jobs"), capacity)
+}
+
+struct Args {
+    instances: usize,
+    jobs: usize,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            instances: 50,
+            jobs: 12,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--instances" => {
+                    args.instances = it.next().expect("--instances N").parse().expect("number")
+                }
+                "--jobs" => args.jobs = it.next().expect("--jobs N").parse().expect("number"),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}

@@ -1,0 +1,29 @@
+//! # cloudsched-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§IV), plus the extra experiments indexed in
+//! `DESIGN.md`:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I — value percentage, Dover(ĉ) vs V-Dover, relative gain |
+//! | `fig1` | Figure 1(a–d) — cumulative value vs time at λ = 6 |
+//! | `bounds` | the Theorem 1/3 competitive-ratio curves and β* |
+//! | `adversary` | Theorem 3(3) — vanishing ratio without admissibility |
+//! | `underloaded` | Theorem 2 — EDF earns 100% on underloaded instances |
+//! | `transform` | §III-A — stretch reduction equals direct solving |
+//! | `ablation` | design-choice ablations (supplement queue, β, ĉ, Qsupp order) |
+//!
+//! The library part hosts the parallel Monte-Carlo driver and the scheduler
+//! factory shared by the binaries and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod harness;
+pub mod ratio;
+
+pub use algos::SchedulerSpec;
+pub use harness::{parallel_map, run_instance};
+pub use ratio::{empirical_ratio, Normalizer};

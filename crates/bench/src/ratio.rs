@@ -1,0 +1,128 @@
+//! Empirical competitive-ratio measurement.
+//!
+//! The paper normalises Table I by the *total generated value* because "the
+//! optimal offline value is hard to compute". This module offers all three
+//! normalisers so experiments can report genuine ratios when affordable:
+//!
+//! * [`Normalizer::TotalValue`] — the paper's choice (a lower bound on the
+//!   true ratio);
+//! * [`Normalizer::Fractional`] — the LP upper bound on OPT (polynomial,
+//!   works at any scale; yields a slightly pessimistic ratio);
+//! * [`Normalizer::Exact`] — branch-and-bound OPT (small instances only).
+
+use crate::algos::SchedulerSpec;
+use crate::harness::run_instance;
+use cloudsched_analysis::stats::Summary;
+use cloudsched_capacity::Instance;
+use cloudsched_offline::{fractional_optimal, optimal_value};
+use cloudsched_sim::RunOptions;
+
+/// Which denominator to divide the online value by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalizer {
+    /// Sum of all generated values (the paper's Table I metric).
+    TotalValue,
+    /// The fractional LP optimum (an upper bound on OPT).
+    Fractional,
+    /// The exact offline optimum (exponential-time; keep instances small).
+    Exact,
+}
+
+/// The denominator for one instance under the chosen normaliser.
+pub fn denominator(instance: &Instance, normalizer: Normalizer) -> f64 {
+    match normalizer {
+        Normalizer::TotalValue => instance.jobs.total_value(),
+        Normalizer::Fractional => fractional_optimal(&instance.jobs, &instance.capacity).0,
+        Normalizer::Exact => optimal_value(&instance.jobs, &instance.capacity).0,
+    }
+}
+
+/// Online value ÷ denominator for one scheduler on one instance.
+pub fn empirical_ratio(
+    instance: &Instance,
+    spec: &SchedulerSpec,
+    normalizer: Normalizer,
+) -> f64 {
+    let denom = denominator(instance, normalizer);
+    if denom <= 0.0 {
+        return 1.0; // nothing to earn: vacuously optimal
+    }
+    run_instance(instance, spec, RunOptions::lean()).value / denom
+}
+
+/// Ratios of one scheduler over a set of instances, summarised.
+pub fn ratio_summary(
+    instances: &[Instance],
+    spec: &SchedulerSpec,
+    normalizer: Normalizer,
+) -> (Vec<f64>, Summary) {
+    let ratios: Vec<f64> = instances
+        .iter()
+        .map(|i| empirical_ratio(i, spec, normalizer))
+        .collect();
+    let summary = Summary::from_samples(&ratios);
+    (ratios, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_capacity::PiecewiseConstant;
+    use cloudsched_core::JobSet;
+
+    fn small_instance() -> Instance {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 2.0, 2.0, 4.0),
+            (0.0, 2.0, 2.0, 1.0),
+            (2.0, 5.0, 3.0, 6.0),
+        ])
+        .unwrap();
+        let cap = PiecewiseConstant::constant(1.0).unwrap();
+        Instance::new(jobs, cap)
+    }
+
+    #[test]
+    fn denominators_are_ordered() {
+        let inst = small_instance();
+        let total = denominator(&inst, Normalizer::TotalValue);
+        let frac = denominator(&inst, Normalizer::Fractional);
+        let exact = denominator(&inst, Normalizer::Exact);
+        assert!(exact <= frac + 1e-9, "exact {exact} <= fractional {frac}");
+        assert!(frac <= total + 1e-9, "fractional {frac} <= total {total}");
+        assert!(exact > 0.0);
+    }
+
+    #[test]
+    fn ratios_ordered_inversely_to_denominators() {
+        let inst = small_instance();
+        let spec = SchedulerSpec::Edf;
+        let r_total = empirical_ratio(&inst, &spec, Normalizer::TotalValue);
+        let r_frac = empirical_ratio(&inst, &spec, Normalizer::Fractional);
+        let r_exact = empirical_ratio(&inst, &spec, Normalizer::Exact);
+        assert!(r_total <= r_frac + 1e-9);
+        assert!(r_frac <= r_exact + 1e-9);
+        assert!(r_exact <= 1.0 + 1e-9, "nobody beats the exact optimum");
+    }
+
+    #[test]
+    fn summary_over_instances() {
+        let instances = vec![small_instance(), small_instance()];
+        let (ratios, summary) =
+            ratio_summary(&instances, &SchedulerSpec::Edf, Normalizer::Exact);
+        assert_eq!(ratios.len(), 2);
+        assert_eq!(summary.n, 2);
+        assert!((ratios[0] - ratios[1]).abs() < 1e-12, "deterministic");
+    }
+
+    #[test]
+    fn empty_instance_is_vacuously_optimal() {
+        let inst = Instance::new(
+            JobSet::new(vec![]).unwrap(),
+            PiecewiseConstant::constant(1.0).unwrap(),
+        );
+        assert_eq!(
+            empirical_ratio(&inst, &SchedulerSpec::Edf, Normalizer::Exact),
+            1.0
+        );
+    }
+}

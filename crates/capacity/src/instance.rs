@@ -1,0 +1,115 @@
+//! Complete input instances: jobs + capacity.
+
+use crate::piecewise::PiecewiseConstant;
+use crate::profile::CapacityProfile;
+use cloudsched_core::{JobSet, Time};
+
+/// The paper's input instance `I`: a set of secondary jobs together with the
+/// processor capacity function over their duration (§II-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// The released jobs.
+    pub jobs: JobSet,
+    /// The time-varying capacity.
+    pub capacity: PiecewiseConstant,
+}
+
+impl Instance {
+    /// Pairs jobs with a capacity profile.
+    pub fn new(jobs: JobSet, capacity: PiecewiseConstant) -> Self {
+        Instance { jobs, capacity }
+    }
+
+    /// Number of jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Capacity variation `δ = c_hi / c_lo` of the declared class.
+    pub fn delta(&self) -> f64 {
+        self.capacity.delta()
+    }
+
+    /// Importance ratio `k_I` of the job set (None if undefined).
+    pub fn importance_ratio(&self) -> Option<f64> {
+        self.jobs.importance_ratio()
+    }
+
+    /// `true` iff every job satisfies Definition 4 w.r.t. the declared `c_lo`.
+    pub fn all_individually_admissible(&self) -> bool {
+        self.jobs.all_individually_admissible(self.capacity.c_lo())
+    }
+
+    /// Total workload the processor could serve between the first release and
+    /// the last deadline — a crude upper bound on useful work.
+    pub fn served_workload_bound(&self) -> f64 {
+        let a = self.jobs.first_release();
+        let b = self.jobs.last_deadline();
+        if b <= a {
+            return 0.0;
+        }
+        self.capacity.integrate(a, b)
+    }
+
+    /// A quick *necessary* underload check: total workload fits in the span.
+    /// (Sufficiency requires the EDF feasibility test in `cloudsched-offline`.)
+    pub fn workload_fits_span(&self) -> bool {
+        self.jobs.total_workload() <= self.served_workload_bound() + 1e-9
+    }
+
+    /// Latest deadline — the natural simulation horizon.
+    pub fn horizon(&self) -> Time {
+        self.jobs.last_deadline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> Instance {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 4.0, 2.0, 2.0),
+            (1.0, 6.0, 3.0, 9.0),
+        ])
+        .unwrap();
+        let cap = PiecewiseConstant::from_durations(&[(2.0, 1.0), (2.0, 3.0)]).unwrap();
+        Instance::new(jobs, cap)
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let i = instance();
+        assert_eq!(i.job_count(), 2);
+        assert_eq!(i.delta(), 3.0);
+        assert_eq!(i.importance_ratio(), Some(3.0));
+        assert_eq!(i.horizon(), Time::new(6.0));
+    }
+
+    #[test]
+    fn admissibility_uses_c_lo() {
+        let i = instance();
+        // c_lo = 1; job 0 needs d-r=4 >= p/c_lo=2: ok. job 1: 5 >= 3: ok.
+        assert!(i.all_individually_admissible());
+        let tight = JobSet::from_tuples(&[(0.0, 1.0, 2.0, 1.0)]).unwrap();
+        let i2 = Instance::new(tight, i.capacity.clone());
+        assert!(!i2.all_individually_admissible());
+    }
+
+    #[test]
+    fn workload_bounds() {
+        let i = instance();
+        // Span [0,6]: ∫ = 2*1 + 2*3 + 2*3 = 14.
+        assert_eq!(i.served_workload_bound(), 14.0);
+        assert!(i.workload_fits_span());
+    }
+
+    #[test]
+    fn empty_span_bound_is_zero() {
+        let jobs = JobSet::new(vec![]).unwrap();
+        let cap = PiecewiseConstant::constant(1.0).unwrap();
+        let i = Instance::new(jobs, cap);
+        assert_eq!(i.served_workload_bound(), 0.0);
+        assert!(i.workload_fits_span());
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic capacity-pattern builders.
+//!
+//! The paper's stochastic two-state capacity lives in
+//! `cloudsched-workload::ctmc`; this module provides *deterministic*
+//! profiles used by examples, tests and ablations: diurnal (day/night)
+//! cycles and staircase approximations of smooth curves such as sinusoids.
+//! Everything is still piecewise-constant, so the simulator's exact
+//! integration applies unchanged.
+
+use crate::piecewise::{PiecewiseConstant, PiecewiseConstantBuilder};
+use cloudsched_core::CoreError;
+
+/// A repeating two-phase (e.g. day/night) pattern: `high_rate` for
+/// `high_duration`, then `low_rate` for `low_duration`, repeated `cycles`
+/// times; the final phase's rate extends forever.
+pub fn diurnal(
+    high_rate: f64,
+    high_duration: f64,
+    low_rate: f64,
+    low_duration: f64,
+    cycles: usize,
+) -> Result<PiecewiseConstant, CoreError> {
+    if cycles == 0 {
+        return Err(CoreError::InvalidCapacityProfile {
+            reason: "diurnal pattern needs at least one cycle".into(),
+        });
+    }
+    let mut b = PiecewiseConstantBuilder::new();
+    for _ in 0..cycles {
+        b.push_run(high_rate, high_duration);
+        b.push_run(low_rate, low_duration);
+    }
+    b.finish(low_rate)
+}
+
+/// A staircase approximation of `c(t) = offset + amplitude·sin(2πt/period)`
+/// with `steps_per_period` equal-width steps over `periods` periods, each
+/// step holding the midpoint value of the sinusoid. Requires
+/// `offset > amplitude >= 0` so rates stay positive.
+pub fn sinusoid_steps(
+    offset: f64,
+    amplitude: f64,
+    period: f64,
+    steps_per_period: usize,
+    periods: usize,
+) -> Result<PiecewiseConstant, CoreError> {
+    if !(offset > amplitude && amplitude >= 0.0) || period <= 0.0 {
+        return Err(CoreError::InvalidCapacityProfile {
+            reason: format!(
+                "sinusoid needs offset > amplitude >= 0 and period > 0, got \
+                 offset={offset} amplitude={amplitude} period={period}"
+            ),
+        });
+    }
+    if steps_per_period == 0 || periods == 0 {
+        return Err(CoreError::InvalidCapacityProfile {
+            reason: "sinusoid needs at least one step and one period".into(),
+        });
+    }
+    let step = period / steps_per_period as f64;
+    let mut b = PiecewiseConstantBuilder::new();
+    for p in 0..periods {
+        for s in 0..steps_per_period {
+            let mid = (p * steps_per_period + s) as f64 * step + step / 2.0;
+            let rate = offset + amplitude * (2.0 * std::f64::consts::PI * mid / period).sin();
+            b.push_run(rate, step);
+        }
+    }
+    b.finish(offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CapacityProfile;
+    use cloudsched_core::{approx_eq, Time};
+
+    #[test]
+    fn diurnal_cycles_repeat() {
+        let p = diurnal(8.0, 2.0, 2.0, 1.0, 3).unwrap();
+        assert_eq!(p.rate_at(Time::new(0.5)), 8.0);
+        assert_eq!(p.rate_at(Time::new(2.5)), 2.0);
+        assert_eq!(p.rate_at(Time::new(3.5)), 8.0); // second cycle
+        assert_eq!(p.rate_at(Time::new(8.5)), 2.0); // third cycle's night
+        assert_eq!(p.rate_at(Time::new(100.0)), 2.0); // tail
+        // Area per cycle: 8*2 + 2*1 = 18.
+        assert!(approx_eq(p.integrate(Time::ZERO, Time::new(9.0)), 54.0));
+    }
+
+    #[test]
+    fn diurnal_needs_cycles() {
+        assert!(diurnal(2.0, 1.0, 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn sinusoid_bounds_and_mean() {
+        let p = sinusoid_steps(5.0, 3.0, 10.0, 20, 4).unwrap();
+        let (lo, hi) = p.observed_bounds();
+        assert!(lo >= 2.0 - 1e-9 && hi <= 8.0 + 1e-9, "({lo}, {hi})");
+        // Mean over whole periods ~ offset.
+        let mean = p.integrate(Time::ZERO, Time::new(40.0)) / 40.0;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn sinusoid_rejects_nonpositive_rates() {
+        assert!(sinusoid_steps(1.0, 1.0, 10.0, 8, 1).is_err());
+        assert!(sinusoid_steps(2.0, 1.0, 0.0, 8, 1).is_err());
+        assert!(sinusoid_steps(2.0, 1.0, 10.0, 0, 1).is_err());
+        assert!(sinusoid_steps(2.0, 1.0, 10.0, 8, 0).is_err());
+    }
+
+    #[test]
+    fn sinusoid_step_count() {
+        let p = sinusoid_steps(5.0, 2.0, 8.0, 16, 2).unwrap();
+        // 32 steps, minus the pairs that coalesce where the sinusoid is
+        // symmetric around its extrema, plus a possible tail segment.
+        assert!(
+            p.segment_count() >= 24 && p.segment_count() <= 34,
+            "got {}",
+            p.segment_count()
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The capacity-profile abstraction.
+
+use cloudsched_core::Time;
+
+/// A time-varying processor capacity `c(t)` defined on `[0, ∞)`.
+///
+/// Implementations must guarantee, for all `t`:
+/// `bounds().0 <= rate_at(t) <= bounds().1` and `rate_at(t) > 0`
+/// (the paper's capacity class `C(c_lo, c_hi)` has `c_lo > 0`; strictly
+/// positive rates also mean every finite workload finishes in finite time,
+/// which the simulator relies on).
+///
+/// `integrate` must be *exact* for the profile class (no numeric quadrature):
+/// all profiles in this workspace are piecewise constant, so integrals are
+/// sums of rectangle areas and the inverse query is a closed form.
+pub trait CapacityProfile {
+    /// Instantaneous capacity at `t` (right-continuous: the rate on `[t, t+ε)`).
+    fn rate_at(&self, t: Time) -> f64;
+
+    /// Workload executable in `[a, b]`: `∫_a^b c(τ) dτ`. Requires `a <= b`.
+    fn integrate(&self, a: Time, b: Time) -> f64;
+
+    /// The earliest `s >= from` such that `integrate(from, s) == workload`.
+    ///
+    /// With strictly positive rates this always exists for finite `workload`;
+    /// `workload <= 0` returns `from` itself.
+    fn time_to_complete(&self, from: Time, workload: f64) -> Time;
+
+    /// Declared capacity bounds `(c_lo, c_hi)` of the class the profile
+    /// belongs to. The *actual* rates may span a narrower range.
+    fn bounds(&self) -> (f64, f64);
+
+    /// The next instant strictly after `t` at which the rate changes, or
+    /// [`Time::NEVER`] if the rate is constant from `t` on.
+    fn next_change_after(&self, t: Time) -> Time;
+
+    /// Maximum capacity variation `δ = c_hi / c_lo` (§II-A).
+    fn delta(&self) -> f64 {
+        let (lo, hi) = self.bounds();
+        hi / lo
+    }
+
+    /// Lower capacity bound `c_lo` — the conservative estimate used by
+    /// V-Dover's conservative laxity (Definition 5).
+    fn c_lo(&self) -> f64 {
+        self.bounds().0
+    }
+
+    /// Upper capacity bound `c_hi`.
+    fn c_hi(&self) -> f64 {
+        self.bounds().1
+    }
+}
+
+impl<P: CapacityProfile + ?Sized> CapacityProfile for &P {
+    fn rate_at(&self, t: Time) -> f64 {
+        (**self).rate_at(t)
+    }
+    fn integrate(&self, a: Time, b: Time) -> f64 {
+        (**self).integrate(a, b)
+    }
+    fn time_to_complete(&self, from: Time, workload: f64) -> Time {
+        (**self).time_to_complete(from, workload)
+    }
+    fn bounds(&self) -> (f64, f64) {
+        (**self).bounds()
+    }
+    fn next_change_after(&self, t: Time) -> Time {
+        (**self).next_change_after(t)
+    }
+}

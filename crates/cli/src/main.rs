@@ -1,0 +1,330 @@
+//! `cloudsched` — command-line front end for the workspace.
+//!
+//! ```text
+//! cloudsched gen   --lambda 6 --seed 1 [--slack 1.0] --out trace.txt
+//! cloudsched run   --trace trace.txt [--scheduler vdover,edf,...] [--audit]
+//! cloudsched opt   --trace trace.txt [--method exact|fractional|greedy]
+//! cloudsched info  --trace trace.txt
+//! cloudsched bounds --k 7 --delta 35
+//! ```
+//!
+//! Traces use the plain-text format of `cloudsched-workload::traces`.
+
+use cloudsched_analysis::bounds as theory;
+use cloudsched_capacity::{CapacityProfile, Instance};
+use cloudsched_offline as offline;
+use cloudsched_sched::{Dover, Edf, Fifo, Greedy, Llf, VDover};
+use cloudsched_sim::{audit::audit_report, simulate, RunOptions, Scheduler};
+use cloudsched_workload::{traces, PaperScenario};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(args);
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "run" => cmd_run(&flags),
+        "opt" => cmd_opt(&flags),
+        "info" => cmd_info(&flags),
+        "bounds" => cmd_bounds(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cloudsched gen    --lambda F [--seed N] [--slack F] [--out FILE]
+  cloudsched run    --trace FILE [--scheduler LIST] [--audit]
+  cloudsched opt    --trace FILE [--method exact|fractional|greedy]
+  cloudsched info   --trace FILE
+  cloudsched bounds --k F --delta F";
+
+fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let key = flag.trim_start_matches("--").to_string();
+        let value = match args.peek() {
+            Some(v) if !v.starts_with("--") => args.next().unwrap_or_default(),
+            _ => String::from("true"),
+        };
+        flags.insert(key, value);
+    }
+    flags
+}
+
+fn get_f64(flags: &HashMap<String, String>, key: &str) -> Result<f64, String> {
+    flags
+        .get(key)
+        .ok_or(format!("missing --{key}"))?
+        .parse()
+        .map_err(|e| format!("--{key}: {e}"))
+}
+
+fn load_trace(flags: &HashMap<String, String>) -> Result<Instance, String> {
+    let path = flags.get("trace").ok_or("missing --trace FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    traces::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let lambda = get_f64(flags, "lambda")?;
+    let seed = flags
+        .get("seed")
+        .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let mut scenario = PaperScenario::table1(lambda);
+    if let Some(s) = flags.get("slack") {
+        scenario.slack_factor = s.parse().map_err(|e| format!("--slack: {e}"))?;
+    }
+    let generated = scenario.generate(seed).map_err(|e| e.to_string())?;
+    let text = traces::to_text(&generated.instance);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote {} jobs / {} capacity segments to {path}",
+                generated.instance.job_count(),
+                generated.instance.capacity.segment_count()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn make_scheduler(name: &str, k: f64, delta: f64, c_lo: f64, c_hi: f64) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match name {
+        "vdover" => Box::new(VDover::new(k, delta)),
+        "dover" | "dover-lo" => Box::new(Dover::new(k, c_lo)),
+        "dover-hi" => Box::new(Dover::new(k, c_hi)),
+        "edf" => Box::new(Edf::new()),
+        "llf" => Box::new(Llf::with_estimate(c_lo)),
+        "fifo" => Box::new(Fifo::new()),
+        "greedy" => Box::new(Greedy::highest_value()),
+        "hvdf" => Box::new(Greedy::highest_density()),
+        other => return Err(format!("unknown scheduler `{other}`")),
+    })
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let instance = load_trace(flags)?;
+    let (c_lo, c_hi) = instance.capacity.bounds();
+    let k = instance.importance_ratio().unwrap_or(7.0);
+    let delta = instance.delta().max(1.0 + 1e-9);
+    let list = flags
+        .get("scheduler")
+        .cloned()
+        .unwrap_or_else(|| "vdover,dover-lo,edf,hvdf".into());
+    let audit = flags.contains_key("audit");
+    println!(
+        "{:<16} {:>10} {:>8} {:>11} {:>12}",
+        "scheduler", "value", "value %", "completed", "preemptions"
+    );
+    for name in list.split(',') {
+        let mut s = make_scheduler(name.trim(), k, delta, c_lo, c_hi)?;
+        let opts = if audit {
+            RunOptions::full()
+        } else {
+            RunOptions::lean()
+        };
+        let report = simulate(&instance.jobs, &instance.capacity, &mut *s, opts);
+        if audit {
+            audit_report(&instance.jobs, &instance.capacity, &report)
+                .map_err(|e| format!("{}: audit failed: {:?}", report.scheduler, e))?;
+        }
+        println!(
+            "{:<16} {:>10.2} {:>7.2}% {:>6}/{:<4} {:>12}",
+            report.scheduler,
+            report.value,
+            report.value_fraction * 100.0,
+            report.completed,
+            instance.job_count(),
+            report.preemptions
+        );
+    }
+    if audit {
+        eprintln!("all runs audited: clean");
+    }
+    Ok(())
+}
+
+fn cmd_opt(flags: &HashMap<String, String>) -> Result<(), String> {
+    let instance = load_trace(flags)?;
+    let method = flags.get("method").map(String::as_str).unwrap_or("fractional");
+    match method {
+        "exact" => {
+            if instance.job_count() > 26 {
+                return Err(format!(
+                    "exact branch-and-bound is exponential; refusing {} jobs (max 26). \
+                     Use --method fractional.",
+                    instance.job_count()
+                ));
+            }
+            let (v, ids) = offline::optimal_value(&instance.jobs, &instance.capacity);
+            println!("exact optimum: {v:.4} with {} jobs", ids.len());
+        }
+        "fractional" => {
+            let (v, fr) = offline::fractional_optimal(&instance.jobs, &instance.capacity);
+            let full = fr.iter().filter(|&&x| x > 1.0 - 1e-9).count();
+            println!(
+                "fractional (LP) upper bound: {v:.4} ({full} jobs fully served, {} partially)",
+                fr.iter().filter(|&&x| x > 1e-9 && x < 1.0 - 1e-9).count()
+            );
+        }
+        "greedy" => {
+            let (gv, _) = offline::greedy_by_value(&instance.jobs, &instance.capacity);
+            let (gd, _) = offline::greedy_by_density(&instance.jobs, &instance.capacity);
+            println!("greedy by value:   {gv:.4}");
+            println!("greedy by density: {gd:.4}");
+        }
+        other => return Err(format!("unknown method `{other}`")),
+    }
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    let instance = load_trace(flags)?;
+    let (c_lo, c_hi) = instance.capacity.bounds();
+    println!("jobs:               {}", instance.job_count());
+    println!("total workload:     {:.3}", instance.jobs.total_workload());
+    println!("total value:        {:.3}", instance.jobs.total_value());
+    println!(
+        "importance ratio k: {}",
+        instance
+            .importance_ratio()
+            .map(|k| format!("{k:.3}"))
+            .unwrap_or_else(|| "undefined (zero-value job)".into())
+    );
+    println!("capacity class:     C({c_lo}, {c_hi})  δ = {:.3}", instance.delta());
+    println!(
+        "capacity segments:  {}",
+        instance.capacity.segment_count()
+    );
+    println!(
+        "span:               [{}, {}]",
+        instance.jobs.first_release(),
+        instance.jobs.last_deadline()
+    );
+    println!(
+        "individually admissible: {}",
+        if instance.all_individually_admissible() {
+            "yes (Theorem 3(2) applies)"
+        } else {
+            "NO — Theorem 3(3): no positive competitive ratio is guaranteed"
+        }
+    );
+    println!(
+        "fluid load check:   {}",
+        if instance.workload_fits_span() {
+            "workload fits span (possibly underloaded)"
+        } else {
+            "certified overload"
+        }
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(args: &[&str]) -> HashMap<String, String> {
+        parse_flags(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flag_parsing_pairs_and_booleans() {
+        let f = flags_of(&["--lambda", "6", "--audit", "--seed", "3"]);
+        assert_eq!(f.get("lambda").unwrap(), "6");
+        assert_eq!(f.get("seed").unwrap(), "3");
+        assert_eq!(f.get("audit").unwrap(), "true");
+        assert!(f.get("out").is_none());
+    }
+
+    #[test]
+    fn get_f64_reports_missing_and_malformed() {
+        let f = flags_of(&["--k", "7", "--delta", "abc"]);
+        assert_eq!(get_f64(&f, "k").unwrap(), 7.0);
+        assert!(get_f64(&f, "delta").is_err());
+        assert!(get_f64(&f, "nope").unwrap_err().contains("--nope"));
+    }
+
+    #[test]
+    fn scheduler_factory_knows_all_names() {
+        for name in ["vdover", "dover", "dover-lo", "dover-hi", "edf", "llf", "fifo", "greedy", "hvdf"] {
+            assert!(
+                make_scheduler(name, 7.0, 2.0, 1.0, 2.0).is_ok(),
+                "factory rejected {name}"
+            );
+        }
+        assert!(make_scheduler("bogus", 7.0, 2.0, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn gen_and_info_round_trip_through_a_temp_file() {
+        let path = std::env::temp_dir().join("cloudsched-cli-test-trace.txt");
+        let f = flags_of(&[
+            "--lambda",
+            "8",
+            "--seed",
+            "5",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        cmd_gen(&f).expect("gen");
+        let f = flags_of(&["--trace", path.to_str().unwrap()]);
+        cmd_info(&f).expect("info");
+        cmd_run(&flags_of(&[
+            "--trace",
+            path.to_str().unwrap(),
+            "--scheduler",
+            "edf",
+        ]))
+        .expect("run");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_trace_is_an_error() {
+        assert!(load_trace(&flags_of(&[])).is_err());
+        assert!(load_trace(&flags_of(&["--trace", "/no/such/file"])).is_err());
+    }
+}
+
+fn cmd_bounds(flags: &HashMap<String, String>) -> Result<(), String> {
+    let k = get_f64(flags, "k")?;
+    let delta = get_f64(flags, "delta")?;
+    if delta > 1.0 {
+        println!("f(k, δ)                  = {:.4}", theory::f_overload(k, delta));
+        println!("optimal β*               = {:.4}", theory::optimal_beta(k, delta));
+        println!(
+            "V-Dover achievable ratio = {:.6}",
+            theory::vdover_achievable_ratio(k, delta)
+        );
+    } else {
+        println!("δ = 1: constant capacity (Dover's setting)");
+        println!("Dover β                  = {:.4}", theory::dover_beta(k));
+    }
+    println!(
+        "online upper bound       = {:.6}  (1/(1+√k)², Theorem 3(1))",
+        theory::vdover_upper_bound(k)
+    );
+    Ok(())
+}

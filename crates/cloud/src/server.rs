@@ -1,0 +1,207 @@
+//! Servers and surplus-capacity derivation.
+
+use crate::primary::PrimaryJob;
+use cloudsched_capacity::{PiecewiseConstant, Segment};
+use cloudsched_core::{CoreError, Time};
+
+/// A fixed-capacity server hosting primary jobs; its leftover capacity is
+/// what the secondary scheduler sees.
+#[derive(Debug, Clone, Copy)]
+pub struct Server {
+    /// Total capacity of the machine.
+    pub capacity: f64,
+    /// Minimum capacity always kept available to secondary jobs (the class
+    /// bound `c_lo` of the induced profile). The paper's model requires
+    /// `c(t) >= c_lo > 0`; practically this is a reservation/cap on primary
+    /// admission.
+    pub secondary_reservation: f64,
+}
+
+impl Server {
+    /// Creates a server.
+    ///
+    /// # Panics
+    /// If `capacity <= 0` or the reservation is not in `(0, capacity]`.
+    pub fn new(capacity: f64, secondary_reservation: f64) -> Self {
+        assert!(capacity > 0.0);
+        assert!(
+            secondary_reservation > 0.0 && secondary_reservation <= capacity,
+            "reservation must be in (0, capacity]"
+        );
+        Server {
+            capacity,
+            secondary_reservation,
+        }
+    }
+
+    /// Builds the surplus capacity profile `c(t) = max(capacity − occupied(t),
+    /// reservation)` on `[0, horizon)`, extended by its final value.
+    ///
+    /// `occupied(t)` is the sum of demands of primary jobs resident at `t`.
+    pub fn surplus_profile(
+        &self,
+        primary: &[PrimaryJob],
+        horizon: f64,
+    ) -> Result<PiecewiseConstant, CoreError> {
+        assert!(horizon > 0.0);
+        // Sweep line over arrival/departure events inside [0, horizon).
+        let mut deltas: Vec<(f64, f64)> = Vec::with_capacity(primary.len() * 2);
+        let mut initial_occupancy = 0.0;
+        for j in primary {
+            let s = j.arrival;
+            let e = j.departure();
+            if e <= 0.0 || s >= horizon {
+                continue;
+            }
+            if s <= 0.0 {
+                initial_occupancy += j.demand;
+            } else {
+                deltas.push((s, j.demand));
+            }
+            if e < horizon {
+                deltas.push((e, -j.demand));
+            }
+        }
+        deltas.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let surplus = |occ: f64| (self.capacity - occ).max(self.secondary_reservation);
+        let mut segments = vec![Segment {
+            start: Time::ZERO,
+            rate: surplus(initial_occupancy),
+        }];
+        let mut occ = initial_occupancy;
+        let mut i = 0;
+        while i < deltas.len() {
+            let t = deltas[i].0;
+            // Coalesce simultaneous events.
+            while i < deltas.len() && deltas[i].0 == t {
+                occ += deltas[i].1;
+                i += 1;
+            }
+            // Numerical dust from cancelling +d/−d pairs.
+            if occ.abs() < 1e-12 {
+                occ = 0.0;
+            }
+            let rate = surplus(occ);
+            if rate != segments.last().expect("non-empty").rate {
+                segments.push(Segment {
+                    start: Time::new(t),
+                    rate,
+                });
+            }
+        }
+        PiecewiseConstant::new(segments)?
+            .with_declared_bounds(self.secondary_reservation, self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_capacity::CapacityProfile;
+
+    fn t(x: f64) -> Time {
+        Time::new(x)
+    }
+
+    #[test]
+    fn empty_primary_load_gives_full_capacity() {
+        let s = Server::new(10.0, 1.0);
+        let p = s.surplus_profile(&[], 5.0).unwrap();
+        assert_eq!(p.rate_at(t(0.0)), 10.0);
+        assert_eq!(p.rate_at(t(100.0)), 10.0);
+        assert_eq!(p.bounds(), (1.0, 10.0));
+    }
+
+    #[test]
+    fn occupancy_steps_down_surplus() {
+        let s = Server::new(10.0, 1.0);
+        let primary = vec![
+            PrimaryJob {
+                arrival: 1.0,
+                holding: 2.0,
+                demand: 4.0,
+            },
+            PrimaryJob {
+                arrival: 2.0,
+                holding: 2.0,
+                demand: 3.0,
+            },
+        ];
+        let p = s.surplus_profile(&primary, 10.0).unwrap();
+        assert_eq!(p.rate_at(t(0.5)), 10.0);
+        assert_eq!(p.rate_at(t(1.5)), 6.0); // job 1 resident
+        assert_eq!(p.rate_at(t(2.5)), 3.0); // both resident
+        assert_eq!(p.rate_at(t(3.5)), 7.0); // job 1 departed at 3
+        assert_eq!(p.rate_at(t(4.5)), 10.0); // all gone at 4
+    }
+
+    #[test]
+    fn reservation_floors_surplus() {
+        let s = Server::new(10.0, 2.0);
+        let primary = vec![PrimaryJob {
+            arrival: 1.0,
+            holding: 1.0,
+            demand: 9.5,
+        }];
+        let p = s.surplus_profile(&primary, 5.0).unwrap();
+        // 10 - 9.5 = 0.5 would violate c_lo; floored at the reservation.
+        assert_eq!(p.rate_at(t(1.5)), 2.0);
+        assert_eq!(p.bounds(), (2.0, 10.0));
+    }
+
+    #[test]
+    fn jobs_straddling_time_zero_counted() {
+        let s = Server::new(8.0, 1.0);
+        let primary = vec![PrimaryJob {
+            arrival: -1.0,
+            holding: 3.0,
+            demand: 5.0,
+        }];
+        let p = s.surplus_profile(&primary, 10.0).unwrap();
+        assert_eq!(p.rate_at(t(0.0)), 3.0);
+        assert_eq!(p.rate_at(t(2.5)), 8.0); // departed at 2
+    }
+
+    #[test]
+    fn jobs_departing_after_horizon_hold_their_capacity() {
+        let s = Server::new(8.0, 1.0);
+        let primary = vec![PrimaryJob {
+            arrival: 5.0,
+            holding: 100.0,
+            demand: 2.0,
+        }];
+        let p = s.surplus_profile(&primary, 10.0).unwrap();
+        assert_eq!(p.rate_at(t(6.0)), 6.0);
+        // Departure beyond horizon: tail keeps the reduced rate.
+        assert_eq!(p.rate_at(t(50.0)), 6.0);
+    }
+
+    #[test]
+    fn simultaneous_arrival_and_departure_coalesce() {
+        let s = Server::new(10.0, 1.0);
+        let primary = vec![
+            PrimaryJob {
+                arrival: 1.0,
+                holding: 1.0,
+                demand: 3.0,
+            },
+            PrimaryJob {
+                arrival: 2.0,
+                holding: 1.0,
+                demand: 3.0,
+            },
+        ];
+        let p = s.surplus_profile(&primary, 10.0).unwrap();
+        // At t=2 one leaves and one arrives: surplus stays 7, no segment split.
+        assert_eq!(p.rate_at(t(1.5)), 7.0);
+        assert_eq!(p.rate_at(t(2.5)), 7.0);
+        assert_eq!(p.segment_count(), 3); // 10 | 7 | 10
+    }
+
+    #[test]
+    #[should_panic(expected = "reservation")]
+    fn invalid_reservation_panics() {
+        Server::new(10.0, 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Workspace-wide error type for domain validation.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating domain objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A job was constructed with a non-positive workload.
+    NonPositiveWorkload {
+        /// Offending workload value.
+        workload: f64,
+    },
+    /// A job was constructed with a negative value.
+    NegativeValue {
+        /// Offending value.
+        value: f64,
+    },
+    /// A job's deadline is not strictly after its release time.
+    DeadlineNotAfterRelease {
+        /// Release time (seconds).
+        release: f64,
+        /// Deadline (seconds).
+        deadline: f64,
+    },
+    /// A job's release time is negative.
+    NegativeRelease {
+        /// Offending release time.
+        release: f64,
+    },
+    /// A job's deadline is not finite.
+    NonFiniteDeadline,
+    /// A capacity profile was given an out-of-order or empty breakpoint list.
+    InvalidCapacityProfile {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A schedule failed validation.
+    InvalidSchedule {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A referenced job id does not exist in the job set.
+    UnknownJob {
+        /// The dangling id.
+        id: u64,
+    },
+    /// Two jobs in one job set share an id.
+    DuplicateJob {
+        /// The duplicated id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NonPositiveWorkload { workload } => {
+                write!(f, "job workload must be positive, got {workload}")
+            }
+            CoreError::NegativeValue { value } => {
+                write!(f, "job value must be non-negative, got {value}")
+            }
+            CoreError::DeadlineNotAfterRelease { release, deadline } => write!(
+                f,
+                "deadline ({deadline}) must be strictly after release ({release})"
+            ),
+            CoreError::NegativeRelease { release } => {
+                write!(f, "release time must be non-negative, got {release}")
+            }
+            CoreError::NonFiniteDeadline => write!(f, "deadline must be finite"),
+            CoreError::InvalidCapacityProfile { reason } => {
+                write!(f, "invalid capacity profile: {reason}")
+            }
+            CoreError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+            CoreError::UnknownJob { id } => write!(f, "unknown job id {id}"),
+            CoreError::DuplicateJob { id } => write!(f, "duplicate job id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_values() {
+        let e = CoreError::NonPositiveWorkload { workload: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = CoreError::DeadlineNotAfterRelease {
+            release: 2.0,
+            deadline: 1.0,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('1'));
+        let e = CoreError::UnknownJob { id: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::NonFiniteDeadline);
+        assert!(e.to_string().contains("finite"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # cloudsched-core
+//!
+//! Core domain types for *secondary job scheduling in the cloud with deadlines*
+//! (Chen, He, Wong, Lee, Tong — IPDPS 2011).
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`Time`] — a totally ordered instant on the continuous simulation time
+//!   line (finite or `+∞`),
+//! * [`Job`] — a secondary job `(r, d, p, v)` with firm deadline and value,
+//! * [`JobSet`] — a released-job collection with derived quantities such as the
+//!   importance ratio `k`,
+//! * [`Schedule`] / [`ExecutionSlice`] — an explicit record of which job ran
+//!   when, used both by offline algorithms and by the simulator's audit layer,
+//! * [`Outcome`] — per-job success/failure bookkeeping.
+//!
+//! The crate is dependency-free and `#![forbid(unsafe_code)]`; all numeric
+//! subtleties (total order on `f64`, tolerance-based comparisons) are
+//! concentrated here so downstream crates can stay simple.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod job;
+pub mod jobset;
+pub mod numeric;
+pub mod outcome;
+pub mod schedule;
+pub mod time;
+
+pub use error::CoreError;
+pub use job::{Job, JobBuilder, JobId};
+pub use jobset::JobSet;
+pub use numeric::{approx_eq, approx_ge, approx_le, EPS_ABS, EPS_REL};
+pub use outcome::{JobOutcome, Outcome};
+pub use schedule::{ExecutionSlice, Schedule};
+pub use time::{Duration, Time};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::error::CoreError;
+    pub use crate::job::{Job, JobBuilder, JobId};
+    pub use crate::jobset::JobSet;
+    pub use crate::outcome::{JobOutcome, Outcome};
+    pub use crate::schedule::{ExecutionSlice, Schedule};
+    pub use crate::time::{Duration, Time};
+}

@@ -1,0 +1,178 @@
+//! Per-job and per-run outcome bookkeeping.
+
+use crate::job::JobId;
+use crate::jobset::JobSet;
+use crate::time::Time;
+
+/// What happened to a single job by the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobOutcome {
+    /// Completed at the given time, earning its full value.
+    Completed {
+        /// Completion instant (`<=` the job's deadline).
+        at: Time,
+    },
+    /// Reached its deadline with work remaining; earns zero value.
+    Missed {
+        /// Workload still unexecuted at the deadline.
+        remaining_workload: f64,
+    },
+    /// Never released within the simulated horizon, or dropped by an
+    /// algorithm before release (adversary analyses use this).
+    NotReleased,
+}
+
+impl JobOutcome {
+    /// `true` iff the job completed by its deadline.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed { .. })
+    }
+}
+
+/// Outcome of a whole run: one [`JobOutcome`] per job plus derived totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    outcomes: Vec<JobOutcome>,
+}
+
+impl Outcome {
+    /// Creates an outcome table for `n` jobs, all initially `NotReleased`.
+    pub fn new(n: usize) -> Self {
+        Outcome {
+            outcomes: vec![JobOutcome::NotReleased; n],
+        }
+    }
+
+    /// Sets the outcome of one job.
+    #[inline]
+    pub fn set(&mut self, id: JobId, outcome: JobOutcome) {
+        self.outcomes[id.index()] = outcome;
+    }
+
+    /// Outcome of one job.
+    #[inline]
+    pub fn get(&self, id: JobId) -> JobOutcome {
+        self.outcomes[id.index()]
+    }
+
+    /// Number of jobs tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// `true` if no jobs are tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Ids of completed jobs.
+    pub fn completed(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_completed())
+            .map(|(i, _)| JobId(i as u64))
+    }
+
+    /// Ids of missed jobs.
+    pub fn missed(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, JobOutcome::Missed { .. }))
+            .map(|(i, _)| JobId(i as u64))
+    }
+
+    /// Number of completed jobs.
+    pub fn completed_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_completed()).count()
+    }
+
+    /// Total value earned, looking job values up in `jobs`.
+    pub fn value(&self, jobs: &JobSet) -> f64 {
+        self.completed().map(|id| jobs.get(id).value).sum()
+    }
+
+    /// Fraction of the total generated value that was earned — the metric
+    /// reported by the paper's Table I.
+    pub fn value_fraction(&self, jobs: &JobSet) -> f64 {
+        let total = jobs.total_value();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.value(jobs) / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs() -> JobSet {
+        JobSet::from_tuples(&[
+            (0.0, 4.0, 1.0, 10.0),
+            (0.0, 4.0, 1.0, 20.0),
+            (0.0, 4.0, 1.0, 30.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_state_is_not_released() {
+        let o = Outcome::new(3);
+        assert_eq!(o.len(), 3);
+        assert_eq!(o.get(JobId(1)), JobOutcome::NotReleased);
+        assert_eq!(o.completed_count(), 0);
+    }
+
+    #[test]
+    fn value_accounting() {
+        let js = jobs();
+        let mut o = Outcome::new(3);
+        o.set(
+            JobId(0),
+            JobOutcome::Completed {
+                at: Time::new(1.0),
+            },
+        );
+        o.set(
+            JobId(2),
+            JobOutcome::Completed {
+                at: Time::new(2.0),
+            },
+        );
+        o.set(
+            JobId(1),
+            JobOutcome::Missed {
+                remaining_workload: 0.5,
+            },
+        );
+        assert_eq!(o.completed_count(), 2);
+        assert_eq!(o.value(&js), 40.0);
+        assert!((o.value_fraction(&js) - 40.0 / 60.0).abs() < 1e-12);
+        assert_eq!(o.completed().collect::<Vec<_>>(), vec![JobId(0), JobId(2)]);
+        assert_eq!(o.missed().collect::<Vec<_>>(), vec![JobId(1)]);
+    }
+
+    #[test]
+    fn value_fraction_of_empty_set_is_zero() {
+        let js = JobSet::new(vec![]).unwrap();
+        let o = Outcome::new(0);
+        assert!(o.is_empty());
+        assert_eq!(o.value_fraction(&js), 0.0);
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(JobOutcome::Completed { at: Time::ZERO }.is_completed());
+        assert!(!JobOutcome::Missed {
+            remaining_workload: 1.0
+        }
+        .is_completed());
+        assert!(!JobOutcome::NotReleased.is_completed());
+    }
+}

@@ -1,0 +1,105 @@
+//! Cheap upper bounds on the optimal offline value.
+
+use cloudsched_capacity::CapacityProfile;
+use cloudsched_core::{JobSet, Time};
+
+/// The trivial bound: the sum of all values.
+pub fn total_value_bound(jobs: &JobSet) -> f64 {
+    jobs.total_value()
+}
+
+/// The fluid bound: no schedule can extract more value than
+/// `max density × workload servable between the first release and the last
+/// deadline`, and never more than the total value.
+pub fn fluid_bound<P: CapacityProfile>(jobs: &JobSet, capacity: &P) -> f64 {
+    if jobs.is_empty() {
+        return 0.0;
+    }
+    let rho_max = jobs
+        .iter()
+        .map(|j| j.value_density())
+        .fold(0.0f64, f64::max);
+    let servable = capacity.integrate(jobs.first_release(), jobs.last_deadline());
+    (rho_max * servable).min(jobs.total_value())
+}
+
+/// A per-window refinement: each job can contribute at most
+/// `min(v_i, ρ_i × servable(r_i, d_i))` — useful when windows barely fit
+/// their own workload. Still a relaxation (windows may overlap).
+pub fn windowed_bound<P: CapacityProfile>(jobs: &JobSet, capacity: &P) -> f64 {
+    jobs.iter()
+        .map(|j| {
+            let servable = capacity.integrate(j.release, j.deadline);
+            j.value.min(j.value_density() * servable)
+        })
+        .sum()
+}
+
+/// Workload the processor can serve on `[a, b]` — re-exported convenience.
+pub fn servable<P: CapacityProfile>(capacity: &P, a: Time, b: Time) -> f64 {
+    capacity.integrate(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::optimal_value;
+    use cloudsched_capacity::{Constant, PiecewiseConstant};
+
+    fn overloaded_jobs() -> JobSet {
+        JobSet::from_tuples(&[
+            (0.0, 2.0, 2.0, 4.0),
+            (0.0, 2.0, 2.0, 2.0),
+            (1.0, 3.0, 2.0, 6.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn bounds_dominate_optimum() {
+        let jobs = overloaded_jobs();
+        for cap in [
+            PiecewiseConstant::constant(1.0).unwrap(),
+            PiecewiseConstant::from_durations(&[(1.0, 1.0), (1.0, 3.0)]).unwrap(),
+        ] {
+            let (opt, _) = optimal_value(&jobs, &cap);
+            assert!(total_value_bound(&jobs) >= opt - 1e-9);
+            assert!(fluid_bound(&jobs, &cap) >= opt - 1e-9);
+            assert!(windowed_bound(&jobs, &cap) >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn fluid_bound_is_tight_for_saturated_uniform_density() {
+        // Density-1 jobs saturating the span: fluid bound = servable workload.
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 1.0, 2.0, 2.0),
+            (0.0, 1.0, 2.0, 2.0),
+        ])
+        .unwrap();
+        let cap = Constant::unit();
+        assert_eq!(fluid_bound(&jobs, &cap), 1.0);
+        let (opt, _) = optimal_value(&jobs, &cap);
+        // opt = 0 here (neither 2-unit job fits in [0,1] at rate 1).
+        assert_eq!(opt, 0.0);
+    }
+
+    #[test]
+    fn windowed_bound_caps_infeasible_jobs() {
+        // A job whose window can't hold its workload contributes only the
+        // servable fraction of its value.
+        let jobs = JobSet::from_tuples(&[(0.0, 1.0, 4.0, 8.0)]).unwrap();
+        let cap = Constant::unit();
+        // density 2, servable 1 => bound 2 (< value 8).
+        assert_eq!(windowed_bound(&jobs, &cap), 2.0);
+        assert!(fluid_bound(&jobs, &cap) == 2.0);
+    }
+
+    #[test]
+    fn empty_set_bounds_are_zero() {
+        let jobs = JobSet::new(vec![]).unwrap();
+        assert_eq!(total_value_bound(&jobs), 0.0);
+        assert_eq!(fluid_bound(&jobs, &Constant::unit()), 0.0);
+        assert_eq!(windowed_bound(&jobs, &Constant::unit()), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Polynomial offline approximations: add-if-feasible greedy.
+
+use crate::feasibility::edf_feasible;
+use cloudsched_capacity::CapacityProfile;
+use cloudsched_core::{Job, JobId, JobSet};
+
+fn greedy_by<P, K>(jobs: &JobSet, capacity: &P, key: K) -> (f64, Vec<JobId>)
+where
+    P: CapacityProfile,
+    K: Fn(&Job) -> f64,
+{
+    let mut order: Vec<&Job> = jobs.iter().collect();
+    order.sort_by(|a, b| key(b).total_cmp(&key(a)).then(a.id.cmp(&b.id)));
+    let mut chosen: Vec<Job> = Vec::new();
+    let mut value = 0.0;
+    for job in order {
+        chosen.push(job.clone());
+        if edf_feasible(&chosen, capacity) {
+            value += job.value;
+        } else {
+            chosen.pop();
+        }
+    }
+    let mut ids: Vec<JobId> = chosen.iter().map(|j| j.id).collect();
+    ids.sort();
+    (value, ids)
+}
+
+/// Greedy by descending value: admit each job if the accepted set stays
+/// feasible.
+pub fn greedy_by_value<P: CapacityProfile>(jobs: &JobSet, capacity: &P) -> (f64, Vec<JobId>) {
+    greedy_by(jobs, capacity, |j| j.value)
+}
+
+/// Greedy by descending value density (Definition 3).
+pub fn greedy_by_density<P: CapacityProfile>(jobs: &JobSet, capacity: &P) -> (f64, Vec<JobId>) {
+    greedy_by(jobs, capacity, Job::value_density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_capacity::Constant;
+
+    #[test]
+    fn takes_everything_when_feasible() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 10.0, 1.0, 1.0),
+            (0.0, 10.0, 1.0, 2.0),
+        ])
+        .unwrap();
+        let (v, ids) = greedy_by_value(&jobs, &Constant::unit());
+        assert_eq!(v, 3.0);
+        assert_eq!(ids, vec![JobId(0), JobId(1)]);
+    }
+
+    #[test]
+    fn value_greedy_picks_the_big_one() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 2.0, 2.0, 5.0),
+            (0.0, 2.0, 2.0, 7.0),
+        ])
+        .unwrap();
+        let (v, ids) = greedy_by_value(&jobs, &Constant::unit());
+        assert_eq!(v, 7.0);
+        assert_eq!(ids, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn density_greedy_differs_from_value_greedy() {
+        // Big value, terrible density vs small value, great density.
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 4.0, 4.0, 6.0), // density 1.5
+            (0.0, 4.0, 1.0, 4.0), // density 4
+            (0.0, 4.0, 1.0, 4.0), // density 4
+            (0.0, 4.0, 1.0, 4.0), // density 4
+        ])
+        .unwrap();
+        let cap = Constant::unit();
+        let (v_val, _) = greedy_by_value(&jobs, &cap);
+        let (v_den, ids) = greedy_by_density(&jobs, &cap);
+        // Value greedy admits job 0 first (6), then fits the three 1-unit
+        // jobs? 4 + 3 > capacity 4 on [0,4] — only job 0 plus nothing... it
+        // admits 6 then each 4-unit job fails feasibility => 6... wait the
+        // three small jobs are 1 unit each: 4+1 > 4 infeasible, so 6 total.
+        assert_eq!(v_val, 6.0);
+        // Density greedy takes the three small jobs (12), job 0 then fails.
+        assert_eq!(v_den, 12.0);
+        assert_eq!(ids, vec![JobId(1), JobId(2), JobId(3)]);
+    }
+
+    #[test]
+    fn greedy_is_suboptimal_in_general() {
+        // Value greedy locks in a job that blocks a better pair.
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 2.0, 2.0, 10.0),
+            (0.0, 1.0, 1.0, 6.0),
+            (1.0, 2.0, 1.0, 6.0),
+        ])
+        .unwrap();
+        let cap = Constant::unit();
+        let (v, _) = greedy_by_value(&jobs, &cap);
+        assert_eq!(v, 10.0);
+        let (opt, _) = crate::exact::optimal_value(&jobs, &cap);
+        assert_eq!(opt, 12.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let jobs = JobSet::new(vec![]).unwrap();
+        let (v, ids) = greedy_by_density(&jobs, &Constant::unit());
+        assert_eq!(v, 0.0);
+        assert!(ids.is_empty());
+    }
+}

@@ -1,0 +1,597 @@
+//! The Dover family: Koren–Shasha's overload scheduler and the paper's
+//! V-Dover variant share one engine, [`DoverFamily`], differing only in
+//!
+//! 1. the **capacity estimate** used for laxity computations — Dover assumes
+//!    a constant rate `ĉ` (it was designed for constant capacity; §IV of the
+//!    paper evaluates it with several `ĉ` values), V-Dover uses the class
+//!    bound `c_lo` (*conservative laxity*, Definition 5);
+//! 2. the **value threshold** `β` of the zero-laxity handler — Dover's
+//!    optimal constant-capacity threshold is `1 + √k`, V-Dover's is
+//!    `β* = 1 + √(k / f(k,δ))` (Theorem 3);
+//! 3. the **supplement queue** — V-Dover parks jobs that lose the
+//!    zero-conservative-laxity arbitration in `Qsupp` and revives them when
+//!    the processor drains (the realised capacity may exceed `c_lo`, so they
+//!    may still make their deadlines); Dover abandons them, which is correct
+//!    under constant capacity where a zero-laxity loser can never finish.
+//!
+//! The engine implements the paper's procedures A–D verbatim: the three
+//! queues `Qedf` / `Qother` / `Qsupp`, the `cSlack` ledger with its
+//! `(T, t_insert, cSlack_insert)` tuples, and the three interrupt handlers.
+
+use crate::ready::DeadlineQueue;
+use cloudsched_core::{approx_ge, JobId, Time};
+use cloudsched_sim::{Decision, Scheduler, SimContext};
+
+/// Which constant future-capacity assumption drives laxity computations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityEstimate {
+    /// The declared class lower bound `c_lo` — V-Dover's conservative
+    /// estimate (always safe: real capacity is never lower).
+    ClassLow,
+    /// A fixed rate `ĉ` — the estimate the paper hands to Dover in §IV.
+    Fixed(f64),
+}
+
+impl CapacityEstimate {
+    fn rate(self, ctx: &SimContext<'_>) -> f64 {
+        match self {
+            CapacityEstimate::ClassLow => ctx.c_lo(),
+            CapacityEstimate::Fixed(c) => c,
+        }
+    }
+}
+
+/// Order in which parked supplement jobs are revived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupplementOrder {
+    /// Latest deadline first — the paper's choice (most time left to finish).
+    LatestDeadline,
+    /// Earliest deadline first (EDF-style ablation).
+    EarliestDeadline,
+    /// Highest value first (greedy ablation).
+    HighestValue,
+}
+
+/// Full configuration of a [`DoverFamily`] scheduler.
+#[derive(Debug, Clone)]
+pub struct FamilyConfig {
+    /// Display name for reports.
+    pub name: String,
+    /// Laxity capacity assumption.
+    pub estimate: CapacityEstimate,
+    /// Zero-laxity arbitration threshold `β > 1`.
+    pub beta: f64,
+    /// Keep zero-laxity losers in a supplement queue (V-Dover) instead of
+    /// abandoning them (Dover).
+    pub supplement: bool,
+    /// Revival order of the supplement queue.
+    pub supplement_order: SupplementOrder,
+}
+
+/// Processor status flag of procedure A: `reg`, `supp` or `idle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flag {
+    Idle,
+    Reg,
+    Supp,
+}
+
+/// An entry of `Qedf`: a recently EDF-preempted regular job together with the
+/// bookkeeping needed to restore `cSlack` (procedure C lines 2–3, 14–15).
+#[derive(Debug, Clone, Copy)]
+struct EdfEntry {
+    job: JobId,
+    deadline: Time,
+    t_insert: Time,
+    cslack_insert: f64,
+}
+
+/// The shared Dover/V-Dover engine. Construct through [`Dover`] or
+/// [`crate::VDover`] for the two published algorithms, or directly from a
+/// [`FamilyConfig`] for ablations.
+#[derive(Debug, Clone)]
+pub struct DoverFamily {
+    cfg: FamilyConfig,
+    /// Recently EDF-scheduled regular jobs, earliest deadline first.
+    qedf: Vec<EdfEntry>,
+    /// Other regular jobs, earliest deadline first.
+    qother: DeadlineQueue,
+    /// Supplement jobs (only populated when `cfg.supplement`).
+    qsupp: Vec<JobId>,
+    /// Slack available for new work under the capacity estimate (seconds;
+    /// may be `+∞` while no regular job is committed).
+    cslack: f64,
+    flag: Flag,
+    /// Per-job timer generation: stale zero-laxity timers are ignored.
+    generation: Vec<u64>,
+}
+
+impl DoverFamily {
+    /// Builds a scheduler from an explicit configuration.
+    ///
+    /// # Panics
+    /// If `beta <= 1` or a fixed estimate is non-positive.
+    pub fn from_config(cfg: FamilyConfig) -> Self {
+        assert!(cfg.beta > 1.0, "β must exceed 1, got {}", cfg.beta);
+        if let CapacityEstimate::Fixed(c) = cfg.estimate {
+            assert!(c > 0.0, "capacity estimate must be positive, got {c}");
+        }
+        DoverFamily {
+            cfg,
+            qedf: Vec::new(),
+            qother: DeadlineQueue::new(),
+            qsupp: Vec::new(),
+            cslack: f64::INFINITY,
+            flag: Flag::Idle,
+            generation: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FamilyConfig {
+        &self.cfg
+    }
+
+    // ---- small helpers --------------------------------------------------
+
+    fn rate(&self, ctx: &SimContext<'_>) -> f64 {
+        self.cfg.estimate.rate(ctx)
+    }
+
+    /// Estimated remaining processing time `t_c(T, ĉ)`.
+    fn tc(&self, ctx: &SimContext<'_>, job: JobId) -> f64 {
+        ctx.remaining(job) / self.rate(ctx)
+    }
+
+    /// Estimated laxity (conservative laxity when the estimate is `c_lo`).
+    fn claxity(&self, ctx: &SimContext<'_>, job: JobId) -> f64 {
+        (ctx.job(job).deadline - ctx.now()).as_f64() - self.tc(ctx, job)
+    }
+
+    fn gen_mut(&mut self, job: JobId) -> &mut u64 {
+        let i = job.index();
+        if i >= self.generation.len() {
+            self.generation.resize(i + 1, 0);
+        }
+        &mut self.generation[i]
+    }
+
+    fn gen(&self, job: JobId) -> u64 {
+        self.generation.get(job.index()).copied().unwrap_or(0)
+    }
+
+    /// Invalidates any pending zero-laxity timer of `job`.
+    fn bump(&mut self, job: JobId) {
+        *self.gen_mut(job) += 1;
+    }
+
+    /// Inserts `job` into `Qother` and arms its zero-laxity interrupt at
+    /// `d − p_r/ĉ` (clamped to now if already non-positive).
+    fn insert_qother(&mut self, ctx: &mut SimContext<'_>, job: JobId) {
+        let d = ctx.job(job).deadline;
+        let t0 = Time::new(d.as_f64() - self.tc(ctx, job));
+        self.qother.insert(d, job);
+        self.bump(job);
+        let token = self.gen(job);
+        ctx.set_timer(t0, job, token);
+    }
+
+    fn qedf_insert(&mut self, e: EdfEntry) {
+        let pos = self
+            .qedf
+            .partition_point(|x| (x.deadline, x.job) < (e.deadline, e.job));
+        self.qedf.insert(pos, e);
+    }
+
+    fn qedf_value(&self, ctx: &SimContext<'_>) -> f64 {
+        self.qedf.iter().map(|e| ctx.job(e.job).value).sum()
+    }
+
+    /// Removes `job` from whichever queue holds it (deadline misses and
+    /// tolerance-path completions of queued jobs).
+    fn remove_everywhere(&mut self, ctx: &SimContext<'_>, job: JobId) {
+        let d = ctx.job(job).deadline;
+        self.qother.remove(d, job);
+        self.qedf.retain(|e| e.job != job);
+        self.qsupp.retain(|&j| j != job);
+        self.bump(job);
+    }
+
+    /// Pops the next supplement job according to the configured order.
+    fn pop_supplement(&mut self, ctx: &SimContext<'_>) -> Option<JobId> {
+        if self.qsupp.is_empty() {
+            return None;
+        }
+        let idx = match self.cfg.supplement_order {
+            SupplementOrder::LatestDeadline => self
+                .qsupp
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    let (da, db) = (ctx.job(*a.1).deadline, ctx.job(*b.1).deadline);
+                    da.cmp(&db).then(a.1.cmp(b.1))
+                })
+                .map(|(i, _)| i),
+            SupplementOrder::EarliestDeadline => self
+                .qsupp
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    let (da, db) = (ctx.job(*a.1).deadline, ctx.job(*b.1).deadline);
+                    da.cmp(&db).then(a.1.cmp(b.1))
+                })
+                .map(|(i, _)| i),
+            SupplementOrder::HighestValue => self
+                .qsupp
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    let (va, vb) = (ctx.job(*a.1).value, ctx.job(*b.1).value);
+                    va.total_cmp(&vb).then(b.1.cmp(a.1))
+                })
+                .map(|(i, _)| i),
+        };
+        idx.map(|i| self.qsupp.swap_remove(i))
+    }
+
+    // ---- procedure C: job completion or failure handler -----------------
+
+    fn handler_c(&mut self, ctx: &mut SimContext<'_>) -> Decision {
+        let now = ctx.now();
+        // Lines C.1–C.9: both queues non-empty — arbitrate between the head
+        // of Qother and the head of Qedf under the restored slack.
+        if !self.qedf.is_empty() && !self.qother.is_empty() {
+            let e = self.qedf[0];
+            let cs = e.cslack_insert - (now - e.t_insert).as_f64();
+            let (d_o, o) = self.qother.earliest().expect("non-empty");
+            if d_o < e.deadline && approx_ge(cs, self.tc(ctx, o)) {
+                self.qother.pop_earliest();
+                self.bump(o);
+                self.cslack = (cs - self.tc(ctx, o)).min(self.claxity(ctx, o));
+                self.flag = Flag::Reg;
+                return Decision::Run(o);
+            }
+            self.qedf.remove(0);
+            self.cslack = cs;
+            self.flag = Flag::Reg;
+            return Decision::Run(e.job);
+        }
+        // Lines C.10–C.12: only Qother.
+        if let Some((_, o)) = self.qother.pop_earliest() {
+            self.bump(o);
+            self.cslack = self.claxity(ctx, o);
+            self.flag = Flag::Reg;
+            return Decision::Run(o);
+        }
+        // Lines C.13–C.15: only Qedf.
+        if !self.qedf.is_empty() {
+            let e = self.qedf.remove(0);
+            self.cslack = e.cslack_insert - (now - e.t_insert).as_f64();
+            self.flag = Flag::Reg;
+            return Decision::Run(e.job);
+        }
+        // Lines C.16–C.22: no regular work — revive a supplement job or idle.
+        self.cslack = f64::INFINITY;
+        if let Some(s) = self.pop_supplement(ctx) {
+            self.flag = Flag::Supp;
+            return Decision::Run(s);
+        }
+        self.flag = Flag::Idle;
+        Decision::Idle
+    }
+}
+
+impl Scheduler for DoverFamily {
+    fn name(&self) -> String {
+        self.cfg.name.clone()
+    }
+
+    // ---- procedure B: job release handler -------------------------------
+
+    fn on_release(&mut self, ctx: &mut SimContext<'_>, arr: JobId) -> Decision {
+        self.bump(arr); // fresh generation for a fresh job
+        match (self.flag, ctx.running()) {
+            // Lines B.1–B.4: idle processor — run the arrival.
+            (Flag::Idle, _) | (_, None) => {
+                self.cslack = self.claxity(ctx, arr);
+                self.flag = Flag::Reg;
+                Decision::Run(arr)
+            }
+            // Lines B.5–B.12: regular job running — EDF arbitration with
+            // overload protection through cSlack.
+            (Flag::Reg, Some(cur)) => {
+                let d_arr = ctx.job(arr).deadline;
+                let d_cur = ctx.job(cur).deadline;
+                if d_arr < d_cur && approx_ge(self.cslack, self.tc(ctx, arr)) {
+                    self.qedf_insert(EdfEntry {
+                        job: cur,
+                        deadline: d_cur,
+                        t_insert: ctx.now(),
+                        cslack_insert: self.cslack,
+                    });
+                    self.cslack = (self.cslack - self.tc(ctx, arr)).min(self.claxity(ctx, arr));
+                    Decision::Run(arr)
+                } else {
+                    self.insert_qother(ctx, arr);
+                    Decision::Continue
+                }
+            }
+            // Lines B.13–B.15: supplement running — regular work preempts it
+            // unconditionally.
+            (Flag::Supp, Some(cur)) => {
+                if self.cfg.supplement {
+                    self.qsupp.push(cur);
+                    self.bump(cur);
+                }
+                self.cslack = self.claxity(ctx, arr);
+                self.flag = Flag::Reg;
+                Decision::Run(arr)
+            }
+        }
+    }
+
+    // ---- procedure C entry points ----------------------------------------
+
+    fn on_completion(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        self.remove_everywhere(ctx, job);
+        if ctx.running().is_none() {
+            self.handler_c(ctx)
+        } else {
+            Decision::Continue
+        }
+    }
+
+    fn on_deadline_miss(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        self.remove_everywhere(ctx, job);
+        if ctx.running().is_none() {
+            self.handler_c(ctx)
+        } else {
+            Decision::Continue
+        }
+    }
+
+    // ---- procedure D: zero (conservative) laxity handler -----------------
+
+    fn on_timer(&mut self, ctx: &mut SimContext<'_>, job: JobId, token: u64) -> Decision {
+        if token != self.gen(job) {
+            return Decision::Continue; // stale timer
+        }
+        let d = ctx.job(job).deadline;
+        if !self.qother.contains(d, job) {
+            return Decision::Continue; // defensive: only Qother jobs arbitrate
+        }
+        self.qother.remove(d, job);
+        self.bump(job);
+        // Line D.1: compare the urgent job's value against β times the value
+        // it would displace (the running regular job plus all of Qedf).
+        let mut protected = self.qedf_value(ctx);
+        if self.flag == Flag::Reg {
+            if let Some(cur) = ctx.running() {
+                protected += ctx.job(cur).value;
+            }
+        }
+        if ctx.job(job).value > self.cfg.beta * protected {
+            // Lines D.2–D.5: displace everything and run the urgent job.
+            if let Some(cur) = ctx.running() {
+                match self.flag {
+                    Flag::Reg => self.insert_qother(ctx, cur),
+                    Flag::Supp => {
+                        if self.cfg.supplement {
+                            self.qsupp.push(cur);
+                            self.bump(cur);
+                        }
+                    }
+                    Flag::Idle => {}
+                }
+            }
+            let displaced: Vec<EdfEntry> = std::mem::take(&mut self.qedf);
+            for e in displaced {
+                self.insert_qother(ctx, e.job);
+            }
+            self.cslack = 0.0;
+            self.flag = Flag::Reg;
+            Decision::Run(job)
+        } else {
+            // Line D.7: not valuable enough — park or abandon.
+            if self.cfg.supplement {
+                self.qsupp.push(job);
+            }
+            Decision::Continue
+        }
+    }
+}
+
+/// Koren & Shasha's Dover with a capacity estimate `ĉ`, exactly as evaluated
+/// in the paper's §IV: laxity computed from `ĉ`, threshold `β = 1 + √k`,
+/// zero-laxity losers abandoned (no supplement queue).
+#[derive(Debug, Clone)]
+pub struct Dover(DoverFamily);
+
+impl Dover {
+    /// Dover for importance-ratio bound `k`, computing laxity with `ĉ`.
+    pub fn new(k: f64, c_estimate: f64) -> Self {
+        let beta = cloudsched_analysis::bounds::dover_beta(k);
+        Dover::with_beta(beta, c_estimate)
+    }
+
+    /// Dover with an explicit threshold `β` and capacity estimate `ĉ`.
+    pub fn with_beta(beta: f64, c_estimate: f64) -> Self {
+        Dover(DoverFamily::from_config(FamilyConfig {
+            name: format!("Dover(c={c_estimate})"),
+            estimate: CapacityEstimate::Fixed(c_estimate),
+            beta,
+            supplement: false,
+            supplement_order: SupplementOrder::LatestDeadline,
+        }))
+    }
+
+    /// Access to the underlying engine (for ablation inspection).
+    pub fn family(&self) -> &DoverFamily {
+        &self.0
+    }
+}
+
+impl Scheduler for Dover {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        self.0.on_release(ctx, job)
+    }
+    fn on_completion(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        self.0.on_completion(ctx, job)
+    }
+    fn on_deadline_miss(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        self.0.on_deadline_miss(ctx, job)
+    }
+    fn on_timer(&mut self, ctx: &mut SimContext<'_>, job: JobId, token: u64) -> Decision {
+        self.0.on_timer(ctx, job, token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_capacity::{Constant, PiecewiseConstant};
+    use cloudsched_core::{approx_eq, JobSet};
+    use cloudsched_sim::{audit::audit_report, simulate, RunOptions};
+
+    #[test]
+    fn underloaded_behaves_like_edf() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 9.0, 1.0, 1.0),
+            (0.0, 3.0, 1.0, 1.0),
+            (0.0, 6.0, 1.0, 1.0),
+        ])
+        .unwrap();
+        let cap = Constant::unit();
+        let r = simulate(&jobs, &cap, &mut Dover::new(4.0, 1.0), RunOptions::full());
+        assert_eq!(r.completed, 3);
+        let order: Vec<JobId> = r.schedule.unwrap().slices().iter().map(|s| s.job).collect();
+        assert_eq!(order, vec![JobId(1), JobId(2), JobId(0)]);
+    }
+
+    #[test]
+    fn urgent_valuable_job_preempts_through_zero_laxity() {
+        // Job 0 runs (long, low value, cSlack only 1). Job 1 arrives with
+        // zero laxity and huge value: EDF admission fails (tc=4 > cSlack=1),
+        // so its zero-laxity interrupt fires immediately and the value
+        // comparison of procedure D displaces job 0.
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 11.0, 10.0, 1.0),
+            (1.0, 5.0, 4.0, 100.0), // laxity (5-1) - 4 = 0 at release
+        ])
+        .unwrap();
+        let cap = Constant::unit();
+        let r = simulate(&jobs, &cap, &mut Dover::new(100.0, 1.0), RunOptions::full());
+        assert!(r.outcome.get(JobId(1)).is_completed(), "urgent job must win");
+        assert!(approx_eq(r.value, 100.0 + 1.0) || approx_eq(r.value, 100.0));
+        audit_report(&jobs, &cap, &r).unwrap();
+    }
+
+    #[test]
+    fn cheap_urgent_job_is_abandoned() {
+        // Same shape but the urgent job is worthless: Dover lets it die and
+        // finishes the running job.
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 13.0, 10.0, 100.0), // cSlack = 3 < tc of the arrival
+            (1.0, 5.0, 4.0, 1.0),
+        ])
+        .unwrap();
+        let cap = Constant::unit();
+        let r = simulate(&jobs, &cap, &mut Dover::new(100.0, 1.0), RunOptions::full());
+        assert!(r.outcome.get(JobId(0)).is_completed());
+        assert!(!r.outcome.get(JobId(1)).is_completed());
+        // The loser was abandoned, never executed.
+        assert_eq!(r.schedule.unwrap().slices_of(JobId(1)).count(), 0);
+    }
+
+    #[test]
+    fn edf_preemption_guarded_by_cslack() {
+        // Running job 0 has claxity 10-0-8 = 2 at t=0 (cSlack=2).
+        // Job 1 (d=6 < 10, tc=1 <= 2): EDF-preempts, goes fine.
+        // Job 2 (d=5 < 10 but tc=4 > remaining slack): must NOT preempt.
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 10.0, 8.0, 1.0),
+            (0.5, 6.0, 1.0, 1.0),
+            (0.6, 5.0, 4.0, 1.0),
+        ])
+        .unwrap();
+        let cap = Constant::unit();
+        let r = simulate(&jobs, &cap, &mut Dover::new(7.0, 1.0), RunOptions::full());
+        // Job 1 preempts job 0; job 2 is refused (would overload) and,
+        // being worthless relative to the protected set, dies.
+        assert!(r.outcome.get(JobId(0)).is_completed(), "protected job 0");
+        assert!(r.outcome.get(JobId(1)).is_completed(), "EDF-admitted job 1");
+        assert!(!r.outcome.get(JobId(2)).is_completed());
+        audit_report(&jobs, &cap, &r).unwrap();
+    }
+
+    #[test]
+    fn dover_with_underestimate_wastes_high_capacity() {
+        // Capacity is 4 but Dover thinks 1: it abandons a job that is
+        // actually completable. (This is the V-Dover motivation.)
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 4.0, 4.0, 10.0), // at ĉ=1 claxity 0; actually easy at c=4
+            (0.0, 4.0, 4.1, 9.0),
+        ])
+        .unwrap();
+        let cap = PiecewiseConstant::constant(4.0)
+            .unwrap()
+            .with_declared_bounds(1.0, 4.0)
+            .unwrap();
+        let r = simulate(&jobs, &cap, &mut Dover::new(2.0, 1.0), RunOptions::full());
+        // Both jobs could complete at rate 4 (workloads 4+4.1 < 16 available
+        // before the common deadline). Dover's pessimism abandons one.
+        assert!(r.completed < 2, "Dover(ĉ=1) should fail to exploit c=4");
+    }
+
+    #[test]
+    #[should_panic(expected = "β must exceed 1")]
+    fn beta_must_exceed_one() {
+        DoverFamily::from_config(FamilyConfig {
+            name: "bad".into(),
+            estimate: CapacityEstimate::ClassLow,
+            beta: 1.0,
+            supplement: true,
+            supplement_order: SupplementOrder::LatestDeadline,
+        });
+    }
+
+    #[test]
+    fn handler_c_arbitrates_qedf_against_qother() {
+        // Builds the exact situation of procedure C lines 1–9: at a
+        // completion, both Qedf and Qother are non-empty. The run below
+        // exercises BOTH outcomes: first the Qedf head wins (the Qother head
+        // has a later deadline), later the Qother head wins (earlier deadline
+        // than the Qedf head and enough restored slack).
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 20.0, 6.0, 1.0), // J0: first on the processor
+            (1.0, 5.0, 2.0, 1.0),  // J1: EDF-preempts J0 -> J0 to Qedf
+            (2.0, 4.0, 0.5, 1.0),  // J2: EDF-preempts J1 -> J1 to Qedf
+            (2.1, 18.0, 2.0, 1.0), // J3: later deadline -> Qother
+        ])
+        .unwrap();
+        let cap = Constant::unit();
+        let r = simulate(&jobs, &cap, &mut Dover::new(4.0, 1.0), RunOptions::full());
+        // Everything completes; in particular J3 must be admitted from
+        // Qother *between* the two Qedf resumptions (C.5–C.7), and J0 must
+        // resume last with its restored cSlack (C.13–C.15).
+        assert_eq!(r.completed, 4, "outcome: {:?}", r.outcome);
+        let order: Vec<JobId> = r.schedule.as_ref().unwrap().slices().iter().map(|s| s.job).collect();
+        assert_eq!(
+            order,
+            vec![JobId(0), JobId(1), JobId(2), JobId(1), JobId(3), JobId(0)],
+            "expected C-handler arbitration order"
+        );
+        audit_report(&jobs, &cap, &r).unwrap();
+    }
+
+    #[test]
+    fn config_accessors() {
+        let d = Dover::new(4.0, 2.5);
+        assert_eq!(d.name(), "Dover(c=2.5)");
+        assert!(approx_eq(d.family().config().beta, 3.0));
+        assert!(!d.family().config().supplement);
+    }
+}

@@ -1,0 +1,148 @@
+//! Non-preemptive first-in-first-out.
+//!
+//! The naive baseline: jobs run to completion (or failure) in release order.
+//! Optionally skips jobs that have become hopeless under the conservative
+//! capacity estimate, which is the only sensible work-conserving variant
+//! under overload.
+
+use cloudsched_core::JobId;
+use cloudsched_sim::{Decision, Scheduler, SimContext};
+use std::collections::VecDeque;
+
+/// Non-preemptive FIFO.
+#[derive(Debug, Clone, Default)]
+pub struct Fifo {
+    queue: VecDeque<JobId>,
+    /// Skip queued jobs that cannot complete even at the maximum capacity.
+    skip_hopeless: bool,
+}
+
+impl Fifo {
+    /// Plain FIFO: runs everything in arrival order, even doomed jobs.
+    pub fn new() -> Self {
+        Fifo {
+            queue: VecDeque::new(),
+            skip_hopeless: false,
+        }
+    }
+
+    /// FIFO that drops queued jobs which cannot finish by their deadline
+    /// even if the capacity sat at `c_hi` from now on.
+    pub fn skipping_hopeless() -> Self {
+        Fifo {
+            queue: VecDeque::new(),
+            skip_hopeless: true,
+        }
+    }
+
+    fn next(&mut self, ctx: &SimContext<'_>) -> Decision {
+        while let Some(j) = self.queue.pop_front() {
+            if self.skip_hopeless {
+                let best_case = ctx.laxity_with_rate(j, ctx.c_hi());
+                if best_case.is_negative() {
+                    continue; // cannot finish even at full capacity
+                }
+            }
+            return Decision::Run(j);
+        }
+        Decision::Idle
+    }
+}
+
+impl Scheduler for Fifo {
+    fn name(&self) -> String {
+        if self.skip_hopeless {
+            "FIFO(skip)".into()
+        } else {
+            "FIFO".into()
+        }
+    }
+
+    fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        if ctx.running().is_none() && self.queue.is_empty() {
+            Decision::Run(job)
+        } else {
+            self.queue.push_back(job);
+            Decision::Continue
+        }
+    }
+
+    fn on_completion(&mut self, ctx: &mut SimContext<'_>, _job: JobId) -> Decision {
+        if ctx.running().is_some() {
+            return Decision::Continue;
+        }
+        self.next(ctx)
+    }
+
+    fn on_deadline_miss(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        self.queue.retain(|&j| j != job);
+        if ctx.running().is_some() {
+            Decision::Continue
+        } else {
+            self.next(ctx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_capacity::Constant;
+    use cloudsched_core::JobSet;
+    use cloudsched_sim::{simulate, RunOptions};
+
+    #[test]
+    fn strict_arrival_order_no_preemption() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 20.0, 3.0, 1.0),
+            (1.0, 5.0, 1.0, 100.0), // urgent and valuable — FIFO ignores that
+            (2.0, 20.0, 1.0, 1.0),
+        ])
+        .unwrap();
+        let r = simulate(&jobs, &Constant::unit(), &mut Fifo::new(), RunOptions::full());
+        assert_eq!(r.preemptions, 0);
+        let order: Vec<JobId> = r.schedule.unwrap().slices().iter().map(|s| s.job).collect();
+        assert_eq!(order, vec![JobId(0), JobId(1), JobId(2)]);
+        assert_eq!(r.completed, 3);
+    }
+
+    #[test]
+    fn head_of_line_blocking_kills_urgent_jobs() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 20.0, 5.0, 1.0),
+            (1.0, 3.0, 1.0, 10.0), // dies in the queue
+        ])
+        .unwrap();
+        let r = simulate(&jobs, &Constant::unit(), &mut Fifo::new(), RunOptions::default());
+        assert_eq!(r.completed, 1);
+        assert!(!r.outcome.get(JobId(1)).is_completed());
+    }
+
+    #[test]
+    fn hopeless_skipping_saves_time() {
+        // Job 1's deadline passes while job 0 runs; plain FIFO would still
+        // pointlessly run job 1 if it were queued at dispatch time — the
+        // skipping variant jumps straight to job 2.
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 20.0, 4.0, 1.0),
+            (1.0, 4.5, 2.0, 1.0),  // at t=4 it has 0.5s left but p=2: hopeless
+            (1.0, 20.0, 1.0, 1.0),
+        ])
+        .unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Fifo::skipping_hopeless(),
+            RunOptions::full(),
+        );
+        // Job 1 is never dispatched.
+        assert!(r.schedule.unwrap().slices_of(JobId(1)).count() == 0);
+        assert!(r.outcome.get(JobId(2)).is_completed());
+    }
+
+    #[test]
+    fn names_differ() {
+        assert_eq!(Fifo::new().name(), "FIFO");
+        assert_eq!(Fifo::skipping_hopeless().name(), "FIFO(skip)");
+    }
+}

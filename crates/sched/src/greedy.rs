@@ -1,0 +1,221 @@
+//! Preemptive greedy schedulers: highest value / highest value density.
+//!
+//! Locke's experiments (cited by the paper as the motivation for Dover)
+//! showed that these myopic policies behave reasonably at light load and
+//! collapse in specific overload patterns; they are included as baselines
+//! for the Table-I-style comparisons.
+
+use cloudsched_core::JobId;
+use cloudsched_sim::{Decision, Scheduler, SimContext};
+use std::collections::HashSet;
+
+/// Priority key for [`Greedy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GreedyKey {
+    /// Prefer the job with the largest value `v_i`.
+    Value,
+    /// Prefer the job with the largest value density `v_i / p_i`
+    /// (Definition 3) computed on *original* workload.
+    ValueDensity,
+}
+
+/// Preemptive greedy scheduler over the chosen key; ties break toward the
+/// earlier deadline, then the smaller id.
+#[derive(Debug, Clone)]
+pub struct Greedy {
+    key: GreedyKey,
+    ready: HashSet<JobId>,
+}
+
+impl Greedy {
+    /// Highest-value-first.
+    pub fn highest_value() -> Self {
+        Greedy {
+            key: GreedyKey::Value,
+            ready: HashSet::new(),
+        }
+    }
+
+    /// Highest-value-density-first (HVDF).
+    pub fn highest_density() -> Self {
+        Greedy {
+            key: GreedyKey::ValueDensity,
+            ready: HashSet::new(),
+        }
+    }
+
+    fn score(&self, ctx: &SimContext<'_>, job: JobId) -> f64 {
+        let j = ctx.job(job);
+        match self.key {
+            GreedyKey::Value => j.value,
+            GreedyKey::ValueDensity => j.value_density(),
+        }
+    }
+
+    fn best_ready(&self, ctx: &SimContext<'_>) -> Option<JobId> {
+        self.ready
+            .iter()
+            .map(|&j| (self.score(ctx, j), ctx.job(j).deadline, j))
+            .max_by(|a, b| {
+                a.0.total_cmp(&b.0)
+                    .then(b.1.cmp(&a.1)) // earlier deadline preferred
+                    .then(b.2.cmp(&a.2)) // smaller id preferred
+            })
+            .map(|(_, _, j)| j)
+    }
+
+    fn dispatch_best(&mut self, ctx: &SimContext<'_>) -> Decision {
+        match self.best_ready(ctx) {
+            Some(j) => {
+                self.ready.remove(&j);
+                Decision::Run(j)
+            }
+            None => Decision::Idle,
+        }
+    }
+}
+
+impl Scheduler for Greedy {
+    fn name(&self) -> String {
+        match self.key {
+            GreedyKey::Value => "Greedy(value)".into(),
+            GreedyKey::ValueDensity => "HVDF".into(),
+        }
+    }
+
+    fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        match ctx.running() {
+            None => Decision::Run(job),
+            Some(cur) => {
+                if self.score(ctx, job) > self.score(ctx, cur) {
+                    self.ready.insert(cur);
+                    Decision::Run(job)
+                } else {
+                    self.ready.insert(job);
+                    Decision::Continue
+                }
+            }
+        }
+    }
+
+    fn on_completion(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        self.ready.remove(&job);
+        if ctx.running().is_some() {
+            return Decision::Continue;
+        }
+        self.dispatch_best(ctx)
+    }
+
+    fn on_deadline_miss(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        self.ready.remove(&job);
+        if ctx.running().is_some() {
+            Decision::Continue
+        } else {
+            self.dispatch_best(ctx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_capacity::Constant;
+    use cloudsched_core::{approx_eq, JobSet};
+    use cloudsched_sim::{simulate, RunOptions};
+
+    #[test]
+    fn value_greedy_prefers_big_value() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 3.0, 2.0, 1.0),
+            (0.0, 3.0, 2.0, 10.0),
+        ])
+        .unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Greedy::highest_value(),
+            RunOptions::full(),
+        );
+        // Only one of the two can finish; greedy picks the valuable one.
+        assert!(r.outcome.get(JobId(1)).is_completed());
+        assert!(approx_eq(r.value, 10.0));
+    }
+
+    #[test]
+    fn density_greedy_prefers_dense_job() {
+        // Job 0: v=6, p=6 (density 1). Job 1: v=4, p=1 (density 4).
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 6.0, 6.0, 6.0),
+            (0.0, 6.0, 1.0, 4.0),
+        ])
+        .unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Greedy::highest_density(),
+            RunOptions::full(),
+        );
+        let first = r.schedule.unwrap().slices()[0].job;
+        assert_eq!(first, JobId(1));
+    }
+
+    #[test]
+    fn preempts_on_strictly_better_arrival() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 10.0, 5.0, 1.0),
+            (1.0, 10.0, 1.0, 5.0),
+        ])
+        .unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Greedy::highest_value(),
+            RunOptions::full(),
+        );
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.completed, 2);
+    }
+
+    #[test]
+    fn equal_score_does_not_preempt() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 10.0, 2.0, 3.0),
+            (1.0, 10.0, 2.0, 3.0),
+        ])
+        .unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Greedy::highest_value(),
+            RunOptions::full(),
+        );
+        assert_eq!(r.preemptions, 0);
+        assert_eq!(r.completed, 2);
+    }
+
+    #[test]
+    fn greedy_value_overload_pathology() {
+        // A long mediocre-value job beats many short jobs whose *total*
+        // value is higher — the classic greedy failure.
+        let mut tuples = vec![(0.0, 10.0, 10.0, 11.0)];
+        for i in 0..10 {
+            let r = i as f64;
+            tuples.push((r, r + 1.0, 1.0, 10.0));
+        }
+        let jobs = JobSet::from_tuples(&tuples).unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Greedy::highest_value(),
+            RunOptions::default(),
+        );
+        // Greedy sticks with the big job: 11 out of 111.
+        assert!(approx_eq(r.value, 11.0));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Greedy::highest_value().name(), "Greedy(value)");
+        assert_eq!(Greedy::highest_density().name(), "HVDF");
+    }
+}

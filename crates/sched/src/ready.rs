@@ -1,0 +1,138 @@
+//! Shared ready-queue structure: a set of jobs ordered by deadline.
+
+use cloudsched_core::{JobId, Time};
+use std::collections::BTreeSet;
+
+/// A set of ready jobs ordered by `(deadline, id)` — supports earliest- and
+/// latest-deadline queries plus arbitrary removal, all `O(log n)`.
+///
+/// The deadline is stored in the key so callers must pass the same deadline
+/// at insert and remove time (deadlines are immutable job attributes, so
+/// this is natural).
+#[derive(Debug, Clone, Default)]
+pub struct DeadlineQueue {
+    set: BTreeSet<(Time, JobId)>,
+}
+
+impl DeadlineQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        DeadlineQueue {
+            set: BTreeSet::new(),
+        }
+    }
+
+    /// Inserts a job; returns `false` if it was already present.
+    pub fn insert(&mut self, deadline: Time, job: JobId) -> bool {
+        self.set.insert((deadline, job))
+    }
+
+    /// Removes a job; returns `true` if it was present.
+    pub fn remove(&mut self, deadline: Time, job: JobId) -> bool {
+        self.set.remove(&(deadline, job))
+    }
+
+    /// `true` if the job is queued.
+    pub fn contains(&self, deadline: Time, job: JobId) -> bool {
+        self.set.contains(&(deadline, job))
+    }
+
+    /// The job with the earliest deadline.
+    pub fn earliest(&self) -> Option<(Time, JobId)> {
+        self.set.first().copied()
+    }
+
+    /// The job with the latest deadline.
+    pub fn latest(&self) -> Option<(Time, JobId)> {
+        self.set.last().copied()
+    }
+
+    /// Removes and returns the earliest-deadline job.
+    pub fn pop_earliest(&mut self) -> Option<(Time, JobId)> {
+        self.set.pop_first()
+    }
+
+    /// Removes and returns the latest-deadline job.
+    pub fn pop_latest(&mut self) -> Option<(Time, JobId)> {
+        self.set.pop_last()
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates `(deadline, job)` in deadline order.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, JobId)> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Removes every job and returns them in deadline order.
+    pub fn drain(&mut self) -> Vec<(Time, JobId)> {
+        let out: Vec<_> = self.set.iter().copied().collect();
+        self.set.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> Time {
+        Time::new(x)
+    }
+
+    #[test]
+    fn ordering_by_deadline_then_id() {
+        let mut q = DeadlineQueue::new();
+        q.insert(t(3.0), JobId(0));
+        q.insert(t(1.0), JobId(1));
+        q.insert(t(1.0), JobId(2));
+        assert_eq!(q.earliest(), Some((t(1.0), JobId(1))));
+        assert_eq!(q.latest(), Some((t(3.0), JobId(0))));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn pop_both_ends() {
+        let mut q = DeadlineQueue::new();
+        for (d, i) in [(5.0, 0), (2.0, 1), (9.0, 2)] {
+            q.insert(t(d), JobId(i));
+        }
+        assert_eq!(q.pop_earliest(), Some((t(2.0), JobId(1))));
+        assert_eq!(q.pop_latest(), Some((t(9.0), JobId(2))));
+        assert_eq!(q.pop_earliest(), Some((t(5.0), JobId(0))));
+        assert!(q.pop_earliest().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut q = DeadlineQueue::new();
+        assert!(q.insert(t(1.0), JobId(0)));
+        assert!(!q.insert(t(1.0), JobId(0)), "duplicate insert");
+        assert!(q.contains(t(1.0), JobId(0)));
+        assert!(q.remove(t(1.0), JobId(0)));
+        assert!(!q.remove(t(1.0), JobId(0)), "double remove");
+        assert!(!q.contains(t(1.0), JobId(0)));
+    }
+
+    #[test]
+    fn drain_returns_deadline_order() {
+        let mut q = DeadlineQueue::new();
+        q.insert(t(3.0), JobId(0));
+        q.insert(t(1.0), JobId(1));
+        let drained = q.drain();
+        assert_eq!(
+            drained,
+            vec![(t(1.0), JobId(1)), (t(3.0), JobId(0))]
+        );
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Post-run verification of model invariants.
+//!
+//! Given a recorded schedule and outcome, the audit re-derives everything from
+//! first principles (§II-A) and checks:
+//!
+//! 1. slices are time-ordered and non-overlapping — one job at a time;
+//! 2. no job executes outside its `[release, deadline]` window;
+//! 3. executed workload per job (exact capacity integral over its slices)
+//!    equals its total workload for completed jobs, and is strictly less for
+//!    missed jobs;
+//! 4. completion instants respect deadlines;
+//! 5. the reported value equals the sum of completed jobs' values.
+//!
+//! The audit is independent of the kernel's internal bookkeeping: it uses
+//! only the schedule, the job set and the capacity profile, so a kernel bug
+//! that corrupted progress accounting would be caught here.
+
+use crate::report::RunReport;
+use cloudsched_capacity::CapacityProfile;
+use cloudsched_core::{approx_eq, JobOutcome, JobSet};
+
+/// A list of human-readable invariant violations (empty = clean).
+pub type AuditErrors = Vec<String>;
+
+/// Audits a run report against the model. Requires the report to carry a
+/// recorded schedule ([`crate::RunOptions::record_schedule`]).
+pub fn audit_report<P: CapacityProfile>(
+    jobs: &JobSet,
+    capacity: &P,
+    report: &RunReport,
+) -> Result<(), AuditErrors> {
+    let mut errors = AuditErrors::new();
+    let schedule = match &report.schedule {
+        Some(s) => s,
+        None => {
+            return Err(vec![
+                "audit requires a recorded schedule (RunOptions::record_schedule)".into(),
+            ])
+        }
+    };
+
+    // 1. Ordering / disjointness.
+    let slices = schedule.slices();
+    for w in slices.windows(2) {
+        if w[1].start < w[0].end && !w[1].start.approx_eq(w[0].end) {
+            errors.push(format!(
+                "slices overlap: {} ends {} but {} starts {}",
+                w[0].job, w[0].end, w[1].job, w[1].start
+            ));
+        }
+    }
+
+    // 2. Execution windows.
+    for s in slices {
+        let job = jobs.get(s.job);
+        if s.start < job.release && !s.start.approx_eq(job.release) {
+            errors.push(format!(
+                "{} executes at {} before release {}",
+                s.job, s.start, job.release
+            ));
+        }
+        if s.end > job.deadline && !s.end.approx_eq(job.deadline) {
+            errors.push(format!(
+                "{} executes until {} after deadline {}",
+                s.job, s.end, job.deadline
+            ));
+        }
+    }
+
+    // 3. Workload accounting per job, via exact integration.
+    for job in jobs.iter() {
+        let executed: f64 = schedule
+            .slices_of(job.id)
+            .map(|s| capacity.integrate(s.start, s.end))
+            .sum();
+        match report.outcome.get(job.id) {
+            JobOutcome::Completed { at } => {
+                if !approx_eq(executed, job.workload) {
+                    errors.push(format!(
+                        "{} completed but executed {executed} of workload {}",
+                        job.id, job.workload
+                    ));
+                }
+                if at > job.deadline && !at.approx_eq(job.deadline) {
+                    errors.push(format!(
+                        "{} reported completed at {} after deadline {}",
+                        job.id, at, job.deadline
+                    ));
+                }
+            }
+            JobOutcome::Missed { remaining_workload } => {
+                if executed >= job.workload && !approx_eq(executed, job.workload) {
+                    errors.push(format!(
+                        "{} missed but executed {executed} >= workload {}",
+                        job.id, job.workload
+                    ));
+                }
+                if !approx_eq(executed + remaining_workload, job.workload) {
+                    errors.push(format!(
+                        "{} missed: executed {executed} + remaining {remaining_workload} != workload {}",
+                        job.id, job.workload
+                    ));
+                }
+            }
+            JobOutcome::NotReleased => {
+                if executed > 0.0 {
+                    errors.push(format!("{} never released but executed {executed}", job.id));
+                }
+            }
+        }
+    }
+
+    // 5. Value consistency.
+    let expected_value: f64 = report
+        .outcome
+        .completed()
+        .map(|id| jobs.get(id).value)
+        .sum();
+    if !approx_eq(expected_value, report.value) {
+        errors.push(format!(
+            "reported value {} != sum of completed values {expected_value}",
+            report.value
+        ));
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{Decision, SimContext};
+    use crate::engine::{simulate, RunOptions};
+    use crate::scheduler::Scheduler;
+    use cloudsched_capacity::{Constant, PiecewiseConstant};
+    use cloudsched_core::{JobId, Outcome, Schedule, Time};
+
+    struct Fifo {
+        ready: Vec<JobId>,
+    }
+    impl Scheduler for Fifo {
+        fn name(&self) -> String {
+            "fifo".into()
+        }
+        fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+            self.ready.push(job);
+            if ctx.running().is_none() {
+                Decision::Run(self.ready.remove(0))
+            } else {
+                Decision::Continue
+            }
+        }
+        fn on_completion(&mut self, _ctx: &mut SimContext<'_>, _job: JobId) -> Decision {
+            if self.ready.is_empty() {
+                Decision::Idle
+            } else {
+                Decision::Run(self.ready.remove(0))
+            }
+        }
+        fn on_deadline_miss(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+            self.ready.retain(|&j| j != job);
+            if ctx.running().is_none() && !self.ready.is_empty() {
+                Decision::Run(self.ready.remove(0))
+            } else {
+                Decision::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn clean_run_passes_audit() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 4.0, 2.0, 1.0),
+            (1.0, 8.0, 3.0, 2.0),
+            (2.0, 3.0, 5.0, 9.0), // will miss
+        ])
+        .unwrap();
+        let cap = PiecewiseConstant::from_durations(&[(2.0, 1.0), (2.0, 3.0)]).unwrap();
+        let r = simulate(&jobs, &cap, &mut Fifo { ready: vec![] }, RunOptions::full());
+        audit_report(&jobs, &cap, &r).expect("audit should pass");
+    }
+
+    #[test]
+    fn audit_requires_schedule() {
+        let jobs = JobSet::from_tuples(&[(0.0, 4.0, 2.0, 1.0)]).unwrap();
+        let cap = Constant::unit();
+        let r = simulate(&jobs, &cap, &mut Fifo { ready: vec![] }, RunOptions::lean());
+        let err = audit_report(&jobs, &cap, &r).unwrap_err();
+        assert!(err[0].contains("record_schedule"));
+    }
+
+    #[test]
+    fn audit_detects_fabricated_value() {
+        let jobs = JobSet::from_tuples(&[(0.0, 4.0, 2.0, 1.0)]).unwrap();
+        let cap = Constant::unit();
+        let mut r = simulate(&jobs, &cap, &mut Fifo { ready: vec![] }, RunOptions::full());
+        r.value += 1.0;
+        let errs = audit_report(&jobs, &cap, &r).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("reported value")));
+    }
+
+    #[test]
+    fn audit_detects_out_of_window_execution() {
+        let jobs = JobSet::from_tuples(&[(1.0, 2.0, 1.0, 1.0)]).unwrap();
+        let cap = Constant::unit();
+        // Forged schedule: executes before release.
+        let mut sched = Schedule::new();
+        sched
+            .push(JobId(0), Time::new(0.0), Time::new(1.0))
+            .unwrap();
+        let mut outcome = Outcome::new(1);
+        outcome.set(
+            JobId(0),
+            cloudsched_core::JobOutcome::Completed { at: Time::new(1.0) },
+        );
+        let r = RunReport {
+            scheduler: "forged".into(),
+            outcome,
+            value: 1.0,
+            value_fraction: 1.0,
+            completed: 1,
+            missed: 0,
+            preemptions: 0,
+            dispatches: 1,
+            events: 0,
+            schedule: Some(sched),
+            trajectory: None,
+        };
+        let errs = audit_report(&jobs, &cap, &r).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("before release")));
+    }
+
+    #[test]
+    fn audit_detects_incomplete_execution_of_completed_job() {
+        let jobs = JobSet::from_tuples(&[(0.0, 4.0, 2.0, 1.0)]).unwrap();
+        let cap = Constant::unit();
+        let mut sched = Schedule::new();
+        // Only one of the two workload units executed.
+        sched
+            .push(JobId(0), Time::new(0.0), Time::new(1.0))
+            .unwrap();
+        let mut outcome = Outcome::new(1);
+        outcome.set(
+            JobId(0),
+            cloudsched_core::JobOutcome::Completed { at: Time::new(1.0) },
+        );
+        let r = RunReport {
+            scheduler: "forged".into(),
+            outcome,
+            value: 1.0,
+            value_fraction: 1.0,
+            completed: 1,
+            missed: 0,
+            preemptions: 0,
+            dispatches: 1,
+            events: 0,
+            schedule: Some(sched),
+            trajectory: None,
+        };
+        let errs = audit_report(&jobs, &cap, &r).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("executed")));
+    }
+}

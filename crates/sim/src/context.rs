@@ -1,0 +1,204 @@
+//! The scheduler's window into the simulation.
+
+use cloudsched_core::{Duration, Job, JobId, JobSet, Time};
+
+/// What the scheduler wants the processor to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Dispatch this job (preempting the current one if different).
+    Run(JobId),
+    /// Leave the processor idle (preempting the current job if any).
+    Idle,
+    /// Keep doing whatever is currently happening.
+    Continue,
+}
+
+/// A timer registration created by the scheduler during a handler call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimerRequest {
+    /// When the timer fires.
+    pub at: Time,
+    /// The job it concerns.
+    pub job: JobId,
+    /// Token echoed back in [`crate::Scheduler::on_timer`].
+    pub token: u64,
+}
+
+/// Read access to everything an *online* scheduler may legitimately observe
+/// (§II-A: job parameters at release, the capacity realised so far — hence
+/// remaining workloads — and the declared capacity class bounds), plus the
+/// ability to request timer interrupts.
+///
+/// The future of the capacity trace is deliberately unreachable.
+#[derive(Debug)]
+pub struct SimContext<'a> {
+    now: Time,
+    jobs: &'a JobSet,
+    remaining: &'a [f64],
+    running: Option<JobId>,
+    current_rate: f64,
+    c_lo: f64,
+    c_hi: f64,
+    timer_requests: Vec<TimerRequest>,
+}
+
+impl<'a> SimContext<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        now: Time,
+        jobs: &'a JobSet,
+        remaining: &'a [f64],
+        running: Option<JobId>,
+        current_rate: f64,
+        c_lo: f64,
+        c_hi: f64,
+    ) -> Self {
+        SimContext {
+            now,
+            jobs,
+            remaining,
+            running,
+            current_rate,
+            c_lo,
+            c_hi,
+            timer_requests: Vec::new(),
+        }
+    }
+
+    /// Current simulation time (the paper's `now()`).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Parameters of a released job.
+    #[inline]
+    pub fn job(&self, id: JobId) -> &Job {
+        self.jobs.get(id)
+    }
+
+    /// Remaining workload `p_r(T_i)` of a job.
+    #[inline]
+    pub fn remaining(&self, id: JobId) -> f64 {
+        self.remaining[id.index()]
+    }
+
+    /// The currently executing job, if any. During a handler this reflects
+    /// the state *at interrupt delivery* (e.g. in `on_completion` the
+    /// completed job is already off the processor).
+    #[inline]
+    pub fn running(&self) -> Option<JobId> {
+        self.running
+    }
+
+    /// Capacity right now — `c(t)` is observable up to the present.
+    #[inline]
+    pub fn current_rate(&self) -> f64 {
+        self.current_rate
+    }
+
+    /// Declared lower capacity bound `c_lo` of the input class: the
+    /// conservative future-capacity estimate available to V-Dover.
+    #[inline]
+    pub fn c_lo(&self) -> f64 {
+        self.c_lo
+    }
+
+    /// Declared upper capacity bound `c_hi`.
+    #[inline]
+    pub fn c_hi(&self) -> f64 {
+        self.c_hi
+    }
+
+    /// Conservative remaining processing-time estimate `t_c(T, c_lo)`
+    /// (paper notation: remaining workload divided by the worst-case rate).
+    #[inline]
+    pub fn conservative_remaining_time(&self, id: JobId) -> Duration {
+        Duration::new(self.remaining(id) / self.c_lo)
+    }
+
+    /// Conservative laxity (Definition 5):
+    /// `claxity(T) = d - now - p_r(T)/c_lo`.
+    #[inline]
+    pub fn conservative_laxity(&self, id: JobId) -> Duration {
+        self.job(id)
+            .laxity_with(self.now, self.remaining(id), self.c_lo)
+    }
+
+    /// Laxity under an arbitrary assumed constant future rate (used by the
+    /// Dover baseline with its capacity estimate `ĉ`).
+    #[inline]
+    pub fn laxity_with_rate(&self, id: JobId, rate: f64) -> Duration {
+        self.job(id).laxity_with(self.now, self.remaining(id), rate)
+    }
+
+    /// Requests a timer interrupt at `at` concerning `job`; `token` is echoed
+    /// back so the scheduler can detect stale timers. Timers in the past are
+    /// delivered immediately after the current handler returns.
+    pub fn set_timer(&mut self, at: Time, job: JobId, token: u64) {
+        let at = at.max(self.now);
+        self.timer_requests.push(TimerRequest { at, job, token });
+    }
+
+    pub(crate) fn take_timer_requests(&mut self) -> Vec<TimerRequest> {
+        std::mem::take(&mut self.timer_requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs() -> JobSet {
+        JobSet::from_tuples(&[(0.0, 10.0, 4.0, 1.0), (1.0, 6.0, 2.0, 5.0)]).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let js = jobs();
+        let remaining = [4.0, 1.0];
+        let ctx = SimContext::new(
+            Time::new(2.0),
+            &js,
+            &remaining,
+            Some(JobId(0)),
+            3.0,
+            1.0,
+            4.0,
+        );
+        assert_eq!(ctx.now(), Time::new(2.0));
+        assert_eq!(ctx.job(JobId(1)).value, 5.0);
+        assert_eq!(ctx.remaining(JobId(1)), 1.0);
+        assert_eq!(ctx.running(), Some(JobId(0)));
+        assert_eq!(ctx.current_rate(), 3.0);
+        assert_eq!(ctx.c_lo(), 1.0);
+        assert_eq!(ctx.c_hi(), 4.0);
+    }
+
+    #[test]
+    fn conservative_laxity_matches_definition_5() {
+        let js = jobs();
+        let remaining = [4.0, 1.0];
+        let ctx = SimContext::new(Time::new(2.0), &js, &remaining, None, 1.0, 2.0, 4.0);
+        // Job 0: d=10, now=2, p_r=4, c_lo=2 => 10-2-2 = 6.
+        assert_eq!(ctx.conservative_laxity(JobId(0)).as_f64(), 6.0);
+        assert_eq!(ctx.conservative_remaining_time(JobId(0)).as_f64(), 2.0);
+        // With an optimistic rate estimate laxity grows.
+        assert_eq!(ctx.laxity_with_rate(JobId(0), 4.0).as_f64(), 7.0);
+    }
+
+    #[test]
+    fn timers_clamp_to_now_and_drain() {
+        let js = jobs();
+        let remaining = [4.0, 1.0];
+        let mut ctx = SimContext::new(Time::new(5.0), &js, &remaining, None, 1.0, 1.0, 1.0);
+        ctx.set_timer(Time::new(3.0), JobId(0), 7); // in the past -> clamped
+        ctx.set_timer(Time::new(8.0), JobId(1), 9);
+        let reqs = ctx.take_timer_requests();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].at, Time::new(5.0));
+        assert_eq!(reqs[0].token, 7);
+        assert_eq!(reqs[1].at, Time::new(8.0));
+        assert!(ctx.take_timer_requests().is_empty());
+    }
+}

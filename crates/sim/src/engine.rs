@@ -1,0 +1,680 @@
+//! The event-driven simulation kernel.
+
+use crate::context::{Decision, SimContext};
+use crate::event::{EventKind, EventQueue};
+use crate::report::{RunReport, TrajectoryPoint};
+use crate::scheduler::Scheduler;
+use cloudsched_capacity::CapacityProfile;
+use cloudsched_core::{JobId, JobOutcome, JobSet, Outcome, Schedule, Time};
+
+/// Knobs for a single run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Record the full execution schedule (needed by the audit layer).
+    pub record_schedule: bool,
+    /// Record the cumulative value-vs-time curve (the paper's Fig. 1).
+    pub record_trajectory: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            record_schedule: true,
+            record_trajectory: false,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Cheapest configuration for large Monte-Carlo sweeps.
+    pub fn lean() -> Self {
+        RunOptions {
+            record_schedule: false,
+            record_trajectory: false,
+        }
+    }
+
+    /// Record everything.
+    pub fn full() -> Self {
+        RunOptions {
+            record_schedule: true,
+            record_trajectory: true,
+        }
+    }
+}
+
+/// Workload tolerance below which a job counts as finished: absolute dust
+/// plus a relative component of its total workload.
+#[inline]
+fn completion_tolerance(workload: f64) -> f64 {
+    1e-9 + 1e-12 * workload
+}
+
+struct Kernel<'a, P: CapacityProfile> {
+    jobs: &'a JobSet,
+    capacity: &'a P,
+    queue: EventQueue,
+    now: Time,
+    /// Remaining workload per job, exact integral bookkeeping.
+    remaining: Vec<f64>,
+    released: Vec<bool>,
+    resolved: Vec<bool>,
+    running: Option<JobId>,
+    /// Incremented on every dispatch; stale completion events are detected by
+    /// epoch mismatch.
+    epoch: u64,
+    slice_start: Time,
+    outcome: Outcome,
+    value: f64,
+    preemptions: usize,
+    dispatches: usize,
+    events_processed: usize,
+    schedule: Option<Schedule>,
+    trajectory: Option<Vec<TrajectoryPoint>>,
+    c_lo: f64,
+    c_hi: f64,
+}
+
+impl<'a, P: CapacityProfile> Kernel<'a, P> {
+    fn new(jobs: &'a JobSet, capacity: &'a P, options: RunOptions) -> Self {
+        let n = jobs.len();
+        let mut queue = EventQueue::new();
+        for job in jobs.iter() {
+            queue.push(job.release, EventKind::Release { job: job.id });
+            queue.push(job.deadline, EventKind::Deadline { job: job.id });
+        }
+        let (c_lo, c_hi) = capacity.bounds();
+        Kernel {
+            jobs,
+            capacity,
+            queue,
+            now: Time::ZERO,
+            remaining: jobs.iter().map(|j| j.workload).collect(),
+            released: vec![false; n],
+            resolved: vec![false; n],
+            running: None,
+            epoch: 0,
+            slice_start: Time::ZERO,
+            outcome: Outcome::new(n),
+            value: 0.0,
+            preemptions: 0,
+            dispatches: 0,
+            events_processed: 0,
+            schedule: options.record_schedule.then(Schedule::new),
+            trajectory: options.record_trajectory.then(|| {
+                vec![TrajectoryPoint {
+                    time: 0.0,
+                    cumulative_value: 0.0,
+                }]
+            }),
+            c_lo,
+            c_hi,
+        }
+    }
+
+    /// Integrates the running job's progress from the last visited instant.
+    fn advance_to(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "kernel time went backwards");
+        if let Some(j) = self.running {
+            let done = self.capacity.integrate(self.now, t);
+            let r = &mut self.remaining[j.index()];
+            *r = (*r - done).max(0.0);
+        }
+        self.now = t;
+    }
+
+    /// Removes the running job from the processor, recording its slice.
+    fn vacate(&mut self) {
+        if let Some(j) = self.running.take() {
+            if self.now > self.slice_start {
+                if let Some(s) = self.schedule.as_mut() {
+                    s.push(j, self.slice_start, self.now)
+                        .expect("kernel slices are time-ordered");
+                }
+            }
+            self.epoch += 1;
+        }
+    }
+
+    /// Marks `job` completed at the current instant and accrues its value.
+    fn complete(&mut self, job: JobId) {
+        debug_assert!(!self.resolved[job.index()]);
+        self.remaining[job.index()] = 0.0;
+        self.resolved[job.index()] = true;
+        self.outcome.set(job, JobOutcome::Completed { at: self.now });
+        self.value += self.jobs.get(job).value;
+        if let Some(traj) = self.trajectory.as_mut() {
+            traj.push(TrajectoryPoint {
+                time: self.now.as_f64(),
+                cumulative_value: self.value,
+            });
+        }
+    }
+
+    fn dispatch_handler<S, F>(&mut self, scheduler: &mut S, f: F)
+    where
+        S: Scheduler + ?Sized,
+        F: FnOnce(&mut S, &mut SimContext<'_>) -> Decision,
+    {
+        let mut ctx = SimContext::new(
+            self.now,
+            self.jobs,
+            &self.remaining,
+            self.running,
+            self.capacity.rate_at(self.now),
+            self.c_lo,
+            self.c_hi,
+        );
+        let decision = f(scheduler, &mut ctx);
+        let timers = {
+            let mut ctx = ctx;
+            ctx.take_timer_requests()
+        };
+        for t in timers {
+            self.queue.push(
+                t.at,
+                EventKind::Timer {
+                    job: t.job,
+                    token: t.token,
+                },
+            );
+        }
+        self.apply(decision);
+    }
+
+    fn apply(&mut self, decision: Decision) {
+        match decision {
+            Decision::Continue => {}
+            Decision::Idle => {
+                if self.running.is_some() {
+                    self.preemptions += 1;
+                    self.vacate();
+                }
+            }
+            Decision::Run(j) => {
+                if self.running == Some(j) {
+                    return;
+                }
+                let i = j.index();
+                assert!(self.released[i], "scheduler dispatched unreleased {j}");
+                assert!(!self.resolved[i], "scheduler dispatched resolved {j}");
+                if self.running.is_some() {
+                    self.preemptions += 1;
+                    self.vacate();
+                }
+                self.running = Some(j);
+                self.epoch += 1;
+                self.slice_start = self.now;
+                self.dispatches += 1;
+                let done_at = self.capacity.time_to_complete(self.now, self.remaining[i]);
+                self.queue.push(
+                    done_at,
+                    EventKind::Completion {
+                        job: j,
+                        epoch: self.epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    fn run<S: Scheduler + ?Sized>(mut self, scheduler: &mut S) -> RunReport {
+        while let Some(ev) = self.queue.pop() {
+            self.advance_to(ev.time);
+            self.events_processed += 1;
+            match ev.kind {
+                EventKind::Completion { job, epoch } => {
+                    if self.running != Some(job) || epoch != self.epoch {
+                        continue; // stale: the job was preempted since
+                    }
+                    self.vacate();
+                    self.complete(job);
+                    self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
+                }
+                EventKind::Timer { job, token } => {
+                    if self.resolved[job.index()] || !self.released[job.index()] {
+                        continue;
+                    }
+                    self.dispatch_handler(scheduler, |s, ctx| s.on_timer(ctx, job, token));
+                }
+                EventKind::Release { job } => {
+                    self.released[job.index()] = true;
+                    self.dispatch_handler(scheduler, |s, ctx| s.on_release(ctx, job));
+                }
+                EventKind::Deadline { job } => {
+                    if self.resolved[job.index()] {
+                        continue;
+                    }
+                    let was_running = self.running == Some(job);
+                    if was_running {
+                        self.vacate();
+                    }
+                    let i = job.index();
+                    if self.remaining[i] <= completion_tolerance(self.jobs.get(job).workload) {
+                        // Finished exactly at the deadline (within rounding):
+                        // "completing a job by its deadline" succeeds.
+                        self.complete(job);
+                        self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
+                    } else {
+                        self.resolved[i] = true;
+                        self.outcome.set(
+                            job,
+                            JobOutcome::Missed {
+                                remaining_workload: self.remaining[i],
+                            },
+                        );
+                        self.dispatch_handler(scheduler, |s, ctx| s.on_deadline_miss(ctx, job));
+                    }
+                }
+            }
+        }
+        // Close any open slice (cannot happen: the running job's deadline
+        // event always fires, vacating the processor — but stay defensive).
+        self.vacate();
+        let total_value = self.jobs.total_value();
+        RunReport {
+            scheduler: scheduler.name(),
+            value: self.value,
+            value_fraction: if total_value > 0.0 {
+                self.value / total_value
+            } else {
+                0.0
+            },
+            completed: self.outcome.completed_count(),
+            missed: self.outcome.missed().count(),
+            preemptions: self.preemptions,
+            dispatches: self.dispatches,
+            events: self.events_processed,
+            outcome: self.outcome,
+            schedule: self.schedule,
+            trajectory: self.trajectory,
+        }
+    }
+}
+
+/// Runs `scheduler` on `jobs` under `capacity` and reports the results.
+///
+/// The kernel delivers release, completion-or-failure and timer interrupts in
+/// deterministic order (time, then kind, then FIFO) and integrates job
+/// progress exactly over the piecewise capacity profile.
+pub fn simulate<P, S>(jobs: &JobSet, capacity: &P, scheduler: &mut S, options: RunOptions) -> RunReport
+where
+    P: CapacityProfile,
+    S: Scheduler + ?Sized,
+{
+    Kernel::new(jobs, capacity, options).run(scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_capacity::{Constant, PiecewiseConstant};
+    use cloudsched_core::approx_eq;
+
+    /// Minimal work-conserving FIFO used to exercise the kernel: runs the
+    /// earliest-released ready job, never preempts voluntarily.
+    struct TestFifo {
+        ready: Vec<JobId>,
+    }
+    impl TestFifo {
+        fn new() -> Self {
+            TestFifo { ready: Vec::new() }
+        }
+        fn next_decision(&mut self, ctx: &SimContext<'_>) -> Decision {
+            if ctx.running().is_some() {
+                return Decision::Continue;
+            }
+            match self.ready.first().copied() {
+                Some(j) => {
+                    self.ready.remove(0);
+                    Decision::Run(j)
+                }
+                None => Decision::Idle,
+            }
+        }
+    }
+    impl Scheduler for TestFifo {
+        fn name(&self) -> String {
+            "test-fifo".into()
+        }
+        fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+            self.ready.push(job);
+            self.next_decision(ctx)
+        }
+        fn on_completion(&mut self, ctx: &mut SimContext<'_>, _job: JobId) -> Decision {
+            self.next_decision(ctx)
+        }
+        fn on_deadline_miss(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+            self.ready.retain(|&j| j != job);
+            self.next_decision(ctx)
+        }
+    }
+
+    /// Always runs the most recently released job (forces preemptions).
+    struct TestLifoPreempt;
+    impl Scheduler for TestLifoPreempt {
+        fn name(&self) -> String {
+            "test-lifo".into()
+        }
+        fn on_release(&mut self, _ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+            Decision::Run(job)
+        }
+        fn on_completion(&mut self, _ctx: &mut SimContext<'_>, _job: JobId) -> Decision {
+            Decision::Continue
+        }
+        fn on_deadline_miss(&mut self, _ctx: &mut SimContext<'_>, _job: JobId) -> Decision {
+            Decision::Continue
+        }
+    }
+
+    #[test]
+    fn single_job_completes_with_exact_value() {
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 4.0, 7.0)]).unwrap();
+        let cap = Constant::new(2.0).unwrap();
+        let r = simulate(&jobs, &cap, &mut TestFifo::new(), RunOptions::full());
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.missed, 0);
+        assert_eq!(r.value, 7.0);
+        assert_eq!(r.value_fraction, 1.0);
+        match r.outcome.get(JobId(0)) {
+            JobOutcome::Completed { at } => assert!(at.approx_eq(Time::new(2.0))),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        let sched = r.schedule.unwrap();
+        assert_eq!(sched.len(), 1);
+        assert!(approx_eq(sched.busy_time(), 2.0));
+    }
+
+    #[test]
+    fn job_misses_when_capacity_too_low() {
+        let jobs = JobSet::from_tuples(&[(0.0, 2.0, 10.0, 5.0)]).unwrap();
+        let cap = Constant::unit();
+        let r = simulate(&jobs, &cap, &mut TestFifo::new(), RunOptions::default());
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.missed, 1);
+        assert_eq!(r.value, 0.0);
+        match r.outcome.get(JobId(0)) {
+            JobOutcome::Missed { remaining_workload } => {
+                assert!(approx_eq(remaining_workload, 8.0))
+            }
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_laxity_job_completes_exactly_at_deadline() {
+        // d - r = p / c exactly: must count as completed (tolerance path).
+        let jobs = JobSet::from_tuples(&[(0.0, 3.0, 3.0, 1.0)]).unwrap();
+        let cap = Constant::unit();
+        let r = simulate(&jobs, &cap, &mut TestFifo::new(), RunOptions::default());
+        assert_eq!(r.completed, 1, "zero-laxity job must complete at deadline");
+    }
+
+    #[test]
+    fn progress_integrates_across_capacity_changes() {
+        // rate 1 on [0,2), rate 3 on [2,∞). Job p=5 from t=0: 2 + 3*1 = 5 at t=3.
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 5.0, 1.0)]).unwrap();
+        let cap = PiecewiseConstant::from_durations(&[(2.0, 1.0), (1.0, 3.0)]).unwrap();
+        let r = simulate(&jobs, &cap, &mut TestFifo::new(), RunOptions::default());
+        match r.outcome.get(JobId(0)) {
+            JobOutcome::Completed { at } => assert!(at.approx_eq(Time::new(3.0))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn preemption_produces_stale_completion_and_correct_resume() {
+        // Job 0 (p=4) starts at 0; job 1 (p=1) released at 1 preempts (LIFO);
+        // job 0 is NOT resumed by this scheduler, so it misses; job 1 done at 2.
+        let jobs =
+            JobSet::from_tuples(&[(0.0, 10.0, 4.0, 1.0), (1.0, 10.0, 1.0, 2.0)]).unwrap();
+        let cap = Constant::unit();
+        let r = simulate(&jobs, &cap, &mut TestLifoPreempt, RunOptions::full());
+        assert_eq!(r.preemptions, 1);
+        assert!(r.outcome.get(JobId(1)).is_completed());
+        match r.outcome.get(JobId(0)) {
+            JobOutcome::Missed { remaining_workload } => {
+                // Ran [0,1): 3 units left.
+                assert!(approx_eq(remaining_workload, 3.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Schedule: job0 [0,1), job1 [1,2).
+        let slices = r.schedule.unwrap();
+        assert_eq!(slices.slices()[0].job, JobId(0));
+        assert_eq!(slices.slices()[1].job, JobId(1));
+        assert!(slices.slices()[1].end.approx_eq(Time::new(2.0)));
+    }
+
+    /// Scheduler that resumes the preempted job on completion.
+    struct TestLifoResume {
+        stack: Vec<JobId>,
+    }
+    impl Scheduler for TestLifoResume {
+        fn name(&self) -> String {
+            "test-lifo-resume".into()
+        }
+        fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+            if let Some(cur) = ctx.running() {
+                self.stack.push(cur);
+            }
+            Decision::Run(job)
+        }
+        fn on_completion(&mut self, _ctx: &mut SimContext<'_>, _job: JobId) -> Decision {
+            match self.stack.pop() {
+                Some(j) => Decision::Run(j),
+                None => Decision::Idle,
+            }
+        }
+        fn on_deadline_miss(&mut self, _ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+            self.stack.retain(|&j| j != job);
+            Decision::Continue
+        }
+    }
+
+    #[test]
+    fn preempted_job_resumes_from_point_of_preemption() {
+        let jobs =
+            JobSet::from_tuples(&[(0.0, 10.0, 4.0, 1.0), (1.0, 10.0, 1.0, 2.0)]).unwrap();
+        let cap = Constant::unit();
+        let mut s = TestLifoResume { stack: vec![] };
+        let r = simulate(&jobs, &cap, &mut s, RunOptions::full());
+        assert_eq!(r.completed, 2);
+        // Job 0: [0,1) then [2,5): completes at 5.
+        match r.outcome.get(JobId(0)) {
+            JobOutcome::Completed { at } => assert!(at.approx_eq(Time::new(5.0))),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.dispatches, 3); // job0, job1, job0 again
+        let sched = r.schedule.unwrap();
+        assert!(approx_eq(sched.wall_time_of(JobId(0)), 4.0));
+    }
+
+    /// Scheduler that registers a timer at release and runs the job only when
+    /// the timer fires.
+    struct TimerStart;
+    impl Scheduler for TimerStart {
+        fn name(&self) -> String {
+            "test-timer".into()
+        }
+        fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+            ctx.set_timer(Time::new(2.0), job, 42);
+            Decision::Continue
+        }
+        fn on_completion(&mut self, _ctx: &mut SimContext<'_>, _job: JobId) -> Decision {
+            Decision::Continue
+        }
+        fn on_deadline_miss(&mut self, _ctx: &mut SimContext<'_>, _job: JobId) -> Decision {
+            Decision::Continue
+        }
+        fn on_timer(&mut self, _ctx: &mut SimContext<'_>, job: JobId, token: u64) -> Decision {
+            assert_eq!(token, 42);
+            Decision::Run(job)
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_tokens_echo() {
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 1.0, 1.0)]).unwrap();
+        let cap = Constant::unit();
+        let r = simulate(&jobs, &cap, &mut TimerStart, RunOptions::full());
+        match r.outcome.get(JobId(0)) {
+            JobOutcome::Completed { at } => assert!(at.approx_eq(Time::new(3.0))),
+            other => panic!("{other:?}"),
+        }
+        let sched = r.schedule.unwrap();
+        assert!(sched.slices()[0].start.approx_eq(Time::new(2.0)));
+    }
+
+    #[test]
+    fn timer_for_resolved_job_is_dropped() {
+        struct LateTimer;
+        impl Scheduler for LateTimer {
+            fn name(&self) -> String {
+                "late-timer".into()
+            }
+            fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+                ctx.set_timer(Time::new(100.0), job, 1);
+                Decision::Run(job)
+            }
+            fn on_completion(&mut self, _c: &mut SimContext<'_>, _j: JobId) -> Decision {
+                Decision::Continue
+            }
+            fn on_deadline_miss(&mut self, _c: &mut SimContext<'_>, _j: JobId) -> Decision {
+                Decision::Continue
+            }
+            fn on_timer(&mut self, _c: &mut SimContext<'_>, _j: JobId, _t: u64) -> Decision {
+                panic!("timer for a resolved job must not be delivered");
+            }
+        }
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 1.0, 1.0)]).unwrap();
+        let r = simulate(&jobs, &Constant::unit(), &mut LateTimer, RunOptions::default());
+        assert_eq!(r.completed, 1);
+    }
+
+    #[test]
+    fn trajectory_records_completions() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 10.0, 1.0, 5.0),
+            (0.0, 10.0, 1.0, 3.0),
+        ])
+        .unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut TestFifo::new(),
+            RunOptions::full(),
+        );
+        let traj = r.trajectory.unwrap();
+        assert_eq!(traj.len(), 3); // origin + 2 completions
+        assert_eq!(traj[0].cumulative_value, 0.0);
+        assert!(approx_eq(traj[1].cumulative_value, 5.0));
+        assert!(approx_eq(traj[2].cumulative_value, 8.0));
+        assert!(approx_eq(traj[2].time, 2.0));
+    }
+
+    #[test]
+    fn simultaneous_releases_processed_in_id_order() {
+        let jobs = JobSet::from_tuples(&[
+            (1.0, 10.0, 1.0, 1.0),
+            (1.0, 10.0, 1.0, 1.0),
+            (1.0, 10.0, 1.0, 1.0),
+        ])
+        .unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut TestFifo::new(),
+            RunOptions::full(),
+        );
+        assert_eq!(r.completed, 3);
+        let order: Vec<JobId> = r.schedule.unwrap().slices().iter().map(|s| s.job).collect();
+        assert_eq!(order, vec![JobId(0), JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn idle_gaps_are_respected() {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 10.0, 1.0, 1.0),
+            (5.0, 10.0, 1.0, 1.0),
+        ])
+        .unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut TestFifo::new(),
+            RunOptions::full(),
+        );
+        let sched = r.schedule.unwrap();
+        assert!(approx_eq(sched.busy_time(), 2.0));
+        assert!(sched.slices()[1].start.approx_eq(Time::new(5.0)));
+        assert_eq!(r.events, 4 + 2); // 2 releases + 2 deadlines + 2 completions
+    }
+
+    #[test]
+    fn empty_instance_runs_trivially() {
+        let jobs = JobSet::new(vec![]).unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut TestFifo::new(),
+            RunOptions::default(),
+        );
+        assert_eq!(r.completed + r.missed, 0);
+        assert_eq!(r.value_fraction, 0.0);
+        assert_eq!(r.events, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreleased")]
+    fn dispatching_unreleased_job_panics() {
+        struct Evil;
+        impl Scheduler for Evil {
+            fn name(&self) -> String {
+                "evil".into()
+            }
+            fn on_release(&mut self, _c: &mut SimContext<'_>, _j: JobId) -> Decision {
+                Decision::Run(JobId(1)) // not released yet
+            }
+            fn on_completion(&mut self, _c: &mut SimContext<'_>, _j: JobId) -> Decision {
+                Decision::Continue
+            }
+            fn on_deadline_miss(&mut self, _c: &mut SimContext<'_>, _j: JobId) -> Decision {
+                Decision::Continue
+            }
+        }
+        let jobs =
+            JobSet::from_tuples(&[(0.0, 10.0, 1.0, 1.0), (5.0, 10.0, 1.0, 1.0)]).unwrap();
+        simulate(&jobs, &Constant::unit(), &mut Evil, RunOptions::default());
+    }
+
+    #[test]
+    fn run_decision_for_already_running_job_is_noop() {
+        struct Redispatch;
+        impl Scheduler for Redispatch {
+            fn name(&self) -> String {
+                "redispatch".into()
+            }
+            fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+                match ctx.running() {
+                    Some(cur) => Decision::Run(cur), // re-dispatch current
+                    None => Decision::Run(job),
+                }
+            }
+            fn on_completion(&mut self, _c: &mut SimContext<'_>, _j: JobId) -> Decision {
+                Decision::Continue
+            }
+            fn on_deadline_miss(&mut self, _c: &mut SimContext<'_>, _j: JobId) -> Decision {
+                Decision::Continue
+            }
+        }
+        let jobs =
+            JobSet::from_tuples(&[(0.0, 10.0, 2.0, 1.0), (1.0, 10.0, 1.0, 1.0)]).unwrap();
+        let r = simulate(&jobs, &Constant::unit(), &mut Redispatch, RunOptions::full());
+        // Job 0 keeps running uninterrupted despite the redundant Run(cur):
+        // exactly one slice, no preemptions.
+        assert_eq!(r.preemptions, 0);
+        assert_eq!(r.dispatches, 1);
+        assert!(r.outcome.get(JobId(0)).is_completed());
+    }
+}

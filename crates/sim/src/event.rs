@@ -1,0 +1,199 @@
+//! Kernel events and the deterministic event queue.
+
+use cloudsched_core::{JobId, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The currently running job (as of epoch `epoch`) finishes its workload.
+    Completion {
+        /// The job that completes.
+        job: JobId,
+        /// Dispatch epoch; a mismatch with the kernel's current epoch marks
+        /// the event stale (the job was preempted in between).
+        epoch: u64,
+    },
+    /// A scheduler-requested timer (e.g. a zero-conservative-laxity
+    /// interrupt) fires for `job`.
+    Timer {
+        /// The job the timer concerns.
+        job: JobId,
+        /// Opaque token chosen by the scheduler at registration.
+        token: u64,
+    },
+    /// `job` is released and becomes known to the scheduler.
+    Release {
+        /// The released job.
+        job: JobId,
+    },
+    /// `job`'s firm deadline passes.
+    Deadline {
+        /// The job whose deadline expires.
+        job: JobId,
+    },
+}
+
+impl EventKind {
+    /// Processing priority at equal timestamps. Completions are handled
+    /// before deadlines so that a job finishing *exactly at* its deadline
+    /// counts as completed ("completing a job **by** its deadline"), and
+    /// before releases so queues are in a settled state when new work
+    /// arrives.
+    fn priority(&self) -> u8 {
+        match self {
+            EventKind::Completion { .. } => 0,
+            EventKind::Timer { .. } => 1,
+            EventKind::Release { .. } => 2,
+            EventKind::Deadline { .. } => 3,
+        }
+    }
+}
+
+/// A scheduled event. Ordering: time, then kind priority, then insertion
+/// sequence — fully deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Time,
+    /// What fires.
+    pub kind: EventKind,
+    seq: u64,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then(self.kind.priority().cmp(&other.kind.priority()))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Min-heap of events with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<std::cmp::Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn push(&mut self, time: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse(Event { time, kind, seq }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> Time {
+        Time::new(x)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), EventKind::Release { job: JobId(0) });
+        q.push(t(1.0), EventKind::Release { job: JobId(1) });
+        q.push(t(2.0), EventKind::Release { job: JobId(2) });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_f64())
+            .collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_time_orders_by_kind_priority() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), EventKind::Deadline { job: JobId(0) });
+        q.push(t(5.0), EventKind::Release { job: JobId(1) });
+        q.push(
+            t(5.0),
+            EventKind::Completion {
+                job: JobId(2),
+                epoch: 0,
+            },
+        );
+        q.push(
+            t(5.0),
+            EventKind::Timer {
+                job: JobId(3),
+                token: 0,
+            },
+        );
+        let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Completion { .. } => 0,
+                EventKind::Timer { .. } => 1,
+                EventKind::Release { .. } => 2,
+                EventKind::Deadline { .. } => 3,
+            })
+            .collect();
+        assert_eq!(kinds, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_time_and_kind_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(t(1.0), EventKind::Release { job: JobId(i) });
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Release { job } => job.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(t(0.0), EventKind::Release { job: JobId(0) });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! The online-scheduler interface.
+
+use crate::context::{Decision, SimContext};
+use cloudsched_core::JobId;
+
+/// An online scheduling algorithm driven by kernel interrupts.
+///
+/// This mirrors the paper's procedure A skeleton: the scheduler "waits for
+/// interrupts in a loop and calls the interrupt handlers upon interrupts".
+/// The kernel delivers exactly the paper's three interrupt types — release,
+/// completion-or-failure, and timers (for zero-conservative-laxity and
+/// similar scheduler-defined alarms) — and applies the returned [`Decision`].
+///
+/// Handlers may inspect the context freely and may register timers; they must
+/// not assume anything about future capacity beyond the declared class bounds
+/// (the context does not expose it, so this is enforced by construction).
+pub trait Scheduler {
+    /// Human-readable name used in reports and tables.
+    fn name(&self) -> String;
+
+    /// A new job was released (paper procedure B).
+    fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision;
+
+    /// The running job completed successfully (paper procedure C, success
+    /// path). `job` has already been removed from the processor.
+    fn on_completion(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision;
+
+    /// A job reached its deadline unfinished (paper procedure C, failure
+    /// path). If it was running it has been removed from the processor.
+    fn on_deadline_miss(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision;
+
+    /// A timer registered via [`SimContext::set_timer`] fired (used for the
+    /// zero-conservative-laxity interrupt, paper procedure D). Default: no-op.
+    fn on_timer(&mut self, ctx: &mut SimContext<'_>, job: JobId, token: u64) -> Decision {
+        let _ = (ctx, job, token);
+        Decision::Continue
+    }
+}
+
+/// Blanket impl so `&mut S` is itself a scheduler (handy for harnesses that
+/// keep schedulers in collections).
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        (**self).on_release(ctx, job)
+    }
+    fn on_completion(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        (**self).on_completion(ctx, job)
+    }
+    fn on_deadline_miss(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        (**self).on_deadline_miss(ctx, job)
+    }
+    fn on_timer(&mut self, ctx: &mut SimContext<'_>, job: JobId, token: u64) -> Decision {
+        (**self).on_timer(ctx, job, token)
+    }
+}

@@ -1,0 +1,127 @@
+//! Inverse-transform samplers over `rand`'s uniform source.
+
+use rand::Rng;
+
+/// Samples `Exp(rate)` (mean `1/rate`) by inverse transform.
+///
+/// # Panics
+/// If `rate <= 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+    // 1 - U ∈ (0, 1] avoids ln(0).
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples uniformly from `[lo, hi)` (degenerate `lo == hi` returns `lo`).
+///
+/// # Panics
+/// If `lo > hi`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi})");
+    if lo == hi {
+        return lo;
+    }
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+/// Samples a bounded Pareto on `[lo, hi]` with shape `alpha` — a heavy-tailed
+/// workload model for the cloud-substrate examples.
+///
+/// # Panics
+/// If the support or shape is invalid.
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(alpha > 0.0 && lo > 0.0 && hi > lo, "invalid bounded Pareto");
+    let u: f64 = rng.gen::<f64>();
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // Inverse CDF of the truncated Pareto.
+    (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 200_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} should be ~0.5");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(exponential(&mut r, 1.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_centres() {
+        let mut r = rng();
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = uniform(&mut r, 1.0, 7.0);
+            assert!((1.0..7.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.02, "mean {mean} should be ~4");
+        assert_eq!(uniform(&mut r, 3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn uniform_rejects_inverted_bounds() {
+        uniform(&mut rng(), 2.0, 1.0);
+    }
+
+    #[test]
+    fn bounded_pareto_support() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = bounded_pareto(&mut r, 1.5, 1.0, 100.0);
+            assert!((1.0..=100.0).contains(&x), "{x} out of support");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        // Mean of BP(α=1.1, 1, 1000) is far above the median.
+        let mut r = rng();
+        let n = 100_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| bounded_pareto(&mut r, 1.1, 1.0, 1000.0)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[n / 2];
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!(mean > 2.0 * median, "mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..5).map(|_| exponential(&mut r, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..5).map(|_| exponential(&mut r, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

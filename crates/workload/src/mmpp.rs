@@ -1,0 +1,176 @@
+//! Markov-modulated Poisson arrivals — bursty secondary demand.
+//!
+//! The paper's §IV uses a plain Poisson process; real secondary demand is
+//! burstier. An MMPP alternates between regimes, each with its own Poisson
+//! rate, switching after exponential sojourns — the same construction as the
+//! two-state capacity chain, applied to arrivals. Used by the ablation and
+//! example scenarios to stress the schedulers with correlated overload.
+
+use crate::dist::exponential;
+use rand::Rng;
+
+/// One regime of the modulating chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmppState {
+    /// Poisson arrival rate while in this regime.
+    pub rate: f64,
+    /// Mean sojourn time (exponential).
+    pub mean_sojourn: f64,
+}
+
+/// A finite-state MMPP arrival generator.
+#[derive(Debug, Clone)]
+pub struct Mmpp {
+    states: Vec<MmppState>,
+}
+
+impl Mmpp {
+    /// Builds an MMPP from regimes.
+    ///
+    /// # Panics
+    /// If no regimes are given, or any rate/sojourn is non-positive.
+    pub fn new(states: Vec<MmppState>) -> Self {
+        assert!(!states.is_empty(), "MMPP needs at least one state");
+        for s in &states {
+            assert!(
+                s.rate > 0.0 && s.mean_sojourn > 0.0,
+                "invalid MMPP state {s:?}"
+            );
+        }
+        Mmpp { states }
+    }
+
+    /// A two-regime burst model: `base_rate` normally, `burst_rate` during
+    /// bursts, with the given mean sojourns.
+    pub fn bursty(base_rate: f64, burst_rate: f64, mean_base: f64, mean_burst: f64) -> Self {
+        Mmpp::new(vec![
+            MmppState {
+                rate: base_rate,
+                mean_sojourn: mean_base,
+            },
+            MmppState {
+                rate: burst_rate,
+                mean_sojourn: mean_burst,
+            },
+        ])
+    }
+
+    /// Long-run average arrival rate (sojourn-weighted).
+    pub fn mean_rate(&self) -> f64 {
+        let weight: f64 = self.states.iter().map(|s| s.mean_sojourn).sum();
+        self.states
+            .iter()
+            .map(|s| s.rate * s.mean_sojourn)
+            .sum::<f64>()
+            / weight
+    }
+
+    /// Samples arrival instants on `[0, horizon)`, starting in state 0.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, horizon: f64) -> Vec<f64> {
+        assert!(horizon >= 0.0);
+        let mut arrivals = Vec::new();
+        let mut t = 0.0;
+        let mut state = 0usize;
+        while t < horizon {
+            let s = self.states[state];
+            let regime_end = (t + exponential(rng, 1.0 / s.mean_sojourn)).min(horizon);
+            // Poisson arrivals inside the regime window.
+            let mut a = t;
+            loop {
+                a += exponential(rng, s.rate);
+                if a >= regime_end {
+                    break;
+                }
+                arrivals.push(a);
+            }
+            t = regime_end;
+            if self.states.len() > 1 {
+                let mut next = rng.gen_range(0..self.states.len() - 1);
+                if next >= state {
+                    next += 1;
+                }
+                state = next;
+            }
+        }
+        arrivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn mean_rate_weighted() {
+        let m = Mmpp::bursty(2.0, 10.0, 3.0, 1.0);
+        // (2*3 + 10*1)/4 = 4.
+        assert!((m.mean_rate() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_run_count_matches_mean_rate() {
+        let m = Mmpp::bursty(2.0, 10.0, 3.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(50);
+        let horizon = 20_000.0;
+        let n = m.sample(&mut rng, horizon).len() as f64;
+        let expected = m.mean_rate() * horizon;
+        assert!(
+            (n - expected).abs() < 0.05 * expected,
+            "{n} arrivals vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_within_horizon() {
+        let m = Mmpp::bursty(1.0, 5.0, 2.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = m.sample(&mut rng, 100.0);
+        for w in a.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(a.iter().all(|&t| (0.0..100.0).contains(&t)));
+    }
+
+    #[test]
+    fn burstiness_exceeds_poisson() {
+        // Index of dispersion of counts (variance/mean over windows) must
+        // exceed 1 for a strongly modulated process.
+        let m = Mmpp::bursty(0.5, 20.0, 5.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(52);
+        let horizon = 5_000.0;
+        let arrivals = m.sample(&mut rng, horizon);
+        let window = 10.0;
+        let bins = (horizon / window) as usize;
+        let mut counts = vec![0.0f64; bins];
+        for &a in &arrivals {
+            counts[(a / window) as usize] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / bins as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / bins as f64;
+        assert!(
+            var / mean > 2.0,
+            "dispersion {:.2} should exceed Poisson's 1",
+            var / mean
+        );
+    }
+
+    #[test]
+    fn single_state_is_plain_poisson() {
+        let m = Mmpp::new(vec![MmppState {
+            rate: 3.0,
+            mean_sojourn: 1.0,
+        }]);
+        assert_eq!(m.mean_rate(), 3.0);
+        let mut rng = StdRng::seed_from_u64(53);
+        let a = m.sample(&mut rng, 1000.0);
+        let n = a.len() as f64;
+        assert!((n - 3000.0).abs() < 5.0 * 3000.0_f64.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_states_panic() {
+        Mmpp::new(vec![]);
+    }
+}

@@ -1,0 +1,193 @@
+//! The exact simulation scenario of the paper's §IV.
+
+use crate::ctmc::CtmcCapacity;
+use crate::dist::{exponential, uniform};
+use crate::poisson::poisson_arrivals;
+use cloudsched_capacity::Instance;
+use cloudsched_core::{CoreError, Job, JobId, JobSet, Time};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Parameters of the §IV experiment. [`PaperScenario::table1`] reproduces the
+/// published configuration for a given arrival rate `λ`.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperScenario {
+    /// Poisson arrival rate `λ`.
+    pub lambda: f64,
+    /// Exponential workload rate `µ` (mean workload `1/µ`).
+    pub mu: f64,
+    /// Value densities drawn uniformly from `[density_lo, density_hi]`.
+    pub density_lo: f64,
+    /// Upper value density (`density_hi / density_lo` is the importance bound
+    /// `k` when `density_lo = 1`).
+    pub density_hi: f64,
+    /// Capacity class lower bound `c_lo`.
+    pub c_lo: f64,
+    /// Capacity class upper bound `c_hi`.
+    pub c_hi: f64,
+    /// Simulation horizon `H` (releases stop at `H`).
+    pub horizon: f64,
+    /// Mean sojourn of the two-state capacity chain.
+    pub mean_sojourn: f64,
+    /// Relative deadline multiplier: `d − r = slack_factor · p / c_lo`.
+    /// The paper uses exactly 1 ("all jobs have zero conservative laxity").
+    pub slack_factor: f64,
+}
+
+impl PaperScenario {
+    /// The published Table I / Figure 1 configuration for arrival rate `λ`:
+    /// `µ = 1`, densities `U[1,7]` (`k = 7`), `H = 2000/λ`, capacity CTMC on
+    /// `{1, 35}` with mean sojourn `H/4`, zero conservative laxity.
+    pub fn table1(lambda: f64) -> Self {
+        assert!(lambda > 0.0);
+        let horizon = 2000.0 / lambda;
+        PaperScenario {
+            lambda,
+            mu: 1.0,
+            density_lo: 1.0,
+            density_hi: 7.0,
+            c_lo: 1.0,
+            c_hi: 35.0,
+            horizon,
+            mean_sojourn: horizon / 4.0,
+            slack_factor: 1.0,
+        }
+    }
+
+    /// Importance-ratio bound `k` of the generated jobs.
+    pub fn k(&self) -> f64 {
+        self.density_hi / self.density_lo
+    }
+
+    /// Capacity variation `δ` of the class.
+    pub fn delta(&self) -> f64 {
+        self.c_hi / self.c_lo
+    }
+
+    /// Generates one instance from the scenario with a deterministic seed.
+    pub fn generate(&self, seed: u64) -> Result<ScenarioInstance, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generates one instance drawing from an existing RNG.
+    pub fn generate_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<ScenarioInstance, CoreError> {
+        assert!(self.mu > 0.0 && self.slack_factor > 0.0);
+        assert!(self.density_lo > 0.0 && self.density_hi >= self.density_lo);
+        let releases = poisson_arrivals(rng, self.lambda, self.horizon);
+        let mut jobs = Vec::with_capacity(releases.len());
+        for (i, &r) in releases.iter().enumerate() {
+            let workload = exponential(rng, self.mu).max(1e-9);
+            let density = uniform(rng, self.density_lo, self.density_hi);
+            let rel_deadline = self.slack_factor * workload / self.c_lo;
+            jobs.push(Job::new(
+                JobId(i as u64),
+                Time::new(r),
+                Time::new(r + rel_deadline),
+                workload,
+                density * workload,
+            )?);
+        }
+        let jobs = JobSet::new(jobs)?;
+        let chain = CtmcCapacity::two_state(self.c_lo, self.c_hi, self.mean_sojourn)?;
+        let capacity = chain.sample(rng, self.horizon)?;
+        Ok(ScenarioInstance {
+            instance: Instance::new(jobs, capacity),
+            scenario: *self,
+        })
+    }
+}
+
+/// A generated instance together with the scenario it came from.
+#[derive(Debug, Clone)]
+pub struct ScenarioInstance {
+    /// The jobs + capacity trace.
+    pub instance: Instance,
+    /// Generating parameters.
+    pub scenario: PaperScenario,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_capacity::CapacityProfile;
+
+    #[test]
+    fn table1_parameters_match_paper() {
+        let s = PaperScenario::table1(6.0);
+        assert_eq!(s.k(), 7.0);
+        assert_eq!(s.delta(), 35.0);
+        assert!((s.horizon - 2000.0 / 6.0).abs() < 1e-12);
+        assert!((s.mean_sojourn - s.horizon / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_jobs_have_zero_conservative_laxity() {
+        let s = PaperScenario::table1(6.0);
+        let g = s.generate(11).unwrap();
+        for j in g.instance.jobs.iter() {
+            let claxity = j.relative_deadline().as_f64() - j.workload / s.c_lo;
+            assert!(
+                claxity.abs() < 1e-9,
+                "{} has conservative laxity {claxity}",
+                j.id
+            );
+        }
+        // Zero conservative laxity jobs are exactly individually admissible.
+        assert!(g.instance.all_individually_admissible());
+    }
+
+    #[test]
+    fn job_count_near_2000() {
+        let s = PaperScenario::table1(8.0);
+        let g = s.generate(12).unwrap();
+        let n = g.instance.job_count() as f64;
+        assert!(
+            (n - 2000.0).abs() < 5.0 * 2000.0_f64.sqrt(),
+            "{n} jobs vs expected ~2000"
+        );
+    }
+
+    #[test]
+    fn densities_within_bounds_k_at_most_7() {
+        let s = PaperScenario::table1(4.0);
+        let g = s.generate(13).unwrap();
+        for j in g.instance.jobs.iter() {
+            let d = j.value_density();
+            assert!((1.0..=7.0).contains(&d), "{} density {d}", j.id);
+        }
+        let k = g.instance.importance_ratio().unwrap();
+        assert!(k <= 7.0 + 1e-9);
+    }
+
+    #[test]
+    fn capacity_class_declared() {
+        let s = PaperScenario::table1(6.0);
+        let g = s.generate(14).unwrap();
+        assert_eq!(g.instance.capacity.bounds(), (1.0, 35.0));
+        assert!((g.instance.delta() - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let s = PaperScenario::table1(6.0);
+        let a = s.generate(100).unwrap();
+        let b = s.generate(100).unwrap();
+        let c = s.generate(101).unwrap();
+        assert_eq!(a.instance, b.instance);
+        assert_ne!(a.instance, c.instance);
+    }
+
+    #[test]
+    fn slack_factor_controls_admissibility_margin() {
+        let mut s = PaperScenario::table1(6.0);
+        s.slack_factor = 2.0;
+        let g = s.generate(15).unwrap();
+        for j in g.instance.jobs.iter() {
+            let margin = j.relative_deadline().as_f64() - j.workload / s.c_lo;
+            assert!(margin > 0.0);
+        }
+    }
+}

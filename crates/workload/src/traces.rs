@@ -1,0 +1,119 @@
+//! Plain-text instance serialisation.
+//!
+//! A deliberately simple line format (no serde): comment lines start with
+//! `#`, `job <r> <d> <p> <v>` lines declare jobs in id order, `cap <t> <c>`
+//! lines declare capacity segments, and an optional `bounds <lo> <hi>`
+//! declares the capacity class. Used by the examples to persist and replay
+//! scenarios.
+
+use cloudsched_capacity::{CapacityProfile, Instance, PiecewiseConstant, Segment};
+use cloudsched_core::{CoreError, Job, JobId, JobSet, Time};
+
+/// Serialises an instance to the trace format.
+pub fn to_text(instance: &Instance) -> String {
+    let mut out = String::new();
+    out.push_str("# cloudsched trace v1\n");
+    let (lo, hi) = instance.capacity.bounds();
+    out.push_str(&format!("bounds {lo} {hi}\n"));
+    for seg in instance.capacity.segments() {
+        out.push_str(&format!("cap {} {}\n", seg.start.as_f64(), seg.rate));
+    }
+    for j in instance.jobs.iter() {
+        out.push_str(&format!(
+            "job {} {} {} {}\n",
+            j.release.as_f64(),
+            j.deadline.as_f64(),
+            j.workload,
+            j.value
+        ));
+    }
+    out
+}
+
+/// Parses the trace format back into an instance.
+pub fn from_text(text: &str) -> Result<Instance, CoreError> {
+    let mut jobs = Vec::new();
+    let mut segments = Vec::new();
+    let mut bounds: Option<(f64, f64)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap_or("");
+        let nums: Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
+        let nums = nums.map_err(|e| CoreError::InvalidSchedule {
+            reason: format!("trace line {}: {e}", lineno + 1),
+        })?;
+        match (tag, nums.as_slice()) {
+            ("job", [r, d, p, v]) => {
+                let id = JobId(jobs.len() as u64);
+                jobs.push(Job::new(id, Time::new(*r), Time::new(*d), *p, *v)?);
+            }
+            ("cap", [t, c]) => segments.push(Segment {
+                start: Time::new(*t),
+                rate: *c,
+            }),
+            ("bounds", [lo, hi]) => bounds = Some((*lo, *hi)),
+            _ => {
+                return Err(CoreError::InvalidSchedule {
+                    reason: format!("trace line {}: unrecognised `{line}`", lineno + 1),
+                })
+            }
+        }
+    }
+    let mut capacity = PiecewiseConstant::new(segments)?;
+    if let Some((lo, hi)) = bounds {
+        capacity = capacity.with_declared_bounds(lo, hi)?;
+    }
+    Ok(Instance::new(JobSet::new(jobs)?, capacity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> Instance {
+        let jobs = JobSet::from_tuples(&[(0.0, 4.0, 2.0, 3.0), (1.0, 6.0, 1.5, 2.0)]).unwrap();
+        let cap = PiecewiseConstant::from_durations(&[(2.0, 1.0), (3.0, 4.0)])
+            .unwrap()
+            .with_declared_bounds(0.5, 8.0)
+            .unwrap();
+        Instance::new(jobs, cap)
+    }
+
+    #[test]
+    fn round_trip_preserves_instance() {
+        let i = instance();
+        let text = to_text(&i);
+        let j = from_text(&text).unwrap();
+        assert_eq!(i, j);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hello\n\n  \ncap 0 2\njob 0 1 0.5 1\n";
+        let i = from_text(text).unwrap();
+        assert_eq!(i.job_count(), 1);
+        assert_eq!(i.capacity.bounds(), (2.0, 2.0));
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(from_text("job 1 2").is_err());
+        assert!(from_text("nonsense 1 2 3").is_err());
+        assert!(from_text("job a b c d").is_err());
+        // Invalid capacity (no segment at t=0).
+        assert!(from_text("cap 1 2\n").is_err());
+        // Invalid job (deadline before release).
+        assert!(from_text("cap 0 1\njob 2 1 1 1\n").is_err());
+    }
+
+    #[test]
+    fn bounds_line_optional() {
+        let text = "cap 0 1\ncap 2 5\njob 0 1 0.5 1\n";
+        let i = from_text(text).unwrap();
+        assert_eq!(i.capacity.bounds(), (1.0, 5.0)); // observed
+    }
+}

@@ -1,0 +1,169 @@
+//! Certified-underloaded instance generation (for Theorem 2 experiments).
+//!
+//! An input set is *underloaded* when every instance in it is fully
+//! schedulable offline (§I-A). Testing EDF's 1-competitiveness therefore
+//! needs instances that are schedulable *by construction*. We build them by
+//! carving jobs out of a witness schedule: consecutive service intervals
+//! `[t_i, t_{i+1})` on the capacity trace become jobs whose workload is
+//! exactly the capacity integral of their interval, released no later than
+//! `t_i` and due no earlier than `t_{i+1}`. Executing the jobs back-to-back
+//! is then a feasible schedule, so the instance is underloaded by witness.
+
+use crate::dist::{exponential, uniform};
+use cloudsched_capacity::{CapacityProfile, Instance, PiecewiseConstant};
+use cloudsched_core::{CoreError, Job, JobId, JobSet, Time};
+use rand::Rng;
+
+/// Parameters for the carved underloaded generator.
+#[derive(Debug, Clone, Copy)]
+pub struct UnderloadedParams {
+    /// Number of jobs to carve.
+    pub jobs: usize,
+    /// Mean service-interval length (exponential).
+    pub mean_interval: f64,
+    /// Mean idle gap inserted between service intervals (exponential; 0 for
+    /// a fully packed witness schedule).
+    pub mean_gap: f64,
+    /// Mean extra release slack (how much earlier than its interval a job is
+    /// released) and deadline slack (how much later it is due).
+    pub mean_slack: f64,
+    /// Value densities drawn uniformly from this range.
+    pub density_range: (f64, f64),
+}
+
+impl Default for UnderloadedParams {
+    fn default() -> Self {
+        UnderloadedParams {
+            jobs: 50,
+            mean_interval: 1.0,
+            mean_gap: 0.2,
+            mean_slack: 0.5,
+            density_range: (1.0, 7.0),
+        }
+    }
+}
+
+/// Carves an underloaded instance out of `capacity`.
+///
+/// The returned instance is schedulable: running job `i` exactly on its
+/// carving interval meets every deadline (EDF will find this or better).
+pub fn carve_underloaded<R: Rng + ?Sized>(
+    rng: &mut R,
+    capacity: PiecewiseConstant,
+    params: UnderloadedParams,
+) -> Result<Instance, CoreError> {
+    assert!(params.jobs > 0, "need at least one job");
+    assert!(params.mean_interval > 0.0);
+    let mut t = 0.0;
+    let mut jobs = Vec::with_capacity(params.jobs);
+    for i in 0..params.jobs {
+        if params.mean_gap > 0.0 {
+            t += exponential(rng, 1.0 / params.mean_gap);
+        }
+        let len = exponential(rng, 1.0 / params.mean_interval).max(1e-6);
+        let start = t;
+        let end = t + len;
+        t = end;
+        let workload = capacity.integrate(Time::new(start), Time::new(end));
+        let r_slack = if params.mean_slack > 0.0 {
+            exponential(rng, 1.0 / params.mean_slack)
+        } else {
+            0.0
+        };
+        let d_slack = if params.mean_slack > 0.0 {
+            exponential(rng, 1.0 / params.mean_slack)
+        } else {
+            0.0
+        };
+        let release = (start - r_slack).max(0.0);
+        let deadline = end + d_slack;
+        let density = uniform(rng, params.density_range.0, params.density_range.1);
+        jobs.push(Job::new(
+            JobId(i as u64),
+            Time::new(release),
+            Time::new(deadline),
+            workload,
+            density * workload,
+        )?);
+    }
+    Ok(Instance::new(JobSet::new(jobs)?, capacity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn capacity() -> PiecewiseConstant {
+        PiecewiseConstant::from_durations(&[(5.0, 1.0), (5.0, 3.0), (5.0, 2.0)])
+            .unwrap()
+            .with_declared_bounds(1.0, 3.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn witness_schedule_is_feasible() {
+        // Re-derive the carving intervals by re-simulating serial execution:
+        // executing jobs in id order back-to-back completes each by its
+        // deadline.
+        let mut rng = StdRng::seed_from_u64(20);
+        let inst = carve_underloaded(&mut rng, capacity(), UnderloadedParams::default()).unwrap();
+        let cap = &inst.capacity;
+        let mut t = Time::ZERO;
+        for j in inst.jobs.iter() {
+            let start = t.max(j.release);
+            let done = cap.time_to_complete(start, j.workload);
+            assert!(
+                done <= j.deadline || done.approx_eq(j.deadline),
+                "{} infeasible serially: done {done} deadline {}",
+                j.id,
+                j.deadline
+            );
+            t = done;
+        }
+    }
+
+    #[test]
+    fn workloads_and_windows_positive() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let inst = carve_underloaded(&mut rng, capacity(), UnderloadedParams::default()).unwrap();
+        assert_eq!(inst.job_count(), 50);
+        for j in inst.jobs.iter() {
+            assert!(j.workload > 0.0);
+            assert!(j.deadline > j.release);
+        }
+    }
+
+    #[test]
+    fn packed_variant_with_zero_slack() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let params = UnderloadedParams {
+            jobs: 10,
+            mean_gap: 0.0,
+            mean_slack: 0.0,
+            ..UnderloadedParams::default()
+        };
+        let inst = carve_underloaded(&mut rng, capacity(), params).unwrap();
+        // Fully packed: each release equals the previous deadline-end point;
+        // the instance is still feasible by construction.
+        assert_eq!(inst.job_count(), 10);
+        assert!(inst.workload_fits_span());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = carve_underloaded(
+            &mut StdRng::seed_from_u64(23),
+            capacity(),
+            UnderloadedParams::default(),
+        )
+        .unwrap();
+        let b = carve_underloaded(
+            &mut StdRng::seed_from_u64(23),
+            capacity(),
+            UnderloadedParams::default(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

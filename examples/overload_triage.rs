@@ -1,0 +1,76 @@
+//! Overload triage: a flash crowd of secondary jobs hits a mostly-busy
+//! server. Under overload EDF collapses (it chases deadlines, not value)
+//! while the Dover family triages by value; V-Dover additionally rescues
+//! conservatively-abandoned jobs when capacity recovers.
+//!
+//! On this deliberately small instance we also compute the exact clairvoyant
+//! optimum and report *empirical competitive ratios* — the quantity the
+//! paper's theorems bound.
+//!
+//! Run with: `cargo run --release --example overload_triage`
+
+use cloudsched::offline::optimal_value;
+use cloudsched::prelude::*;
+
+fn main() {
+    // Capacity: scarce during the burst, recovers afterwards. Class C(1, 3).
+    let capacity = PiecewiseConstant::from_durations(&[(6.0, 1.0), (6.0, 3.0)])
+        .unwrap()
+        .with_declared_bounds(1.0, 3.0)
+        .unwrap();
+
+    // Flash crowd at t ∈ [0, 3]: far more work than the slow regime can
+    // serve; everything individually admissible (d − r ≥ p / c_lo).
+    let jobs = JobSet::from_tuples(&[
+        (0.0, 3.0, 3.0, 21.0), // premium job, zero conservative laxity
+        (0.0, 4.0, 2.0, 2.0),
+        (0.5, 4.5, 4.0, 4.0),
+        (1.0, 4.0, 3.0, 9.0),
+        (1.5, 7.0, 2.0, 10.0), // premium, more slack
+        (2.0, 6.0, 4.0, 4.0),
+        (2.5, 12.0, 6.0, 12.0), // long job that survives into the recovery
+        (3.0, 9.0, 3.0, 3.0),
+        (6.0, 10.0, 6.0, 8.0), // recovery-era arrivals
+        (7.0, 11.5, 9.0, 13.0),
+    ])
+    .unwrap();
+
+    let k = jobs.importance_ratio().unwrap();
+    let delta = capacity.delta();
+    let (opt, opt_set) = optimal_value(&jobs, &capacity);
+    println!(
+        "Flash crowd: {} jobs / total value {:.0}; clairvoyant optimum {:.0} ({} jobs)\n",
+        jobs.len(),
+        jobs.total_value(),
+        opt,
+        opt_set.len()
+    );
+
+    let guarantee = cloudsched::analysis::vdover_achievable_ratio(k, delta);
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(VDover::new(k, delta)),
+        Box::new(Dover::new(k, 1.0)),
+        Box::new(Dover::new(k, 3.0)),
+        Box::new(Edf::new()),
+        Box::new(Llf::with_estimate(1.0)),
+        Box::new(Greedy::highest_value()),
+        Box::new(Fifo::new()),
+    ];
+    println!("{:<16} {:>7} {:>10} {:>12}", "scheduler", "value", "completed", "value/OPT");
+    for mut s in schedulers {
+        let report = simulate(&jobs, &capacity, &mut *s, RunOptions::full());
+        audit_report(&jobs, &capacity, &report).expect("audit clean");
+        println!(
+            "{:<16} {:>7.0} {:>7}/{:<2} {:>12.3}",
+            report.scheduler,
+            report.value,
+            report.completed,
+            jobs.len(),
+            report.value / opt
+        );
+    }
+    println!(
+        "\nTheorem 3(2) guarantees V-Dover ≥ {guarantee:.4} × OPT for k={k:.1}, δ={delta:.0};\n\
+         worst-case bounds are loose — observed ratios are far higher."
+    );
+}

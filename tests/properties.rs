@@ -1,0 +1,200 @@
+//! Property-based tests of the workspace invariants (DESIGN.md §6).
+
+use cloudsched::offline::{edf_feasible, greedy_by_density, greedy_by_value, optimal_value};
+use cloudsched::prelude::*;
+use cloudsched::sim::audit::audit_report;
+use proptest::prelude::*;
+
+// ---- strategies ---------------------------------------------------------
+
+/// Random piecewise-constant capacity: 1–6 segments, rates in [0.5, 5].
+fn capacity_strategy() -> impl Strategy<Value = PiecewiseConstant> {
+    prop::collection::vec((0.2f64..5.0, 0.5f64..5.0), 1..6).prop_map(|pairs| {
+        PiecewiseConstant::from_durations(&pairs).expect("valid profile")
+    })
+}
+
+/// Random jobs as (release, workload, window-slack-factor, density).
+fn jobs_strategy(max_jobs: usize) -> impl Strategy<Value = JobSet> {
+    prop::collection::vec(
+        (0.0f64..8.0, 0.05f64..2.5, 0.3f64..3.0, 1.0f64..7.0),
+        1..max_jobs,
+    )
+    .prop_map(|raw| {
+        let tuples: Vec<(f64, f64, f64, f64)> = raw
+            .into_iter()
+            .map(|(r, p, slack, rho)| (r, r + p * slack, p, rho * p))
+            .collect();
+        JobSet::from_tuples(&tuples).expect("valid jobs")
+    })
+}
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(VDover::new(7.0, 10.0)),
+        Box::new(Dover::new(7.0, 1.0)),
+        Box::new(Edf::new()),
+        Box::new(Llf::with_estimate(1.0)),
+        Box::new(Fifo::new()),
+        Box::new(Greedy::highest_value()),
+        Box::new(Greedy::highest_density()),
+    ]
+}
+
+// ---- kernel & scheduler invariants --------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every scheduler on every random instance passes the audit: one job at
+    /// a time, capacity-respecting progress, deadline-respecting completions,
+    /// consistent value ledger.
+    #[test]
+    fn audit_invariants_hold(jobs in jobs_strategy(20), cap in capacity_strategy()) {
+        for mut s in schedulers() {
+            let report = simulate(&jobs, &cap, &mut *s, RunOptions::full());
+            prop_assert!(
+                audit_report(&jobs, &cap, &report).is_ok(),
+                "audit failed for {}", report.scheduler
+            );
+            prop_assert_eq!(report.completed + report.missed, jobs.len());
+        }
+    }
+
+    /// The online value never exceeds the total generated value, and the
+    /// completion count matches the outcome table.
+    #[test]
+    fn value_accounting_is_consistent(jobs in jobs_strategy(20), cap in capacity_strategy()) {
+        for mut s in schedulers() {
+            let report = simulate(&jobs, &cap, &mut *s, RunOptions::lean());
+            prop_assert!(report.value <= jobs.total_value() + 1e-9);
+            prop_assert_eq!(report.completed, report.outcome.completed_count());
+            prop_assert!((report.value - report.outcome.value(&jobs)).abs() < 1e-9);
+        }
+    }
+}
+
+// ---- stretch transformation (§III-A) -------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `T` is strictly increasing and `T⁻¹ ∘ T = id` on sampled points.
+    #[test]
+    fn stretch_bijection(cap in capacity_strategy(), xs in prop::collection::vec(0.0f64..30.0, 1..10)) {
+        let map = StretchMap::new(cap);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        for w in sorted.windows(2) {
+            prop_assert!(map.forward(Time::new(w[0])) < map.forward(Time::new(w[1])));
+        }
+        for &x in &sorted {
+            let round = map.inverse(map.forward(Time::new(x)));
+            prop_assert!((round.as_f64() - x).abs() < 1e-6 * (1.0 + x));
+        }
+    }
+
+    /// Workload between any two epochs is preserved by the transformation.
+    #[test]
+    fn stretch_preserves_workload(cap in capacity_strategy(), a in 0.0f64..20.0, len in 0.0f64..10.0) {
+        let map = StretchMap::new(cap.clone());
+        let (s, e) = (Time::new(a), Time::new(a + len));
+        let original = cap.integrate(s, e);
+        let stretched = (map.forward(e) - map.forward(s)).as_f64() * map.c_ref();
+        prop_assert!((original - stretched).abs() < 1e-6 * (1.0 + original));
+    }
+
+    /// Feasibility is invariant under the transformation, hence optimal
+    /// values agree (checked on small instances).
+    #[test]
+    fn stretch_preserves_feasibility(jobs in jobs_strategy(8), cap in capacity_strategy()) {
+        let map = StretchMap::new(cap.clone());
+        let stretched = map.stretch_jobs(&jobs).expect("stretch");
+        let direct = edf_feasible(jobs.as_slice(), &cap);
+        let transformed = edf_feasible(stretched.as_slice(), &map.transformed_profile());
+        prop_assert_eq!(direct, transformed);
+    }
+}
+
+// ---- offline algorithms ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// exact ≥ greedy variants ≥ 0, exact ≤ upper bounds, and the optimal
+    /// subset is actually feasible.
+    #[test]
+    fn offline_ordering(jobs in jobs_strategy(9), cap in capacity_strategy()) {
+        let (opt, subset) = optimal_value(&jobs, &cap);
+        let (gv, _) = greedy_by_value(&jobs, &cap);
+        let (gd, _) = greedy_by_density(&jobs, &cap);
+        prop_assert!(opt + 1e-9 >= gv);
+        prop_assert!(opt + 1e-9 >= gd);
+        prop_assert!(gv >= 0.0 && gd >= 0.0);
+        let chosen: Vec<_> = subset.iter().map(|&id| jobs.get(id).clone()).collect();
+        prop_assert!(edf_feasible(&chosen, &cap), "optimal subset must be feasible");
+        let fluid = cloudsched::offline::bounds::fluid_bound(&jobs, &cap);
+        let windowed = cloudsched::offline::bounds::windowed_bound(&jobs, &cap);
+        prop_assert!(opt <= fluid + 1e-9);
+        prop_assert!(opt <= windowed + 1e-9);
+    }
+
+    /// Every online scheduler is dominated by the exact offline optimum.
+    #[test]
+    fn online_below_offline(jobs in jobs_strategy(9), cap in capacity_strategy()) {
+        let (opt, _) = optimal_value(&jobs, &cap);
+        for mut s in schedulers() {
+            let report = simulate(&jobs, &cap, &mut *s, RunOptions::lean());
+            prop_assert!(
+                report.value <= opt + 1e-6,
+                "{} earned {} above optimum {}", report.scheduler, report.value, opt
+            );
+        }
+    }
+}
+
+// ---- Theorem 2: EDF on underloaded systems --------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On certified-underloaded instances EDF completes everything — its
+    /// value is the whole generated value (competitive ratio 1).
+    #[test]
+    fn edf_is_optimal_when_underloaded(seed in 0u64..10_000) {
+        use cloudsched::workload::underloaded::{carve_underloaded, UnderloadedParams};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cap = PiecewiseConstant::from_durations(&[(3.0, 1.0), (4.0, 3.0), (3.0, 1.5)])
+            .expect("profile");
+        let inst = carve_underloaded(&mut rng, cap, UnderloadedParams {
+            jobs: 25,
+            ..UnderloadedParams::default()
+        }).expect("carve");
+        let mut edf = Edf::new();
+        let report = simulate(&inst.jobs, &inst.capacity, &mut edf, RunOptions::lean());
+        prop_assert_eq!(
+            report.completed, inst.job_count(),
+            "EDF missed {} of {} jobs on an underloaded instance",
+            report.missed, inst.job_count()
+        );
+        prop_assert!((report.value_fraction - 1.0).abs() < 1e-9);
+    }
+
+    /// The paper-§IV generator always produces individually admissible jobs
+    /// with importance ratio within the declared k.
+    #[test]
+    fn paper_generator_respects_model(seed in 0u64..10_000, lambda in 3.0f64..12.0) {
+        let mut scenario = PaperScenario::table1(lambda);
+        scenario.horizon /= 20.0; // keep it small
+        scenario.mean_sojourn = scenario.horizon / 4.0;
+        let g = scenario.generate(seed).expect("generation");
+        prop_assert!(g.instance.all_individually_admissible());
+        if let Some(k) = g.instance.importance_ratio() {
+            prop_assert!(k <= 7.0 + 1e-9);
+        }
+        let (lo, hi) = (g.instance.capacity.c_lo(), g.instance.capacity.c_hi());
+        prop_assert_eq!((lo, hi), (1.0, 35.0));
+    }
+}
