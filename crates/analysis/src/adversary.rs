@@ -71,6 +71,7 @@ impl TrapRound {
             window: l,
             fillers: m,
         } = p;
+        // lint: allow(L001) — exact domain validation
         if k < 1.0 || delta <= 1.0 || l <= 0.0 || m == 0 {
             return Err(CoreError::InvalidCapacityProfile {
                 reason: format!("invalid trap parameters {p:?}"),
@@ -86,8 +87,7 @@ impl TrapRound {
             tuples.push((r, r + step, step, step));
         }
         let jobs = JobSet::from_tuples(&tuples)?;
-        let cap_stay_high =
-            PiecewiseConstant::constant(delta)?.with_declared_bounds(1.0, delta)?;
+        let cap_stay_high = PiecewiseConstant::constant(delta)?.with_declared_bounds(1.0, delta)?;
         let drop_at = l * (1.0 - 1.0 / m as f64);
         let cap_drop = if drop_at > 0.0 {
             PiecewiseConstant::from_durations(&[(drop_at, delta), (1.0, 1.0)])?
@@ -134,7 +134,11 @@ mod tests {
         let bait = r.jobs.get(JobId(0));
         assert!(!bait.individually_admissible(1.0));
         for j in r.jobs.iter().skip(1) {
-            assert!(j.individually_admissible(1.0), "{} must be admissible", j.id);
+            assert!(
+                j.individually_admissible(1.0),
+                "{} must be admissible",
+                j.id
+            );
             // Zero conservative laxity exactly.
             assert!(
                 (j.relative_deadline().as_f64() - j.workload).abs() < 1e-12,
@@ -147,9 +151,7 @@ mod tests {
     fn bait_feasible_only_in_stay_high_future() {
         let r = TrapRound::build(params()).unwrap();
         let bait = r.jobs.get(JobId(0));
-        let high = r
-            .cap_stay_high
-            .integrate(bait.release, bait.deadline);
+        let high = r.cap_stay_high.integrate(bait.release, bait.deadline);
         assert!(high >= bait.workload - 1e-9, "bait fits under stay-high");
         let drop = r.cap_drop.integrate(bait.release, bait.deadline);
         assert!(drop < bait.workload, "bait must not fit under drop");
@@ -177,10 +179,7 @@ mod tests {
     #[test]
     fn degenerate_parameters_rejected() {
         for bad in [
-            TrapParams {
-                k: 0.5,
-                ..params()
-            },
+            TrapParams { k: 0.5, ..params() },
             TrapParams {
                 delta: 1.0,
                 ..params()
@@ -206,12 +205,10 @@ mod tests {
         // Futures agree up to the drop instant.
         let drop_at = 1.0 - 1.0 / 10.0;
         assert_eq!(
-            r.cap_drop.rate_at(cloudsched_core::Time::new(drop_at - 1e-9)),
+            r.cap_drop
+                .rate_at(cloudsched_core::Time::new(drop_at - 1e-9)),
             5.0
         );
-        assert_eq!(
-            r.cap_drop.rate_at(cloudsched_core::Time::new(drop_at)),
-            1.0
-        );
+        assert_eq!(r.cap_drop.rate_at(cloudsched_core::Time::new(drop_at)), 1.0);
     }
 }

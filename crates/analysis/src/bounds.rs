@@ -13,7 +13,7 @@
 /// # Panics
 /// If `k < 1` or `δ <= 1`.
 pub fn f_overload(k: f64, delta: f64) -> f64 {
-    assert!(k >= 1.0, "importance ratio bound must be >= 1, got {k}");
+    assert!(k >= 1.0, "importance ratio bound must be >= 1, got {k}"); // lint: allow(L001) — exact domain precondition
     assert!(delta > 1.0, "capacity variation must be > 1, got {delta}");
     2.0 * delta + 2.0 + (delta * k).ln() / (delta / (delta - 1.0)).ln()
 }
@@ -36,7 +36,7 @@ pub fn vdover_upper_bound(k: f64) -> f64 {
 /// Dover's optimal competitive ratio for constant capacity and importance
 /// ratio bound `k` (Theorem 1(2), Koren & Shasha): `1/(1+√k)²`.
 pub fn dover_optimal_ratio(k: f64) -> f64 {
-    assert!(k >= 1.0, "importance ratio bound must be >= 1, got {k}");
+    assert!(k >= 1.0, "importance ratio bound must be >= 1, got {k}"); // lint: allow(L001) — exact domain precondition
     1.0 / (1.0 + k.sqrt()).powi(2)
 }
 
@@ -48,7 +48,7 @@ pub fn optimal_beta(k: f64, delta: f64) -> f64 {
 
 /// Dover's classical threshold for constant capacity: `1 + √k`.
 pub fn dover_beta(k: f64) -> f64 {
-    assert!(k >= 1.0, "importance ratio bound must be >= 1, got {k}");
+    assert!(k >= 1.0, "importance ratio bound must be >= 1, got {k}"); // lint: allow(L001) — exact domain precondition
     1.0 + k.sqrt()
 }
 

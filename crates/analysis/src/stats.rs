@@ -71,7 +71,10 @@ impl Summary {
 /// If `samples` is empty or `q` is outside `[0, 1]`.
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
     assert!(!samples.is_empty(), "percentile of an empty sample");
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     let mut xs = samples.to_vec();
     xs.sort_by(f64::total_cmp);
     let pos = q * (xs.len() - 1) as f64;

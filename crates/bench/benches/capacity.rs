@@ -2,7 +2,9 @@
 //! stretch transformation on profiles with many segments (the hot path of
 //! every kernel event).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![forbid(unsafe_code)]
+
+use cloudsched_bench::BenchGroup;
 use cloudsched_capacity::{CapacityProfile, PiecewiseConstant, StretchMap};
 use cloudsched_core::Time;
 use std::hint::black_box;
@@ -14,49 +16,37 @@ fn profile_with(n: usize) -> PiecewiseConstant {
     PiecewiseConstant::from_durations(&pairs).expect("profile")
 }
 
-fn integration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("capacity/integrate");
+fn main() {
+    let mut group = BenchGroup::new("capacity/integrate");
     for &n in &[16usize, 256, 4096] {
         let p = profile_with(n);
         let end = 0.6 * n as f64;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            let mut x = 0.1;
-            b.iter(|| {
-                x = (x * 1.37) % end;
-                black_box(p.integrate(Time::new(x * 0.5), Time::new(x)))
-            })
+        let mut x = 0.1;
+        group.bench(&format!("{n} segments"), move || {
+            x = (x * 1.37) % end;
+            black_box(p.integrate(Time::new(x * 0.5), Time::new(x)))
         });
     }
-    group.finish();
-}
+    group.report();
 
-fn inverse_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("capacity/time_to_complete");
+    let mut group = BenchGroup::new("capacity/time_to_complete");
     for &n in &[16usize, 256, 4096] {
         let p = profile_with(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            let mut w = 0.1;
-            b.iter(|| {
-                w = (w * 1.61) % 50.0;
-                black_box(p.time_to_complete(Time::new(1.0), w))
-            })
+        let mut w = 0.1;
+        group.bench(&format!("{n} segments"), move || {
+            w = (w * 1.61) % 50.0;
+            black_box(p.time_to_complete(Time::new(1.0), w))
         });
     }
-    group.finish();
-}
+    group.report();
 
-fn stretch_map(c: &mut Criterion) {
-    let p = profile_with(1024);
-    let map = StretchMap::new(p);
-    c.bench_function("capacity/stretch-forward-inverse", |b| {
-        let mut x = 0.1;
-        b.iter(|| {
-            x = (x * 1.29) % 500.0;
-            let f = map.forward(Time::new(x));
-            black_box(map.inverse(f))
-        })
+    let mut group = BenchGroup::new("capacity/stretch");
+    let map = StretchMap::new(profile_with(1024));
+    let mut x = 0.1;
+    group.bench("forward-inverse (1024 segments)", move || {
+        x = (x * 1.29) % 500.0;
+        let f = map.forward(Time::new(x));
+        black_box(map.inverse(f))
     });
+    group.report();
 }
-
-criterion_group!(benches, integration, inverse_queries, stretch_map);
-criterion_main!(benches);

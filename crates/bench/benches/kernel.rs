@@ -1,62 +1,40 @@
 //! Simulation-kernel throughput on the paper's §IV workload: full runs of
 //! the Table-I scenario at several arrival rates, measuring end-to-end
-//! events/second of the event core including scheduler callbacks.
+//! simulation time of the event core including scheduler callbacks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use cloudsched_bench::{run_instance, SchedulerSpec};
+#![forbid(unsafe_code)]
+
+use cloudsched_bench::{run_instance, BenchGroup, SchedulerSpec};
 use cloudsched_sim::RunOptions;
 use cloudsched_workload::PaperScenario;
-use std::hint::black_box;
 
-fn kernel_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel/paper-scenario");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("kernel/paper-scenario");
     for &lambda in &[4.0, 8.0, 12.0] {
         let scenario = PaperScenario::table1(lambda);
         let instance = scenario.generate(7).expect("generation").instance;
-        group.throughput(Throughput::Elements(instance.job_count() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("vdover", lambda as u64),
-            &instance,
-            |b, inst| {
-                b.iter(|| {
-                    black_box(run_instance(
-                        inst,
-                        &SchedulerSpec::VDover { k: 7.0, delta: 35.0 },
-                        RunOptions::lean(),
-                    ))
-                })
-            },
-        );
+        let jobs = instance.job_count();
+        group.bench(&format!("vdover/lambda{lambda} ({jobs} jobs)"), || {
+            run_instance(
+                &instance,
+                &SchedulerSpec::VDover {
+                    k: 7.0,
+                    delta: 35.0,
+                },
+                RunOptions::lean(),
+            )
+        });
     }
-    group.finish();
-}
+    group.report();
 
-fn recording_overhead(c: &mut Criterion) {
     let scenario = PaperScenario::table1(8.0);
     let instance = scenario.generate(7).expect("generation").instance;
-    let mut group = c.benchmark_group("kernel/recording");
-    group.sample_size(10);
-    group.bench_function("lean", |b| {
-        b.iter(|| {
-            black_box(run_instance(
-                &instance,
-                &SchedulerSpec::Edf,
-                RunOptions::lean(),
-            ))
-        })
+    let mut group = BenchGroup::new("kernel/recording");
+    group.bench("lean", || {
+        run_instance(&instance, &SchedulerSpec::Edf, RunOptions::lean())
     });
-    group.bench_function("full", |b| {
-        b.iter(|| {
-            black_box(run_instance(
-                &instance,
-                &SchedulerSpec::Edf,
-                RunOptions::full(),
-            ))
-        })
+    group.bench("full", || {
+        run_instance(&instance, &SchedulerSpec::Edf, RunOptions::full())
     });
-    group.finish();
+    group.report();
 }
-
-criterion_group!(benches, kernel_throughput, recording_overhead);
-criterion_main!(benches);

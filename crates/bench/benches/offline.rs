@@ -2,7 +2,9 @@
 //! branch-and-bound optimum as the instance grows (NP-hard problem — the
 //! point is to document where exactness stays affordable).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![forbid(unsafe_code)]
+
+use cloudsched_bench::BenchGroup;
 use cloudsched_capacity::PiecewiseConstant;
 use cloudsched_core::{Job, JobId, JobSet, Time};
 use cloudsched_offline::{edf_feasible, greedy_by_density, optimal_value};
@@ -26,38 +28,33 @@ fn capacity() -> PiecewiseConstant {
     PiecewiseConstant::from_durations(&[(2.0, 1.0), (3.0, 3.0), (2.0, 2.0)]).expect("capacity")
 }
 
-fn feasibility(c: &mut Criterion) {
+fn main() {
     let cap = capacity();
-    let mut group = c.benchmark_group("offline/edf-feasible");
+
+    let mut group = BenchGroup::new("offline/edf-feasible");
     for &n in &[10usize, 100, 1000] {
         let jobs = deterministic_jobs(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
-            b.iter(|| black_box(edf_feasible(jobs.as_slice(), &cap)))
+        let cap = cap.clone();
+        group.bench(&format!("{n} jobs"), move || {
+            black_box(edf_feasible(jobs.as_slice(), &cap))
         });
     }
-    group.finish();
-}
+    group.report();
 
-fn exact_optimum(c: &mut Criterion) {
-    let cap = capacity();
-    let mut group = c.benchmark_group("offline/exact-bnb");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("offline/exact-bnb");
     for &n in &[8usize, 12, 16] {
         let jobs = deterministic_jobs(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
-            b.iter(|| black_box(optimal_value(jobs, &cap)))
+        let cap = cap.clone();
+        group.bench(&format!("{n} jobs"), move || {
+            black_box(optimal_value(&jobs, &cap))
         });
     }
-    group.finish();
-}
+    group.report();
 
-fn greedy(c: &mut Criterion) {
-    let cap = capacity();
+    let mut group = BenchGroup::new("offline/greedy");
     let jobs = deterministic_jobs(100);
-    c.bench_function("offline/greedy-density-100", |b| {
-        b.iter(|| black_box(greedy_by_density(&jobs, &cap)))
+    group.bench("greedy-density-100", || {
+        black_box(greedy_by_density(&jobs, &cap))
     });
+    group.report();
 }
-
-criterion_group!(benches, feasibility, exact_optimum, greedy);
-criterion_main!(benches);

@@ -2,13 +2,13 @@
 //! one full simulation per scheduler. Differences are pure scheduler cost
 //! (queue maintenance, timers, value comparisons) on top of the same kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use cloudsched_bench::{run_instance, SchedulerSpec};
+#![forbid(unsafe_code)]
+
+use cloudsched_bench::{run_instance, BenchGroup, SchedulerSpec};
 use cloudsched_sim::RunOptions;
 use cloudsched_workload::PaperScenario;
-use std::hint::black_box;
 
-fn scheduler_overhead(c: &mut Criterion) {
+fn main() {
     let instance = PaperScenario::table1(8.0)
         .generate(42)
         .expect("generation")
@@ -25,17 +25,17 @@ fn scheduler_overhead(c: &mut Criterion) {
                 c_estimate: 10.5,
             },
         ),
-        ("vdover", SchedulerSpec::VDover { k: 7.0, delta: 35.0 }),
+        (
+            "vdover",
+            SchedulerSpec::VDover {
+                k: 7.0,
+                delta: 35.0,
+            },
+        ),
     ];
-    let mut group = c.benchmark_group("schedulers/lambda8");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("schedulers/lambda8");
     for (name, spec) in specs {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run_instance(&instance, &spec, RunOptions::lean())))
-        });
+        group.bench(name, || run_instance(&instance, &spec, RunOptions::lean()));
     }
-    group.finish();
+    group.report();
 }
-
-criterion_group!(benches, scheduler_overhead);
-criterion_main!(benches);

@@ -88,7 +88,10 @@ mod tests {
                 k: 7.0,
                 c_estimate: 10.5,
             },
-            SchedulerSpec::VDover { k: 7.0, delta: 35.0 },
+            SchedulerSpec::VDover {
+                k: 7.0,
+                delta: 35.0,
+            },
         ];
         let names: Vec<String> = specs.iter().map(SchedulerSpec::name).collect();
         assert_eq!(names[0], "EDF");

@@ -10,6 +10,8 @@
 //!
 //! Usage: `ablation [--runs N] [--threads N] [--out DIR]`
 
+#![forbid(unsafe_code)]
+
 use cloudsched_analysis::bounds::{dover_beta, optimal_beta};
 use cloudsched_analysis::stats::Summary;
 use cloudsched_analysis::table::{fnum, Table};

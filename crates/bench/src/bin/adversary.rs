@@ -14,6 +14,8 @@
 //!
 //! Usage: `adversary [--out DIR]`
 
+#![forbid(unsafe_code)]
+
 use cloudsched_analysis::adversary::{TrapParams, TrapRound};
 use cloudsched_analysis::table::{fnum, Table};
 use cloudsched_bench::{run_instance, SchedulerSpec};
@@ -65,9 +67,7 @@ fn main() {
         table.push_row(row);
     }
 
-    println!(
-        "Theorem 3(3) adversary (k = {k}, δ = {delta}): achieved value ratio vs rounds\n"
-    );
+    println!("Theorem 3(3) adversary (k = {k}, δ = {delta}): achieved value ratio vs rounds\n");
     println!("{}", table.to_markdown());
     println!(
         "The bait job is NOT individually admissible; the adaptive adversary\n\

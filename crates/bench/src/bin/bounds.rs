@@ -5,6 +5,8 @@
 //!
 //! Usage: `bounds [--out DIR]`
 
+#![forbid(unsafe_code)]
+
 use cloudsched_analysis::bounds::{
     dover_beta, f_overload, optimal_beta, vdover_achievable_ratio, vdover_upper_bound,
 };
@@ -21,7 +23,12 @@ fn main() {
 
     // Sweep over k at the paper's δ = 35, and over δ at the paper's k = 7.
     let mut by_k = Table::new(vec![
-        "k", "f(k,35)", "beta*", "achievable", "upper bound", "ach/ub",
+        "k",
+        "f(k,35)",
+        "beta*",
+        "achievable",
+        "upper bound",
+        "ach/ub",
     ]);
     for &k in &[1.0, 2.0, 4.0, 7.0, 16.0, 64.0, 256.0, 1024.0, 1e6] {
         let delta = 35.0;
@@ -35,7 +42,11 @@ fn main() {
         ]);
     }
     let mut by_delta = Table::new(vec![
-        "delta", "f(7,delta)", "beta*", "achievable", "Dover beta (1+sqrt k)",
+        "delta",
+        "f(7,delta)",
+        "beta*",
+        "achievable",
+        "Dover beta (1+sqrt k)",
     ]);
     for &delta in &[1.1, 1.5, 2.0, 5.0, 10.0, 35.0, 100.0, 1000.0] {
         by_delta.push_row(vec![
@@ -51,9 +62,7 @@ fn main() {
     println!("{}", by_k.to_markdown());
     println!("\nTheorem 3 bounds at k = 7 (paper's importance bound), varying δ:\n");
     println!("{}", by_delta.to_markdown());
-    println!(
-        "\nAsymptotic optimality: ach/ub → 1 as k → ∞ (last rows of the first table)."
-    );
+    println!("\nAsymptotic optimality: ach/ub → 1 as k → ∞ (last rows of the first table).");
 
     std::fs::create_dir_all(&out).expect("create output dir");
     std::fs::write(format!("{out}/bounds_by_k.csv"), by_k.to_csv()).expect("write");

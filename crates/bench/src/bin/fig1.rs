@@ -7,6 +7,8 @@
 //!
 //! Usage: `fig1 [--seed N] [--lambda F] [--out DIR]`
 
+#![forbid(unsafe_code)]
+
 use cloudsched_bench::{run_instance, SchedulerSpec};
 use cloudsched_sim::{RunOptions, TrajectoryPoint};
 use cloudsched_workload::PaperScenario;
@@ -26,7 +28,13 @@ fn main() {
     );
 
     std::fs::create_dir_all(&args.out).expect("create output dir");
-    let vdover = trajectory(instance, &SchedulerSpec::VDover { k: 7.0, delta: 35.0 });
+    let vdover = trajectory(
+        instance,
+        &SchedulerSpec::VDover {
+            k: 7.0,
+            delta: 35.0,
+        },
+    );
     write_curve(&args.out, "fig1_vdover", &vdover);
 
     for &c in &[1.0, 10.5, 24.5, 35.0] {
@@ -101,7 +109,11 @@ fn ascii_panel(vd: &[TrajectoryPoint], dv: &[TrajectoryPoint], horizon: f64) {
         println!("  |{}", row.into_iter().collect::<String>());
     }
     println!("  +{}", "-".repeat(W));
-    println!("   0 {:>w$.1} (time)   [*: V-Dover, o: Dover, #: both]", horizon, w = W - 4);
+    println!(
+        "   0 {:>w$.1} (time)   [*: V-Dover, o: Dover, #: both]",
+        horizon,
+        w = W - 4
+    );
 }
 
 struct Args {
@@ -121,9 +133,7 @@ impl Args {
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--seed" => args.seed = it.next().expect("--seed N").parse().expect("number"),
-                "--lambda" => {
-                    args.lambda = it.next().expect("--lambda F").parse().expect("number")
-                }
+                "--lambda" => args.lambda = it.next().expect("--lambda F").parse().expect("number"),
                 "--out" => args.out = it.next().expect("--out DIR"),
                 other => panic!("unknown flag {other} (try --seed/--lambda/--out)"),
             }

@@ -6,6 +6,8 @@
 //! Usage: `table1 [--runs N] [--threads N] [--out DIR]`
 //! (paper defaults: 800 runs).
 
+#![forbid(unsafe_code)]
+
 use cloudsched_analysis::stats::Summary;
 use cloudsched_analysis::table::{fnum, Table};
 use cloudsched_bench::{parallel_map, run_instance, SchedulerSpec};
@@ -87,7 +89,10 @@ fn main() {
         );
     }
 
-    println!("\nTable I (reproduced): % of total value obtained, {} runs\n", args.runs);
+    println!(
+        "\nTable I (reproduced): % of total value obtained, {} runs\n",
+        args.runs
+    );
     println!("{}", table.to_markdown());
     let path = format!("{}/table1.csv", args.out);
     std::fs::create_dir_all(&args.out).expect("create output dir");

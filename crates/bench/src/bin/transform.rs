@@ -8,15 +8,17 @@
 //!
 //! Usage: `transform [--instances N] [--jobs N]`
 
+#![forbid(unsafe_code)]
+
 use cloudsched_analysis::table::{fnum, Table};
 use cloudsched_capacity::Instance;
+use cloudsched_core::rng::{Pcg32, Rng};
+use cloudsched_core::{Job, JobId, JobSet, Time};
 use cloudsched_offline::exact::optimal_value;
 use cloudsched_offline::greedy::greedy_by_density;
 use cloudsched_offline::reduction::{reduce, solve_via_stretch};
 use cloudsched_workload::ctmc::CtmcCapacity;
 use cloudsched_workload::dist::{exponential, uniform};
-use cloudsched_core::{Job, JobId, JobSet, Time};
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn main() {
     let args = Args::parse();
@@ -31,7 +33,7 @@ fn main() {
     ]);
 
     for i in 0..args.instances {
-        let mut rng = StdRng::seed_from_u64(0x57E7C4 + i as u64);
+        let mut rng = Pcg32::seed_from_u64(0x57E7C4 + i as u64);
         let inst = random_instance(&mut rng, args.jobs);
         let (direct, _) = optimal_value(&inst.jobs, &inst.capacity);
         let (via, _) = solve_via_stretch(&inst).expect("reduction");
@@ -71,14 +73,14 @@ fn main() {
     );
 }
 
-fn random_instance(rng: &mut StdRng, jobs: usize) -> Instance {
+fn random_instance(rng: &mut Pcg32, jobs: usize) -> Instance {
     let chain = CtmcCapacity::two_state(1.0, 3.0, 2.0).expect("chain");
     let capacity = chain.sample(rng, 30.0).expect("trace");
     let tuples: Vec<Job> = (0..jobs)
         .map(|i| {
-            let r = rng.gen::<f64>() * 10.0;
+            let r = rng.next_f64() * 10.0;
             let p = exponential(rng, 1.0).max(0.05);
-            let slack = 0.3 + rng.gen::<f64>() * 2.0;
+            let slack = 0.3 + rng.next_f64() * 2.0;
             let d = r + p * slack;
             let v = p * uniform(rng, 1.0, 7.0);
             Job::new(JobId(i as u64), Time::new(r), Time::new(d), p, v).expect("job")

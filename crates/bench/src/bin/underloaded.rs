@@ -9,13 +9,15 @@
 //!
 //! Usage: `underloaded [--instances N] [--jobs N] [--out DIR]`
 
+#![forbid(unsafe_code)]
+
 use cloudsched_analysis::stats::Summary;
 use cloudsched_analysis::table::{fnum, Table};
 use cloudsched_bench::{parallel_map, run_instance, SchedulerSpec};
+use cloudsched_core::rng::Pcg32;
 use cloudsched_sim::RunOptions;
 use cloudsched_workload::ctmc::CtmcCapacity;
 use cloudsched_workload::underloaded::{carve_underloaded, UnderloadedParams};
-use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let args = Args::parse();
@@ -32,7 +34,7 @@ fn main() {
     ];
 
     let fractions: Vec<Vec<f64>> = parallel_map(args.instances, args.threads, |i| {
-        let mut rng = StdRng::seed_from_u64(0xAB1E + i as u64);
+        let mut rng = Pcg32::seed_from_u64(0xAB1E + i as u64);
         let chain = CtmcCapacity::two_state(1.0, 4.0, 3.0).expect("chain");
         let capacity = chain.sample(&mut rng, 200.0).expect("trace");
         let params = UnderloadedParams {
@@ -73,7 +75,10 @@ fn main() {
     if edf_min > 1.0 - 1e-6 {
         println!("EDF earned 100% of the value on every instance — Theorem 2 confirmed.");
     } else {
-        println!("WARNING: EDF dropped below 100% (min {:.4}).", edf_min * 100.0);
+        println!(
+            "WARNING: EDF dropped below 100% (min {:.4}).",
+            edf_min * 100.0
+        );
     }
     std::fs::create_dir_all(&args.out).expect("create output dir");
     std::fs::write(format!("{}/underloaded.csv", args.out), table.to_csv()).expect("write");

@@ -3,7 +3,7 @@
 use crate::algos::SchedulerSpec;
 use cloudsched_capacity::Instance;
 use cloudsched_sim::{simulate, RunOptions, RunReport};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Runs `f(i)` for `i in 0..n` across `threads` workers and returns results
 /// in index order. Deterministic: the index is the only per-task input, so
@@ -20,21 +20,27 @@ where
     let threads = threads.min(n);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                *slots[i].lock() = Some(f(i));
+                let mut slot = slots[i]
+                    .lock()
+                    .expect("invariant: slot lock is never poisoned before write");
+                *slot = Some(f(i));
             });
         }
-    })
-    .expect("worker panicked");
+    });
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("every slot filled"))
+        .map(|s| {
+            s.into_inner()
+                .expect("invariant: worker threads joined without panicking")
+                .expect("invariant: every index 0..n was claimed by exactly one worker")
+        })
         .collect()
 }
 

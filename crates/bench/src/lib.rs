@@ -14,16 +14,19 @@
 //! | `transform` | §III-A — stretch reduction equals direct solving |
 //! | `ablation` | design-choice ablations (supplement queue, β, ĉ, Qsupp order) |
 //!
-//! The library part hosts the parallel Monte-Carlo driver and the scheduler
-//! factory shared by the binaries and the Criterion benches.
+//! The library part hosts the parallel Monte-Carlo driver, the scheduler
+//! factory and the std-only [`microbench`] timing harness shared by the
+//! binaries and the bench targets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algos;
 pub mod harness;
+pub mod microbench;
 pub mod ratio;
 
 pub use algos::SchedulerSpec;
 pub use harness::{parallel_map, run_instance};
+pub use microbench::BenchGroup;
 pub use ratio::{empirical_ratio, Normalizer};

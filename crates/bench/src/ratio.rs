@@ -38,11 +38,7 @@ pub fn denominator(instance: &Instance, normalizer: Normalizer) -> f64 {
 }
 
 /// Online value ÷ denominator for one scheduler on one instance.
-pub fn empirical_ratio(
-    instance: &Instance,
-    spec: &SchedulerSpec,
-    normalizer: Normalizer,
-) -> f64 {
+pub fn empirical_ratio(instance: &Instance, spec: &SchedulerSpec, normalizer: Normalizer) -> f64 {
     let denom = denominator(instance, normalizer);
     if denom <= 0.0 {
         return 1.0; // nothing to earn: vacuously optimal
@@ -107,8 +103,7 @@ mod tests {
     #[test]
     fn summary_over_instances() {
         let instances = vec![small_instance(), small_instance()];
-        let (ratios, summary) =
-            ratio_summary(&instances, &SchedulerSpec::Edf, Normalizer::Exact);
+        let (ratios, summary) = ratio_summary(&instances, &SchedulerSpec::Edf, Normalizer::Exact);
         assert_eq!(ratios.len(), 2);
         assert_eq!(summary.n, 2);
         assert!((ratios[0] - ratios[1]).abs() < 1e-12, "deterministic");

@@ -48,6 +48,7 @@ impl CapacityProfile for Constant {
 
     #[inline]
     fn time_to_complete(&self, from: Time, workload: f64) -> Time {
+        // lint: allow(L001) — exact non-positive-workload guard
         if workload <= 0.0 {
             return from;
         }
@@ -89,10 +90,7 @@ mod tests {
     #[test]
     fn inverse_query() {
         let c = Constant::new(2.0).unwrap();
-        assert_eq!(
-            c.time_to_complete(Time::new(1.0), 6.0),
-            Time::new(4.0)
-        );
+        assert_eq!(c.time_to_complete(Time::new(1.0), 6.0), Time::new(4.0));
         assert_eq!(c.time_to_complete(Time::new(1.0), 0.0), Time::new(1.0));
         assert_eq!(c.time_to_complete(Time::new(1.0), -1.0), Time::new(1.0));
     }

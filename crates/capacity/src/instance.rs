@@ -2,7 +2,7 @@
 
 use crate::piecewise::PiecewiseConstant;
 use crate::profile::CapacityProfile;
-use cloudsched_core::{JobSet, Time};
+use cloudsched_core::{approx_le, JobSet, Time};
 
 /// The paper's input instance `I`: a set of secondary jobs together with the
 /// processor capacity function over their duration (§II-A).
@@ -54,7 +54,7 @@ impl Instance {
     /// A quick *necessary* underload check: total workload fits in the span.
     /// (Sufficiency requires the EDF feasibility test in `cloudsched-offline`.)
     pub fn workload_fits_span(&self) -> bool {
-        self.jobs.total_workload() <= self.served_workload_bound() + 1e-9
+        approx_le(self.jobs.total_workload(), self.served_workload_bound())
     }
 
     /// Latest deadline — the natural simulation horizon.
@@ -68,11 +68,7 @@ mod tests {
     use super::*;
 
     fn instance() -> Instance {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 4.0, 2.0, 2.0),
-            (1.0, 6.0, 3.0, 9.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 4.0, 2.0, 2.0), (1.0, 6.0, 3.0, 9.0)]).unwrap();
         let cap = PiecewiseConstant::from_durations(&[(2.0, 1.0), (2.0, 3.0)]).unwrap();
         Instance::new(jobs, cap)
     }

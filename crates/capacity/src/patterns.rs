@@ -44,6 +44,7 @@ pub fn sinusoid_steps(
     steps_per_period: usize,
     periods: usize,
 ) -> Result<PiecewiseConstant, CoreError> {
+    // lint: allow(L001) — exact domain validation
     if !(offset > amplitude && amplitude >= 0.0) || period <= 0.0 {
         return Err(CoreError::InvalidCapacityProfile {
             reason: format!(
@@ -83,7 +84,7 @@ mod tests {
         assert_eq!(p.rate_at(Time::new(3.5)), 8.0); // second cycle
         assert_eq!(p.rate_at(Time::new(8.5)), 2.0); // third cycle's night
         assert_eq!(p.rate_at(Time::new(100.0)), 2.0); // tail
-        // Area per cycle: 8*2 + 2*1 = 18.
+                                                      // Area per cycle: 8*2 + 2*1 = 18.
         assert!(approx_eq(p.integrate(Time::ZERO, Time::new(9.0)), 54.0));
     }
 

@@ -58,7 +58,10 @@ impl PiecewiseConstant {
         for (i, s) in segments.iter().enumerate() {
             if !(s.rate > 0.0) || !s.rate.is_finite() {
                 return Err(CoreError::InvalidCapacityProfile {
-                    reason: format!("segment {i} rate must be positive and finite, got {}", s.rate),
+                    reason: format!(
+                        "segment {i} rate must be positive and finite, got {}",
+                        s.rate
+                    ),
                 });
             }
             if !s.start.is_finite() {
@@ -66,6 +69,7 @@ impl PiecewiseConstant {
                     reason: format!("segment {i} start must be finite"),
                 });
             }
+            // lint: allow(L001) — exact strict-ordering validation
             if i > 0 && s.start.as_f64() <= starts[i - 1] {
                 return Err(CoreError::InvalidCapacityProfile {
                     reason: format!(
@@ -178,13 +182,10 @@ impl PiecewiseConstant {
 
     /// The segments in time order.
     pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
-        self.starts
-            .iter()
-            .zip(&self.rates)
-            .map(|(&s, &r)| Segment {
-                start: Time::new(s),
-                rate: r,
-            })
+        self.starts.iter().zip(&self.rates).map(|(&s, &r)| Segment {
+            start: Time::new(s),
+            rate: r,
+        })
     }
 
     /// Index of the segment containing `t` (largest `i` with `starts[i] <= t`).
@@ -206,6 +207,7 @@ impl PiecewiseConstant {
     /// Inverse of [`integral_to`](Self::integral_to): the earliest `t` with
     /// `∫_0^t c = area`.
     pub fn inverse_integral(&self, area: f64) -> Time {
+        // lint: allow(L001) — exact non-positive-area guard
         if area <= 0.0 {
             return Time::ZERO;
         }
@@ -228,6 +230,7 @@ impl CapacityProfile for PiecewiseConstant {
     }
 
     fn time_to_complete(&self, from: Time, workload: f64) -> Time {
+        // lint: allow(L001) — exact non-positive-workload guard
         if workload <= 0.0 {
             return from;
         }
@@ -271,6 +274,7 @@ impl PiecewiseConstantBuilder {
     pub fn push_run(&mut self, rate: f64, duration: f64) -> &mut Self {
         // Coalesce equal-rate neighbours to keep profiles small.
         if let Some(last) = self.segments.last() {
+            // lint: allow(L001) — coalesce only bit-identical rates
             if last.rate == rate {
                 self.t += duration;
                 return self;
@@ -292,7 +296,7 @@ impl PiecewiseConstantBuilder {
     /// Finishes the profile; `tail_rate` extends from the last run to `+∞`.
     pub fn finish(mut self, tail_rate: f64) -> Result<PiecewiseConstant, CoreError> {
         let need_tail = match self.segments.last() {
-            Some(last) => last.rate != tail_rate,
+            Some(last) => last.rate != tail_rate, // lint: allow(L001) — tail only skipped for bit-identical rates
             None => true,
         };
         if need_tail {

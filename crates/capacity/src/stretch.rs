@@ -68,7 +68,8 @@ impl StretchMap {
 
     /// The transformed system's constant profile `c'(t') = c_ref`.
     pub fn transformed_profile(&self) -> Constant {
-        Constant::new(self.c_ref).expect("validated at construction")
+        Constant::new(self.c_ref)
+            .expect("invariant: c_ref > 0 was validated at StretchMap construction")
     }
 
     /// Forward map `t' = T(t) = (1/c_ref) ∫_0^t c`.
@@ -177,7 +178,10 @@ mod tests {
         for &(s, e) in &[(0.0, 1.0), (1.5, 2.5), (2.0, 4.0), (3.0, 6.0)] {
             let orig = p.integrate(t(s), t(e));
             let stretched = (m.forward(t(e)) - m.forward(t(s))).as_f64() * m.c_ref();
-            assert!(approx_eq(orig, stretched), "({s},{e}): {orig} vs {stretched}");
+            assert!(
+                approx_eq(orig, stretched),
+                "({s},{e}): {orig} vs {stretched}"
+            );
         }
     }
 

@@ -6,15 +6,25 @@
 //! cloudsched opt   --trace trace.txt [--method exact|fractional|greedy]
 //! cloudsched info  --trace trace.txt
 //! cloudsched bounds --k 7 --delta 35
+//! cloudsched audit --trace trace.txt [--c-lo F]
+//! cloudsched lint  [--root DIR] [--write-baseline]
 //! ```
 //!
 //! Traces use the plain-text format of `cloudsched-workload::traces`.
+
+#![forbid(unsafe_code)]
 
 use cloudsched_analysis::bounds as theory;
 use cloudsched_capacity::{CapacityProfile, Instance};
 use cloudsched_offline as offline;
 use cloudsched_sched::{Dover, Edf, Fifo, Greedy, Llf, VDover};
-use cloudsched_sim::{audit::audit_report, simulate, RunOptions, Scheduler};
+use cloudsched_sim::{
+    audit::{
+        audit_report, certify_admissibility, certify_stretch_roundtrip, certify_underloaded_edf,
+        Certificate,
+    },
+    simulate, RunOptions, Scheduler,
+};
 use cloudsched_workload::{traces, PaperScenario};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -32,6 +42,8 @@ fn main() -> ExitCode {
         "opt" => cmd_opt(&flags),
         "info" => cmd_info(&flags),
         "bounds" => cmd_bounds(&flags),
+        "audit" => cmd_audit(&flags),
+        "lint" => cmd_lint(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -52,7 +64,9 @@ const USAGE: &str = "usage:
   cloudsched run    --trace FILE [--scheduler LIST] [--audit]
   cloudsched opt    --trace FILE [--method exact|fractional|greedy]
   cloudsched info   --trace FILE
-  cloudsched bounds --k F --delta F";
+  cloudsched bounds --k F --delta F
+  cloudsched audit  --trace FILE [--c-lo F]
+  cloudsched lint   [--root DIR] [--write-baseline]";
 
 fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -109,7 +123,13 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn make_scheduler(name: &str, k: f64, delta: f64, c_lo: f64, c_hi: f64) -> Result<Box<dyn Scheduler>, String> {
+fn make_scheduler(
+    name: &str,
+    k: f64,
+    delta: f64,
+    c_lo: f64,
+    c_hi: f64,
+) -> Result<Box<dyn Scheduler>, String> {
     Ok(match name {
         "vdover" => Box::new(VDover::new(k, delta)),
         "dover" | "dover-lo" => Box::new(Dover::new(k, c_lo)),
@@ -167,7 +187,10 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_opt(flags: &HashMap<String, String>) -> Result<(), String> {
     let instance = load_trace(flags)?;
-    let method = flags.get("method").map(String::as_str).unwrap_or("fractional");
+    let method = flags
+        .get("method")
+        .map(String::as_str)
+        .unwrap_or("fractional");
     match method {
         "exact" => {
             if instance.job_count() > 26 {
@@ -212,11 +235,11 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
             .map(|k| format!("{k:.3}"))
             .unwrap_or_else(|| "undefined (zero-value job)".into())
     );
-    println!("capacity class:     C({c_lo}, {c_hi})  δ = {:.3}", instance.delta());
     println!(
-        "capacity segments:  {}",
-        instance.capacity.segment_count()
+        "capacity class:     C({c_lo}, {c_hi})  δ = {:.3}",
+        instance.delta()
     );
+    println!("capacity segments:  {}", instance.capacity.segment_count());
     println!(
         "span:               [{}, {}]",
         instance.jobs.first_release(),
@@ -268,7 +291,9 @@ mod tests {
 
     #[test]
     fn scheduler_factory_knows_all_names() {
-        for name in ["vdover", "dover", "dover-lo", "dover-hi", "edf", "llf", "fifo", "greedy", "hvdf"] {
+        for name in [
+            "vdover", "dover", "dover-lo", "dover-hi", "edf", "llf", "fifo", "greedy", "hvdf",
+        ] {
             assert!(
                 make_scheduler(name, 7.0, 2.0, 1.0, 2.0).is_ok(),
                 "factory rejected {name}"
@@ -302,9 +327,100 @@ mod tests {
     }
 
     #[test]
+    fn audit_command_certifies_a_generated_trace() {
+        let path = std::env::temp_dir().join("cloudsched-cli-test-audit.txt");
+        cmd_gen(&flags_of(&[
+            "--lambda",
+            "4",
+            "--seed",
+            "11",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .expect("gen");
+        cmd_audit(&flags_of(&["--trace", path.to_str().unwrap()])).expect("audit");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn missing_trace_is_an_error() {
         assert!(load_trace(&flags_of(&[])).is_err());
         assert!(load_trace(&flags_of(&["--trace", "/no/such/file"])).is_err());
+    }
+}
+
+/// Probe instants for the stretch-bijection certificate: every release and
+/// deadline, plus window midpoints and a short tail past the horizon.
+fn audit_probes(instance: &Instance) -> Vec<cloudsched_core::Time> {
+    let mut probes = Vec::new();
+    for j in instance.jobs.iter() {
+        probes.push(j.release);
+        probes.push(j.deadline);
+        probes.push(cloudsched_core::Time::new(
+            0.5 * (j.release.as_f64() + j.deadline.as_f64()),
+        ));
+    }
+    let horizon = instance.jobs.last_deadline().as_f64();
+    for i in 0..=20 {
+        probes.push(cloudsched_core::Time::new(horizon * 1.1 * i as f64 / 20.0));
+    }
+    probes
+}
+
+fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
+    let instance = load_trace(flags)?;
+    let c_lo = match flags.get("c-lo") {
+        Some(s) => s.parse().map_err(|e| format!("--c-lo: {e}"))?,
+        None => instance.capacity.bounds().0,
+    };
+    let certificates = [
+        (
+            "Theorem 2 (EDF on underloaded systems)",
+            certify_underloaded_edf(&instance.jobs, &instance.capacity),
+        ),
+        (
+            "Definition 4 (individual admissibility)",
+            certify_admissibility(&instance.jobs, c_lo),
+        ),
+        (
+            "SIII-A stretch bijection",
+            certify_stretch_roundtrip(&instance.capacity, &audit_probes(&instance)),
+        ),
+    ];
+    let mut violated = 0usize;
+    for (name, cert) in &certificates {
+        println!("{name}: {cert}");
+        if matches!(cert, Certificate::Violated { .. }) {
+            violated += 1;
+        }
+    }
+    if violated > 0 {
+        Err(format!("{violated} certificate(s) violated"))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), String> {
+    let root = match flags.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            cloudsched_lint::find_workspace_root(&cwd)
+                .ok_or("could not locate the workspace root (pass --root DIR)")?
+        }
+    };
+    if flags.contains_key("write-baseline") {
+        let n = cloudsched_lint::write_baseline(&root).map_err(|e| e.to_string())?;
+        eprintln!("wrote {n} baseline entries to lint.baseline");
+        return Ok(());
+    }
+    let report = cloudsched_lint::run_workspace(&root).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err("lint findings present".into())
     }
 }
 
@@ -312,8 +428,14 @@ fn cmd_bounds(flags: &HashMap<String, String>) -> Result<(), String> {
     let k = get_f64(flags, "k")?;
     let delta = get_f64(flags, "delta")?;
     if delta > 1.0 {
-        println!("f(k, δ)                  = {:.4}", theory::f_overload(k, delta));
-        println!("optimal β*               = {:.4}", theory::optimal_beta(k, delta));
+        println!(
+            "f(k, δ)                  = {:.4}",
+            theory::f_overload(k, delta)
+        );
+        println!(
+            "optimal β*               = {:.4}",
+            theory::optimal_beta(k, delta)
+        );
         println!(
             "V-Dover achievable ratio = {:.6}",
             theory::vdover_achievable_ratio(k, delta)

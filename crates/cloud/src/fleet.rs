@@ -244,8 +244,9 @@ mod tests {
     fn least_backlog_spreads_load() {
         // A burst of simultaneous arrivals: backlog-aware dispatch must
         // fan them out instead of piling onto one machine.
-        let tuples: Vec<(f64, f64, f64, f64)> =
-            (0..9).map(|i| (0.0, 10.0, 2.0, 1.0 + (i % 3) as f64)).collect();
+        let tuples: Vec<(f64, f64, f64, f64)> = (0..9)
+            .map(|i| (0.0, 10.0, 2.0, 1.0 + (i % 3) as f64))
+            .collect();
         let js = JobSet::from_tuples(&tuples).unwrap();
         let report = schedule_fleet(
             &js,

@@ -39,7 +39,7 @@ use cloudsched_capacity::PiecewiseConstant;
 
 /// Convenience: a complete induced-capacity pipeline — sample a primary
 /// load on a server and return the surplus capacity profile.
-pub fn induced_capacity<R: rand::Rng + ?Sized>(
+pub fn induced_capacity<R: cloudsched_core::rng::Rng + ?Sized>(
     rng: &mut R,
     server: &Server,
     load: &PrimaryLoad,

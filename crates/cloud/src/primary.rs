@@ -1,6 +1,6 @@
 //! Primary (high-priority) job populations.
 
-use rand::Rng;
+use cloudsched_core::rng::Rng;
 
 /// One primary job: occupies `demand` capacity units during
 /// `[arrival, arrival + holding)`.
@@ -68,15 +68,15 @@ impl PrimaryLoad {
         let mut t = -warmup;
         loop {
             // Exponential inter-arrivals via inverse transform.
-            let u: f64 = rng.gen::<f64>();
+            let u: f64 = rng.next_f64();
             t += -(1.0 - u).ln() / self.arrival_rate;
             if t >= horizon {
                 break;
             }
-            let uh: f64 = rng.gen::<f64>();
+            let uh: f64 = rng.next_f64();
             let holding = -(1.0 - uh).ln() * self.mean_holding;
-            let demand = self.demand_range.0
-                + (self.demand_range.1 - self.demand_range.0) * rng.gen::<f64>();
+            let demand =
+                self.demand_range.0 + (self.demand_range.1 - self.demand_range.0) * rng.next_f64();
             let job = PrimaryJob {
                 arrival: t,
                 holding,
@@ -93,7 +93,7 @@ impl PrimaryLoad {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use cloudsched_core::rng::Pcg32;
 
     fn load() -> PrimaryLoad {
         PrimaryLoad::new(2.0, 1.5, (0.5, 1.5))
@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn sample_covers_horizon_and_warmup() {
-        let mut rng = StdRng::seed_from_u64(30);
+        let mut rng = Pcg32::seed_from_u64(30);
         let jobs = load().sample(&mut rng, 100.0);
         assert!(!jobs.is_empty());
         // Every retained job overlaps [0, horizon).
@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn empirical_occupancy_matches_littles_law() {
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = Pcg32::seed_from_u64(31);
         let l = load();
         let horizon = 5000.0;
         let jobs = l.sample(&mut rng, horizon);

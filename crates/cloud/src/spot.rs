@@ -9,8 +9,8 @@
 //! paper's uniform densities.
 
 use cloudsched_capacity::{CapacityProfile, Instance, PiecewiseConstant};
+use cloudsched_core::rng::Rng;
 use cloudsched_core::{CoreError, Job, JobId, JobSet, Time};
-use rand::Rng;
 
 /// A utilisation-driven spot-price proxy:
 /// `price(t) = base · (1 + sensitivity · utilisation(t))` where utilisation
@@ -63,12 +63,12 @@ pub fn build_spot_instance<R: Rng + ?Sized>(
     let mut jobs = Vec::new();
     let mut t = 0.0;
     loop {
-        let u: f64 = rng.gen::<f64>();
+        let u: f64 = rng.next_f64();
         t += -(1.0 - u).ln() / w.arrival_rate;
         if t >= horizon {
             break;
         }
-        let uw: f64 = rng.gen::<f64>();
+        let uw: f64 = rng.next_f64();
         let workload = (-(1.0 - uw).ln() * w.mean_workload).max(1e-9);
         let release = Time::new(t);
         let p_now = price.at(&surplus, release);
@@ -87,7 +87,7 @@ pub fn build_spot_instance<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use cloudsched_core::rng::Pcg32;
 
     fn surplus() -> PiecewiseConstant {
         PiecewiseConstant::from_durations(&[(5.0, 8.0), (5.0, 2.0)])
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn instance_jobs_are_admissible_and_priced() {
-        let mut rng = StdRng::seed_from_u64(40);
+        let mut rng = Pcg32::seed_from_u64(40);
         let p = SpotPrice {
             base: 1.0,
             sensitivity: 1.0,
@@ -147,10 +147,8 @@ mod tests {
             slack: 2.0,
             revenue_rate: 1.0,
         };
-        let a = build_spot_instance(&mut StdRng::seed_from_u64(1), surplus(), p, w, 10.0)
-            .unwrap();
-        let b = build_spot_instance(&mut StdRng::seed_from_u64(1), surplus(), p, w, 10.0)
-            .unwrap();
+        let a = build_spot_instance(&mut Pcg32::seed_from_u64(1), surplus(), p, w, 10.0).unwrap();
+        let b = build_spot_instance(&mut Pcg32::seed_from_u64(1), surplus(), p, w, 10.0).unwrap();
         assert_eq!(a, b);
     }
 }

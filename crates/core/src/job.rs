@@ -56,6 +56,7 @@ impl Job {
         if !(workload > 0.0) || !workload.is_finite() {
             return Err(CoreError::NonPositiveWorkload { workload });
         }
+        // lint: allow(L001) — exact sign check; !(x >= 0) also rejects NaN
         if !(value >= 0.0) || !value.is_finite() {
             return Err(CoreError::NegativeValue { value });
         }

@@ -121,6 +121,7 @@ impl JobSet {
         let mut max: f64 = 0.0;
         for j in &self.jobs {
             let rho = j.value_density();
+            // lint: allow(L001) — exact sign guard
             if rho <= 0.0 {
                 return None;
             }
@@ -149,6 +150,7 @@ impl JobSet {
             .iter()
             .map(|j| j.value_density())
             .fold(f64::INFINITY, f64::min);
+        // lint: allow(L001) — exact sign guard
         if !min.is_finite() || min <= 0.0 {
             return self.clone();
         }

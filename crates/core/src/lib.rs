@@ -13,7 +13,9 @@
 //!   importance ratio `k`,
 //! * [`Schedule`] / [`ExecutionSlice`] — an explicit record of which job ran
 //!   when, used both by offline algorithms and by the simulator's audit layer,
-//! * [`Outcome`] — per-job success/failure bookkeeping.
+//! * [`Outcome`] — per-job success/failure bookkeeping,
+//! * [`rng`] — vendored deterministic RNGs ([`SplitMix64`], [`Pcg32`]) so the
+//!   stochastic generators build with zero external dependencies.
 //!
 //! The crate is dependency-free and `#![forbid(unsafe_code)]`; all numeric
 //! subtleties (total order on `f64`, tolerance-based comparisons) are
@@ -27,14 +29,16 @@ pub mod job;
 pub mod jobset;
 pub mod numeric;
 pub mod outcome;
+pub mod rng;
 pub mod schedule;
 pub mod time;
 
 pub use error::CoreError;
 pub use job::{Job, JobBuilder, JobId};
 pub use jobset::JobSet;
-pub use numeric::{approx_eq, approx_ge, approx_le, EPS_ABS, EPS_REL};
+pub use numeric::{approx_eq, approx_ge, approx_le, approx_zero, EPS_ABS, EPS_REL};
 pub use outcome::{JobOutcome, Outcome};
+pub use rng::{Pcg32, Rng, SplitMix64};
 pub use schedule::{ExecutionSlice, Schedule};
 pub use time::{Duration, Time};
 

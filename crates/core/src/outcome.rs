@@ -100,6 +100,7 @@ impl Outcome {
     /// reported by the paper's Table I.
     pub fn value_fraction(&self, jobs: &JobSet) -> f64 {
         let total = jobs.total_value();
+        // lint: allow(L001) — exact zero guard before division
         if total == 0.0 {
             0.0
         } else {
@@ -133,18 +134,8 @@ mod tests {
     fn value_accounting() {
         let js = jobs();
         let mut o = Outcome::new(3);
-        o.set(
-            JobId(0),
-            JobOutcome::Completed {
-                at: Time::new(1.0),
-            },
-        );
-        o.set(
-            JobId(2),
-            JobOutcome::Completed {
-                at: Time::new(2.0),
-            },
-        );
+        o.set(JobId(0), JobOutcome::Completed { at: Time::new(1.0) });
+        o.set(JobId(2), JobOutcome::Completed { at: Time::new(2.0) });
         o.set(
             JobId(1),
             JobOutcome::Missed {

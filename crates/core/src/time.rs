@@ -39,7 +39,7 @@ impl Time {
     #[inline]
     pub fn new(t: f64) -> Self {
         assert!(!t.is_nan(), "Time cannot be NaN");
-        assert!(t != f64::NEG_INFINITY, "Time cannot be -infinity");
+        assert!(t != f64::NEG_INFINITY, "Time cannot be -infinity"); // lint: allow(L001) — exact sentinel check
         Time(t)
     }
 

@@ -1,0 +1,168 @@
+//! # cloudsched-lint
+//!
+//! A std-only static-analysis pass for this workspace. The paper's
+//! guarantees (Thm 2's EDF 1-competitiveness, Thm 3's V-Dover bound) hold
+//! only if the simulator respects the model *exactly*, and the workspace's
+//! correctness story rests on tolerance-disciplined `f64` arithmetic
+//! (`cloudsched_core::numeric::approx_*`), panic-free library code and a
+//! deterministic event clock. Nothing in stock `rustc`/`clippy` enforces
+//! those project policies, and the sandbox has no network to fetch a real
+//! parser — so this crate tokenizes every workspace `.rs` file itself
+//! (comment/string-aware, see [`scan`]) and enforces the five rules listed
+//! in [`rules`].
+//!
+//! The pass runs three ways:
+//!
+//! * `cargo run -p cloudsched-lint` — the standalone binary;
+//! * `cloudsched lint` — through the workspace CLI;
+//! * `cargo test -q` — the tier-1 test in `tests/workspace.rs` fails the
+//!   suite on any unbaselined finding.
+//!
+//! Escapes: `// lint: allow(Lxxx)` on (or immediately above) a line, or the
+//! checked-in `lint.baseline` ledger for grandfathered sites (see
+//! [`baseline`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod rules;
+pub mod scan;
+pub mod source;
+
+pub use baseline::{Baseline, BaselineResult};
+pub use rules::{check_file, Finding};
+pub use source::{discover, FileKind, SourceFile};
+
+use std::path::{Path, PathBuf};
+
+/// Result of a full workspace pass.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Findings not covered by the baseline (fail the run).
+    pub new: Vec<Finding>,
+    /// Baseline-tolerated findings.
+    pub grandfathered: Vec<Finding>,
+    /// Baseline entries whose finding no longer exists (fail the run).
+    pub stale: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// A run is clean when nothing new fired and no baseline entry is stale.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.new {
+            out.push_str(&format!("{f}\n"));
+        }
+        for s in &self.stale {
+            out.push_str(&format!(
+                "stale baseline entry (fix was landed — remove the line): {s}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "cloudsched-lint: {} files, {} new finding(s), {} grandfathered, {} stale baseline entr{}\n",
+            self.files_scanned,
+            self.new.len(),
+            self.grandfathered.len(),
+            self.stale.len(),
+            if self.stale.len() == 1 { "y" } else { "ies" },
+        ));
+        out
+    }
+}
+
+/// The canonical baseline location for a workspace root.
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join("lint.baseline")
+}
+
+/// Lints every workspace file under `root`, applying the baseline at
+/// [`baseline_path`].
+pub fn run_workspace(root: &Path) -> std::io::Result<LintReport> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("{} is not a workspace root (no Cargo.toml)", root.display()),
+        ));
+    }
+    let files = discover(root)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        let scanned = scan::scan(&file.text);
+        findings.extend(check_file(file, &scanned));
+    }
+    let baseline = Baseline::load(&baseline_path(root))?;
+    let BaselineResult {
+        new,
+        grandfathered,
+        stale,
+    } = baseline.apply(findings);
+    Ok(LintReport {
+        new,
+        grandfathered,
+        stale,
+        files_scanned: files.len(),
+    })
+}
+
+/// Lints the workspace and rewrites the baseline to cover every current
+/// finding. Returns the number of entries written.
+pub fn write_baseline(root: &Path) -> std::io::Result<usize> {
+    let files = discover(root)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        let scanned = scan::scan(&file.text);
+        findings.extend(check_file(file, &scanned));
+    }
+    std::fs::write(baseline_path(root), Baseline::render(&findings))?;
+    Ok(findings.len())
+}
+
+/// Walks upward from `start` to the first directory containing a
+/// `Cargo.toml` that declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates/lint/Cargo.toml").exists());
+    }
+
+    #[test]
+    fn report_rendering_counts() {
+        let r = LintReport {
+            new: vec![],
+            grandfathered: vec![],
+            stale: vec!["L001|x.rs|a == 1.0".into()],
+            files_scanned: 3,
+        };
+        assert!(!r.is_clean());
+        let text = r.render();
+        assert!(text.contains("stale"));
+        assert!(text.contains("3 files"));
+    }
+}

@@ -1,0 +1,77 @@
+//! `cloudsched-lint` — run the workspace static-analysis pass.
+//!
+//! ```text
+//! cloudsched-lint [--root DIR] [--write-baseline]
+//! ```
+//!
+//! Exit status 0 when clean (no unbaselined findings, no stale baseline
+//! entries), 1 otherwise.
+
+#![forbid(unsafe_code)]
+
+use cloudsched_lint::{find_workspace_root, run_workspace, write_baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut rewrite = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--write-baseline" => rewrite = true,
+            "--help" | "-h" => {
+                println!("usage: cloudsched-lint [--root DIR] [--write-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("could not locate the workspace root (pass --root DIR)");
+        return ExitCode::FAILURE;
+    };
+    if rewrite {
+        return match write_baseline(&root) {
+            Ok(n) => {
+                eprintln!(
+                    "wrote {n} baseline entr{} to lint.baseline",
+                    if n == 1 { "y" } else { "ies" }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match run_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,684 @@
+//! The project-specific rule set.
+//!
+//! | id | enforces | scope |
+//! |----|----------|-------|
+//! | L001 | no raw `f64` comparisons (`==`, `!=`, `<=`, `>=`) on model
+//!   quantities; route through `core::numeric::approx_*` | library code of
+//!   `core` (outside `numeric.rs`), `capacity`, `sim`, `sched`, `offline`,
+//!   `analysis` |
+//! | L002 | no `.unwrap()`; `.expect(...)` only with an `"invariant: …"`
+//!   justification | library code of `sim`, `sched`, `capacity`, `offline` |
+//! | L003 | no `panic!` / `todo!` / `unimplemented!` | library code of all
+//!   library crates |
+//! | L004 | crate roots must declare `#![forbid(unsafe_code)]` | every
+//!   `lib.rs` / binary root |
+//! | L005 | no wall clock (`Instant::now`, `SystemTime::now`) in
+//!   deterministic simulation code | library code of `core`, `capacity`,
+//!   `sim`, `sched`, `offline`, `workload` |
+//!
+//! All rules are lexical (see [`crate::scan`]) and therefore heuristic:
+//! escape hatches are `// lint: allow(Lxxx)` on (or above) the offending
+//! line, and the checked-in baseline for grandfathered sites.
+
+use crate::scan::Scan;
+use crate::source::{FileKind, SourceFile};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `L002`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Explanation of the violation.
+    pub message: String,
+    /// Trimmed text of the offending line (used for baseline matching).
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}\n    {}",
+            self.path, self.line, self.rule, self.message, self.excerpt
+        )
+    }
+}
+
+/// Crates whose library code must use tolerance-disciplined comparisons.
+const L001_CRATES: &[&str] = &["core", "capacity", "sim", "sched", "offline", "analysis"];
+/// Crates whose library code must not unwrap.
+const L002_CRATES: &[&str] = &["sim", "sched", "capacity", "offline"];
+/// Crates that form the deterministic simulation core (no wall clock).
+const L005_CRATES: &[&str] = &["core", "capacity", "sim", "sched", "offline", "workload"];
+
+/// Runs every rule over one scanned file.
+pub fn check_file(file: &SourceFile, scan: &Scan) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    l001_raw_float_comparison(file, scan, &mut findings);
+    l002_unwrap_expect(file, scan, &mut findings);
+    l003_panic_macros(file, scan, &mut findings);
+    l004_forbid_unsafe(file, scan, &mut findings);
+    l005_wall_clock(file, scan, &mut findings);
+    findings
+}
+
+/// Is this file's non-test code subject to library rules at all?
+fn is_library_code(file: &SourceFile) -> bool {
+    matches!(file.kind, FileKind::Lib)
+}
+
+fn in_scope(file: &SourceFile, crates: &[&str]) -> bool {
+    is_library_code(file) && crates.iter().any(|c| *c == file.crate_name)
+}
+
+/// Shared per-line iteration: yields (1-based line number, masked line,
+/// byte offset of line start) for non-test, non-allowed lines.
+fn active_lines<'a>(
+    scan: &'a Scan,
+    rule: &'static str,
+) -> impl Iterator<Item = (usize, &'a str)> + 'a {
+    let mut offset = 0usize;
+    scan.masked
+        .lines()
+        .enumerate()
+        .filter_map(move |(idx, text)| {
+            let line_no = idx + 1;
+            let start = offset;
+            offset += text.len() + 1;
+            if scan.in_test_code(start) || scan.is_allowed(rule, line_no) {
+                None
+            } else {
+                Some((line_no, text))
+            }
+        })
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    file: &SourceFile,
+    rule: &'static str,
+    line: usize,
+    message: String,
+) {
+    let excerpt = file
+        .text
+        .lines()
+        .nth(line - 1)
+        .unwrap_or("")
+        .trim()
+        .to_string();
+    findings.push(Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        message,
+        excerpt,
+    });
+}
+
+// --- L001 -----------------------------------------------------------------
+
+/// Does `s` look like it denotes an `f64` quantity? Heuristics: float
+/// literals (including exponent forms like `1e-9`), explicit `f64`,
+/// `.as_f64()` conversions, or the model's float-typed vocabulary.
+fn looks_float(s: &str) -> bool {
+    const FLOAT_IDENTS: &[&str] = &[
+        "workload",
+        "value",
+        "density",
+        "remaining",
+        "rate",
+        "laxity",
+        "c_lo",
+        "c_hi",
+        "c_ref",
+        "executed",
+        "integral",
+        "fraction",
+    ];
+    let bytes = s.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'.' && i > 0 && bytes[i - 1].is_ascii_digit() {
+            // `1.`, `1.0`, `1.0e-9` — a float literal.
+            return true;
+        }
+        if (b == b'e' || b == b'E')
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && matches!(bytes.get(i + 1), Some(b'-') | Some(b'+'))
+        {
+            // `1e-9`, `5E+3` — exponent literals without a dot.
+            return true;
+        }
+    }
+    if s.contains("f64") || s.contains("as_f64") || s.contains("EPS_") {
+        return true;
+    }
+    FLOAT_IDENTS.iter().any(|id| s.contains(id))
+}
+
+/// The expression text immediately left of a comparison operator at byte
+/// `at`: scans backward over balanced `()`/`[]`, stopping at clause
+/// boundaries (`,` `;` `{` `}` `&` `|` `=` `<` `>`, an unmatched opening
+/// bracket, or a single `:` — `::` paths are crossed).
+fn operand_before(text: &str, at: usize) -> &str {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    let mut i = at;
+    while i > 0 {
+        match bytes[i - 1] {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            b',' | b';' | b'{' | b'}' | b'&' | b'|' | b'=' | b'<' | b'>' if depth == 0 => break,
+            b':' if depth == 0 => {
+                if i >= 2 && bytes[i - 2] == b':' {
+                    i -= 2;
+                    continue;
+                }
+                break;
+            }
+            _ => {}
+        }
+        i -= 1;
+    }
+    &text[i..at]
+}
+
+/// The expression text immediately right of a comparison operator ending at
+/// byte `from`; mirror of [`operand_before`].
+fn operand_after(text: &str, from: usize) -> &str {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            b',' | b';' | b'{' | b'}' | b'&' | b'|' | b'<' | b'>' if depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    &text[from..i]
+}
+
+/// Line numbers (1-based) covered by `debug_assert*!(…)` invocations,
+/// found by paren-matching in the masked source so multi-line calls are
+/// exempted in full.
+fn debug_assert_lines(masked: &str) -> std::collections::HashSet<usize> {
+    let mut lines = std::collections::HashSet::new();
+    let bytes = masked.as_bytes();
+    let mut from = 0usize;
+    while let Some(rel) = masked[from..].find("debug_assert") {
+        let start = from + rel;
+        from = start + "debug_assert".len();
+        let Some(open_rel) = masked[from..].find('(') else {
+            break;
+        };
+        let open = from + open_rel;
+        let mut depth = 0i64;
+        let mut end = open;
+        for (i, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let first = 1 + masked[..start].matches('\n').count();
+        let last = 1 + masked[..end].matches('\n').count();
+        lines.extend(first..=last);
+        from = end.max(from);
+    }
+    lines
+}
+
+/// L001: raw float comparison outside `core::numeric`.
+fn l001_raw_float_comparison(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
+    if !in_scope(file, L001_CRATES) || file.rel_path.ends_with("core/src/numeric.rs") {
+        return;
+    }
+    // debug_assert diagnostics may compare raw floats: they gate
+    // development invariants, not model semantics.
+    let exempt = debug_assert_lines(&scan.masked);
+    for (line_no, text) in active_lines(scan, "L001") {
+        // A comparison already guarded by a tolerance helper on the same
+        // line is the sanctioned `strict || approx` idiom; comparing against
+        // a named `*_tolerance(…)` bound IS the tolerance policy.
+        if text.contains("approx_") || text.contains("total_cmp") || text.contains("_tolerance") {
+            continue;
+        }
+        if exempt.contains(&line_no) {
+            continue;
+        }
+        for op in ["==", "!=", "<=", ">="] {
+            let mut from = 0usize;
+            while let Some(rel) = text[from..].find(op) {
+                let at = from + rel;
+                from = at + op.len();
+                if !is_comparison_operator(text, at, op) {
+                    continue;
+                }
+                let lhs = operand_before(text, at);
+                let rhs = operand_after(text, at + op.len());
+                if looks_float(lhs) || looks_float(rhs) {
+                    push(
+                        findings,
+                        file,
+                        "L001",
+                        line_no,
+                        format!(
+                            "raw float comparison `{op}` — use core::numeric::approx_* \
+                             (tolerance policy) instead"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Filters out tokens that merely contain the operator characters:
+/// `=>`, `<=` inside `<<=`, `==` inside `===` (not Rust, but cheap), and
+/// generic turbofish `>=` as in `Vec<Foo>=`. Also skips attribute/macro
+/// lines that commonly embed `=`-ish tokens.
+fn is_comparison_operator(text: &str, at: usize, op: &str) -> bool {
+    let before = text[..at].chars().next_back();
+    let after = text[at + op.len()..].chars().next();
+    // `x <<= 1`, `a >>= b`, `=>` arms, `!==`-like runs, `+=`-family.
+    if matches!(
+        before,
+        Some('<')
+            | Some('>')
+            | Some('=')
+            | Some('+')
+            | Some('-')
+            | Some('*')
+            | Some('/')
+            | Some('%')
+            | Some('&')
+            | Some('|')
+            | Some('^')
+    ) {
+        return false;
+    }
+    if matches!(after, Some('=') | Some('>')) && op != ">=" {
+        return false;
+    }
+    if op == ">=" && matches!(after, Some('=')) {
+        return false;
+    }
+    // `->` return types never carry comparisons on the same heuristic pass.
+    true
+}
+
+// --- L002 -----------------------------------------------------------------
+
+/// L002: `.unwrap()` / unjustified `.expect(` in library code.
+fn l002_unwrap_expect(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
+    if !in_scope(file, L002_CRATES) {
+        return;
+    }
+    let mut offset = 0usize;
+    for (idx, text) in scan.masked.lines().enumerate() {
+        let line_no = idx + 1;
+        let start = offset;
+        offset += text.len() + 1;
+        if scan.in_test_code(start) || scan.is_allowed("L002", line_no) {
+            continue;
+        }
+        let mut from = 0usize;
+        while let Some(rel) = text[from..].find(".unwrap()") {
+            from += rel + ".unwrap()".len();
+            push(
+                findings,
+                file,
+                "L002",
+                line_no,
+                "`.unwrap()` in library code — propagate a CoreError or use \
+                 `.expect(\"invariant: …\")` with the justification"
+                    .to_string(),
+            );
+        }
+        let mut from = 0usize;
+        while let Some(rel) = text[from..].find(".expect(") {
+            let at = from + rel;
+            from = at + ".expect(".len();
+            // Inspect the *original* text (the scan masks string contents)
+            // from this call site for the justification prefix.
+            let abs = start + at + ".expect(".len();
+            if !expect_is_justified(&file.text, abs) {
+                push(
+                    findings,
+                    file,
+                    "L002",
+                    line_no,
+                    "`.expect(…)` without an `\"invariant: …\"` justification \
+                     in library code"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Does the `.expect(` argument starting at byte `abs` of the original
+/// source carry an `"invariant: …"` message?
+fn expect_is_justified(original: &str, abs: usize) -> bool {
+    let rest = original.get(abs..).unwrap_or("");
+    let rest = rest.trim_start();
+    rest.starts_with("\"invariant:")
+}
+
+// --- L003 -----------------------------------------------------------------
+
+/// L003: `panic!` / `todo!` / `unimplemented!` in library code.
+fn l003_panic_macros(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
+    if !is_library_code(file) {
+        return;
+    }
+    for (line_no, text) in active_lines(scan, "L003") {
+        for mac in ["panic!", "todo!", "unimplemented!"] {
+            let mut from = 0usize;
+            while let Some(rel) = text[from..].find(mac) {
+                let at = from + rel;
+                from = at + mac.len();
+                // Must be a free-standing macro call, not `core::panic!` in a
+                // path or `.panic!`-like suffix of a longer identifier.
+                let before = text[..at].chars().next_back();
+                if matches!(before, Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                    continue;
+                }
+                push(
+                    findings,
+                    file,
+                    "L003",
+                    line_no,
+                    format!("`{mac}` in library code — return a CoreError instead"),
+                );
+            }
+        }
+    }
+}
+
+// --- L004 -----------------------------------------------------------------
+
+/// L004: crate roots must forbid unsafe code.
+fn l004_forbid_unsafe(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
+    if !file.is_crate_root {
+        return;
+    }
+    if scan.is_allowed("L004", 1) {
+        return;
+    }
+    if !scan.masked.contains("#![forbid(unsafe_code)]") {
+        push(
+            findings,
+            file,
+            "L004",
+            1,
+            "crate root missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+}
+
+// --- L005 -----------------------------------------------------------------
+
+/// L005: wall clock in deterministic simulation code.
+fn l005_wall_clock(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
+    if !in_scope(file, L005_CRATES) {
+        return;
+    }
+    for (line_no, text) in active_lines(scan, "L005") {
+        for pat in ["Instant::now", "SystemTime::now"] {
+            if text.contains(pat) {
+                push(
+                    findings,
+                    file,
+                    "L005",
+                    line_no,
+                    format!(
+                        "`{pat}` in deterministic simulation code — simulated \
+                         time must come from the event clock"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+    use crate::source::{FileKind, SourceFile};
+
+    fn file(crate_name: &str, kind: FileKind, root: bool, text: &str) -> SourceFile {
+        SourceFile {
+            crate_name: crate_name.to_string(),
+            rel_path: format!("crates/{crate_name}/src/test_input.rs"),
+            kind,
+            is_crate_root: root,
+            text: text.to_string(),
+        }
+    }
+
+    fn run(crate_name: &str, text: &str) -> Vec<Finding> {
+        let f = file(crate_name, FileKind::Lib, false, text);
+        check_file(&f, &scan(text))
+    }
+
+    #[test]
+    fn l001_fires_on_raw_float_equality() {
+        let found = run("sim", "fn f(a: f64) -> bool { a as f64 == 1.0 }\n");
+        assert!(found.iter().any(|f| f.rule == "L001"), "{found:?}");
+        let found = run("sim", "fn g(w: f64) -> bool { workload == w }\n");
+        assert!(found.iter().any(|f| f.rule == "L001"), "{found:?}");
+    }
+
+    #[test]
+    fn l001_inspects_operands_not_the_whole_line() {
+        // The float literal lives in a different clause than the integer
+        // comparison: must not fire.
+        let found = run(
+            "sim",
+            "fn h(n: usize) -> f64 { if n == 0 { 0.0 } else { 1.0 } }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn l001_exempts_multiline_debug_assert() {
+        let src =
+            "fn f(r: f64) {\n    debug_assert!(\n        r >= 0.0,\n        \"bad\"\n    );\n}\n";
+        let found = run("sim", src);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn l001_exponent_literal_counts_as_float() {
+        let found = run("sim", "fn f(slack: f64) -> bool { slack <= 1e-9 }\n");
+        assert!(found.iter().any(|f| f.rule == "L001"), "{found:?}");
+    }
+
+    #[test]
+    fn l001_skips_named_tolerance_comparisons() {
+        let found = run(
+            "sim",
+            "fn f(r: f64, w: f64) -> bool { r <= completion_tolerance(w) }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn l001_fires_on_float_literal_comparison() {
+        let found = run("sched", "fn g(x: f64) -> bool { x >= 1.0 }\n");
+        assert!(found.iter().any(|f| f.rule == "L001"), "{found:?}");
+    }
+
+    #[test]
+    fn l001_quiet_when_guarded_by_approx() {
+        let found = run(
+            "sim",
+            "fn f(a: f64, b: f64) -> bool { a >= b || approx_eq(a, b) }\n",
+        );
+        assert!(found.iter().all(|f| f.rule != "L001"), "{found:?}");
+    }
+
+    #[test]
+    fn l001_quiet_on_integer_comparison() {
+        let found = run("sim", "fn f(a: usize, b: usize) -> bool { a == b }\n");
+        assert!(found.iter().all(|f| f.rule != "L001"), "{found:?}");
+    }
+
+    #[test]
+    fn l001_quiet_outside_scoped_crates() {
+        let found = run("workload", "fn f(a: f64) -> bool { a == 1.0 }\n");
+        assert!(found.iter().all(|f| f.rule != "L001"), "{found:?}");
+    }
+
+    #[test]
+    fn l001_ignores_fat_arrow_and_compound_assignment() {
+        let found = run(
+            "sim",
+            "fn f(x: f64) -> f64 { let mut y = 0.0; y += x; match 1 { _ => y } }\n",
+        );
+        assert!(found.iter().all(|f| f.rule != "L001"), "{found:?}");
+    }
+
+    #[test]
+    fn l002_fires_on_unwrap_and_bare_expect() {
+        let found = run("sim", "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n");
+        assert!(found.iter().any(|f| f.rule == "L002"));
+        let found = run(
+            "sched",
+            "fn f(o: Option<u32>) -> u32 { o.expect(\"boom\") }\n",
+        );
+        assert!(found.iter().any(|f| f.rule == "L002"), "{found:?}");
+    }
+
+    #[test]
+    fn l002_accepts_justified_expect() {
+        let found = run(
+            "sim",
+            "fn f(o: Option<u32>) -> u32 { o.expect(\"invariant: queue is non-empty here\") }\n",
+        );
+        assert!(found.iter().all(|f| f.rule != "L002"), "{found:?}");
+    }
+
+    #[test]
+    fn l002_skips_test_modules_and_out_of_scope_crates() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let found = run("sim", src);
+        assert!(found.iter().all(|f| f.rule != "L002"), "{found:?}");
+        let found = run("workload", "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n");
+        assert!(found.iter().all(|f| f.rule != "L002"));
+    }
+
+    #[test]
+    fn l003_fires_on_panic_todo_unimplemented() {
+        for mac in ["panic!(\"x\")", "todo!()", "unimplemented!()"] {
+            let found = run("workload", &format!("fn f() {{ {mac} }}\n"));
+            assert!(found.iter().any(|f| f.rule == "L003"), "{mac}");
+        }
+    }
+
+    #[test]
+    fn l003_quiet_in_bins_and_tests() {
+        let text = "fn f() { panic!(\"x\") }\n";
+        let f = SourceFile {
+            crate_name: "bench".into(),
+            rel_path: "crates/bench/src/bin/x.rs".into(),
+            kind: FileKind::Bin,
+            is_crate_root: true,
+            text: text.into(),
+        };
+        let found = check_file(&f, &scan(text));
+        assert!(found.iter().all(|f| f.rule != "L003"));
+    }
+
+    #[test]
+    fn l004_fires_on_root_without_forbid() {
+        let text = "pub fn x() {}\n";
+        let f = SourceFile {
+            crate_name: "sim".into(),
+            rel_path: "crates/sim/src/lib.rs".into(),
+            kind: FileKind::Lib,
+            is_crate_root: true,
+            text: text.into(),
+        };
+        let found = check_file(&f, &scan(text));
+        assert!(found.iter().any(|f| f.rule == "L004"));
+        let text2 = "#![forbid(unsafe_code)]\npub fn x() {}\n";
+        let f2 = SourceFile {
+            text: text2.into(),
+            ..f
+        };
+        assert!(check_file(&f2, &scan(text2)).is_empty());
+    }
+
+    #[test]
+    fn l005_fires_on_wall_clock_in_sim() {
+        let found = run("sim", "fn f() { let _ = std::time::Instant::now(); }\n");
+        assert!(found.iter().any(|f| f.rule == "L005"));
+        let found = run("core", "fn f() { let _ = std::time::SystemTime::now(); }\n");
+        assert!(found.iter().any(|f| f.rule == "L005"));
+    }
+
+    #[test]
+    fn l005_quiet_in_bench_crate() {
+        let f = SourceFile {
+            crate_name: "bench".into(),
+            rel_path: "crates/bench/src/microbench.rs".into(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+            text: "fn f() { let _ = std::time::Instant::now(); }\n".into(),
+        };
+        let found = check_file(&f, &scan(&f.text));
+        assert!(found.iter().all(|f| f.rule != "L005"));
+    }
+
+    #[test]
+    fn allow_escape_suppresses_each_rule() {
+        let found = run(
+            "sim",
+            "fn f(o: Option<u32>) -> u32 { o.unwrap() } // lint: allow(L002)\n",
+        );
+        assert!(found.iter().all(|f| f.rule != "L002"), "{found:?}");
+        let found = run(
+            "sim",
+            "// lint: allow(L001)\nfn g(a: f64) -> bool { a == 1.0 }\n",
+        );
+        assert!(found.iter().all(|f| f.rule != "L001"), "{found:?}");
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let found = run(
+            "sim",
+            "// x.unwrap() and a == 1.0 and panic!\nfn f() -> &'static str { \".unwrap() panic! == 1.0\" }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

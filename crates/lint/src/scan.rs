@@ -1,0 +1,445 @@
+//! Comment- and string-aware source scanning.
+//!
+//! The rules in this crate are lexical, not syntactic: no external parser is
+//! available offline, and the properties we enforce (no raw float
+//! comparisons, no `.unwrap()`, no wall clock) are visible at the token
+//! level. What *does* need care is not matching inside comments, doc tests,
+//! string literals or char literals — this module handles exactly that.
+//!
+//! [`scan`] produces:
+//!
+//! * a **masked** copy of the source, byte-for-byte the same length, where
+//!   the interior of every comment and every string/char literal is replaced
+//!   with spaces (newlines preserved, so line/column arithmetic holds);
+//! * the set of `// lint: allow(Lxxx)` escape directives found in comments;
+//! * the byte ranges of `#[cfg(test)]`-gated items (test modules and test
+//!   functions), so rules can skip test code.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Result of scanning one source file.
+#[derive(Debug)]
+pub struct Scan {
+    /// Source with comment/string interiors blanked (same length as input).
+    pub masked: String,
+    /// For each *line number* (1-based): rules allowed on that line. A
+    /// directive on its own comment line applies to the following line; a
+    /// trailing directive applies to its own line.
+    pub allows: HashMap<usize, Vec<String>>,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<Range<usize>>,
+}
+
+impl Scan {
+    /// Is byte offset `pos` inside `#[cfg(test)]` code?
+    pub fn in_test_code(&self, pos: usize) -> bool {
+        self.test_ranges.iter().any(|r| r.contains(&pos))
+    }
+
+    /// Is `rule` allowed (escaped) on 1-based `line`?
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Lexer state while walking the raw source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` hashes: terminated by `"` followed by `n` `#`s.
+    RawStr(u32),
+    Char,
+}
+
+/// Scans `source`, producing the masked text, allow directives and test
+/// ranges. Operates on bytes; multi-byte UTF-8 content only ever appears
+/// inside comments/strings, which are masked wholesale.
+pub fn scan(source: &str) -> Scan {
+    let bytes = source.as_bytes();
+    let mut masked: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut comments: Vec<(usize, String)> = Vec::new(); // (line, text)
+    let mut state = State::Code;
+    let mut line = 1usize;
+    let mut comment_buf = String::new();
+    let mut comment_line = 1usize;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match b {
+                b'/' if next == Some(b'/') => {
+                    state = State::LineComment;
+                    comment_buf.clear();
+                    comment_line = line;
+                    masked.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'/' if next == Some(b'*') => {
+                    state = State::BlockComment(1);
+                    comment_buf.clear();
+                    comment_line = line;
+                    masked.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    // Raw strings: r"..." / r#"..."# / br#"..."# — detect the
+                    // prefix we already emitted.
+                    let hashes = raw_string_hashes(&masked);
+                    match hashes {
+                        Some(n) => state = State::RawStr(n),
+                        None => state = State::Str,
+                    }
+                    masked.push(b'"');
+                }
+                b'\'' => {
+                    // Distinguish char literal from lifetime: a lifetime is
+                    // `'ident` NOT followed by a closing quote.
+                    if is_char_literal(bytes, i) {
+                        state = State::Char;
+                    }
+                    masked.push(b'\'');
+                }
+                _ => masked.push(b),
+            },
+            State::LineComment => {
+                if b == b'\n' {
+                    comments.push((comment_line, std::mem::take(&mut comment_buf)));
+                    state = State::Code;
+                    masked.push(b'\n');
+                } else {
+                    comment_buf.push(b as char);
+                    masked.push(if b.is_ascii() { b' ' } else { b' ' });
+                }
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && next == Some(b'/') {
+                    if depth == 1 {
+                        comments.push((comment_line, std::mem::take(&mut comment_buf)));
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    masked.extend_from_slice(b"  ");
+                    i += 2;
+                    if b == b'\n' {
+                        line += 1;
+                    }
+                    continue;
+                }
+                if b == b'/' && next == Some(b'*') {
+                    state = State::BlockComment(depth + 1);
+                    masked.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                if b == b'\n' {
+                    comment_buf.push('\n');
+                    masked.push(b'\n');
+                } else {
+                    comment_buf.push(b as char);
+                    masked.push(b' ');
+                }
+            }
+            State::Str => match b {
+                b'\\' => {
+                    masked.extend_from_slice(b"  ");
+                    i += 2;
+                    if next == Some(b'\n') {
+                        line += 1;
+                        *masked.last_mut().expect("just pushed") = b'\n';
+                    }
+                    continue;
+                }
+                b'"' => {
+                    state = State::Code;
+                    masked.push(b'"');
+                }
+                b'\n' => masked.push(b'\n'),
+                _ => masked.push(b' '),
+            },
+            State::RawStr(n) => {
+                if b == b'"' && raw_string_closes(bytes, i, n) {
+                    state = State::Code;
+                    masked.push(b'"');
+                    // Mask the trailing hashes as code (they are delimiters).
+                    for _ in 0..n {
+                        masked.push(b'#');
+                    }
+                    i += 1 + n as usize;
+                    continue;
+                }
+                masked.push(if b == b'\n' { b'\n' } else { b' ' });
+            }
+            State::Char => match b {
+                b'\\' => {
+                    masked.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'\'' => {
+                    state = State::Code;
+                    masked.push(b'\'');
+                }
+                _ => masked.push(b' '),
+            },
+        }
+        if b == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    if !comment_buf.is_empty() {
+        comments.push((comment_line, comment_buf));
+    }
+
+    let masked = String::from_utf8_lossy(&masked).into_owned();
+    let allows = collect_allows(source, &comments);
+    let test_ranges = find_test_ranges(&masked);
+    Scan {
+        masked,
+        allows,
+        test_ranges,
+    }
+}
+
+/// After emitting the masked prefix, decides whether the `"` starting at the
+/// current position begins a raw string, and with how many hashes.
+fn raw_string_hashes(masked_prefix: &[u8]) -> Option<u32> {
+    let mut n = 0u32;
+    let mut idx = masked_prefix.len();
+    while idx > 0 && masked_prefix[idx - 1] == b'#' {
+        n += 1;
+        idx -= 1;
+    }
+    if idx == 0 {
+        return None;
+    }
+    let c = masked_prefix[idx - 1];
+    let prev = if idx >= 2 {
+        masked_prefix[idx - 2]
+    } else {
+        b' '
+    };
+    if c == b'r' && !prev.is_ascii_alphanumeric() && prev != b'_' {
+        return Some(n);
+    }
+    if c == b'r' && prev == b'b' {
+        let prev2 = if idx >= 3 {
+            masked_prefix[idx - 3]
+        } else {
+            b' '
+        };
+        if !prev2.is_ascii_alphanumeric() && prev2 != b'_' {
+            return Some(n);
+        }
+    }
+    None
+}
+
+/// Does the `"` at `bytes[i]` close a raw string with `n` hashes?
+fn raw_string_closes(bytes: &[u8], i: usize, n: u32) -> bool {
+    let n = n as usize;
+    if i + n >= bytes.len() + 1 && n > 0 {
+        return false;
+    }
+    bytes[i + 1..].len() >= n && bytes[i + 1..i + 1 + n].iter().all(|&b| b == b'#')
+}
+
+/// Is the `'` at `bytes[i]` the start of a char literal (vs a lifetime)?
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    // 'x' or '\x...' — a closing quote within a few bytes. Lifetimes are
+    // 'ident with no closing quote.
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Extracts `lint: allow(Lxxx[, Lyyy…])` directives from collected comments.
+///
+/// A directive in a trailing comment applies to its own line; a directive in
+/// a comment that is alone on its line applies to the next line.
+fn collect_allows(source: &str, comments: &[(usize, String)]) -> HashMap<usize, Vec<String>> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut allows: HashMap<usize, Vec<String>> = HashMap::new();
+    for (line_no, text) in comments {
+        let Some(rules) = parse_allow(text) else {
+            continue;
+        };
+        // Trailing comment (code before the `//` on the same line) → same
+        // line; otherwise → next line.
+        let own_line = lines
+            .get(line_no - 1)
+            .map(|l| {
+                let before = l.split("//").next().unwrap_or("");
+                !before.trim().is_empty()
+            })
+            .unwrap_or(false);
+        let target = if own_line { *line_no } else { line_no + 1 };
+        allows.entry(target).or_default().extend(rules);
+    }
+    allows
+}
+
+/// Parses the rule list out of one comment body, if it is an allow directive.
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let idx = comment.find("lint: allow(")?;
+    let rest = &comment[idx + "lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| {
+            r.len() == 4 && r.starts_with('L') && r[1..].chars().all(|c| c.is_ascii_digit())
+        })
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+/// Finds the byte ranges of `#[cfg(test)]`-gated items in masked source by
+/// brace matching from the attribute.
+fn find_test_ranges(masked: &str) -> Vec<Range<usize>> {
+    let mut ranges = Vec::new();
+    let needle = "#[cfg(test)]";
+    let bytes = masked.as_bytes();
+    let mut from = 0usize;
+    while let Some(rel) = masked[from..].find(needle) {
+        let attr_at = from + rel;
+        // Find the opening brace of the gated item.
+        let mut depth = 0i64;
+        let mut start = None;
+        let mut end = attr_at + needle.len();
+        for (off, &b) in bytes[attr_at..].iter().enumerate() {
+            match b {
+                b'{' => {
+                    if start.is_none() {
+                        start = Some(attr_at + off);
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 && start.is_some() {
+                        end = attr_at + off + 1;
+                        break;
+                    }
+                }
+                // A `;` before any `{` ends the item (e.g. a gated `use`).
+                b';' if start.is_none() => {
+                    end = attr_at + off + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        ranges.push(attr_at..end.max(attr_at + needle.len()));
+        from = end.max(attr_at + needle.len());
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let s = scan("let x = 1; // unwrap() here\n/* .unwrap() */ let y = 2;\n");
+        assert!(!s.masked.contains("unwrap"));
+        assert!(s.masked.contains("let x = 1;"));
+        assert!(s.masked.contains("let y = 2;"));
+        assert_eq!(
+            s.masked.len(),
+            "let x = 1; // unwrap() here\n/* .unwrap() */ let y = 2;\n".len()
+        );
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let s = scan("a /* outer /* inner */ still comment */ b");
+        assert!(s.masked.starts_with('a'));
+        assert!(s.masked.ends_with('b'));
+        assert!(!s.masked.contains("inner"));
+        assert!(!s.masked.contains("still"));
+    }
+
+    #[test]
+    fn masks_strings_and_chars_but_not_code() {
+        let s = scan(r#"let s = "a == b .unwrap()"; let c = '"'; x.unwrap();"#);
+        assert!(!s.masked.contains("a == b"));
+        assert!(s.masked.contains("x.unwrap();"), "{}", s.masked);
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let src = "let s = r#\"inner .unwrap() \"quote\" \"#; y.unwrap();";
+        let s = scan(src);
+        assert!(!s.masked.contains("inner"));
+        assert!(s.masked.contains("y.unwrap();"), "{}", s.masked);
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x } y.unwrap();");
+        assert!(s.masked.contains("y.unwrap();"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let s = scan(r#"let s = "ends with backslash \" quote"; z.unwrap();"#);
+        assert!(s.masked.contains("z.unwrap();"), "{}", s.masked);
+    }
+
+    #[test]
+    fn allow_directive_trailing_applies_to_same_line() {
+        let s = scan("let a = x.unwrap(); // lint: allow(L002)\n");
+        assert!(s.is_allowed("L002", 1));
+        assert!(!s.is_allowed("L001", 1));
+    }
+
+    #[test]
+    fn allow_directive_standalone_applies_to_next_line() {
+        let s = scan("// lint: allow(L001, L003)\nlet b = y == z;\n");
+        assert!(s.is_allowed("L001", 2));
+        assert!(s.is_allowed("L003", 2));
+        assert!(!s.is_allowed("L001", 1));
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_test_modules() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let s = scan(src);
+        let unwrap_pos = src.find("x.unwrap").expect("present");
+        assert!(s.in_test_code(unwrap_pos));
+        let lib2 = src.find("lib2").expect("present");
+        assert!(!s.in_test_code(lib2));
+    }
+
+    #[test]
+    fn newlines_survive_masking_for_line_math() {
+        let src = "/* a\nb\nc */\nlet x = 1;\n";
+        let s = scan(src);
+        assert_eq!(s.masked.matches('\n').count(), src.matches('\n').count());
+        // `let x` is still on line 4.
+        let line_of =
+            |hay: &str, pat: &str| hay[..hay.find(pat).expect("present")].matches('\n').count() + 1;
+        assert_eq!(line_of(&s.masked, "let x"), 4);
+    }
+}

@@ -1,0 +1,22 @@
+//! Tier-1 gate: the workspace must lint clean.
+//!
+//! This test makes `cargo test -q` run the full static-analysis pass: any
+//! new violation of L001–L005 (or a stale baseline entry) fails the suite
+//! with the finding list in the assertion message.
+
+#![forbid(unsafe_code)]
+
+use cloudsched_lint::run_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run_workspace(&root).expect("lint pass runs");
+    assert!(
+        report.files_scanned >= 60,
+        "discovery looks broken: only {} files scanned",
+        report.files_scanned
+    );
+    assert!(report.is_clean(), "\n{}", report.render());
+}

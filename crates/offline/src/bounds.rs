@@ -72,11 +72,7 @@ mod tests {
     #[test]
     fn fluid_bound_is_tight_for_saturated_uniform_density() {
         // Density-1 jobs saturating the span: fluid bound = servable workload.
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 1.0, 2.0, 2.0),
-            (0.0, 1.0, 2.0, 2.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 1.0, 2.0, 2.0), (0.0, 1.0, 2.0, 2.0)]).unwrap();
         let cap = Constant::unit();
         assert_eq!(fluid_bound(&jobs, &cap), 1.0);
         let (opt, _) = optimal_value(&jobs, &cap);

@@ -36,6 +36,7 @@ pub fn optimal_value<P: CapacityProfile>(jobs: &JobSet, capacity: &P) -> (f64, V
         best_value: &mut f64,
         best_set: &mut Vec<JobId>,
     ) {
+        // lint: allow(L001) — deliberate one-sided pruning slack
         if chosen_value + suffix[idx] <= *best_value + 1e-12 {
             return; // optimistic bound cannot beat the incumbent
         }
@@ -118,11 +119,7 @@ mod tests {
     #[test]
     fn overload_picks_best_subset() {
         // Two conflicting jobs; the valuable one wins.
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 2.0, 2.0, 1.0),
-            (0.0, 2.0, 2.0, 9.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 2.0, 2.0, 1.0), (0.0, 2.0, 2.0, 9.0)]).unwrap();
         let (v, s) = optimal_value(&jobs, &Constant::unit());
         assert_eq!(v, 9.0);
         assert_eq!(s, vec![JobId(1)]);

@@ -7,7 +7,7 @@
 //! for misses.
 
 use cloudsched_capacity::CapacityProfile;
-use cloudsched_core::{approx_le, Job, Time};
+use cloudsched_core::{approx_le, approx_zero, Job, Time};
 use std::collections::BTreeSet;
 
 /// Returns `true` iff the given jobs can all be completed by their deadlines
@@ -68,7 +68,7 @@ pub fn edf_feasible<P: CapacityProfile>(jobs: &[Job], capacity: &P) -> bool {
             let done = capacity.integrate(t, next_release);
             remaining[i] = (remaining[i] - done).max(0.0);
             t = next_release;
-            if remaining[i] <= 1e-9 {
+            if approx_zero(remaining[i]) {
                 // Finished within rounding right at the boundary.
                 if !approx_le(t.as_f64(), d.as_f64()) {
                     return false;

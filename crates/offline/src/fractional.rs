@@ -87,19 +87,21 @@ pub fn fractional_optimal<P: CapacityProfile>(jobs: &JobSet, capacity: &P) -> (f
             let mut path: Vec<(usize, usize)> = Vec::new(); // (job, cell) hops
             let mut c = target;
             loop {
-                let j = parent_job[c].expect("path exists");
+                let j = parent_job[c].expect("invariant: BFS reached this cell via some job");
                 path.push((j, c));
                 if j == i {
                     break;
                 }
-                c = parent_cell[j].expect("path exists");
+                c = parent_cell[j]
+                    .expect("invariant: every non-source job on the path was reached via a cell");
             }
             // path is [(j_k, target), ..., (i, c1)] — bottleneck over the
             // "decrease alloc[j][parent_cell[j]]" edges plus residual+need.
             let mut bottleneck = need.min(residual[target]);
             for &(j, _) in &path {
                 if j != i {
-                    let pc = parent_cell[j].expect("path");
+                    let pc =
+                        parent_cell[j].expect("invariant: non-source path jobs have a parent cell");
                     bottleneck = bottleneck.min(alloc[j][pc]);
                 }
             }
@@ -112,7 +114,8 @@ pub fn fractional_optimal<P: CapacityProfile>(jobs: &JobSet, capacity: &P) -> (f
             for &(j, c_to) in &path {
                 alloc[j][c_to] += bottleneck;
                 if j != i {
-                    let pc = parent_cell[j].expect("path");
+                    let pc =
+                        parent_cell[j].expect("invariant: non-source path jobs have a parent cell");
                     alloc[j][pc] -= bottleneck;
                 }
             }
@@ -125,10 +128,7 @@ pub fn fractional_optimal<P: CapacityProfile>(jobs: &JobSet, capacity: &P) -> (f
         .iter()
         .map(|j| (served[j.id.index()] / j.workload).clamp(0.0, 1.0))
         .collect();
-    let total = jobs
-        .iter()
-        .map(|j| j.value * fractions[j.id.index()])
-        .sum();
+    let total = jobs.iter().map(|j| j.value * fractions[j.id.index()]).sum();
     (total, fractions)
 }
 
@@ -188,11 +188,7 @@ mod tests {
 
     #[test]
     fn feasible_set_fully_served() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 4.0, 2.0, 3.0),
-            (1.0, 6.0, 2.0, 5.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 4.0, 2.0, 3.0), (1.0, 6.0, 2.0, 5.0)]).unwrap();
         let (v, f) = fractional_optimal(&jobs, &Constant::unit());
         assert!((v - 8.0).abs() < 1e-9);
         assert!(f.iter().all(|&x| (x - 1.0).abs() < 1e-9));
@@ -251,7 +247,9 @@ mod tests {
     fn dominates_integral_optimum() {
         for seed in 0..30u64 {
             let f = |x: u64| {
-                ((seed.wrapping_mul(6364136223846793005).wrapping_add(x.wrapping_mul(1442695040888963407)))
+                ((seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(x.wrapping_mul(1442695040888963407)))
                     % 1000) as f64
                     / 1000.0
             };
@@ -285,11 +283,7 @@ mod tests {
 
     #[test]
     fn varying_capacity_cells() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 2.0, 5.0, 10.0),
-            (1.0, 3.0, 4.0, 4.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 2.0, 5.0, 10.0), (1.0, 3.0, 4.0, 4.0)]).unwrap();
         let cap = PiecewiseConstant::from_durations(&[(1.0, 1.0), (2.0, 4.0)]).unwrap();
         let (v, f) = fractional_optimal(&jobs, &cap);
         assert!((v - 14.0).abs() < 1e-9);

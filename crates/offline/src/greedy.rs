@@ -44,11 +44,7 @@ mod tests {
 
     #[test]
     fn takes_everything_when_feasible() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 10.0, 1.0, 1.0),
-            (0.0, 10.0, 1.0, 2.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 1.0, 1.0), (0.0, 10.0, 1.0, 2.0)]).unwrap();
         let (v, ids) = greedy_by_value(&jobs, &Constant::unit());
         assert_eq!(v, 3.0);
         assert_eq!(ids, vec![JobId(0), JobId(1)]);
@@ -56,11 +52,7 @@ mod tests {
 
     #[test]
     fn value_greedy_picks_the_big_one() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 2.0, 2.0, 5.0),
-            (0.0, 2.0, 2.0, 7.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 2.0, 2.0, 5.0), (0.0, 2.0, 2.0, 7.0)]).unwrap();
         let (v, ids) = greedy_by_value(&jobs, &Constant::unit());
         assert_eq!(v, 7.0);
         assert_eq!(ids, vec![JobId(1)]);

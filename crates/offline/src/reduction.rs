@@ -47,13 +47,12 @@ mod tests {
 
     fn varying_instance() -> Instance {
         let jobs = JobSet::from_tuples(&[
-            (0.0, 2.0, 4.0, 5.0),  // only fits thanks to the high segment
+            (0.0, 2.0, 4.0, 5.0), // only fits thanks to the high segment
             (0.0, 2.0, 2.0, 3.0),
             (2.0, 5.0, 3.0, 4.0),
         ])
         .unwrap();
-        let cap = PiecewiseConstant::from_durations(&[(1.0, 1.0), (2.0, 4.0), (1.0, 2.0)])
-            .unwrap();
+        let cap = PiecewiseConstant::from_durations(&[(1.0, 1.0), (2.0, 4.0), (1.0, 2.0)]).unwrap();
         Instance::new(jobs, cap)
     }
 

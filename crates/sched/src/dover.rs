@@ -165,6 +165,24 @@ impl DoverFamily {
         *self.gen_mut(job) += 1;
     }
 
+    /// Instrumentation (Definition 5): a freshly-released, individually-
+    /// admissible job dispatched at its release instant must have
+    /// non-negative conservative laxity — at release the two quantities
+    /// coincide, so a violation means the kernel clock or the slack
+    /// bookkeeping drifted.
+    fn debug_assert_dispatch_laxity(&self, ctx: &SimContext<'_>, job: JobId) {
+        if cfg!(debug_assertions) {
+            let j = ctx.job(job);
+            let rate = self.cfg.estimate.rate(ctx);
+            if rate > 0.0 && j.individually_admissible(rate) && ctx.now().approx_eq(j.release) {
+                debug_assert!(
+                    ctx.laxity_with_rate(job, rate).as_f64() >= -1e-9,
+                    "dispatched {job} with negative conservative laxity at release"
+                );
+            }
+        }
+    }
+
     /// Inserts `job` into `Qother` and arms its zero-laxity interrupt at
     /// `d − p_r/ĉ` (clamped to now if already non-positive).
     fn insert_qother(&mut self, ctx: &mut SimContext<'_>, job: JobId) {
@@ -243,7 +261,10 @@ impl DoverFamily {
         if !self.qedf.is_empty() && !self.qother.is_empty() {
             let e = self.qedf[0];
             let cs = e.cslack_insert - (now - e.t_insert).as_f64();
-            let (d_o, o) = self.qother.earliest().expect("non-empty");
+            let (d_o, o) = self
+                .qother
+                .earliest()
+                .expect("invariant: qother checked non-empty above");
             if d_o < e.deadline && approx_ge(cs, self.tc(ctx, o)) {
                 self.qother.pop_earliest();
                 self.bump(o);
@@ -295,6 +316,7 @@ impl Scheduler for DoverFamily {
             (Flag::Idle, _) | (_, None) => {
                 self.cslack = self.claxity(ctx, arr);
                 self.flag = Flag::Reg;
+                self.debug_assert_dispatch_laxity(ctx, arr);
                 Decision::Run(arr)
             }
             // Lines B.5–B.12: regular job running — EDF arbitration with
@@ -310,6 +332,7 @@ impl Scheduler for DoverFamily {
                         cslack_insert: self.cslack,
                     });
                     self.cslack = (self.cslack - self.tc(ctx, arr)).min(self.claxity(ctx, arr));
+                    self.debug_assert_dispatch_laxity(ctx, arr);
                     Decision::Run(arr)
                 } else {
                     self.insert_qother(ctx, arr);
@@ -325,6 +348,7 @@ impl Scheduler for DoverFamily {
                 }
                 self.cslack = self.claxity(ctx, arr);
                 self.flag = Flag::Reg;
+                self.debug_assert_dispatch_laxity(ctx, arr);
                 Decision::Run(arr)
             }
         }
@@ -484,7 +508,10 @@ mod tests {
         .unwrap();
         let cap = Constant::unit();
         let r = simulate(&jobs, &cap, &mut Dover::new(100.0, 1.0), RunOptions::full());
-        assert!(r.outcome.get(JobId(1)).is_completed(), "urgent job must win");
+        assert!(
+            r.outcome.get(JobId(1)).is_completed(),
+            "urgent job must win"
+        );
         assert!(approx_eq(r.value, 100.0 + 1.0) || approx_eq(r.value, 100.0));
         audit_report(&jobs, &cap, &r).unwrap();
     }
@@ -578,7 +605,14 @@ mod tests {
         // Qother *between* the two Qedf resumptions (C.5–C.7), and J0 must
         // resume last with its restored cSlack (C.13–C.15).
         assert_eq!(r.completed, 4, "outcome: {:?}", r.outcome);
-        let order: Vec<JobId> = r.schedule.as_ref().unwrap().slices().iter().map(|s| s.job).collect();
+        let order: Vec<JobId> = r
+            .schedule
+            .as_ref()
+            .unwrap()
+            .slices()
+            .iter()
+            .map(|s| s.job)
+            .collect();
         assert_eq!(
             order,
             vec![JobId(0), JobId(1), JobId(2), JobId(1), JobId(3), JobId(0)],

@@ -97,11 +97,7 @@ mod tests {
 
     #[test]
     fn preempts_for_earlier_deadline() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 10.0, 5.0, 1.0),
-            (1.0, 3.0, 1.0, 1.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 5.0, 1.0), (1.0, 3.0, 1.0, 1.0)]).unwrap();
         let cap = Constant::unit();
         let r = simulate(&jobs, &cap, &mut Edf::new(), RunOptions::full());
         assert_eq!(r.completed, 2);
@@ -115,12 +111,13 @@ mod tests {
 
     #[test]
     fn no_preemption_for_later_deadline() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 5.0, 3.0, 1.0),
-            (1.0, 10.0, 1.0, 1.0),
-        ])
-        .unwrap();
-        let r = simulate(&jobs, &Constant::unit(), &mut Edf::new(), RunOptions::full());
+        let jobs = JobSet::from_tuples(&[(0.0, 5.0, 3.0, 1.0), (1.0, 10.0, 1.0, 1.0)]).unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Edf::new(),
+            RunOptions::full(),
+        );
         assert_eq!(r.preemptions, 0);
         assert_eq!(r.completed, 2);
     }
@@ -129,14 +126,13 @@ mod tests {
     fn completes_underloaded_set_on_varying_capacity() {
         // Theorem 2 sanity: a feasible set stays feasible for EDF under
         // varying capacity.
-        let cap = PiecewiseConstant::from_durations(&[(2.0, 1.0), (2.0, 4.0), (2.0, 2.0)])
-            .unwrap();
+        let cap = PiecewiseConstant::from_durations(&[(2.0, 1.0), (2.0, 4.0), (2.0, 2.0)]).unwrap();
         // Built to be exactly feasible: total workload equals capacity on [0,6]
         // consumed in deadline order.
         let jobs = JobSet::from_tuples(&[
-            (0.0, 2.0, 2.0, 1.0),  // served on [0,2) at rate 1
-            (0.0, 4.0, 8.0, 1.0),  // served on [2,4) at rate 4
-            (0.0, 6.0, 4.0, 1.0),  // served on [4,6) at rate 2
+            (0.0, 2.0, 2.0, 1.0), // served on [0,2) at rate 1
+            (0.0, 4.0, 8.0, 1.0), // served on [2,4) at rate 4
+            (0.0, 6.0, 4.0, 1.0), // served on [4,6) at rate 2
         ])
         .unwrap();
         let r = simulate(&jobs, &cap, &mut Edf::new(), RunOptions::full());
@@ -152,7 +148,12 @@ mod tests {
             (0.0, 2.1, 2.0, 100.0), // high value, slightly later deadline
         ])
         .unwrap();
-        let r = simulate(&jobs, &Constant::unit(), &mut Edf::new(), RunOptions::default());
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Edf::new(),
+            RunOptions::default(),
+        );
         // EDF finishes job 0, job 1 misses: value 1 of 101.
         assert_eq!(r.completed, 1);
         assert!(r.outcome.get(JobId(0)).is_completed());
@@ -161,12 +162,13 @@ mod tests {
 
     #[test]
     fn deadline_tie_broken_by_id() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 4.0, 1.0, 1.0),
-            (0.0, 4.0, 1.0, 1.0),
-        ])
-        .unwrap();
-        let r = simulate(&jobs, &Constant::unit(), &mut Edf::new(), RunOptions::full());
+        let jobs = JobSet::from_tuples(&[(0.0, 4.0, 1.0, 1.0), (0.0, 4.0, 1.0, 1.0)]).unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Edf::new(),
+            RunOptions::full(),
+        );
         let order: Vec<JobId> = r.schedule.unwrap().slices().iter().map(|s| s.job).collect();
         assert_eq!(order, vec![JobId(0), JobId(1)]);
     }
@@ -181,8 +183,7 @@ mod tests {
             (2.5, 5.0, 1.0, 1.0),
         ])
         .unwrap();
-        let cap = PiecewiseConstant::from_durations(&[(1.0, 2.0), (2.0, 1.0), (1.0, 3.0)])
-            .unwrap();
+        let cap = PiecewiseConstant::from_durations(&[(1.0, 2.0), (2.0, 1.0), (1.0, 3.0)]).unwrap();
         let r = simulate(&jobs, &cap, &mut Edf::new(), RunOptions::full());
         audit_report(&jobs, &cap, &r).unwrap();
     }

@@ -99,7 +99,12 @@ mod tests {
             (2.0, 20.0, 1.0, 1.0),
         ])
         .unwrap();
-        let r = simulate(&jobs, &Constant::unit(), &mut Fifo::new(), RunOptions::full());
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Fifo::new(),
+            RunOptions::full(),
+        );
         assert_eq!(r.preemptions, 0);
         let order: Vec<JobId> = r.schedule.unwrap().slices().iter().map(|s| s.job).collect();
         assert_eq!(order, vec![JobId(0), JobId(1), JobId(2)]);
@@ -113,7 +118,12 @@ mod tests {
             (1.0, 3.0, 1.0, 10.0), // dies in the queue
         ])
         .unwrap();
-        let r = simulate(&jobs, &Constant::unit(), &mut Fifo::new(), RunOptions::default());
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Fifo::new(),
+            RunOptions::default(),
+        );
         assert_eq!(r.completed, 1);
         assert!(!r.outcome.get(JobId(1)).is_completed());
     }
@@ -125,7 +135,7 @@ mod tests {
         // skipping variant jumps straight to job 2.
         let jobs = JobSet::from_tuples(&[
             (0.0, 20.0, 4.0, 1.0),
-            (1.0, 4.5, 2.0, 1.0),  // at t=4 it has 0.5s left but p=2: hopeless
+            (1.0, 4.5, 2.0, 1.0), // at t=4 it has 0.5s left but p=2: hopeless
             (1.0, 20.0, 1.0, 1.0),
         ])
         .unwrap();

@@ -125,11 +125,7 @@ mod tests {
 
     #[test]
     fn value_greedy_prefers_big_value() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 3.0, 2.0, 1.0),
-            (0.0, 3.0, 2.0, 10.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 3.0, 2.0, 1.0), (0.0, 3.0, 2.0, 10.0)]).unwrap();
         let r = simulate(
             &jobs,
             &Constant::unit(),
@@ -144,11 +140,7 @@ mod tests {
     #[test]
     fn density_greedy_prefers_dense_job() {
         // Job 0: v=6, p=6 (density 1). Job 1: v=4, p=1 (density 4).
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 6.0, 6.0, 6.0),
-            (0.0, 6.0, 1.0, 4.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 6.0, 6.0, 6.0), (0.0, 6.0, 1.0, 4.0)]).unwrap();
         let r = simulate(
             &jobs,
             &Constant::unit(),
@@ -161,11 +153,7 @@ mod tests {
 
     #[test]
     fn preempts_on_strictly_better_arrival() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 10.0, 5.0, 1.0),
-            (1.0, 10.0, 1.0, 5.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 5.0, 1.0), (1.0, 10.0, 1.0, 5.0)]).unwrap();
         let r = simulate(
             &jobs,
             &Constant::unit(),
@@ -178,11 +166,7 @@ mod tests {
 
     #[test]
     fn equal_score_does_not_preempt() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 10.0, 2.0, 3.0),
-            (1.0, 10.0, 2.0, 3.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 2.0, 3.0), (1.0, 10.0, 2.0, 3.0)]).unwrap();
         let r = simulate(
             &jobs,
             &Constant::unit(),

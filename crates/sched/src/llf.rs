@@ -53,7 +53,7 @@ impl Llf {
 
     /// Overrides the preemption hysteresis.
     pub fn hysteresis(mut self, h: f64) -> Self {
-        assert!(h >= 0.0);
+        assert!(h >= 0.0); // lint: allow(L001) — exact sign precondition
         self.hysteresis = h;
         self
     }
@@ -70,18 +70,8 @@ impl Llf {
     fn best_waiting(&self, ctx: &SimContext<'_>) -> Option<(f64, JobId)> {
         self.ready
             .iter()
-            .map(|&j| {
-                (
-                    self.laxity(ctx, j),
-                    ctx.job(j).deadline,
-                    j,
-                )
-            })
-            .min_by(|a, b| {
-                a.0.total_cmp(&b.0)
-                    .then(a.1.cmp(&b.1))
-                    .then(a.2.cmp(&b.2))
-            })
+            .map(|&j| (self.laxity(ctx, j), ctx.job(j).deadline, j))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)))
             .map(|(l, _, j)| (l, j))
     }
 
@@ -180,11 +170,7 @@ mod tests {
     #[test]
     fn runs_least_laxity_job_first() {
         // Job 0: d=10, p=2 -> laxity 8. Job 1: d=6, p=5 -> laxity 1.
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 10.0, 2.0, 1.0),
-            (0.0, 6.0, 5.0, 1.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 2.0, 1.0), (0.0, 6.0, 5.0, 1.0)]).unwrap();
         let r = simulate(
             &jobs,
             &Constant::unit(),
@@ -202,11 +188,7 @@ mod tests {
         // Job 1 released at 0: d=6, p=2 -> laxity 4 < 18, so it should win
         // immediately; then job 0 waits, its laxity falls, but job 1 is
         // short, so both complete.
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 20.0, 2.0, 1.0),
-            (1.0, 7.0, 2.0, 1.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 20.0, 2.0, 1.0), (1.0, 7.0, 2.0, 1.0)]).unwrap();
         let r = simulate(
             &jobs,
             &Constant::unit(),
@@ -227,7 +209,12 @@ mod tests {
         ])
         .unwrap();
         let cap = Constant::unit();
-        let r = simulate(&jobs, &cap, &mut Llf::with_estimate(1.0), RunOptions::full());
+        let r = simulate(
+            &jobs,
+            &cap,
+            &mut Llf::with_estimate(1.0),
+            RunOptions::full(),
+        );
         assert_eq!(r.completed, 3);
         audit_report(&jobs, &cap, &r).unwrap();
     }
@@ -250,11 +237,7 @@ mod tests {
     fn hysteresis_bounds_switching() {
         // Two identical jobs: pure LLF would thrash; hysteresis keeps the
         // number of preemptions small.
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 10.0, 4.0, 1.0),
-            (0.0, 10.0, 4.0, 1.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 4.0, 1.0), (0.0, 10.0, 4.0, 1.0)]).unwrap();
         let r = simulate(
             &jobs,
             &Constant::unit(),

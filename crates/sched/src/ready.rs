@@ -129,10 +129,7 @@ mod tests {
         q.insert(t(3.0), JobId(0));
         q.insert(t(1.0), JobId(1));
         let drained = q.drain();
-        assert_eq!(
-            drained,
-            vec![(t(1.0), JobId(1)), (t(3.0), JobId(0))]
-        );
+        assert_eq!(drained, vec![(t(1.0), JobId(1)), (t(3.0), JobId(0))]);
         assert!(q.is_empty());
     }
 }

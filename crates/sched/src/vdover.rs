@@ -175,7 +175,12 @@ mod tests {
         let mut dv = crate::Dover::with_beta(beta, 1.0);
         let rv = simulate(&jobs, &cap, &mut vd, RunOptions::full());
         let rd = simulate(&jobs, &cap, &mut dv, RunOptions::full());
-        assert!(approx_eq(rv.value, rd.value), "{} vs {}", rv.value, rd.value);
+        assert!(
+            approx_eq(rv.value, rd.value),
+            "{} vs {}",
+            rv.value,
+            rd.value
+        );
         for j in jobs.iter() {
             assert_eq!(
                 rv.outcome.get(j.id).is_completed(),
@@ -190,11 +195,7 @@ mod tests {
     fn conservative_laxity_does_not_abandon_rescuable_jobs() {
         // Same instance where Dover with an optimistic estimate fails but
         // V-Dover succeeds thanks to conservatism + supplements.
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 4.0, 4.0, 10.0),
-            (0.0, 4.0, 4.0, 9.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 4.0, 4.0, 10.0), (0.0, 4.0, 4.0, 9.0)]).unwrap();
         let cap = PiecewiseConstant::constant(4.0)
             .unwrap()
             .with_declared_bounds(1.0, 4.0)
@@ -231,11 +232,7 @@ mod tests {
 
     #[test]
     fn no_supplement_ablation_loses_value() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 8.0, 8.0, 10.0),
-            (0.0, 8.0, 8.0, 1.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 8.0, 8.0, 10.0), (0.0, 8.0, 8.0, 1.0)]).unwrap();
         let cap = low_then_high(0.0);
         let mut without = VDover::from_config(VDoverConfig {
             beta: 2.0,

@@ -117,8 +117,17 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
         debug_assert!(t >= self.now, "kernel time went backwards");
         if let Some(j) = self.running {
             let done = self.capacity.integrate(self.now, t);
+            debug_assert!(
+                done.is_finite() && done >= 0.0,
+                "capacity integral over [{}, {t}] is {done}",
+                self.now
+            );
             let r = &mut self.remaining[j.index()];
             *r = (*r - done).max(0.0);
+            debug_assert!(
+                r.is_finite() && *r >= 0.0,
+                "remaining workload of {j} went to {r}"
+            );
         }
         self.now = t;
     }
@@ -128,8 +137,9 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
         if let Some(j) = self.running.take() {
             if self.now > self.slice_start {
                 if let Some(s) = self.schedule.as_mut() {
-                    s.push(j, self.slice_start, self.now)
-                        .expect("kernel slices are time-ordered");
+                    s.push(j, self.slice_start, self.now).expect(
+                        "invariant: slice_start <= now, so kernel slices stay time-ordered",
+                    );
                 }
             }
             self.epoch += 1;
@@ -139,9 +149,15 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
     /// Marks `job` completed at the current instant and accrues its value.
     fn complete(&mut self, job: JobId) {
         debug_assert!(!self.resolved[job.index()]);
+        debug_assert!(
+            self.remaining[job.index()] <= completion_tolerance(self.jobs.get(job).workload),
+            "{job} declared complete with {} workload left",
+            self.remaining[job.index()]
+        );
         self.remaining[job.index()] = 0.0;
         self.resolved[job.index()] = true;
-        self.outcome.set(job, JobOutcome::Completed { at: self.now });
+        self.outcome
+            .set(job, JobOutcome::Completed { at: self.now });
         self.value += self.jobs.get(job).value;
         if let Some(traj) = self.trajectory.as_mut() {
             traj.push(TrajectoryPoint {
@@ -297,7 +313,12 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
 /// The kernel delivers release, completion-or-failure and timer interrupts in
 /// deterministic order (time, then kind, then FIFO) and integrates job
 /// progress exactly over the piecewise capacity profile.
-pub fn simulate<P, S>(jobs: &JobSet, capacity: &P, scheduler: &mut S, options: RunOptions) -> RunReport
+pub fn simulate<P, S>(
+    jobs: &JobSet,
+    capacity: &P,
+    scheduler: &mut S,
+    options: RunOptions,
+) -> RunReport
 where
     P: CapacityProfile,
     S: Scheduler + ?Sized,
@@ -426,8 +447,7 @@ mod tests {
     fn preemption_produces_stale_completion_and_correct_resume() {
         // Job 0 (p=4) starts at 0; job 1 (p=1) released at 1 preempts (LIFO);
         // job 0 is NOT resumed by this scheduler, so it misses; job 1 done at 2.
-        let jobs =
-            JobSet::from_tuples(&[(0.0, 10.0, 4.0, 1.0), (1.0, 10.0, 1.0, 2.0)]).unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 4.0, 1.0), (1.0, 10.0, 1.0, 2.0)]).unwrap();
         let cap = Constant::unit();
         let r = simulate(&jobs, &cap, &mut TestLifoPreempt, RunOptions::full());
         assert_eq!(r.preemptions, 1);
@@ -474,8 +494,7 @@ mod tests {
 
     #[test]
     fn preempted_job_resumes_from_point_of_preemption() {
-        let jobs =
-            JobSet::from_tuples(&[(0.0, 10.0, 4.0, 1.0), (1.0, 10.0, 1.0, 2.0)]).unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 4.0, 1.0), (1.0, 10.0, 1.0, 2.0)]).unwrap();
         let cap = Constant::unit();
         let mut s = TestLifoResume { stack: vec![] };
         let r = simulate(&jobs, &cap, &mut s, RunOptions::full());
@@ -548,17 +567,18 @@ mod tests {
             }
         }
         let jobs = JobSet::from_tuples(&[(0.0, 10.0, 1.0, 1.0)]).unwrap();
-        let r = simulate(&jobs, &Constant::unit(), &mut LateTimer, RunOptions::default());
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut LateTimer,
+            RunOptions::default(),
+        );
         assert_eq!(r.completed, 1);
     }
 
     #[test]
     fn trajectory_records_completions() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 10.0, 1.0, 5.0),
-            (0.0, 10.0, 1.0, 3.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 1.0, 5.0), (0.0, 10.0, 1.0, 3.0)]).unwrap();
         let r = simulate(
             &jobs,
             &Constant::unit(),
@@ -594,11 +614,7 @@ mod tests {
 
     #[test]
     fn idle_gaps_are_respected() {
-        let jobs = JobSet::from_tuples(&[
-            (0.0, 10.0, 1.0, 1.0),
-            (5.0, 10.0, 1.0, 1.0),
-        ])
-        .unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 1.0, 1.0), (5.0, 10.0, 1.0, 1.0)]).unwrap();
         let r = simulate(
             &jobs,
             &Constant::unit(),
@@ -643,8 +659,7 @@ mod tests {
                 Decision::Continue
             }
         }
-        let jobs =
-            JobSet::from_tuples(&[(0.0, 10.0, 1.0, 1.0), (5.0, 10.0, 1.0, 1.0)]).unwrap();
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 1.0, 1.0), (5.0, 10.0, 1.0, 1.0)]).unwrap();
         simulate(&jobs, &Constant::unit(), &mut Evil, RunOptions::default());
     }
 
@@ -668,9 +683,13 @@ mod tests {
                 Decision::Continue
             }
         }
-        let jobs =
-            JobSet::from_tuples(&[(0.0, 10.0, 2.0, 1.0), (1.0, 10.0, 1.0, 1.0)]).unwrap();
-        let r = simulate(&jobs, &Constant::unit(), &mut Redispatch, RunOptions::full());
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 2.0, 1.0), (1.0, 10.0, 1.0, 1.0)]).unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Redispatch,
+            RunOptions::full(),
+        );
         // Job 0 keeps running uninterrupted despite the redundant Run(cur):
         // exactly one slice, no preemptions.
         assert_eq!(r.preemptions, 0);

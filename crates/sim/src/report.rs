@@ -43,6 +43,7 @@ impl RunReport {
     /// normalising values).
     pub fn value_fraction_of(&self, jobs: &JobSet) -> f64 {
         let total = jobs.total_value();
+        // lint: allow(L001) — exact zero guard before division
         if total == 0.0 {
             0.0
         } else {
@@ -89,6 +90,7 @@ impl RunReport {
     pub fn busy_fraction(&self, jobs: &JobSet) -> Option<f64> {
         let schedule = self.schedule.as_ref()?;
         let span = (jobs.last_deadline() - jobs.first_release()).as_f64();
+        // lint: allow(L001) — exact degenerate-span guard
         if span <= 0.0 {
             return Some(0.0);
         }

@@ -1,6 +1,7 @@
-//! Inverse-transform samplers over `rand`'s uniform source.
+//! Inverse-transform samplers over the vendored uniform source
+//! (`cloudsched_core::rng`).
 
-use rand::Rng;
+use cloudsched_core::rng::Rng;
 
 /// Samples `Exp(rate)` (mean `1/rate`) by inverse transform.
 ///
@@ -9,7 +10,7 @@ use rand::Rng;
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
     // 1 - U ∈ (0, 1] avoids ln(0).
-    let u: f64 = rng.gen::<f64>();
+    let u: f64 = rng.next_f64();
     -(1.0 - u).ln() / rate
 }
 
@@ -22,7 +23,7 @@ pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
     if lo == hi {
         return lo;
     }
-    lo + (hi - lo) * rng.gen::<f64>()
+    lo + (hi - lo) * rng.next_f64()
 }
 
 /// Samples a bounded Pareto on `[lo, hi]` with shape `alpha` — a heavy-tailed
@@ -32,7 +33,7 @@ pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
 /// If the support or shape is invalid.
 pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
     assert!(alpha > 0.0 && lo > 0.0 && hi > lo, "invalid bounded Pareto");
-    let u: f64 = rng.gen::<f64>();
+    let u: f64 = rng.next_f64();
     let la = lo.powf(alpha);
     let ha = hi.powf(alpha);
     // Inverse CDF of the truncated Pareto.
@@ -42,10 +43,10 @@ pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use cloudsched_core::rng::Pcg32;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Pcg32 {
+        Pcg32::seed_from_u64(42)
     }
 
     #[test]
@@ -105,7 +106,9 @@ mod tests {
         // Mean of BP(α=1.1, 1, 1000) is far above the median.
         let mut r = rng();
         let n = 100_000;
-        let mut xs: Vec<f64> = (0..n).map(|_| bounded_pareto(&mut r, 1.1, 1.0, 1000.0)).collect();
+        let mut xs: Vec<f64> = (0..n)
+            .map(|_| bounded_pareto(&mut r, 1.1, 1.0, 1000.0))
+            .collect();
         xs.sort_by(f64::total_cmp);
         let median = xs[n / 2];
         let mean = xs.iter().sum::<f64>() / n as f64;
@@ -115,11 +118,11 @@ mod tests {
     #[test]
     fn determinism_under_seed() {
         let a: Vec<f64> = {
-            let mut r = StdRng::seed_from_u64(7);
+            let mut r = Pcg32::seed_from_u64(7);
             (0..5).map(|_| exponential(&mut r, 1.0)).collect()
         };
         let b: Vec<f64> = {
-            let mut r = StdRng::seed_from_u64(7);
+            let mut r = Pcg32::seed_from_u64(7);
             (0..5).map(|_| exponential(&mut r, 1.0)).collect()
         };
         assert_eq!(a, b);

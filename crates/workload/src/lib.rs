@@ -9,8 +9,9 @@
 //! > `H = 2000/λ`, and capacity following a two-state continuous-time Markov
 //! > process on `{1, 35}` with mean sojourn `H/4`.
 //!
-//! All distributions are hand-rolled inverse transforms on top of `rand`'s
-//! uniform source, so the only external dependency is the RNG itself.
+//! All distributions are hand-rolled inverse transforms on top of the
+//! vendored uniform source in `cloudsched_core::rng`, so the crate builds
+//! with zero external dependencies (the sandbox has no registry access).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

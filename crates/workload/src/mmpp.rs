@@ -7,7 +7,7 @@
 //! example scenarios to stress the schedulers with correlated overload.
 
 use crate::dist::exponential;
-use rand::Rng;
+use cloudsched_core::rng::Rng;
 
 /// One regime of the modulating chain.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,7 +85,7 @@ impl Mmpp {
             }
             t = regime_end;
             if self.states.len() > 1 {
-                let mut next = rng.gen_range(0..self.states.len() - 1);
+                let mut next = rng.next_index(self.states.len() - 1);
                 if next >= state {
                     next += 1;
                 }
@@ -99,7 +99,7 @@ impl Mmpp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use cloudsched_core::rng::Pcg32;
 
     #[test]
     fn mean_rate_weighted() {
@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn long_run_count_matches_mean_rate() {
         let m = Mmpp::bursty(2.0, 10.0, 3.0, 1.0);
-        let mut rng = StdRng::seed_from_u64(50);
+        let mut rng = Pcg32::seed_from_u64(50);
         let horizon = 20_000.0;
         let n = m.sample(&mut rng, horizon).len() as f64;
         let expected = m.mean_rate() * horizon;
@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn arrivals_sorted_within_horizon() {
         let m = Mmpp::bursty(1.0, 5.0, 2.0, 2.0);
-        let mut rng = StdRng::seed_from_u64(51);
+        let mut rng = Pcg32::seed_from_u64(51);
         let a = m.sample(&mut rng, 100.0);
         for w in a.windows(2) {
             assert!(w[0] <= w[1]);
@@ -137,7 +137,7 @@ mod tests {
         // Index of dispersion of counts (variance/mean over windows) must
         // exceed 1 for a strongly modulated process.
         let m = Mmpp::bursty(0.5, 20.0, 5.0, 5.0);
-        let mut rng = StdRng::seed_from_u64(52);
+        let mut rng = Pcg32::seed_from_u64(52);
         let horizon = 5_000.0;
         let arrivals = m.sample(&mut rng, horizon);
         let window = 10.0;
@@ -162,7 +162,7 @@ mod tests {
             mean_sojourn: 1.0,
         }]);
         assert_eq!(m.mean_rate(), 3.0);
-        let mut rng = StdRng::seed_from_u64(53);
+        let mut rng = Pcg32::seed_from_u64(53);
         let a = m.sample(&mut rng, 1000.0);
         let n = a.len() as f64;
         assert!((n - 3000.0).abs() < 5.0 * 3000.0_f64.sqrt());

@@ -4,8 +4,8 @@ use crate::ctmc::CtmcCapacity;
 use crate::dist::{exponential, uniform};
 use crate::poisson::poisson_arrivals;
 use cloudsched_capacity::Instance;
+use cloudsched_core::rng::{Pcg32, Rng};
 use cloudsched_core::{CoreError, Job, JobId, JobSet, Time};
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Parameters of the §IV experiment. [`PaperScenario::table1`] reproduces the
 /// published configuration for a given arrival rate `λ`.
@@ -65,7 +65,7 @@ impl PaperScenario {
 
     /// Generates one instance from the scenario with a deterministic seed.
     pub fn generate(&self, seed: u64) -> Result<ScenarioInstance, CoreError> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Pcg32::seed_from_u64(seed);
         self.generate_with(&mut rng)
     }
 

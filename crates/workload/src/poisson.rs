@@ -1,7 +1,7 @@
 //! Poisson arrival processes.
 
 use crate::dist::exponential;
-use rand::Rng;
+use cloudsched_core::rng::Rng;
 
 /// Release instants of a Poisson process with rate `lambda` on `[0, horizon)`.
 ///
@@ -9,7 +9,10 @@ use rand::Rng;
 /// If `lambda <= 0` or `horizon < 0`.
 pub fn poisson_arrivals<R: Rng + ?Sized>(rng: &mut R, lambda: f64, horizon: f64) -> Vec<f64> {
     assert!(lambda > 0.0, "arrival rate must be positive, got {lambda}");
-    assert!(horizon >= 0.0, "horizon must be non-negative, got {horizon}");
+    assert!(
+        horizon >= 0.0,
+        "horizon must be non-negative, got {horizon}"
+    );
     let mut t = 0.0;
     let mut out = Vec::with_capacity((lambda * horizon) as usize + 16);
     loop {
@@ -25,11 +28,11 @@ pub fn poisson_arrivals<R: Rng + ?Sized>(rng: &mut R, lambda: f64, horizon: f64)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use cloudsched_core::rng::Pcg32;
 
     #[test]
     fn count_matches_rate() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         let lambda = 6.0;
         let horizon = 5000.0;
         let arrivals = poisson_arrivals(&mut rng, lambda, horizon);
@@ -44,7 +47,7 @@ mod tests {
 
     #[test]
     fn arrivals_sorted_within_horizon() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Pcg32::seed_from_u64(2);
         let a = poisson_arrivals(&mut rng, 3.0, 100.0);
         for w in a.windows(2) {
             assert!(w[0] <= w[1]);
@@ -54,13 +57,13 @@ mod tests {
 
     #[test]
     fn zero_horizon_gives_no_arrivals() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Pcg32::seed_from_u64(3);
         assert!(poisson_arrivals(&mut rng, 5.0, 0.0).is_empty());
     }
 
     #[test]
     fn interarrival_times_are_exponential() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Pcg32::seed_from_u64(4);
         let a = poisson_arrivals(&mut rng, 2.0, 50_000.0);
         let gaps: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;

@@ -6,14 +6,16 @@
 //!
 //! Run with: `cargo run --release --example batch_analytics`
 
+#![forbid(unsafe_code)]
+
+use cloudsched::core::{Job, JobId};
 use cloudsched::prelude::*;
 use cloudsched::workload::ctmc::CtmcCapacity;
 use cloudsched::workload::dist::{bounded_pareto, uniform};
-use cloudsched::core::{Job, JobId};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use cloudsched_core::rng::{Pcg32, Rng};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(88);
+    let mut rng = Pcg32::seed_from_u64(88);
     let night = 480.0; // an 8-hour window, in minutes
     let chain = CtmcCapacity::two_state(1.0, 6.0, 60.0).expect("chain");
     let capacity = chain.sample(&mut rng, night).expect("trace");
@@ -24,7 +26,7 @@ fn main() {
         "slack", "V-Dover", "Dover(1)", "EDF", "HVDF"
     );
     for slack in [1.0, 1.5, 2.5, 4.0] {
-        let jobs = batch_jobs(&mut StdRng::seed_from_u64(99), night, slack);
+        let jobs = batch_jobs(&mut Pcg32::seed_from_u64(99), night, slack);
         let k = jobs.importance_ratio().unwrap_or(7.0);
         let mut row = format!("{slack:<8}");
         for mut s in [
@@ -48,11 +50,11 @@ fn main() {
 /// Heavy-tailed nightly batch: ~90 reports released through the first half
 /// of the night, each due `slack × workload / c_lo` after release, values
 /// mixing size and per-team priority.
-fn batch_jobs(rng: &mut StdRng, night: f64, slack: f64) -> JobSet {
+fn batch_jobs(rng: &mut Pcg32, night: f64, slack: f64) -> JobSet {
     let n = 90;
     let jobs: Vec<Job> = (0..n)
         .map(|i| {
-            let release = rng.gen::<f64>() * night * 0.5;
+            let release = rng.next_f64() * night * 0.5;
             let workload = bounded_pareto(rng, 1.3, 1.0, 60.0);
             let deadline = release + slack * workload; // c_lo = 1
             let priority = uniform(rng, 1.0, 7.0);

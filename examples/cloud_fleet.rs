@@ -5,14 +5,16 @@
 //!
 //! Run with: `cargo run --release --example cloud_fleet`
 
+#![forbid(unsafe_code)]
+
 use cloudsched::cloud::{induced_capacity, schedule_fleet, DispatchPolicy, PrimaryLoad, Server};
+use cloudsched::core::{Job, JobId};
 use cloudsched::prelude::*;
 use cloudsched::workload::dist::{exponential, uniform};
-use cloudsched::core::{Job, JobId};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use cloudsched_core::rng::{Pcg32, Rng};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(4242);
+    let mut rng = Pcg32::seed_from_u64(4242);
     let horizon = 150.0;
     let fleet_size = 4;
 
@@ -75,12 +77,12 @@ fn main() {
     );
 }
 
-fn secondary_jobs(rng: &mut StdRng, horizon: f64, n: usize) -> JobSet {
+fn secondary_jobs(rng: &mut Pcg32, horizon: f64, n: usize) -> JobSet {
     let jobs: Vec<Job> = (0..n)
         .map(|i| {
-            let release = rng.gen::<f64>() * horizon * 0.9;
+            let release = rng.next_f64() * horizon * 0.9;
             let workload = exponential(rng, 0.5).max(0.05); // mean 2
-            let slack = 1.0 + rng.gen::<f64>() * 2.0;
+            let slack = 1.0 + rng.next_f64() * 2.0;
             let density = uniform(rng, 1.0, 7.0);
             Job::new(
                 JobId(i as u64),

@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example overload_triage`
 
+#![forbid(unsafe_code)]
+
 use cloudsched::offline::optimal_value;
 use cloudsched::prelude::*;
 
@@ -56,7 +58,10 @@ fn main() {
         Box::new(Greedy::highest_value()),
         Box::new(Fifo::new()),
     ];
-    println!("{:<16} {:>7} {:>10} {:>12}", "scheduler", "value", "completed", "value/OPT");
+    println!(
+        "{:<16} {:>7} {:>10} {:>12}",
+        "scheduler", "value", "completed", "value/OPT"
+    );
     for mut s in schedulers {
         let report = simulate(&jobs, &capacity, &mut *s, RunOptions::full());
         audit_report(&jobs, &capacity, &report).expect("audit clean");

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![forbid(unsafe_code)]
+
 use cloudsched::prelude::*;
 
 fn main() {
@@ -26,7 +28,11 @@ fn main() {
     ])
     .unwrap();
 
-    println!("Instance: {} jobs, total value {:.1}, capacity class C(1, 4)\n", jobs.len(), jobs.total_value());
+    println!(
+        "Instance: {} jobs, total value {:.1}, capacity class C(1, 4)\n",
+        jobs.len(),
+        jobs.total_value()
+    );
 
     let k = jobs.importance_ratio().unwrap_or(7.0);
     for mut scheduler in [
@@ -49,7 +55,12 @@ fn main() {
         if report.scheduler == "V-Dover" {
             println!("\n  V-Dover execution schedule:");
             for s in report.schedule.as_ref().unwrap().slices() {
-                println!("    [{:>6.2}, {:>6.2})  {}", s.start.as_f64(), s.end.as_f64(), s.job);
+                println!(
+                    "    [{:>6.2}, {:>6.2})  {}",
+                    s.start.as_f64(),
+                    s.end.as_f64(),
+                    s.job
+                );
             }
             println!();
         }

@@ -9,13 +9,15 @@
 //!
 //! Run with: `cargo run --release --example spot_market`
 
+#![forbid(unsafe_code)]
+
 use cloudsched::cloud::spot::{build_spot_instance, SpotPrice, SpotWorkload};
 use cloudsched::cloud::{induced_capacity, PrimaryLoad, Server};
 use cloudsched::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
+use cloudsched_core::rng::Pcg32;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2026);
+    let mut rng = Pcg32::seed_from_u64(2026);
     let horizon = 200.0;
 
     // A 16-unit server; at least 2 units always remain for secondary work.
@@ -83,5 +85,8 @@ fn main() {
         .iter()
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("results");
-    println!("\nBest extractor on this sample path: {} ({:.1})", best.0, best.1);
+    println!(
+        "\nBest extractor on this sample path: {} ({:.1})",
+        best.0, best.1
+    );
 }

@@ -1,0 +1,33 @@
+# Local mirror of .github/workflows/ci.yml. Everything runs offline: the
+# workspace has no registry dependencies, and CARGO_NET_OFFLINE makes any
+# regression of that property an immediate error.
+
+export CARGO_NET_OFFLINE := "true"
+
+# Run the full CI gauntlet.
+ci: fmt build bench-check test lint
+
+fmt:
+    cargo fmt --all --check
+
+build:
+    cargo build --release --workspace
+
+bench-check:
+    cargo check --benches --workspace
+
+test:
+    cargo test -q --workspace
+
+# Workspace static analysis (rules L001–L005); also runs as a tier-1 test.
+lint:
+    cargo run --release -p cloudsched-lint
+
+# Regenerate lint.baseline (only to grandfather genuinely unfixable debt).
+lint-baseline:
+    cargo run --release -p cloudsched-lint -- --write-baseline
+
+# Certify a generated trace against Thm 2 / Def 4 / the SIII-A bijection.
+audit lambda="8" seed="1":
+    cargo run --release -p cloudsched-cli -- gen --lambda {{lambda}} --seed {{seed}} --out /tmp/cloudsched-trace.txt
+    cargo run --release -p cloudsched-cli -- audit --trace /tmp/cloudsched-trace.txt

@@ -60,5 +60,5 @@ pub mod prelude {
     pub use cloudsched_sim::{
         audit::audit_report, simulate, Decision, RunOptions, RunReport, Scheduler, SimContext,
     };
-    pub use cloudsched_workload::{PaperScenario, poisson_arrivals};
+    pub use cloudsched_workload::{poisson_arrivals, PaperScenario};
 }

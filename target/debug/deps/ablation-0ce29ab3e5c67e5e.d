@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-0ce29ab3e5c67e5e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-0ce29ab3e5c67e5e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-3117acc2460f39eb.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-3117acc2460f39eb: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

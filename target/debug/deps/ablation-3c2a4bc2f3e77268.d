@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-3c2a4bc2f3e77268.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-3c2a4bc2f3e77268.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

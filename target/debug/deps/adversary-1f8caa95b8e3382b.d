@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversary-1f8caa95b8e3382b.d: crates/bench/src/bin/adversary.rs
+
+/root/repo/target/debug/deps/adversary-1f8caa95b8e3382b: crates/bench/src/bin/adversary.rs
+
+crates/bench/src/bin/adversary.rs:

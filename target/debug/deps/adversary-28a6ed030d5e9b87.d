@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversary-28a6ed030d5e9b87.d: crates/bench/src/bin/adversary.rs
+
+/root/repo/target/debug/deps/libadversary-28a6ed030d5e9b87.rmeta: crates/bench/src/bin/adversary.rs
+
+crates/bench/src/bin/adversary.rs:

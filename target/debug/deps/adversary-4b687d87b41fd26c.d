@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversary-4b687d87b41fd26c.d: crates/bench/src/bin/adversary.rs
+
+/root/repo/target/debug/deps/adversary-4b687d87b41fd26c: crates/bench/src/bin/adversary.rs
+
+crates/bench/src/bin/adversary.rs:

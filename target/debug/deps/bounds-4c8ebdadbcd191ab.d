@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds-4c8ebdadbcd191ab.d: crates/bench/src/bin/bounds.rs
+
+/root/repo/target/debug/deps/bounds-4c8ebdadbcd191ab: crates/bench/src/bin/bounds.rs
+
+crates/bench/src/bin/bounds.rs:

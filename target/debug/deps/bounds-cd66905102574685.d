@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds-cd66905102574685.d: crates/bench/src/bin/bounds.rs
+
+/root/repo/target/debug/deps/libbounds-cd66905102574685.rmeta: crates/bench/src/bin/bounds.rs
+
+crates/bench/src/bin/bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds-dd03a5fad33ba3a9.d: crates/bench/src/bin/bounds.rs
+
+/root/repo/target/debug/deps/bounds-dd03a5fad33ba3a9: crates/bench/src/bin/bounds.rs
+
+crates/bench/src/bin/bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity-a553515059192b33.d: crates/bench/benches/capacity.rs
+
+/root/repo/target/debug/deps/libcapacity-a553515059192b33.rmeta: crates/bench/benches/capacity.rs
+
+crates/bench/benches/capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched-060ac13a16c4f795.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cloudsched-060ac13a16c4f795: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched-2206df54d875cc3f.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cloudsched-2206df54d875cc3f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cloudsched-2d2ce85532402f04.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcloudsched-2d2ce85532402f04.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcloudsched-2d2ce85532402f04.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched-54604bc863c36d46.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcloudsched-54604bc863c36d46.rmeta: src/lib.rs
+
+src/lib.rs:

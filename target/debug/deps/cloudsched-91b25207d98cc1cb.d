@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched-91b25207d98cc1cb.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cloudsched-91b25207d98cc1cb: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched-a8f293dbfac680ef.d: src/lib.rs
+
+/root/repo/target/debug/deps/cloudsched-a8f293dbfac680ef: src/lib.rs
+
+src/lib.rs:

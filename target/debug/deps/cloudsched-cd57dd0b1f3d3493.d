@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched-cd57dd0b1f3d3493.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libcloudsched-cd57dd0b1f3d3493.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cloudsched_analysis-8b47aa6a84ac0daf.d: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/debug/deps/libcloudsched_analysis-8b47aa6a84ac0daf.rlib: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/debug/deps/libcloudsched_analysis-8b47aa6a84ac0daf.rmeta: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/admissibility.rs:
+crates/analysis/src/adversary.rs:
+crates/analysis/src/bounds.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:

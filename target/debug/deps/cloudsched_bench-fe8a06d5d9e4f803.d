@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloudsched_bench-fe8a06d5d9e4f803.d: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+/root/repo/target/debug/deps/libcloudsched_bench-fe8a06d5d9e4f803.rmeta: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/algos.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/ratio.rs:

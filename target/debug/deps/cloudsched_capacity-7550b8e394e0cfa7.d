@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cloudsched_capacity-7550b8e394e0cfa7.d: crates/capacity/src/lib.rs crates/capacity/src/constant.rs crates/capacity/src/instance.rs crates/capacity/src/patterns.rs crates/capacity/src/piecewise.rs crates/capacity/src/profile.rs crates/capacity/src/stretch.rs
+
+/root/repo/target/debug/deps/libcloudsched_capacity-7550b8e394e0cfa7.rlib: crates/capacity/src/lib.rs crates/capacity/src/constant.rs crates/capacity/src/instance.rs crates/capacity/src/patterns.rs crates/capacity/src/piecewise.rs crates/capacity/src/profile.rs crates/capacity/src/stretch.rs
+
+/root/repo/target/debug/deps/libcloudsched_capacity-7550b8e394e0cfa7.rmeta: crates/capacity/src/lib.rs crates/capacity/src/constant.rs crates/capacity/src/instance.rs crates/capacity/src/patterns.rs crates/capacity/src/piecewise.rs crates/capacity/src/profile.rs crates/capacity/src/stretch.rs
+
+crates/capacity/src/lib.rs:
+crates/capacity/src/constant.rs:
+crates/capacity/src/instance.rs:
+crates/capacity/src/patterns.rs:
+crates/capacity/src/piecewise.rs:
+crates/capacity/src/profile.rs:
+crates/capacity/src/stretch.rs:

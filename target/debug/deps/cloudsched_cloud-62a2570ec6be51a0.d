@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloudsched_cloud-62a2570ec6be51a0.d: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+/root/repo/target/debug/deps/libcloudsched_cloud-62a2570ec6be51a0.rmeta: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/fleet.rs:
+crates/cloud/src/primary.rs:
+crates/cloud/src/server.rs:
+crates/cloud/src/spot.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cloudsched_core-a0b7ede2b9949d37.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/job.rs crates/core/src/jobset.rs crates/core/src/numeric.rs crates/core/src/outcome.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/time.rs
+
+/root/repo/target/debug/deps/libcloudsched_core-a0b7ede2b9949d37.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/job.rs crates/core/src/jobset.rs crates/core/src/numeric.rs crates/core/src/outcome.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/time.rs
+
+/root/repo/target/debug/deps/libcloudsched_core-a0b7ede2b9949d37.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/job.rs crates/core/src/jobset.rs crates/core/src/numeric.rs crates/core/src/outcome.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/time.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/job.rs:
+crates/core/src/jobset.rs:
+crates/core/src/numeric.rs:
+crates/core/src/outcome.rs:
+crates/core/src/rng.rs:
+crates/core/src/schedule.rs:
+crates/core/src/time.rs:

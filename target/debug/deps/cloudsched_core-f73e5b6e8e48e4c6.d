@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cloudsched_core-f73e5b6e8e48e4c6.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/job.rs crates/core/src/jobset.rs crates/core/src/numeric.rs crates/core/src/outcome.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/time.rs
+
+/root/repo/target/debug/deps/libcloudsched_core-f73e5b6e8e48e4c6.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/job.rs crates/core/src/jobset.rs crates/core/src/numeric.rs crates/core/src/outcome.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/time.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/job.rs:
+crates/core/src/jobset.rs:
+crates/core/src/numeric.rs:
+crates/core/src/outcome.rs:
+crates/core/src/rng.rs:
+crates/core/src/schedule.rs:
+crates/core/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched_lint-001f856088359615.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/cloudsched_lint-001f856088359615: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cloudsched_lint-05f16105e25ddd10.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/source.rs
+
+/root/repo/target/debug/deps/libcloudsched_lint-05f16105e25ddd10.rlib: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/source.rs
+
+/root/repo/target/debug/deps/libcloudsched_lint-05f16105e25ddd10.rmeta: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/source.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/scan.rs:
+crates/lint/src/source.rs:

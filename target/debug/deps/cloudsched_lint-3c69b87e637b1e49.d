@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cloudsched_lint-3c69b87e637b1e49.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/source.rs
+
+/root/repo/target/debug/deps/cloudsched_lint-3c69b87e637b1e49: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/source.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/scan.rs:
+crates/lint/src/source.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

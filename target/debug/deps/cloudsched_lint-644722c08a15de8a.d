@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched_lint-644722c08a15de8a.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/libcloudsched_lint-644722c08a15de8a.rmeta: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched_lint-9723bd7ddf18ef0b.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/cloudsched_lint-9723bd7ddf18ef0b: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

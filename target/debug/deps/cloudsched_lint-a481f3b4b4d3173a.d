@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloudsched_lint-a481f3b4b4d3173a.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/source.rs
+
+/root/repo/target/debug/deps/libcloudsched_lint-a481f3b4b4d3173a.rmeta: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/source.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/scan.rs:
+crates/lint/src/source.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cloudsched_offline-7e505f56e71fb3df.d: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+/root/repo/target/debug/deps/libcloudsched_offline-7e505f56e71fb3df.rmeta: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+crates/offline/src/lib.rs:
+crates/offline/src/bounds.rs:
+crates/offline/src/exact.rs:
+crates/offline/src/feasibility.rs:
+crates/offline/src/fractional.rs:
+crates/offline/src/greedy.rs:
+crates/offline/src/reduction.rs:

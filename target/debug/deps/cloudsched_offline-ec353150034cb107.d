@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cloudsched_offline-ec353150034cb107.d: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+/root/repo/target/debug/deps/libcloudsched_offline-ec353150034cb107.rlib: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+/root/repo/target/debug/deps/libcloudsched_offline-ec353150034cb107.rmeta: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+crates/offline/src/lib.rs:
+crates/offline/src/bounds.rs:
+crates/offline/src/exact.rs:
+crates/offline/src/feasibility.rs:
+crates/offline/src/fractional.rs:
+crates/offline/src/greedy.rs:
+crates/offline/src/reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bb4c1db310c6418f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bb4c1db310c6418f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f63177bd9cf0ca60.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f63177bd9cf0ca60: tests/extensions.rs
+
+tests/extensions.rs:

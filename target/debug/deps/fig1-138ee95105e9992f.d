@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-138ee95105e9992f.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-138ee95105e9992f: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-b0bc3665b95c2dd7.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-b0bc3665b95c2dd7: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-b72f8af375a9ec37.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/libfig1-b72f8af375a9ec37.rmeta: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-6b0a62152d00ec47.d: crates/bench/benches/kernel.rs
+
+/root/repo/target/debug/deps/libkernel-6b0a62152d00ec47.rmeta: crates/bench/benches/kernel.rs
+
+crates/bench/benches/kernel.rs:

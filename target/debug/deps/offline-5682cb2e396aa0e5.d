@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/offline-5682cb2e396aa0e5.d: crates/bench/benches/offline.rs
+
+/root/repo/target/debug/deps/liboffline-5682cb2e396aa0e5.rmeta: crates/bench/benches/offline.rs
+
+crates/bench/benches/offline.rs:

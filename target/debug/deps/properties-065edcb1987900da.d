@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-065edcb1987900da.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-065edcb1987900da: tests/properties.rs
+
+tests/properties.rs:

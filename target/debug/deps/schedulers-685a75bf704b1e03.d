@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulers-685a75bf704b1e03.d: crates/bench/benches/schedulers.rs
+
+/root/repo/target/debug/deps/libschedulers-685a75bf704b1e03.rmeta: crates/bench/benches/schedulers.rs
+
+crates/bench/benches/schedulers.rs:

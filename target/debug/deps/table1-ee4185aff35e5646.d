@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ee4185aff35e5646.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ee4185aff35e5646: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

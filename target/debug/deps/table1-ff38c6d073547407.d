@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ff38c6d073547407.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-ff38c6d073547407.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform-1599fd7692d0260e.d: crates/bench/src/bin/transform.rs
+
+/root/repo/target/debug/deps/libtransform-1599fd7692d0260e.rmeta: crates/bench/src/bin/transform.rs
+
+crates/bench/src/bin/transform.rs:

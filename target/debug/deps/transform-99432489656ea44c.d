@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform-99432489656ea44c.d: crates/bench/src/bin/transform.rs
+
+/root/repo/target/debug/deps/transform-99432489656ea44c: crates/bench/src/bin/transform.rs
+
+crates/bench/src/bin/transform.rs:

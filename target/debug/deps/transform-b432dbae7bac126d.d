@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform-b432dbae7bac126d.d: crates/bench/src/bin/transform.rs
+
+/root/repo/target/debug/deps/transform-b432dbae7bac126d: crates/bench/src/bin/transform.rs
+
+crates/bench/src/bin/transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/underloaded-80f5057c87b89979.d: crates/bench/src/bin/underloaded.rs
+
+/root/repo/target/debug/deps/libunderloaded-80f5057c87b89979.rmeta: crates/bench/src/bin/underloaded.rs
+
+crates/bench/src/bin/underloaded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/underloaded-aa071bf0c9449f93.d: crates/bench/src/bin/underloaded.rs
+
+/root/repo/target/debug/deps/underloaded-aa071bf0c9449f93: crates/bench/src/bin/underloaded.rs
+
+crates/bench/src/bin/underloaded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/underloaded-f7b34be2461f4c18.d: crates/bench/src/bin/underloaded.rs
+
+/root/repo/target/debug/deps/underloaded-f7b34be2461f4c18: crates/bench/src/bin/underloaded.rs
+
+crates/bench/src/bin/underloaded.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workspace-ad21c98ce2375920.d: crates/lint/tests/workspace.rs
+
+/root/repo/target/debug/deps/workspace-ad21c98ce2375920: crates/lint/tests/workspace.rs
+
+crates/lint/tests/workspace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

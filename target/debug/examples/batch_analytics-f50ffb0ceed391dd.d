@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_analytics-f50ffb0ceed391dd.d: examples/batch_analytics.rs
+
+/root/repo/target/debug/examples/batch_analytics-f50ffb0ceed391dd: examples/batch_analytics.rs
+
+examples/batch_analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_fleet-b4e1a5d954bc7c7d.d: examples/cloud_fleet.rs
+
+/root/repo/target/debug/examples/cloud_fleet-b4e1a5d954bc7c7d: examples/cloud_fleet.rs
+
+examples/cloud_fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overload_triage-05d67130277c1b3d.d: examples/overload_triage.rs
+
+/root/repo/target/debug/examples/overload_triage-05d67130277c1b3d: examples/overload_triage.rs
+
+examples/overload_triage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e39fab8425ccf0da.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e39fab8425ccf0da: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spot_market-342abfc90a398352.d: examples/spot_market.rs
+
+/root/repo/target/debug/examples/spot_market-342abfc90a398352: examples/spot_market.rs
+
+examples/spot_market.rs:

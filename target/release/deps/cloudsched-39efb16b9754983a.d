@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cloudsched-39efb16b9754983a.d: src/lib.rs
+
+/root/repo/target/release/deps/libcloudsched-39efb16b9754983a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcloudsched-39efb16b9754983a.rmeta: src/lib.rs
+
+src/lib.rs:

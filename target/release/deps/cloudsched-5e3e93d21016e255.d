@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cloudsched-5e3e93d21016e255.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/cloudsched-5e3e93d21016e255: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cloudsched_core-6ce80e19ae8799f4.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/job.rs crates/core/src/jobset.rs crates/core/src/numeric.rs crates/core/src/outcome.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/time.rs
+
+/root/repo/target/release/deps/libcloudsched_core-6ce80e19ae8799f4.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/job.rs crates/core/src/jobset.rs crates/core/src/numeric.rs crates/core/src/outcome.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/time.rs
+
+/root/repo/target/release/deps/libcloudsched_core-6ce80e19ae8799f4.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/job.rs crates/core/src/jobset.rs crates/core/src/numeric.rs crates/core/src/outcome.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/time.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/job.rs:
+crates/core/src/jobset.rs:
+crates/core/src/numeric.rs:
+crates/core/src/outcome.rs:
+crates/core/src/rng.rs:
+crates/core/src/schedule.rs:
+crates/core/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cloudsched_lint-28a001b1e2ff4299.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/cloudsched_lint-28a001b1e2ff4299: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

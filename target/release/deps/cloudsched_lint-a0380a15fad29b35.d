@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cloudsched_lint-a0380a15fad29b35.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/source.rs
+
+/root/repo/target/release/deps/libcloudsched_lint-a0380a15fad29b35.rlib: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/source.rs
+
+/root/repo/target/release/deps/libcloudsched_lint-a0380a15fad29b35.rmeta: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/source.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/scan.rs:
+crates/lint/src/source.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cloudsched_sched-74febff77399770f.d: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+/root/repo/target/release/deps/libcloudsched_sched-74febff77399770f.rlib: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+/root/repo/target/release/deps/libcloudsched_sched-74febff77399770f.rmeta: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dover.rs:
+crates/sched/src/edf.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/greedy.rs:
+crates/sched/src/llf.rs:
+crates/sched/src/ready.rs:
+crates/sched/src/vdover.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cloudsched_workload-efd5e5f1fdab5e0e.d: crates/workload/src/lib.rs crates/workload/src/ctmc.rs crates/workload/src/dist.rs crates/workload/src/mmpp.rs crates/workload/src/paper.rs crates/workload/src/poisson.rs crates/workload/src/traces.rs crates/workload/src/underloaded.rs
+
+/root/repo/target/release/deps/libcloudsched_workload-efd5e5f1fdab5e0e.rlib: crates/workload/src/lib.rs crates/workload/src/ctmc.rs crates/workload/src/dist.rs crates/workload/src/mmpp.rs crates/workload/src/paper.rs crates/workload/src/poisson.rs crates/workload/src/traces.rs crates/workload/src/underloaded.rs
+
+/root/repo/target/release/deps/libcloudsched_workload-efd5e5f1fdab5e0e.rmeta: crates/workload/src/lib.rs crates/workload/src/ctmc.rs crates/workload/src/dist.rs crates/workload/src/mmpp.rs crates/workload/src/paper.rs crates/workload/src/poisson.rs crates/workload/src/traces.rs crates/workload/src/underloaded.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/ctmc.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/mmpp.rs:
+crates/workload/src/paper.rs:
+crates/workload/src/poisson.rs:
+crates/workload/src/traces.rs:
+crates/workload/src/underloaded.rs:

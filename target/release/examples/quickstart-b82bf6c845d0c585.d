@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b82bf6c845d0c585.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b82bf6c845d0c585: examples/quickstart.rs
+
+examples/quickstart.rs:

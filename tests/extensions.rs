@@ -2,21 +2,23 @@
 //! MMPP arrivals, deterministic capacity patterns, the fractional LP bound
 //! and the empirical-ratio machinery.
 
+#![forbid(unsafe_code)]
+
 use cloudsched::capacity::patterns::{diurnal, sinusoid_steps};
 use cloudsched::cloud::{schedule_fleet, DispatchPolicy};
+use cloudsched::core::{Job, JobId};
 use cloudsched::offline::{fractional_optimal, optimal_value};
 use cloudsched::prelude::*;
 use cloudsched::workload::Mmpp;
-use cloudsched::core::{Job, JobId};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use cloudsched_core::rng::{Pcg32, Rng};
 
-fn random_jobs(rng: &mut StdRng, n: usize, horizon: f64) -> JobSet {
+fn random_jobs(rng: &mut Pcg32, n: usize, horizon: f64) -> JobSet {
     let jobs: Vec<Job> = (0..n)
         .map(|i| {
-            let r = rng.gen::<f64>() * horizon * 0.8;
-            let p = 0.2 + rng.gen::<f64>() * 2.0;
-            let slack = 1.0 + rng.gen::<f64>() * 2.0;
-            let v = p * (1.0 + rng.gen::<f64>() * 6.0);
+            let r = rng.next_f64() * horizon * 0.8;
+            let p = 0.2 + rng.next_f64() * 2.0;
+            let slack = 1.0 + rng.next_f64() * 2.0;
+            let v = p * (1.0 + rng.next_f64() * 6.0);
             Job::new(
                 JobId(i as u64),
                 Time::new(r),
@@ -32,7 +34,7 @@ fn random_jobs(rng: &mut StdRng, n: usize, horizon: f64) -> JobSet {
 
 #[test]
 fn fleet_with_vdover_on_every_server() {
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Pcg32::seed_from_u64(1);
     let jobs = random_jobs(&mut rng, 120, 40.0);
     let servers: Vec<PiecewiseConstant> = (0..3)
         .map(|i| {
@@ -70,7 +72,7 @@ fn fleet_dominates_its_worst_single_server() {
     // single server would earn on that server alone... not true in general
     // for adversarial dispatch, but LeastBacklog on symmetric servers should
     // beat a single server easily.
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = Pcg32::seed_from_u64(2);
     let jobs = random_jobs(&mut rng, 150, 30.0);
     let server = PiecewiseConstant::constant(1.5)
         .unwrap()
@@ -101,7 +103,7 @@ fn fleet_dominates_its_worst_single_server() {
 
 #[test]
 fn mmpp_driven_scenario_runs_clean() {
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Pcg32::seed_from_u64(3);
     let mmpp = Mmpp::bursty(2.0, 12.0, 8.0, 2.0);
     let releases = mmpp.sample(&mut rng, 30.0);
     assert!(!releases.is_empty());
@@ -109,13 +111,13 @@ fn mmpp_driven_scenario_runs_clean() {
         .iter()
         .enumerate()
         .map(|(i, &r)| {
-            let p = 0.3 + rng.gen::<f64>() * 1.0;
+            let p = 0.3 + rng.next_f64() * 1.0;
             Job::new(
                 JobId(i as u64),
                 Time::new(r),
                 Time::new(r + p), // zero claxity at c_lo = 1
                 p,
-                p * (1.0 + rng.gen::<f64>() * 6.0),
+                p * (1.0 + rng.next_f64() * 6.0),
             )
             .unwrap()
         })
@@ -133,7 +135,7 @@ fn mmpp_driven_scenario_runs_clean() {
 
 #[test]
 fn fractional_bound_sandwiches_every_scheduler() {
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = Pcg32::seed_from_u64(4);
     let jobs = random_jobs(&mut rng, 40, 15.0);
     let cap = diurnal(5.0, 3.0, 1.0, 2.0, 4)
         .unwrap()
@@ -160,7 +162,7 @@ fn fractional_bound_sandwiches_every_scheduler() {
 
 #[test]
 fn fractional_dominates_exact_on_small_instances() {
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Pcg32::seed_from_u64(5);
     for _ in 0..10 {
         let jobs = random_jobs(&mut rng, 10, 8.0);
         let cap = PiecewiseConstant::from_durations(&[(3.0, 1.0), (3.0, 3.0)]).unwrap();
