@@ -15,6 +15,7 @@ use crate::constant::Constant;
 use crate::piecewise::PiecewiseConstant;
 use crate::profile::CapacityProfile;
 use cloudsched_core::{CoreError, Job, JobSet, Schedule, Time};
+use cloudsched_obs::Profiler;
 
 /// A concrete stretch transformation for one piecewise-constant profile.
 #[derive(Debug, Clone)]
@@ -120,6 +121,30 @@ impl StretchMap {
     /// system (the bijection, reverse direction).
     pub fn unstretch_schedule(&self, schedule: &Schedule) -> Result<Schedule, CoreError> {
         schedule.map_time(|t| self.inverse(t))
+    }
+
+    /// [`stretch_jobs`](Self::stretch_jobs) with a `stretch.forward` span
+    /// recorded on `profiler`. With a deterministic (null) clock the span
+    /// costs two virtual calls and records zeros, so the transform itself
+    /// stays wall-clock-free.
+    pub fn stretch_jobs_profiled(
+        &self,
+        jobs: &JobSet,
+        profiler: &Profiler,
+    ) -> Result<JobSet, CoreError> {
+        let _span = profiler.span("stretch.forward");
+        self.stretch_jobs(jobs)
+    }
+
+    /// [`unstretch_schedule`](Self::unstretch_schedule) with a
+    /// `stretch.inverse` span recorded on `profiler`.
+    pub fn unstretch_schedule_profiled(
+        &self,
+        schedule: &Schedule,
+        profiler: &Profiler,
+    ) -> Result<Schedule, CoreError> {
+        let _span = profiler.span("stretch.inverse");
+        self.unstretch_schedule(schedule)
     }
 }
 
@@ -254,6 +279,25 @@ mod tests {
         assert_eq!(m.transformed_profile().rate(), 2.0);
         assert!(StretchMap::with_reference(profile(), 0.0).is_err());
         assert!(StretchMap::with_reference(profile(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn profiled_variants_match_and_record_spans() {
+        let m = StretchMap::new(profile());
+        let js = JobSet::from_tuples(&[(0.0, 2.0, 1.0, 1.0), (2.0, 4.0, 3.0, 2.0)]).unwrap();
+        let prof = Profiler::deterministic();
+        let plain = m.stretch_jobs(&js).unwrap();
+        let profiled = m.stretch_jobs_profiled(&js, &prof).unwrap();
+        for (a, b) in plain.iter().zip(profiled.iter()) {
+            assert_eq!(a.release, b.release);
+            assert_eq!(a.deadline, b.deadline);
+        }
+        let mut sched = Schedule::new();
+        sched.push(JobId(0), t(0.0), t(1.5)).unwrap();
+        let fwd = m.stretch_schedule(&sched).unwrap();
+        m.unstretch_schedule_profiled(&fwd, &prof).unwrap();
+        assert_eq!(prof.stats("stretch.forward").unwrap().count, 1);
+        assert_eq!(prof.stats("stretch.inverse").unwrap().count, 1);
     }
 
     #[test]

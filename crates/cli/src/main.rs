@@ -8,22 +8,30 @@
 //! cloudsched bounds --k 7 --delta 35
 //! cloudsched audit --trace trace.txt [--c-lo F]
 //! cloudsched lint  [--root DIR] [--write-baseline]
+//! cloudsched trace   [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]]
+//!                    [--scheduler NAME] [--out FILE]
+//! cloudsched metrics [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]]
+//!                    [--scheduler NAME]
+//! cloudsched replay  --in FILE
 //! ```
 //!
-//! Traces use the plain-text format of `cloudsched-workload::traces`.
+//! Job traces use the plain-text format of `cloudsched-workload::traces`;
+//! `trace` emits (and `replay` pretty-prints) the deterministic JSONL event
+//! stream of `cloudsched-obs`.
 
 #![forbid(unsafe_code)]
 
+use cloudsched::run_traced;
 use cloudsched_analysis::bounds as theory;
 use cloudsched_capacity::{CapacityProfile, Instance};
+use cloudsched_obs::TraceEvent;
 use cloudsched_offline as offline;
-use cloudsched_sched::{Dover, Edf, Fifo, Greedy, Llf, VDover};
 use cloudsched_sim::{
     audit::{
         audit_report, certify_admissibility, certify_stretch_roundtrip, certify_underloaded_edf,
         Certificate,
     },
-    simulate, RunOptions, Scheduler,
+    simulate, RunOptions,
 };
 use cloudsched_workload::{traces, PaperScenario};
 use std::collections::HashMap;
@@ -44,6 +52,9 @@ fn main() -> ExitCode {
         "bounds" => cmd_bounds(&flags),
         "audit" => cmd_audit(&flags),
         "lint" => cmd_lint(&flags),
+        "trace" => cmd_trace(&flags),
+        "metrics" => cmd_metrics(&flags),
+        "replay" => cmd_replay(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -66,7 +77,10 @@ const USAGE: &str = "usage:
   cloudsched info   --trace FILE
   cloudsched bounds --k F --delta F
   cloudsched audit  --trace FILE [--c-lo F]
-  cloudsched lint   [--root DIR] [--write-baseline]";
+  cloudsched lint   [--root DIR] [--write-baseline]
+  cloudsched trace   [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]] [--scheduler NAME] [--out FILE]
+  cloudsched metrics [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]] [--scheduler NAME]
+  cloudsched replay  --in FILE";
 
 fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -123,26 +137,6 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn make_scheduler(
-    name: &str,
-    k: f64,
-    delta: f64,
-    c_lo: f64,
-    c_hi: f64,
-) -> Result<Box<dyn Scheduler>, String> {
-    Ok(match name {
-        "vdover" => Box::new(VDover::new(k, delta)),
-        "dover" | "dover-lo" => Box::new(Dover::new(k, c_lo)),
-        "dover-hi" => Box::new(Dover::new(k, c_hi)),
-        "edf" => Box::new(Edf::new()),
-        "llf" => Box::new(Llf::with_estimate(c_lo)),
-        "fifo" => Box::new(Fifo::new()),
-        "greedy" => Box::new(Greedy::highest_value()),
-        "hvdf" => Box::new(Greedy::highest_density()),
-        other => return Err(format!("unknown scheduler `{other}`")),
-    })
-}
-
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let instance = load_trace(flags)?;
     let (c_lo, c_hi) = instance.capacity.bounds();
@@ -158,7 +152,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         "scheduler", "value", "value %", "completed", "preemptions"
     );
     for name in list.split(',') {
-        let mut s = make_scheduler(name.trim(), k, delta, c_lo, c_hi)?;
+        let mut s = cloudsched_sched::by_name(name.trim(), k, delta, c_lo, c_hi)?;
         let opts = if audit {
             RunOptions::full()
         } else {
@@ -264,6 +258,92 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Instance for the observability commands: `--trace FILE` loads a job
+/// trace; otherwise one is generated from `--lambda` / `--seed` / `--slack`
+/// (defaults 8.0 / 1 / paper), exactly like `cloudsched gen`.
+fn resolve_instance(flags: &HashMap<String, String>) -> Result<Instance, String> {
+    if flags.contains_key("trace") {
+        return load_trace(flags);
+    }
+    let lambda = match flags.get("lambda") {
+        Some(s) => s.parse().map_err(|e| format!("--lambda: {e}"))?,
+        None => 8.0,
+    };
+    let seed = match flags.get("seed") {
+        Some(s) => s.parse().map_err(|e| format!("--seed: {e}"))?,
+        None => 1,
+    };
+    let mut scenario = PaperScenario::table1(lambda);
+    if let Some(s) = flags.get("slack") {
+        scenario.slack_factor = s.parse().map_err(|e| format!("--slack: {e}"))?;
+    }
+    if let Some(s) = flags.get("horizon") {
+        scenario.horizon = s.parse().map_err(|e| format!("--horizon: {e}"))?;
+    }
+    Ok(scenario.generate(seed).map_err(|e| e.to_string())?.instance)
+}
+
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    let instance = resolve_instance(flags)?;
+    let scheduler = flags
+        .get("scheduler")
+        .map(String::as_str)
+        .unwrap_or("vdover");
+    let run = run_traced(&instance, scheduler)?;
+    match flags.get("out") {
+        Some(path) => std::fs::write(path, &run.jsonl).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{}", run.jsonl),
+    }
+    eprintln!(
+        "{}: {} events, value {:.2} ({:.2}%), {}/{} completed",
+        run.report.scheduler,
+        run.jsonl.lines().count(),
+        run.report.value,
+        run.report.value_fraction * 100.0,
+        run.report.completed,
+        instance.job_count()
+    );
+    Ok(())
+}
+
+fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
+    let instance = resolve_instance(flags)?;
+    let scheduler = flags
+        .get("scheduler")
+        .map(String::as_str)
+        .unwrap_or("vdover");
+    let run = run_traced(&instance, scheduler)?;
+    let metrics = run
+        .report
+        .metrics
+        .as_ref()
+        .ok_or("traced run carried no metrics snapshot")?;
+    print!("{}", metrics.render());
+    eprintln!(
+        "{}: value {:.2} ({:.2}%), {}/{} completed",
+        run.report.scheduler,
+        run.report.value,
+        run.report.value_fraction * 100.0,
+        run.report.completed,
+        instance.job_count()
+    );
+    Ok(())
+}
+
+fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("in").ok_or("missing --in FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event =
+            TraceEvent::parse_jsonl(line).map_err(|e| format!("{path}:{}: {e}", idx + 1))?;
+        println!("{}", event.pretty());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,16 +370,33 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_factory_knows_all_names() {
-        for name in [
-            "vdover", "dover", "dover-lo", "dover-hi", "edf", "llf", "fifo", "greedy", "hvdf",
-        ] {
+    fn default_run_list_resolves_through_the_factory() {
+        for name in "vdover,dover-lo,edf,hvdf".split(',') {
             assert!(
-                make_scheduler(name, 7.0, 2.0, 1.0, 2.0).is_ok(),
+                cloudsched_sched::by_name(name, 7.0, 2.0, 1.0, 2.0).is_ok(),
                 "factory rejected {name}"
             );
         }
-        assert!(make_scheduler("bogus", 7.0, 2.0, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn trace_command_round_trips_through_replay() {
+        let dir = std::env::temp_dir();
+        let jsonl = dir.join("cloudsched-cli-test-events.jsonl");
+        cmd_trace(&flags_of(&[
+            "--lambda",
+            "4",
+            "--seed",
+            "2",
+            "--scheduler",
+            "edf",
+            "--out",
+            jsonl.to_str().unwrap(),
+        ]))
+        .expect("trace");
+        cmd_replay(&flags_of(&["--in", jsonl.to_str().unwrap()])).expect("replay");
+        cmd_metrics(&flags_of(&["--lambda", "4", "--seed", "2"])).expect("metrics");
+        std::fs::remove_file(jsonl).ok();
     }
 
     #[test]

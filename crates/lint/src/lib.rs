@@ -8,7 +8,7 @@
 //! deterministic event clock. Nothing in stock `rustc`/`clippy` enforces
 //! those project policies, and the sandbox has no network to fetch a real
 //! parser — so this crate tokenizes every workspace `.rs` file itself
-//! (comment/string-aware, see [`scan`]) and enforces the five rules listed
+//! (comment/string-aware, see [`scan`]) and enforces the six rules listed
 //! in [`rules`].
 //!
 //! The pass runs three ways:

@@ -14,7 +14,10 @@
 //!   `lib.rs` / binary root |
 //! | L005 | no wall clock (`Instant::now`, `SystemTime::now`) in
 //!   deterministic simulation code | library code of `core`, `capacity`,
-//!   `sim`, `sched`, `offline`, `workload` |
+//!   `sim`, `sched`, `offline`, `workload`, `obs` |
+//! | L006 | no direct `std::time::Instant` / `SystemTime` types anywhere —
+//!   timing goes through the `cloudsched_obs::Clock` seam | every crate
+//!   except `bench` and the sanctioned seam `obs/src/clock.rs` |
 //!
 //! All rules are lexical (see [`crate::scan`]) and therefore heuristic:
 //! escape hatches are `// lint: allow(Lxxx)` on (or above) the offending
@@ -53,7 +56,9 @@ const L001_CRATES: &[&str] = &["core", "capacity", "sim", "sched", "offline", "a
 /// Crates whose library code must not unwrap.
 const L002_CRATES: &[&str] = &["sim", "sched", "capacity", "offline"];
 /// Crates that form the deterministic simulation core (no wall clock).
-const L005_CRATES: &[&str] = &["core", "capacity", "sim", "sched", "offline", "workload"];
+const L005_CRATES: &[&str] = &[
+    "core", "capacity", "sim", "sched", "offline", "workload", "obs",
+];
 
 /// Runs every rule over one scanned file.
 pub fn check_file(file: &SourceFile, scan: &Scan) -> Vec<Finding> {
@@ -63,6 +68,7 @@ pub fn check_file(file: &SourceFile, scan: &Scan) -> Vec<Finding> {
     l003_panic_macros(file, scan, &mut findings);
     l004_forbid_unsafe(file, scan, &mut findings);
     l005_wall_clock(file, scan, &mut findings);
+    l006_raw_time_types(file, scan, &mut findings);
     findings
 }
 
@@ -468,6 +474,51 @@ fn l005_wall_clock(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) 
     }
 }
 
+// --- L006 -----------------------------------------------------------------
+
+/// Does `text[at..at+len]` sit on identifier boundaries? Rejects matches
+/// embedded in longer identifiers, e.g. `Instant` inside `Instantaneous`.
+fn on_ident_boundary(text: &str, at: usize, len: usize) -> bool {
+    let ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let before = text[..at].chars().next_back();
+    let after = text[at + len..].chars().next();
+    !matches!(before, Some(c) if ident(c)) && !matches!(after, Some(c) if ident(c))
+}
+
+/// L006: the raw time types themselves, not just their `::now` calls.
+///
+/// Everything — library and binary code alike — must obtain timing through
+/// the [`cloudsched_obs::Clock`] seam so profiled runs stay swappable for
+/// deterministic ones. The only sanctioned holders of `std::time` types are
+/// the seam itself (`obs/src/clock.rs`) and the benchmark harness.
+fn l006_raw_time_types(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
+    if file.crate_name == "bench" || file.rel_path.ends_with("obs/src/clock.rs") {
+        return;
+    }
+    for (line_no, text) in active_lines(scan, "L006") {
+        for pat in ["Instant", "SystemTime"] {
+            let mut from = 0usize;
+            while let Some(rel) = text[from..].find(pat) {
+                let at = from + rel;
+                from = at + pat.len();
+                if !on_ident_boundary(text, at, pat.len()) {
+                    continue;
+                }
+                push(
+                    findings,
+                    file,
+                    "L006",
+                    line_no,
+                    format!(
+                        "`{pat}` outside the clock seam — inject a \
+                         `cloudsched_obs::Clock` instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -657,6 +708,59 @@ mod tests {
         };
         let found = check_file(&f, &scan(&f.text));
         assert!(found.iter().all(|f| f.rule != "L005"));
+    }
+
+    #[test]
+    fn l006_fires_on_raw_time_types_even_in_imports() {
+        let found = run("cli", "use std::time::Instant;\n");
+        assert!(found.iter().any(|f| f.rule == "L006"), "{found:?}");
+        let found = run("workload", "fn f() -> std::time::SystemTime { todo!() }\n");
+        assert!(found.iter().any(|f| f.rule == "L006"), "{found:?}");
+    }
+
+    #[test]
+    fn l006_respects_identifier_boundaries() {
+        // `Instantaneous` must not match even in live code.
+        let found = run("sim", "fn f(x: Instantaneous) {}\n");
+        assert!(found.iter().all(|f| f.rule != "L006"), "{found:?}");
+    }
+
+    #[test]
+    fn l006_exempts_bench_and_the_clock_seam() {
+        let text = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+        let bench = SourceFile {
+            crate_name: "bench".into(),
+            rel_path: "crates/bench/src/microbench.rs".into(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+            text: text.into(),
+        };
+        assert!(check_file(&bench, &scan(text))
+            .iter()
+            .all(|f| f.rule != "L006"));
+        let seam = SourceFile {
+            crate_name: "obs".into(),
+            rel_path: "crates/obs/src/clock.rs".into(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+            text: text.into(),
+        };
+        let found = check_file(&seam, &scan(text));
+        assert!(found.iter().all(|f| f.rule != "L006"), "{found:?}");
+    }
+
+    #[test]
+    fn l005_covers_the_obs_crate_outside_the_seam() {
+        let f = SourceFile {
+            crate_name: "obs".into(),
+            rel_path: "crates/obs/src/profile.rs".into(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+            text: "fn f() { let _ = std::time::Instant::now(); }\n".into(),
+        };
+        let found = check_file(&f, &scan(&f.text));
+        assert!(found.iter().any(|f| f.rule == "L005"), "{found:?}");
+        assert!(found.iter().any(|f| f.rule == "L006"), "{found:?}");
     }
 
     #[test]

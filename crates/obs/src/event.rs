@@ -1,0 +1,571 @@
+//! The typed trace-event taxonomy.
+//!
+//! Every event is stamped with the *simulation* time at which it occurred —
+//! never wall-clock time — so traces are fully deterministic: the same seed
+//! and instance produce the identical event sequence, byte for byte, in the
+//! JSONL encoding ([`TraceEvent::to_jsonl`] / [`TraceEvent::parse_jsonl`]).
+//!
+//! Kernel-emitted events (arrival, admit, resume, preempt, complete, expire,
+//! capacity) describe what the processor did; scheduler-emitted events
+//! (abandon, supplement enqueue/rescue, conservative-laxity zero crossings,
+//! queue depths) describe *why* — the paper's procedures B–D made visible.
+
+use cloudsched_core::{JobId, Time};
+
+/// Which scheduler queue a [`TraceEvent::QueueDepth`] sample refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// A generic ready queue (EDF, FIFO, greedy).
+    Ready,
+    /// The Dover family's `Qedf` (recently EDF-preempted regular jobs).
+    Edf,
+    /// The Dover family's `Qother` (other regular jobs).
+    Other,
+    /// The V-Dover supplement queue `Qsupp`.
+    Supplement,
+}
+
+impl QueueKind {
+    /// Stable wire name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueueKind::Ready => "ready",
+            QueueKind::Edf => "edf",
+            QueueKind::Other => "other",
+            QueueKind::Supplement => "supp",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "ready" => QueueKind::Ready,
+            "edf" => QueueKind::Edf,
+            "other" => QueueKind::Other,
+            "supp" => QueueKind::Supplement,
+            _ => return None,
+        })
+    }
+}
+
+/// One sim-time-stamped observation of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A job was released and became known to the scheduler. `laxity` is the
+    /// conservative laxity (Definition 5) at the release instant.
+    Arrival {
+        /// Simulation time.
+        t: Time,
+        /// The released job.
+        job: JobId,
+        /// Conservative laxity `d − r − p/c_lo` at release.
+        laxity: f64,
+    },
+    /// A job was dispatched onto the processor for the first time.
+    Admit {
+        /// Simulation time.
+        t: Time,
+        /// The dispatched job.
+        job: JobId,
+    },
+    /// A previously-preempted job was dispatched again.
+    Resume {
+        /// Simulation time.
+        t: Time,
+        /// The resumed job.
+        job: JobId,
+    },
+    /// The running job was displaced before finishing.
+    Preempt {
+        /// Simulation time.
+        t: Time,
+        /// The displaced job.
+        job: JobId,
+        /// Remaining workload at displacement.
+        remaining: f64,
+    },
+    /// A job finished its workload by its deadline and accrued its value.
+    Complete {
+        /// Simulation time.
+        t: Time,
+        /// The completed job.
+        job: JobId,
+        /// Value accrued.
+        value: f64,
+    },
+    /// A job's firm deadline passed with workload left (and the scheduler
+    /// had *not* explicitly abandoned it — contrast [`TraceEvent::Abandon`]).
+    Expire {
+        /// Simulation time.
+        t: Time,
+        /// The expired job.
+        job: JobId,
+        /// Workload left at the deadline.
+        remaining: f64,
+        /// Value lost.
+        value: f64,
+    },
+    /// The scheduler explicitly dropped a job before its deadline (Dover's
+    /// procedure D losing a zero-laxity arbitration with no supplement
+    /// queue to park in).
+    Abandon {
+        /// Simulation time.
+        t: Time,
+        /// The abandoned job.
+        job: JobId,
+        /// Remaining workload at the abandonment decision.
+        remaining: f64,
+        /// Value forfeited.
+        value: f64,
+    },
+    /// V-Dover parked a zero-conservative-laxity loser in `Qsupp`.
+    SupplementEnqueue {
+        /// Simulation time.
+        t: Time,
+        /// The parked job.
+        job: JobId,
+        /// Queue depth after the enqueue.
+        depth: usize,
+    },
+    /// V-Dover revived a supplement job onto the drained processor.
+    SupplementRescue {
+        /// Simulation time.
+        t: Time,
+        /// The revived job.
+        job: JobId,
+        /// Queue depth after the removal.
+        depth: usize,
+    },
+    /// A job's conservative laxity reached zero (the procedure-D interrupt
+    /// fired): the sign flip from non-negative to negative is imminent.
+    ClaxityZero {
+        /// Simulation time.
+        t: Time,
+        /// The job whose laxity crossed zero.
+        job: JobId,
+    },
+    /// A scheduler queue changed size.
+    QueueDepth {
+        /// Simulation time.
+        t: Time,
+        /// Which queue.
+        queue: QueueKind,
+        /// Depth after the change.
+        depth: usize,
+    },
+    /// The capacity profile entered a new constant-rate segment.
+    CapacityChange {
+        /// Simulation time.
+        t: Time,
+        /// The new rate `c(t)`.
+        rate: f64,
+        /// 0-based segment index.
+        segment: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The simulation instant the event is stamped with.
+    pub fn time(&self) -> Time {
+        match *self {
+            TraceEvent::Arrival { t, .. }
+            | TraceEvent::Admit { t, .. }
+            | TraceEvent::Resume { t, .. }
+            | TraceEvent::Preempt { t, .. }
+            | TraceEvent::Complete { t, .. }
+            | TraceEvent::Expire { t, .. }
+            | TraceEvent::Abandon { t, .. }
+            | TraceEvent::SupplementEnqueue { t, .. }
+            | TraceEvent::SupplementRescue { t, .. }
+            | TraceEvent::ClaxityZero { t, .. }
+            | TraceEvent::QueueDepth { t, .. }
+            | TraceEvent::CapacityChange { t, .. } => t,
+        }
+    }
+
+    /// The job the event concerns, if any.
+    pub fn job(&self) -> Option<JobId> {
+        match *self {
+            TraceEvent::Arrival { job, .. }
+            | TraceEvent::Admit { job, .. }
+            | TraceEvent::Resume { job, .. }
+            | TraceEvent::Preempt { job, .. }
+            | TraceEvent::Complete { job, .. }
+            | TraceEvent::Expire { job, .. }
+            | TraceEvent::Abandon { job, .. }
+            | TraceEvent::SupplementEnqueue { job, .. }
+            | TraceEvent::SupplementRescue { job, .. }
+            | TraceEvent::ClaxityZero { job, .. } => Some(job),
+            TraceEvent::QueueDepth { .. } | TraceEvent::CapacityChange { .. } => None,
+        }
+    }
+
+    /// Stable wire name of the event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Arrival { .. } => "arrival",
+            TraceEvent::Admit { .. } => "admit",
+            TraceEvent::Resume { .. } => "resume",
+            TraceEvent::Preempt { .. } => "preempt",
+            TraceEvent::Complete { .. } => "complete",
+            TraceEvent::Expire { .. } => "expire",
+            TraceEvent::Abandon { .. } => "abandon",
+            TraceEvent::SupplementEnqueue { .. } => "supp_enqueue",
+            TraceEvent::SupplementRescue { .. } => "supp_rescue",
+            TraceEvent::ClaxityZero { .. } => "claxity_zero",
+            TraceEvent::QueueDepth { .. } => "queue_depth",
+            TraceEvent::CapacityChange { .. } => "capacity",
+        }
+    }
+
+    /// Serialises the event as one JSONL line (no trailing newline).
+    ///
+    /// Key order is fixed per kind and `f64` values use Rust's shortest
+    /// round-trip formatting, so the encoding is byte-deterministic.
+    pub fn to_jsonl(&self) -> String {
+        let t = self.time().as_f64();
+        match *self {
+            TraceEvent::Arrival { job, laxity, .. } => {
+                format!("{{\"t\":{t},\"ev\":\"arrival\",\"job\":{},\"laxity\":{laxity}}}", job.0)
+            }
+            TraceEvent::Admit { job, .. } => {
+                format!("{{\"t\":{t},\"ev\":\"admit\",\"job\":{}}}", job.0)
+            }
+            TraceEvent::Resume { job, .. } => {
+                format!("{{\"t\":{t},\"ev\":\"resume\",\"job\":{}}}", job.0)
+            }
+            TraceEvent::Preempt { job, remaining, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"preempt\",\"job\":{},\"remaining\":{remaining}}}",
+                job.0
+            ),
+            TraceEvent::Complete { job, value, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"complete\",\"job\":{},\"value\":{value}}}",
+                job.0
+            ),
+            TraceEvent::Expire {
+                job,
+                remaining,
+                value,
+                ..
+            } => format!(
+                "{{\"t\":{t},\"ev\":\"expire\",\"job\":{},\"remaining\":{remaining},\"value\":{value}}}",
+                job.0
+            ),
+            TraceEvent::Abandon {
+                job,
+                remaining,
+                value,
+                ..
+            } => format!(
+                "{{\"t\":{t},\"ev\":\"abandon\",\"job\":{},\"remaining\":{remaining},\"value\":{value}}}",
+                job.0
+            ),
+            TraceEvent::SupplementEnqueue { job, depth, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"supp_enqueue\",\"job\":{},\"depth\":{depth}}}",
+                job.0
+            ),
+            TraceEvent::SupplementRescue { job, depth, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"supp_rescue\",\"job\":{},\"depth\":{depth}}}",
+                job.0
+            ),
+            TraceEvent::ClaxityZero { job, .. } => {
+                format!("{{\"t\":{t},\"ev\":\"claxity_zero\",\"job\":{}}}", job.0)
+            }
+            TraceEvent::QueueDepth { queue, depth, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"queue_depth\",\"queue\":\"{}\",\"depth\":{depth}}}",
+                queue.as_str()
+            ),
+            TraceEvent::CapacityChange { rate, segment, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"capacity\",\"rate\":{rate},\"segment\":{segment}}}"
+            ),
+        }
+    }
+
+    /// Parses one JSONL line produced by [`TraceEvent::to_jsonl`].
+    ///
+    /// This is a parser for the crate's own flat encoding (string values
+    /// without escapes, numbers, fixed keys) — not a general JSON parser.
+    pub fn parse_jsonl(line: &str) -> Result<TraceEvent, String> {
+        let fields = split_flat_object(line)?;
+        let get = |key: &str| -> Result<&str, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("missing key `{key}` in `{line}`"))
+        };
+        let f64_of = |key: &str| -> Result<f64, String> {
+            get(key)?
+                .parse::<f64>()
+                .map_err(|e| format!("bad number for `{key}`: {e}"))
+        };
+        let usize_of = |key: &str| -> Result<usize, String> {
+            get(key)?
+                .parse::<usize>()
+                .map_err(|e| format!("bad integer for `{key}`: {e}"))
+        };
+        let job_of = |key: &str| -> Result<JobId, String> {
+            get(key)?
+                .parse::<u64>()
+                .map(JobId)
+                .map_err(|e| format!("bad job id: {e}"))
+        };
+        let t = Time::new(f64_of("t")?);
+        let ev = get("ev")?;
+        Ok(match ev {
+            "arrival" => TraceEvent::Arrival {
+                t,
+                job: job_of("job")?,
+                laxity: f64_of("laxity")?,
+            },
+            "admit" => TraceEvent::Admit {
+                t,
+                job: job_of("job")?,
+            },
+            "resume" => TraceEvent::Resume {
+                t,
+                job: job_of("job")?,
+            },
+            "preempt" => TraceEvent::Preempt {
+                t,
+                job: job_of("job")?,
+                remaining: f64_of("remaining")?,
+            },
+            "complete" => TraceEvent::Complete {
+                t,
+                job: job_of("job")?,
+                value: f64_of("value")?,
+            },
+            "expire" => TraceEvent::Expire {
+                t,
+                job: job_of("job")?,
+                remaining: f64_of("remaining")?,
+                value: f64_of("value")?,
+            },
+            "abandon" => TraceEvent::Abandon {
+                t,
+                job: job_of("job")?,
+                remaining: f64_of("remaining")?,
+                value: f64_of("value")?,
+            },
+            "supp_enqueue" => TraceEvent::SupplementEnqueue {
+                t,
+                job: job_of("job")?,
+                depth: usize_of("depth")?,
+            },
+            "supp_rescue" => TraceEvent::SupplementRescue {
+                t,
+                job: job_of("job")?,
+                depth: usize_of("depth")?,
+            },
+            "claxity_zero" => TraceEvent::ClaxityZero {
+                t,
+                job: job_of("job")?,
+            },
+            "queue_depth" => {
+                let queue_name = get("queue")?;
+                TraceEvent::QueueDepth {
+                    t,
+                    queue: QueueKind::parse(queue_name)
+                        .ok_or_else(|| format!("unknown queue `{queue_name}`"))?,
+                    depth: usize_of("depth")?,
+                }
+            }
+            "capacity" => TraceEvent::CapacityChange {
+                t,
+                rate: f64_of("rate")?,
+                segment: usize_of("segment")?,
+            },
+            other => return Err(format!("unknown event kind `{other}`")),
+        })
+    }
+
+    /// One human-readable line for the trace-replay pretty-printer.
+    pub fn pretty(&self) -> String {
+        let t = self.time().as_f64();
+        let body = match *self {
+            TraceEvent::Arrival { job, laxity, .. } => {
+                format!("arrival       {job}  claxity={laxity:.3}")
+            }
+            TraceEvent::Admit { job, .. } => format!("admit         {job}"),
+            TraceEvent::Resume { job, .. } => format!("resume        {job}"),
+            TraceEvent::Preempt { job, remaining, .. } => {
+                format!("preempt       {job}  remaining={remaining:.3}")
+            }
+            TraceEvent::Complete { job, value, .. } => {
+                format!("complete      {job}  value={value:.3}")
+            }
+            TraceEvent::Expire {
+                job,
+                remaining,
+                value,
+                ..
+            } => format!("expire        {job}  remaining={remaining:.3} lost={value:.3}"),
+            TraceEvent::Abandon {
+                job,
+                remaining,
+                value,
+                ..
+            } => format!("abandon       {job}  remaining={remaining:.3} lost={value:.3}"),
+            TraceEvent::SupplementEnqueue { job, depth, .. } => {
+                format!("supp-enqueue  {job}  depth={depth}")
+            }
+            TraceEvent::SupplementRescue { job, depth, .. } => {
+                format!("supp-rescue   {job}  depth={depth}")
+            }
+            TraceEvent::ClaxityZero { job, .. } => format!("claxity-zero  {job}"),
+            TraceEvent::QueueDepth { queue, depth, .. } => {
+                format!("queue-depth   {}={depth}", queue.as_str())
+            }
+            TraceEvent::CapacityChange { rate, segment, .. } => {
+                format!("capacity      rate={rate}  segment={segment}")
+            }
+        };
+        format!("{t:>12.4}  {body}")
+    }
+}
+
+/// Splits `{"k":v,"k2":"v2",...}` into `(key, raw-value)` pairs. Values are
+/// returned with surrounding quotes stripped; no escape handling (the
+/// encoder never emits escapes).
+fn split_flat_object(line: &str) -> Result<Vec<(String, String)>, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: `{line}`"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let (k, v) = part
+            .split_once(':')
+            .ok_or_else(|| format!("malformed field `{part}`"))?;
+        let k = k.trim().trim_matches('"').to_string();
+        let v = v.trim().trim_matches('"').to_string();
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<TraceEvent> {
+        let t = Time::new(1.5);
+        let j = JobId(3);
+        vec![
+            TraceEvent::Arrival {
+                t,
+                job: j,
+                laxity: 2.25,
+            },
+            TraceEvent::Admit { t, job: j },
+            TraceEvent::Resume { t, job: j },
+            TraceEvent::Preempt {
+                t,
+                job: j,
+                remaining: 0.5,
+            },
+            TraceEvent::Complete {
+                t,
+                job: j,
+                value: 7.0,
+            },
+            TraceEvent::Expire {
+                t,
+                job: j,
+                remaining: 1.0,
+                value: 2.0,
+            },
+            TraceEvent::Abandon {
+                t,
+                job: j,
+                remaining: 4.0,
+                value: 1.0,
+            },
+            TraceEvent::SupplementEnqueue {
+                t,
+                job: j,
+                depth: 2,
+            },
+            TraceEvent::SupplementRescue {
+                t,
+                job: j,
+                depth: 1,
+            },
+            TraceEvent::ClaxityZero { t, job: j },
+            TraceEvent::QueueDepth {
+                t,
+                queue: QueueKind::Other,
+                depth: 4,
+            },
+            TraceEvent::CapacityChange {
+                t,
+                rate: 35.0,
+                segment: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_kind() {
+        for ev in all_kinds() {
+            let line = ev.to_jsonl();
+            let back = TraceEvent::parse_jsonl(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_text() {
+        let ev = TraceEvent::Arrival {
+            t: Time::new(0.1),
+            job: JobId(0),
+            laxity: 0.30000000000000004,
+        };
+        // Shortest round-trip float formatting: stable across runs.
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"t\":0.1,\"ev\":\"arrival\",\"job\":0,\"laxity\":0.30000000000000004}"
+        );
+    }
+
+    #[test]
+    fn accessors_cover_every_kind() {
+        for ev in all_kinds() {
+            assert_eq!(ev.time(), Time::new(1.5));
+            assert!(!ev.kind().is_empty());
+            match ev {
+                TraceEvent::QueueDepth { .. } | TraceEvent::CapacityChange { .. } => {
+                    assert_eq!(ev.job(), None)
+                }
+                _ => assert_eq!(ev.job(), Some(JobId(3))),
+            }
+            assert!(ev.pretty().contains(ev.time().as_f64().to_string().trim()));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TraceEvent::parse_jsonl("not json").is_err());
+        assert!(TraceEvent::parse_jsonl("{\"t\":1}").is_err());
+        assert!(TraceEvent::parse_jsonl("{\"t\":1,\"ev\":\"martian\"}").is_err());
+        assert!(TraceEvent::parse_jsonl("{\"t\":1,\"ev\":\"admit\",\"job\":\"x\"}").is_err());
+        assert!(TraceEvent::parse_jsonl(
+            "{\"t\":1,\"ev\":\"queue_depth\",\"queue\":\"q9\",\"depth\":1}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn queue_kind_wire_names_round_trip() {
+        for q in [
+            QueueKind::Ready,
+            QueueKind::Edf,
+            QueueKind::Other,
+            QueueKind::Supplement,
+        ] {
+            assert_eq!(QueueKind::parse(q.as_str()), Some(q));
+        }
+        assert_eq!(QueueKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,456 @@
+//! The metrics registry: counters, value meters, gauges and fixed-bucket
+//! histograms, foldable from the trace-event stream.
+//!
+//! All storage is `BTreeMap`-keyed so snapshots render in a stable order —
+//! another determinism requirement. [`MetricsRegistry`] implements
+//! [`Tracer`], so it can consume the same event stream as any other sink
+//! (typically via [`crate::Tee`]) and [`MetricsRegistry::fold`] encodes the
+//! standard event → metric mapping in one place.
+
+use crate::event::{QueueKind, TraceEvent};
+use crate::tracer::Tracer;
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram: `counts[i]` tallies samples `< bounds[i]`
+/// (first matching bucket); the final slot is the overflow bucket.
+#[derive(Debug, Clone)]
+struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<f64>) -> Self {
+        let slots = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; slots],
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value < b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// A gauge tracks a current level and the maximum it ever reached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeValue {
+    /// Most recent level.
+    pub current: u64,
+    /// High-water mark.
+    pub max: u64,
+}
+
+/// Mutable metrics store. Create with [`MetricsRegistry::for_sim`] to get
+/// the standard simulation metric set pre-registered, or
+/// [`MetricsRegistry::new`] for an empty one.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    meters: BTreeMap<&'static str, f64>,
+    gauges: BTreeMap<&'static str, GaugeValue>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry; metrics are created on first touch.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// A registry with the standard simulation metrics pre-registered, so
+    /// snapshots list every metric even when its count is zero.
+    pub fn for_sim() -> Self {
+        let mut m = MetricsRegistry::new();
+        for name in [
+            "jobs.arrived",
+            "jobs.admitted",
+            "jobs.resumed",
+            "jobs.preempted",
+            "jobs.completed",
+            "jobs.expired",
+            "jobs.abandoned",
+            "supp.enqueued",
+            "supp.rescued",
+            "claxity.flips",
+            "capacity.changes",
+        ] {
+            m.counters.insert(name, 0);
+        }
+        for name in ["value.completed", "value.expired", "value.abandoned"] {
+            m.meters.insert(name, 0.0);
+        }
+        for name in [
+            "queue.ready.depth",
+            "queue.edf.depth",
+            "queue.other.depth",
+            "supp.depth",
+        ] {
+            m.gauges.insert(name, GaugeValue::default());
+        }
+        // Laxity in units of the mean service demand (Table 1 workloads have
+        // workloads around 1/mu = 1); remaining workload at expiry likewise.
+        m.histograms.insert(
+            "laxity.at_release",
+            Histogram::new(vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]),
+        );
+        m.histograms.insert(
+            "remaining.at_expiry",
+            Histogram::new(vec![0.25, 0.5, 1.0, 2.0, 4.0]),
+        );
+        m
+    }
+
+    /// Adds `delta` to a counter, creating it at zero if absent.
+    pub fn incr(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Adds `amount` to a value meter, creating it at zero if absent.
+    pub fn meter(&mut self, name: &'static str, amount: f64) {
+        *self.meters.entry(name).or_insert(0.0) += amount;
+    }
+
+    /// Sets a gauge's current level, updating its high-water mark.
+    pub fn gauge(&mut self, name: &'static str, level: u64) {
+        let g = self.gauges.entry(name).or_default();
+        g.current = level;
+        g.max = g.max.max(level);
+    }
+
+    /// Records a sample into a histogram, creating it with `bounds` if
+    /// absent (existing bounds win).
+    pub fn sample(&mut self, name: &'static str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds.to_vec()))
+            .record(value);
+    }
+
+    /// Folds one trace event into the standard simulation metrics.
+    pub fn fold(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Arrival { laxity, .. } => {
+                self.incr("jobs.arrived", 1);
+                self.sample(
+                    "laxity.at_release",
+                    &[0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+                    laxity,
+                );
+            }
+            TraceEvent::Admit { .. } => self.incr("jobs.admitted", 1),
+            TraceEvent::Resume { .. } => self.incr("jobs.resumed", 1),
+            TraceEvent::Preempt { .. } => self.incr("jobs.preempted", 1),
+            TraceEvent::Complete { value, .. } => {
+                self.incr("jobs.completed", 1);
+                self.meter("value.completed", value);
+            }
+            TraceEvent::Expire {
+                remaining, value, ..
+            } => {
+                self.incr("jobs.expired", 1);
+                self.meter("value.expired", value);
+                self.sample(
+                    "remaining.at_expiry",
+                    &[0.25, 0.5, 1.0, 2.0, 4.0],
+                    remaining,
+                );
+            }
+            TraceEvent::Abandon { value, .. } => {
+                self.incr("jobs.abandoned", 1);
+                self.meter("value.abandoned", value);
+            }
+            TraceEvent::SupplementEnqueue { depth, .. } => {
+                self.incr("supp.enqueued", 1);
+                self.gauge("supp.depth", depth as u64);
+            }
+            TraceEvent::SupplementRescue { depth, .. } => {
+                self.incr("supp.rescued", 1);
+                self.gauge("supp.depth", depth as u64);
+            }
+            TraceEvent::ClaxityZero { .. } => self.incr("claxity.flips", 1),
+            TraceEvent::QueueDepth { queue, depth, .. } => {
+                let name = match queue {
+                    QueueKind::Ready => "queue.ready.depth",
+                    QueueKind::Edf => "queue.edf.depth",
+                    QueueKind::Other => "queue.other.depth",
+                    QueueKind::Supplement => "supp.depth",
+                };
+                self.gauge(name, depth as u64);
+            }
+            TraceEvent::CapacityChange { .. } => self.incr("capacity.changes", 1),
+        }
+    }
+
+    /// An immutable, renderable copy of the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            meters: self
+                .meters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.to_string(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            total: h.total(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Tracer for MetricsRegistry {
+    fn record(&mut self, event: &TraceEvent) {
+        self.fold(event);
+    }
+}
+
+/// Frozen histogram state inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds; the implicit final bucket is `>= last bound`.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts (`bounds.len() + 1` slots).
+    pub counts: Vec<u64>,
+    /// Total samples recorded.
+    pub total: u64,
+}
+
+/// An immutable metrics snapshot, embedded in `RunReport` and rendered by
+/// the `cloudsched metrics` subcommand.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Value-meter totals by name.
+    pub meters: BTreeMap<String, f64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, GaugeValue>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Meter total, 0.0 if absent.
+    pub fn meter(&self, name: &str) -> f64 {
+        self.meters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Gauge state, zeroed if absent.
+    pub fn gauge(&self, name: &str) -> GaugeValue {
+        self.gauges.get(name).copied().unwrap_or_default()
+    }
+
+    /// Histogram state, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Renders a fixed-order plain-text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter    {name:<24} {v}\n"));
+        }
+        for (name, v) in &self.meters {
+            out.push_str(&format!("meter      {name:<24} {v:.6}\n"));
+        }
+        for (name, g) in &self.gauges {
+            out.push_str(&format!(
+                "gauge      {name:<24} current={} max={}\n",
+                g.current, g.max
+            ));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("histogram  {name:<24} total={}", h.total));
+            let mut lo = f64::NEG_INFINITY;
+            for (i, &count) in h.counts.iter().enumerate() {
+                let hi = h.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                out.push_str(&format!("  [{lo:.3},{hi:.3}):{count}"));
+                lo = hi;
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_core::{JobId, Time};
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        for v in [-5.0, 0.5, 1.5, 2.0, 9.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts, vec![2, 1, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn fold_covers_the_standard_mapping() {
+        let mut m = MetricsRegistry::for_sim();
+        let t = Time::new(1.0);
+        let j = JobId(0);
+        let events = [
+            TraceEvent::Arrival {
+                t,
+                job: j,
+                laxity: 0.75,
+            },
+            TraceEvent::Admit { t, job: j },
+            TraceEvent::Preempt {
+                t,
+                job: j,
+                remaining: 0.5,
+            },
+            TraceEvent::Resume { t, job: j },
+            TraceEvent::Complete {
+                t,
+                job: j,
+                value: 3.0,
+            },
+            TraceEvent::Expire {
+                t,
+                job: j,
+                remaining: 0.3,
+                value: 2.0,
+            },
+            TraceEvent::Abandon {
+                t,
+                job: j,
+                remaining: 1.0,
+                value: 4.0,
+            },
+            TraceEvent::SupplementEnqueue {
+                t,
+                job: j,
+                depth: 3,
+            },
+            TraceEvent::SupplementRescue {
+                t,
+                job: j,
+                depth: 2,
+            },
+            TraceEvent::ClaxityZero { t, job: j },
+            TraceEvent::QueueDepth {
+                t,
+                queue: QueueKind::Ready,
+                depth: 5,
+            },
+            TraceEvent::CapacityChange {
+                t,
+                rate: 2.0,
+                segment: 1,
+            },
+        ];
+        for ev in &events {
+            m.fold(ev);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.counter("jobs.arrived"), 1);
+        assert_eq!(s.counter("jobs.admitted"), 1);
+        assert_eq!(s.counter("jobs.preempted"), 1);
+        assert_eq!(s.counter("jobs.resumed"), 1);
+        assert_eq!(s.counter("jobs.completed"), 1);
+        assert_eq!(s.counter("jobs.expired"), 1);
+        assert_eq!(s.counter("jobs.abandoned"), 1);
+        assert_eq!(s.counter("supp.enqueued"), 1);
+        assert_eq!(s.counter("supp.rescued"), 1);
+        assert_eq!(s.counter("claxity.flips"), 1);
+        assert_eq!(s.counter("capacity.changes"), 1);
+        assert!((s.meter("value.completed") - 3.0).abs() < 1e-12);
+        assert!((s.meter("value.expired") - 2.0).abs() < 1e-12);
+        assert!((s.meter("value.abandoned") - 4.0).abs() < 1e-12);
+        assert_eq!(s.gauge("supp.depth").max, 3);
+        assert_eq!(s.gauge("supp.depth").current, 2);
+        assert_eq!(s.gauge("queue.ready.depth").current, 5);
+        let hist = s.histogram("laxity.at_release").unwrap();
+        assert_eq!(hist.total, 1);
+        assert_eq!(hist.counts.iter().sum::<u64>(), hist.total);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water_mark() {
+        let mut m = MetricsRegistry::new();
+        m.gauge("depth", 4);
+        m.gauge("depth", 1);
+        let g = m.snapshot().gauge("depth");
+        assert_eq!(g.current, 1);
+        assert_eq!(g.max, 4);
+    }
+
+    #[test]
+    fn snapshot_accessors_default_when_absent() {
+        let s = MetricsRegistry::new().snapshot();
+        assert_eq!(s.counter("nope"), 0);
+        assert!(s.meter("nope").abs() < f64::MIN_POSITIVE);
+        assert_eq!(s.gauge("nope"), GaugeValue::default());
+        assert!(s.histogram("nope").is_none());
+    }
+
+    #[test]
+    fn render_lists_every_family_in_order() {
+        let mut m = MetricsRegistry::for_sim();
+        m.incr("jobs.arrived", 2);
+        let text = m.snapshot().render();
+        assert!(text.contains("counter    jobs.arrived"));
+        assert!(text.contains("meter      value.completed"));
+        assert!(text.contains("gauge      supp.depth"));
+        assert!(text.contains("histogram  laxity.at_release"));
+        let c = text.find("counter").unwrap();
+        let h = text.find("histogram").unwrap();
+        assert!(c < h);
+    }
+
+    #[test]
+    fn registry_is_a_tracer() {
+        let mut m = MetricsRegistry::for_sim();
+        assert!(m.enabled());
+        Tracer::record(
+            &mut m,
+            &TraceEvent::Admit {
+                t: Time::ZERO,
+                job: JobId(1),
+            },
+        );
+        assert_eq!(m.snapshot().counter("jobs.admitted"), 1);
+    }
+}

@@ -20,6 +20,7 @@
 
 use crate::ready::DeadlineQueue;
 use cloudsched_core::{approx_ge, JobId, Time};
+use cloudsched_obs::{QueueKind, TraceEvent};
 use cloudsched_sim::{Decision, Scheduler, SimContext};
 
 /// Which constant future-capacity assumption drives laxity computations.
@@ -192,6 +193,13 @@ impl DoverFamily {
         self.bump(job);
         let token = self.gen(job);
         ctx.set_timer(t0, job, token);
+        if ctx.tracing_enabled() {
+            ctx.trace(TraceEvent::QueueDepth {
+                t: ctx.now(),
+                queue: QueueKind::Other,
+                depth: self.qother.len(),
+            });
+        }
     }
 
     fn qedf_insert(&mut self, e: EdfEntry) {
@@ -199,6 +207,18 @@ impl DoverFamily {
             .qedf
             .partition_point(|x| (x.deadline, x.job) < (e.deadline, e.job));
         self.qedf.insert(pos, e);
+    }
+
+    /// Parks `job` in the supplement queue, stamping the enqueue.
+    fn park_supplement(&mut self, ctx: &mut SimContext<'_>, job: JobId) {
+        self.qsupp.push(job);
+        if ctx.tracing_enabled() {
+            ctx.trace(TraceEvent::SupplementEnqueue {
+                t: ctx.now(),
+                job,
+                depth: self.qsupp.len(),
+            });
+        }
     }
 
     fn qedf_value(&self, ctx: &SimContext<'_>) -> f64 {
@@ -294,6 +314,13 @@ impl DoverFamily {
         // Lines C.16–C.22: no regular work — revive a supplement job or idle.
         self.cslack = f64::INFINITY;
         if let Some(s) = self.pop_supplement(ctx) {
+            if ctx.tracing_enabled() {
+                ctx.trace(TraceEvent::SupplementRescue {
+                    t: now,
+                    job: s,
+                    depth: self.qsupp.len(),
+                });
+            }
             self.flag = Flag::Supp;
             return Decision::Run(s);
         }
@@ -331,6 +358,13 @@ impl Scheduler for DoverFamily {
                         t_insert: ctx.now(),
                         cslack_insert: self.cslack,
                     });
+                    if ctx.tracing_enabled() {
+                        ctx.trace(TraceEvent::QueueDepth {
+                            t: ctx.now(),
+                            queue: QueueKind::Edf,
+                            depth: self.qedf.len(),
+                        });
+                    }
                     self.cslack = (self.cslack - self.tc(ctx, arr)).min(self.claxity(ctx, arr));
                     self.debug_assert_dispatch_laxity(ctx, arr);
                     Decision::Run(arr)
@@ -343,7 +377,7 @@ impl Scheduler for DoverFamily {
             // unconditionally.
             (Flag::Supp, Some(cur)) => {
                 if self.cfg.supplement {
-                    self.qsupp.push(cur);
+                    self.park_supplement(ctx, cur);
                     self.bump(cur);
                 }
                 self.cslack = self.claxity(ctx, arr);
@@ -384,6 +418,11 @@ impl Scheduler for DoverFamily {
         if !self.qother.contains(d, job) {
             return Decision::Continue; // defensive: only Qother jobs arbitrate
         }
+        // The estimated laxity of `job` flips sign at this instant: this is
+        // the paper's zero-(conservative-)laxity interrupt actually firing.
+        if ctx.tracing_enabled() {
+            ctx.trace(TraceEvent::ClaxityZero { t: ctx.now(), job });
+        }
         self.qother.remove(d, job);
         self.bump(job);
         // Line D.1: compare the urgent job's value against β times the value
@@ -401,7 +440,7 @@ impl Scheduler for DoverFamily {
                     Flag::Reg => self.insert_qother(ctx, cur),
                     Flag::Supp => {
                         if self.cfg.supplement {
-                            self.qsupp.push(cur);
+                            self.park_supplement(ctx, cur);
                             self.bump(cur);
                         }
                     }
@@ -416,9 +455,13 @@ impl Scheduler for DoverFamily {
             self.flag = Flag::Reg;
             Decision::Run(job)
         } else {
-            // Line D.7: not valuable enough — park or abandon.
+            // Line D.7: not valuable enough — park (V-Dover) or abandon
+            // (Dover: under constant capacity a zero-laxity loser can never
+            // finish, so the engine books it as explicitly given up).
             if self.cfg.supplement {
-                self.qsupp.push(job);
+                self.park_supplement(ctx, job);
+            } else {
+                ctx.abandon(job);
             }
             Decision::Continue
         }
@@ -529,7 +572,12 @@ mod tests {
         let r = simulate(&jobs, &cap, &mut Dover::new(100.0, 1.0), RunOptions::full());
         assert!(r.outcome.get(JobId(0)).is_completed());
         assert!(!r.outcome.get(JobId(1)).is_completed());
-        // The loser was abandoned, never executed.
+        // The loser was explicitly abandoned (procedure D, no supplement
+        // queue), never executed — and the report books it as an
+        // abandonment, not a passive expiry.
+        assert_eq!(r.abandoned, 1);
+        assert_eq!(r.expired, 0);
+        assert!(approx_eq(r.abandoned_value, 1.0));
         assert_eq!(r.schedule.unwrap().slices_of(JobId(1)).count(), 0);
     }
 

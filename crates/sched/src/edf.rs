@@ -9,6 +9,7 @@
 
 use crate::ready::DeadlineQueue;
 use cloudsched_core::JobId;
+use cloudsched_obs::{QueueKind, TraceEvent};
 use cloudsched_sim::{Decision, Scheduler, SimContext};
 
 /// Preemptive EDF.
@@ -31,6 +32,17 @@ impl Edf {
             None => Decision::Idle,
         }
     }
+
+    /// Stamps the ready-queue depth after an enqueue.
+    fn trace_depth(&self, ctx: &mut SimContext<'_>) {
+        if ctx.tracing_enabled() {
+            ctx.trace(TraceEvent::QueueDepth {
+                t: ctx.now(),
+                queue: QueueKind::Ready,
+                depth: self.ready.len(),
+            });
+        }
+    }
 }
 
 impl Scheduler for Edf {
@@ -46,9 +58,11 @@ impl Scheduler for Edf {
                 let d_cur = ctx.job(cur).deadline;
                 if (d_new, job) < (d_cur, cur) {
                     self.ready.insert(d_cur, cur);
+                    self.trace_depth(ctx);
                     Decision::Run(job)
                 } else {
                     self.ready.insert(d_new, job);
+                    self.trace_depth(ctx);
                     Decision::Continue
                 }
             }

@@ -27,6 +27,7 @@
 
 pub mod dover;
 pub mod edf;
+pub mod factory;
 pub mod fifo;
 pub mod greedy;
 pub mod llf;
@@ -35,6 +36,7 @@ pub mod vdover;
 
 pub use dover::Dover;
 pub use edf::Edf;
+pub use factory::{by_name, SCHEDULER_NAMES};
 pub use fifo::Fifo;
 pub use greedy::{Greedy, GreedyKey};
 pub use llf::Llf;

@@ -251,6 +251,46 @@ mod tests {
     }
 
     #[test]
+    fn trace_shows_supplement_enqueue_rescue_and_claxity_flip() {
+        use cloudsched_obs::{RingTracer, TraceEvent};
+        use cloudsched_sim::simulate_traced;
+        // The signature instance: the zero-conservative-laxity loser is
+        // parked (supp_enqueue) and later revived (supp_rescue); the park
+        // decision is preceded by the zero-laxity interrupt (claxity_zero).
+        let jobs = JobSet::from_tuples(&[(0.0, 8.0, 8.0, 10.0), (0.0, 8.0, 8.0, 1.0)]).unwrap();
+        let cap = low_then_high(0.0);
+        let mut ring = RingTracer::new(256);
+        let r = simulate_traced(
+            &jobs,
+            &cap,
+            &mut VDover::new(10.0, 4.0),
+            RunOptions::lean(),
+            &mut ring,
+        );
+        assert_eq!(r.completed, 2);
+        let enqueues = ring
+            .events()
+            .filter(|e| matches!(e, TraceEvent::SupplementEnqueue { .. }))
+            .count();
+        let rescues = ring
+            .events()
+            .filter(|e| matches!(e, TraceEvent::SupplementRescue { .. }))
+            .count();
+        let flips = ring
+            .events()
+            .filter(|e| matches!(e, TraceEvent::ClaxityZero { .. }))
+            .count();
+        assert!(enqueues >= 1, "loser must be parked");
+        assert!(rescues >= 1, "parked job must be revived");
+        assert!(rescues <= enqueues, "can only revive what was parked");
+        assert!(flips >= 1, "zero-laxity interrupt must be stamped");
+        // The parked job is the low-value one.
+        assert!(ring
+            .events()
+            .any(|e| matches!(e, TraceEvent::SupplementEnqueue { job: JobId(1), .. })));
+    }
+
+    #[test]
     fn paper_config_beta_matches_formula() {
         let cfg = VDoverConfig::paper(7.0, 35.0);
         assert!(approx_eq(

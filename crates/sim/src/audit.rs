@@ -527,11 +527,16 @@ mod tests {
             value_fraction: 1.0,
             completed: 1,
             missed: 0,
+            expired: 0,
+            expired_value: 0.0,
+            abandoned: 0,
+            abandoned_value: 0.0,
             preemptions: 0,
             dispatches: 1,
             events: 0,
             schedule: Some(sched),
             trajectory: None,
+            metrics: None,
         };
         let errs = audit_report(&jobs, &cap, &r).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("before release")));
@@ -613,11 +618,16 @@ mod tests {
             value_fraction: 1.0,
             completed: 1,
             missed: 0,
+            expired: 0,
+            expired_value: 0.0,
+            abandoned: 0,
+            abandoned_value: 0.0,
             preemptions: 0,
             dispatches: 1,
             events: 0,
             schedule: Some(sched),
             trajectory: None,
+            metrics: None,
         };
         let errs = audit_report(&jobs, &cap, &r).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("executed")));

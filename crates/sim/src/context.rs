@@ -1,6 +1,7 @@
 //! The scheduler's window into the simulation.
 
 use cloudsched_core::{Duration, Job, JobId, JobSet, Time};
+use cloudsched_obs::{TraceEvent, Tracer};
 
 /// What the scheduler wants the processor to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,10 +28,10 @@ pub struct TimerRequest {
 /// Read access to everything an *online* scheduler may legitimately observe
 /// (§II-A: job parameters at release, the capacity realised so far — hence
 /// remaining workloads — and the declared capacity class bounds), plus the
-/// ability to request timer interrupts.
+/// ability to request timer interrupts, emit scheduler-level trace events
+/// and declare explicit job abandonment.
 ///
 /// The future of the capacity trace is deliberately unreachable.
-#[derive(Debug)]
 pub struct SimContext<'a> {
     now: Time,
     jobs: &'a JobSet,
@@ -40,6 +41,20 @@ pub struct SimContext<'a> {
     c_lo: f64,
     c_hi: f64,
     timer_requests: Vec<TimerRequest>,
+    abandon_notices: Vec<JobId>,
+    tracer: &'a mut dyn Tracer,
+}
+
+impl std::fmt::Debug for SimContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimContext")
+            .field("now", &self.now)
+            .field("running", &self.running)
+            .field("current_rate", &self.current_rate)
+            .field("c_lo", &self.c_lo)
+            .field("c_hi", &self.c_hi)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> SimContext<'a> {
@@ -52,6 +67,7 @@ impl<'a> SimContext<'a> {
         current_rate: f64,
         c_lo: f64,
         c_hi: f64,
+        tracer: &'a mut dyn Tracer,
     ) -> Self {
         SimContext {
             now,
@@ -62,6 +78,8 @@ impl<'a> SimContext<'a> {
             c_lo,
             c_hi,
             timer_requests: Vec::new(),
+            abandon_notices: Vec::new(),
+            tracer,
         }
     }
 
@@ -143,11 +161,50 @@ impl<'a> SimContext<'a> {
     pub(crate) fn take_timer_requests(&mut self) -> Vec<TimerRequest> {
         std::mem::take(&mut self.timer_requests)
     }
+
+    /// Whether a live tracer is attached. Handlers should skip constructing
+    /// trace events entirely when this is `false`.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Records a scheduler-level trace event (supplement-queue activity,
+    /// conservative-laxity flips, queue depths, …) into the run's tracer.
+    /// No-op under the default `NoopTracer`.
+    #[inline]
+    pub fn trace(&mut self, event: TraceEvent) {
+        if self.tracer.enabled() {
+            self.tracer.record(&event);
+        }
+    }
+
+    /// Declares that the scheduler has permanently given up on `job` before
+    /// its deadline (Dover's procedure D without a supplement queue). The
+    /// kernel books the job as *abandoned* rather than *expired* when its
+    /// deadline fires, and an `Abandon` trace event is emitted here.
+    pub fn abandon(&mut self, job: JobId) {
+        if self.tracer.enabled() {
+            let ev = TraceEvent::Abandon {
+                t: self.now,
+                job,
+                remaining: self.remaining(job),
+                value: self.job(job).value,
+            };
+            self.tracer.record(&ev);
+        }
+        self.abandon_notices.push(job);
+    }
+
+    pub(crate) fn take_abandon_notices(&mut self) -> Vec<JobId> {
+        std::mem::take(&mut self.abandon_notices)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cloudsched_obs::{NoopTracer, RingTracer};
 
     fn jobs() -> JobSet {
         JobSet::from_tuples(&[(0.0, 10.0, 4.0, 1.0), (1.0, 6.0, 2.0, 5.0)]).unwrap()
@@ -157,6 +214,7 @@ mod tests {
     fn accessors() {
         let js = jobs();
         let remaining = [4.0, 1.0];
+        let mut tracer = NoopTracer;
         let ctx = SimContext::new(
             Time::new(2.0),
             &js,
@@ -165,7 +223,9 @@ mod tests {
             3.0,
             1.0,
             4.0,
+            &mut tracer,
         );
+        assert!(!ctx.tracing_enabled());
         assert_eq!(ctx.now(), Time::new(2.0));
         assert_eq!(ctx.job(JobId(1)).value, 5.0);
         assert_eq!(ctx.remaining(JobId(1)), 1.0);
@@ -179,7 +239,17 @@ mod tests {
     fn conservative_laxity_matches_definition_5() {
         let js = jobs();
         let remaining = [4.0, 1.0];
-        let ctx = SimContext::new(Time::new(2.0), &js, &remaining, None, 1.0, 2.0, 4.0);
+        let mut tracer = NoopTracer;
+        let ctx = SimContext::new(
+            Time::new(2.0),
+            &js,
+            &remaining,
+            None,
+            1.0,
+            2.0,
+            4.0,
+            &mut tracer,
+        );
         // Job 0: d=10, now=2, p_r=4, c_lo=2 => 10-2-2 = 6.
         assert_eq!(ctx.conservative_laxity(JobId(0)).as_f64(), 6.0);
         assert_eq!(ctx.conservative_remaining_time(JobId(0)).as_f64(), 2.0);
@@ -191,7 +261,17 @@ mod tests {
     fn timers_clamp_to_now_and_drain() {
         let js = jobs();
         let remaining = [4.0, 1.0];
-        let mut ctx = SimContext::new(Time::new(5.0), &js, &remaining, None, 1.0, 1.0, 1.0);
+        let mut tracer = NoopTracer;
+        let mut ctx = SimContext::new(
+            Time::new(5.0),
+            &js,
+            &remaining,
+            None,
+            1.0,
+            1.0,
+            1.0,
+            &mut tracer,
+        );
         ctx.set_timer(Time::new(3.0), JobId(0), 7); // in the past -> clamped
         ctx.set_timer(Time::new(8.0), JobId(1), 9);
         let reqs = ctx.take_timer_requests();
@@ -200,5 +280,67 @@ mod tests {
         assert_eq!(reqs[0].token, 7);
         assert_eq!(reqs[1].at, Time::new(8.0));
         assert!(ctx.take_timer_requests().is_empty());
+    }
+
+    #[test]
+    fn abandon_emits_event_and_notice() {
+        let js = jobs();
+        let remaining = [4.0, 1.5];
+        let mut ring = RingTracer::new(8);
+        let mut ctx = SimContext::new(
+            Time::new(3.0),
+            &js,
+            &remaining,
+            None,
+            1.0,
+            1.0,
+            1.0,
+            &mut ring,
+        );
+        assert!(ctx.tracing_enabled());
+        ctx.abandon(JobId(1));
+        assert_eq!(ctx.take_abandon_notices(), vec![JobId(1)]);
+        assert!(ctx.take_abandon_notices().is_empty());
+        drop(ctx);
+        let evs: Vec<_> = ring.take();
+        assert_eq!(evs.len(), 1);
+        match evs[0] {
+            TraceEvent::Abandon {
+                job,
+                remaining,
+                value,
+                ..
+            } => {
+                assert_eq!(job, JobId(1));
+                assert!((remaining - 1.5).abs() < 1e-12);
+                assert!((value - 5.0).abs() < 1e-12);
+            }
+            ref other => panic!("expected abandon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_is_silent_under_noop() {
+        let js = jobs();
+        let remaining = [4.0, 1.0];
+        let mut tracer = NoopTracer;
+        let mut ctx = SimContext::new(
+            Time::new(1.0),
+            &js,
+            &remaining,
+            None,
+            1.0,
+            1.0,
+            1.0,
+            &mut tracer,
+        );
+        ctx.trace(TraceEvent::ClaxityZero {
+            t: Time::new(1.0),
+            job: JobId(0),
+        });
+        // Abandon notices still flow even when tracing is off: the kernel's
+        // expired/abandoned split must not depend on observability.
+        ctx.abandon(JobId(0));
+        assert_eq!(ctx.take_abandon_notices(), vec![JobId(0)]);
     }
 }

@@ -6,6 +6,7 @@ use crate::report::{RunReport, TrajectoryPoint};
 use crate::scheduler::Scheduler;
 use cloudsched_capacity::CapacityProfile;
 use cloudsched_core::{JobId, JobOutcome, JobSet, Outcome, Schedule, Time};
+use cloudsched_obs::{MetricsRegistry, NoopTracer, Profiler, TraceEvent, Tracer};
 
 /// Knobs for a single run.
 #[derive(Debug, Clone, Copy)]
@@ -50,7 +51,7 @@ fn completion_tolerance(workload: f64) -> f64 {
     1e-9 + 1e-12 * workload
 }
 
-struct Kernel<'a, P: CapacityProfile> {
+struct Kernel<'a, P: CapacityProfile, T: Tracer> {
     jobs: &'a JobSet,
     capacity: &'a P,
     queue: EventQueue,
@@ -59,6 +60,10 @@ struct Kernel<'a, P: CapacityProfile> {
     remaining: Vec<f64>,
     released: Vec<bool>,
     resolved: Vec<bool>,
+    /// Dispatched at least once (distinguishes admit from resume in traces).
+    started: Vec<bool>,
+    /// Explicitly given up by the scheduler via `SimContext::abandon`.
+    abandoned: Vec<bool>,
     running: Option<JobId>,
     /// Incremented on every dispatch; stale completion events are detected by
     /// epoch mismatch.
@@ -69,19 +74,54 @@ struct Kernel<'a, P: CapacityProfile> {
     preemptions: usize,
     dispatches: usize,
     events_processed: usize,
+    expired: usize,
+    expired_value: f64,
+    abandoned_count: usize,
+    abandoned_value: f64,
+    /// 0-based index of the capacity segment currently in force (only
+    /// maintained while tracing).
+    capacity_segment: usize,
+    /// Last instant of interest; capacity-segment markers stop here.
+    horizon: Time,
     schedule: Option<Schedule>,
     trajectory: Option<Vec<TrajectoryPoint>>,
     c_lo: f64,
     c_hi: f64,
+    tracer: &'a mut T,
+    profiler: Option<&'a Profiler>,
 }
 
-impl<'a, P: CapacityProfile> Kernel<'a, P> {
-    fn new(jobs: &'a JobSet, capacity: &'a P, options: RunOptions) -> Self {
+impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
+    fn new(
+        jobs: &'a JobSet,
+        capacity: &'a P,
+        options: RunOptions,
+        tracer: &'a mut T,
+        profiler: Option<&'a Profiler>,
+    ) -> Self {
         let n = jobs.len();
         let mut queue = EventQueue::new();
         for job in jobs.iter() {
             queue.push(job.release, EventKind::Release { job: job.id });
             queue.push(job.deadline, EventKind::Deadline { job: job.id });
+        }
+        let horizon = if n > 0 {
+            jobs.last_deadline()
+        } else {
+            Time::ZERO
+        };
+        if tracer.enabled() && n > 0 {
+            // Stamp the initial segment immediately and chain the markers
+            // through the queue from there (see the CapacityChange arm).
+            tracer.record(&TraceEvent::CapacityChange {
+                t: Time::ZERO,
+                rate: capacity.rate_at(Time::ZERO),
+                segment: 0,
+            });
+            let next = capacity.next_change_after(Time::ZERO);
+            if next <= horizon {
+                queue.push(next, EventKind::CapacityChange);
+            }
         }
         let (c_lo, c_hi) = capacity.bounds();
         Kernel {
@@ -92,6 +132,8 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
             remaining: jobs.iter().map(|j| j.workload).collect(),
             released: vec![false; n],
             resolved: vec![false; n],
+            started: vec![false; n],
+            abandoned: vec![false; n],
             running: None,
             epoch: 0,
             slice_start: Time::ZERO,
@@ -100,6 +142,12 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
             preemptions: 0,
             dispatches: 0,
             events_processed: 0,
+            expired: 0,
+            expired_value: 0.0,
+            abandoned_count: 0,
+            abandoned_value: 0.0,
+            capacity_segment: 0,
+            horizon,
             schedule: options.record_schedule.then(Schedule::new),
             trajectory: options.record_trajectory.then(|| {
                 vec![TrajectoryPoint {
@@ -109,6 +157,8 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
             }),
             c_lo,
             c_hi,
+            tracer,
+            profiler,
         }
     }
 
@@ -159,6 +209,13 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
         self.outcome
             .set(job, JobOutcome::Completed { at: self.now });
         self.value += self.jobs.get(job).value;
+        if self.tracer.enabled() {
+            self.tracer.record(&TraceEvent::Complete {
+                t: self.now,
+                job,
+                value: self.jobs.get(job).value,
+            });
+        }
         if let Some(traj) = self.trajectory.as_mut() {
             traj.push(TrajectoryPoint {
                 time: self.now.as_f64(),
@@ -180,11 +237,15 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
             self.capacity.rate_at(self.now),
             self.c_lo,
             self.c_hi,
+            &mut *self.tracer,
         );
-        let decision = f(scheduler, &mut ctx);
-        let timers = {
+        let decision = {
+            let _span = self.profiler.map(|p| p.span("kernel.dispatch"));
+            f(scheduler, &mut ctx)
+        };
+        let (timers, abandons) = {
             let mut ctx = ctx;
-            ctx.take_timer_requests()
+            (ctx.take_timer_requests(), ctx.take_abandon_notices())
         };
         for t in timers {
             self.queue.push(
@@ -195,7 +256,23 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
                 },
             );
         }
+        for j in abandons {
+            self.abandoned[j.index()] = true;
+        }
         self.apply(decision);
+    }
+
+    /// Stamps a preemption trace event for the currently running job.
+    fn trace_preempt(&mut self) {
+        if self.tracer.enabled() {
+            if let Some(cur) = self.running {
+                self.tracer.record(&TraceEvent::Preempt {
+                    t: self.now,
+                    job: cur,
+                    remaining: self.remaining[cur.index()],
+                });
+            }
+        }
     }
 
     fn apply(&mut self, decision: Decision) {
@@ -204,6 +281,7 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
             Decision::Idle => {
                 if self.running.is_some() {
                     self.preemptions += 1;
+                    self.trace_preempt();
                     self.vacate();
                 }
             }
@@ -216,8 +294,24 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
                 assert!(!self.resolved[i], "scheduler dispatched resolved {j}");
                 if self.running.is_some() {
                     self.preemptions += 1;
+                    self.trace_preempt();
                     self.vacate();
                 }
+                if self.tracer.enabled() {
+                    let ev = if self.started[i] {
+                        TraceEvent::Resume {
+                            t: self.now,
+                            job: j,
+                        }
+                    } else {
+                        TraceEvent::Admit {
+                            t: self.now,
+                            job: j,
+                        }
+                    };
+                    self.tracer.record(&ev);
+                }
+                self.started[i] = true;
                 self.running = Some(j);
                 self.epoch += 1;
                 self.slice_start = self.now;
@@ -237,8 +331,25 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
     fn run<S: Scheduler + ?Sized>(mut self, scheduler: &mut S) -> RunReport {
         while let Some(ev) = self.queue.pop() {
             self.advance_to(ev.time);
-            self.events_processed += 1;
+            // Capacity-segment markers are trace bookkeeping, not kernel
+            // events: the processed-event count stays identical whether or
+            // not a tracer is attached.
+            if !matches!(ev.kind, EventKind::CapacityChange) {
+                self.events_processed += 1;
+            }
             match ev.kind {
+                EventKind::CapacityChange => {
+                    self.capacity_segment += 1;
+                    self.tracer.record(&TraceEvent::CapacityChange {
+                        t: self.now,
+                        rate: self.capacity.rate_at(self.now),
+                        segment: self.capacity_segment,
+                    });
+                    let next = self.capacity.next_change_after(self.now);
+                    if next > self.now && next <= self.horizon {
+                        self.queue.push(next, EventKind::CapacityChange);
+                    }
+                }
                 EventKind::Completion { job, epoch } => {
                     if self.running != Some(job) || epoch != self.epoch {
                         continue; // stale: the job was preempted since
@@ -255,6 +366,16 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
                 }
                 EventKind::Release { job } => {
                     self.released[job.index()] = true;
+                    if self.tracer.enabled() {
+                        let j = self.jobs.get(job);
+                        self.tracer.record(&TraceEvent::Arrival {
+                            t: self.now,
+                            job,
+                            laxity: j
+                                .laxity_with(self.now, self.remaining[job.index()], self.c_lo)
+                                .as_f64(),
+                        });
+                    }
                     self.dispatch_handler(scheduler, |s, ctx| s.on_release(ctx, job));
                 }
                 EventKind::Deadline { job } => {
@@ -279,6 +400,25 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
                                 remaining_workload: self.remaining[i],
                             },
                         );
+                        let value = self.jobs.get(job).value;
+                        if self.abandoned[i] {
+                            // The scheduler already gave this job up (and
+                            // its Abandon trace event was emitted then):
+                            // book it separately from passive expiry.
+                            self.abandoned_count += 1;
+                            self.abandoned_value += value;
+                        } else {
+                            self.expired += 1;
+                            self.expired_value += value;
+                            if self.tracer.enabled() {
+                                self.tracer.record(&TraceEvent::Expire {
+                                    t: self.now,
+                                    job,
+                                    remaining: self.remaining[i],
+                                    value,
+                                });
+                            }
+                        }
                         self.dispatch_handler(scheduler, |s, ctx| s.on_deadline_miss(ctx, job));
                     }
                 }
@@ -288,6 +428,12 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
         // event always fires, vacating the processor — but stay defensive).
         self.vacate();
         let total_value = self.jobs.total_value();
+        let missed = self.outcome.missed().count();
+        debug_assert_eq!(
+            missed,
+            self.expired + self.abandoned_count,
+            "every miss is booked as exactly one of expired / abandoned"
+        );
         RunReport {
             scheduler: scheduler.name(),
             value: self.value,
@@ -297,13 +443,18 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
                 0.0
             },
             completed: self.outcome.completed_count(),
-            missed: self.outcome.missed().count(),
+            missed,
+            expired: self.expired,
+            expired_value: self.expired_value,
+            abandoned: self.abandoned_count,
+            abandoned_value: self.abandoned_value,
             preemptions: self.preemptions,
             dispatches: self.dispatches,
             events: self.events_processed,
             outcome: self.outcome,
             schedule: self.schedule,
             trajectory: self.trajectory,
+            metrics: None,
         }
     }
 }
@@ -313,6 +464,10 @@ impl<'a, P: CapacityProfile> Kernel<'a, P> {
 /// The kernel delivers release, completion-or-failure and timer interrupts in
 /// deterministic order (time, then kind, then FIFO) and integrates job
 /// progress exactly over the piecewise capacity profile.
+///
+/// Untraced: instrumentation is compiled out behind [`NoopTracer`]. Use
+/// [`simulate_traced`] / [`simulate_observed`] / [`simulate_with_metrics`]
+/// for observability.
 pub fn simulate<P, S>(
     jobs: &JobSet,
     capacity: &P,
@@ -323,7 +478,63 @@ where
     P: CapacityProfile,
     S: Scheduler + ?Sized,
 {
-    Kernel::new(jobs, capacity, options).run(scheduler)
+    let mut tracer = NoopTracer;
+    Kernel::new(jobs, capacity, options, &mut tracer, None).run(scheduler)
+}
+
+/// [`simulate`] with a caller-supplied trace sink. Every kernel- and
+/// scheduler-level [`TraceEvent`] of the run flows into `tracer` in
+/// deterministic order; the report is identical to an untraced run.
+pub fn simulate_traced<P, S, T>(
+    jobs: &JobSet,
+    capacity: &P,
+    scheduler: &mut S,
+    options: RunOptions,
+    tracer: &mut T,
+) -> RunReport
+where
+    P: CapacityProfile,
+    S: Scheduler + ?Sized,
+    T: Tracer,
+{
+    Kernel::new(jobs, capacity, options, tracer, None).run(scheduler)
+}
+
+/// Fully-instrumented entry point: a trace sink plus an optional profiler
+/// whose `kernel.dispatch` span brackets every scheduler handler call.
+pub fn simulate_observed<P, S, T>(
+    jobs: &JobSet,
+    capacity: &P,
+    scheduler: &mut S,
+    options: RunOptions,
+    tracer: &mut T,
+    profiler: Option<&Profiler>,
+) -> RunReport
+where
+    P: CapacityProfile,
+    S: Scheduler + ?Sized,
+    T: Tracer,
+{
+    Kernel::new(jobs, capacity, options, tracer, profiler).run(scheduler)
+}
+
+/// [`simulate`] with the standard simulation metrics attached: runs with a
+/// [`MetricsRegistry`] as the trace sink and embeds its snapshot in
+/// [`RunReport::metrics`].
+pub fn simulate_with_metrics<P, S>(
+    jobs: &JobSet,
+    capacity: &P,
+    scheduler: &mut S,
+    options: RunOptions,
+) -> RunReport
+where
+    P: CapacityProfile,
+    S: Scheduler + ?Sized,
+{
+    let mut registry = MetricsRegistry::for_sim();
+    let mut report = simulate_traced(jobs, capacity, scheduler, options, &mut registry);
+    report.metrics = Some(registry.snapshot());
+    report
 }
 
 #[cfg(test)]
@@ -661,6 +872,129 @@ mod tests {
         }
         let jobs = JobSet::from_tuples(&[(0.0, 10.0, 1.0, 1.0), (5.0, 10.0, 1.0, 1.0)]).unwrap();
         simulate(&jobs, &Constant::unit(), &mut Evil, RunOptions::default());
+    }
+
+    #[test]
+    fn traced_run_emits_lifecycle_events_in_order() {
+        use cloudsched_obs::RingTracer;
+        // LIFO preempt: job0 admitted at 0, preempted at 1 by job1 (done at
+        // 2); job0 never resumed -> expires at its deadline.
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 4.0, 1.0), (1.0, 10.0, 1.0, 2.0)]).unwrap();
+        let cap = Constant::unit();
+        let mut ring = RingTracer::new(64);
+        let traced = simulate_traced(
+            &jobs,
+            &cap,
+            &mut TestLifoPreempt,
+            RunOptions::full(),
+            &mut ring,
+        );
+        let kinds: Vec<&str> = ring.events().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "capacity", // initial segment stamp at t=0
+                "arrival",  // T0
+                "admit",    // T0
+                "arrival",  // T1
+                "preempt",  // T0 displaced
+                "admit",    // T1
+                "complete", // T1
+                "expire",   // T0 at its deadline
+            ]
+        );
+        assert_eq!(traced.expired, 1);
+        assert!(approx_eq(traced.expired_value, 1.0));
+        assert_eq!(traced.abandoned, 0);
+        // Tracing must not perturb the simulation: the untraced report is
+        // identical field-for-field.
+        let plain = simulate(&jobs, &cap, &mut TestLifoPreempt, RunOptions::full());
+        assert_eq!(plain.events, traced.events);
+        assert_eq!(plain.preemptions, traced.preemptions);
+        assert_eq!(plain.value, traced.value);
+        assert_eq!(plain.completed, traced.completed);
+    }
+
+    #[test]
+    fn traced_run_stamps_capacity_segments() {
+        use cloudsched_obs::{RingTracer, TraceEvent};
+        // rate 1 on [0,2), rate 3 afterwards: segments 0 and 1.
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 5.0, 1.0)]).unwrap();
+        let cap = PiecewiseConstant::from_durations(&[(2.0, 1.0), (1.0, 3.0)]).unwrap();
+        let mut ring = RingTracer::new(64);
+        simulate_traced(
+            &jobs,
+            &cap,
+            &mut TestFifo::new(),
+            RunOptions::default(),
+            &mut ring,
+        );
+        let segments: Vec<(f64, f64, usize)> = ring
+            .events()
+            .filter_map(|e| match *e {
+                TraceEvent::CapacityChange { t, rate, segment } => {
+                    Some((t.as_f64(), rate, segment))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(segments.len(), 2);
+        assert_eq!(segments[0].2, 0);
+        assert!(approx_eq(segments[0].1, 1.0));
+        assert_eq!(segments[1].2, 1);
+        assert!(approx_eq(segments[1].0, 2.0));
+        assert!(approx_eq(segments[1].1, 3.0));
+    }
+
+    #[test]
+    fn metrics_run_embeds_snapshot() {
+        let jobs = JobSet::from_tuples(&[(0.0, 10.0, 1.0, 5.0), (0.0, 10.0, 1.0, 3.0)]).unwrap();
+        let r = simulate_with_metrics(
+            &jobs,
+            &Constant::unit(),
+            &mut TestFifo::new(),
+            RunOptions::default(),
+        );
+        let m = r.metrics.expect("metrics snapshot attached");
+        assert_eq!(m.counter("jobs.arrived"), 2);
+        assert_eq!(m.counter("jobs.completed"), 2);
+        assert!(approx_eq(m.meter("value.completed"), 8.0));
+        let hist = m.histogram("laxity.at_release").expect("laxity histogram");
+        assert_eq!(hist.total, 2);
+    }
+
+    #[test]
+    fn abandoned_jobs_are_booked_separately_from_expired() {
+        // Scheduler that explicitly gives up on every release and never runs
+        // anything: all misses must be abandonments, none passive expiries.
+        struct Quitter;
+        impl Scheduler for Quitter {
+            fn name(&self) -> String {
+                "quitter".into()
+            }
+            fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+                ctx.abandon(job);
+                Decision::Continue
+            }
+            fn on_completion(&mut self, _c: &mut SimContext<'_>, _j: JobId) -> Decision {
+                Decision::Continue
+            }
+            fn on_deadline_miss(&mut self, _c: &mut SimContext<'_>, _j: JobId) -> Decision {
+                Decision::Continue
+            }
+        }
+        let jobs = JobSet::from_tuples(&[(0.0, 2.0, 1.0, 4.0), (0.0, 3.0, 1.0, 6.0)]).unwrap();
+        let r = simulate(
+            &jobs,
+            &Constant::unit(),
+            &mut Quitter,
+            RunOptions::default(),
+        );
+        assert_eq!(r.missed, 2);
+        assert_eq!(r.abandoned, 2);
+        assert_eq!(r.expired, 0);
+        assert!(approx_eq(r.abandoned_value, 10.0));
+        assert!(approx_eq(r.expired_value, 0.0));
     }
 
     #[test]

@@ -33,20 +33,26 @@ pub enum EventKind {
         /// The job whose deadline expires.
         job: JobId,
     },
+    /// The capacity profile enters a new constant-rate segment. Only
+    /// scheduled when tracing is live — it exists to stamp
+    /// capacity-segment trace events, never to invoke the scheduler.
+    CapacityChange,
 }
 
 impl EventKind {
-    /// Processing priority at equal timestamps. Completions are handled
-    /// before deadlines so that a job finishing *exactly at* its deadline
-    /// counts as completed ("completing a job **by** its deadline"), and
-    /// before releases so queues are in a settled state when new work
-    /// arrives.
+    /// Processing priority at equal timestamps. Capacity-segment markers go
+    /// first so the trace shows the new rate before any co-timed activity;
+    /// completions are handled before deadlines so that a job finishing
+    /// *exactly at* its deadline counts as completed ("completing a job
+    /// **by** its deadline"), and before releases so queues are in a
+    /// settled state when new work arrives.
     fn priority(&self) -> u8 {
         match self {
-            EventKind::Completion { .. } => 0,
-            EventKind::Timer { .. } => 1,
-            EventKind::Release { .. } => 2,
-            EventKind::Deadline { .. } => 3,
+            EventKind::CapacityChange => 0,
+            EventKind::Completion { .. } => 1,
+            EventKind::Timer { .. } => 2,
+            EventKind::Release { .. } => 3,
+            EventKind::Deadline { .. } => 4,
         }
     }
 }
@@ -160,15 +166,17 @@ mod tests {
                 token: 0,
             },
         );
+        q.push(t(5.0), EventKind::CapacityChange);
         let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
-                EventKind::Completion { .. } => 0,
-                EventKind::Timer { .. } => 1,
-                EventKind::Release { .. } => 2,
-                EventKind::Deadline { .. } => 3,
+                EventKind::CapacityChange => 0,
+                EventKind::Completion { .. } => 1,
+                EventKind::Timer { .. } => 2,
+                EventKind::Release { .. } => 3,
+                EventKind::Deadline { .. } => 4,
             })
             .collect();
-        assert_eq!(kinds, vec![0, 1, 2, 3]);
+        assert_eq!(kinds, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

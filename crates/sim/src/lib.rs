@@ -41,6 +41,6 @@ pub mod report;
 pub mod scheduler;
 
 pub use context::{Decision, SimContext};
-pub use engine::{simulate, RunOptions};
+pub use engine::{simulate, simulate_observed, simulate_traced, simulate_with_metrics, RunOptions};
 pub use report::{RunReport, TrajectoryPoint};
 pub use scheduler::Scheduler;

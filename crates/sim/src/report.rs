@@ -1,6 +1,7 @@
 //! Run results.
 
 use cloudsched_core::{JobSet, Outcome, Schedule};
+use cloudsched_obs::MetricsSnapshot;
 
 /// One point of the cumulative value-versus-time curve (the paper's Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,8 +25,19 @@ pub struct RunReport {
     pub value_fraction: f64,
     /// Number of completed jobs.
     pub completed: usize,
-    /// Number of deadline misses.
+    /// Number of deadline misses — always `expired + abandoned`.
     pub missed: usize,
+    /// Misses whose deadline passed with work left and no abandonment
+    /// decision (the job simply ran out of time).
+    pub expired: usize,
+    /// Total value lost to passive expiry.
+    pub expired_value: f64,
+    /// Misses the scheduler explicitly gave up on before the deadline
+    /// (`SimContext::abandon`, e.g. Dover's procedure D without a
+    /// supplement queue).
+    pub abandoned: usize,
+    /// Total value forfeited by explicit abandonment.
+    pub abandoned_value: f64,
     /// Number of preemptions (a running job displaced before finishing).
     pub preemptions: usize,
     /// Number of dispatches (context switches onto the processor).
@@ -36,6 +48,9 @@ pub struct RunReport {
     pub schedule: Option<Schedule>,
     /// The value-vs-time curve, if recording was enabled.
     pub trajectory: Option<Vec<TrajectoryPoint>>,
+    /// Metrics snapshot, when the run was driven through
+    /// [`crate::engine::simulate_with_metrics`] (or a caller attached one).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -121,11 +136,16 @@ mod tests {
             value_fraction: 0.4,
             completed: 1,
             missed: 1,
+            expired: 1,
+            expired_value: 6.0,
+            abandoned: 0,
+            abandoned_value: 0.0,
             preemptions: 0,
             dispatches: 1,
             events: 4,
             schedule: None,
             trajectory: None,
+            metrics: None,
         };
         assert_eq!(r.completion_ratio(), 0.5);
         assert!((r.value_fraction_of(&jobs) - 0.4).abs() < 1e-12);
@@ -150,11 +170,16 @@ mod tests {
             value_fraction: 1.0,
             completed: 2,
             missed: 0,
+            expired: 0,
+            expired_value: 0.0,
+            abandoned: 0,
+            abandoned_value: 0.0,
             preemptions: 0,
             dispatches: 2,
             events: 6,
             schedule: Some(schedule),
             trajectory: None,
+            metrics: None,
         };
         assert_eq!(r.response_times(&jobs), vec![1.0, 3.0]);
         assert_eq!(r.mean_response_time(&jobs), Some(2.0));
@@ -178,11 +203,16 @@ mod tests {
             value_fraction: 0.0,
             completed: 0,
             missed: 0,
+            expired: 0,
+            expired_value: 0.0,
+            abandoned: 0,
+            abandoned_value: 0.0,
             preemptions: 0,
             dispatches: 0,
             events: 0,
             schedule: None,
             trajectory: None,
+            metrics: None,
         };
         assert_eq!(r.completion_ratio(), 0.0);
         assert_eq!(r.value_fraction_of(&jobs), 0.0);

@@ -5,7 +5,7 @@
 export CARGO_NET_OFFLINE := "true"
 
 # Run the full CI gauntlet.
-ci: fmt build bench-check test lint
+ci: fmt build bench-check test lint golden-trace
 
 fmt:
     cargo fmt --all --check
@@ -19,7 +19,7 @@ bench-check:
 test:
     cargo test -q --workspace
 
-# Workspace static analysis (rules L001–L005); also runs as a tier-1 test.
+# Workspace static analysis (rules L001–L006); also runs as a tier-1 test.
 lint:
     cargo run --release -p cloudsched-lint
 
@@ -31,3 +31,17 @@ lint-baseline:
 audit lambda="8" seed="1":
     cargo run --release -p cloudsched-cli -- gen --lambda {{lambda}} --seed {{seed}} --out /tmp/cloudsched-trace.txt
     cargo run --release -p cloudsched-cli -- audit --trace /tmp/cloudsched-trace.txt
+
+# Trace determinism gate: regenerate the golden instance's JSONL stream and
+# byte-diff it against the checked-in golden (mirrors the CI step).
+golden-trace:
+    cargo run --release -p cloudsched-cli -- trace --lambda 12 --seed 7 --horizon 6 --scheduler vdover --out /tmp/golden-trace.jsonl
+    diff -u tests/golden/trace_seed7_vdover.jsonl /tmp/golden-trace.jsonl
+
+# Regenerate the checked-in golden trace after an *intentional* semantic change.
+golden-trace-regen:
+    cargo run --release -p cloudsched-cli -- trace --lambda 12 --seed 7 --horizon 6 --scheduler vdover --out tests/golden/trace_seed7_vdover.jsonl
+
+# Span profile + tracing-overhead microbench.
+profile:
+    cargo run --release -p cloudsched-bench --bin profile

@@ -45,10 +45,13 @@ pub use cloudsched_analysis as analysis;
 pub use cloudsched_capacity as capacity;
 pub use cloudsched_cloud as cloud;
 pub use cloudsched_core as core;
+pub use cloudsched_obs as obs;
 pub use cloudsched_offline as offline;
 pub use cloudsched_sched as sched;
 pub use cloudsched_sim as sim;
 pub use cloudsched_workload as workload;
+
+pub mod trace;
 
 /// The names almost every user needs.
 pub mod prelude {
@@ -62,3 +65,5 @@ pub mod prelude {
     };
     pub use cloudsched_workload::{poisson_arrivals, PaperScenario};
 }
+
+pub use trace::{run_traced, TracedRun};

@@ -1,0 +1,83 @@
+//! One-call traced simulation used by the `cloudsched trace` / `metrics`
+//! subcommands and the golden-trace test.
+//!
+//! The CLI and the tests must produce byte-identical JSONL for the same
+//! instance + scheduler, so the whole pipeline — parameter derivation,
+//! scheduler construction, tracing sinks — lives here rather than being
+//! re-implemented in each front end. Determinism comes for free: the kernel
+//! is event-driven with a total event order, and `f64` `Display` in Rust is
+//! the deterministic shortest round-trip form.
+
+use cloudsched_capacity::{CapacityProfile, Instance};
+use cloudsched_obs::{JsonlTracer, MetricsRegistry, Tee};
+use cloudsched_sim::{simulate_traced, RunOptions, RunReport};
+
+/// The result of a traced run: the JSONL event stream plus the usual report
+/// with a metrics snapshot attached.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// One JSONL line per trace event, in emission order.
+    pub jsonl: String,
+    /// The simulation report; `report.metrics` carries the folded snapshot.
+    pub report: RunReport,
+}
+
+/// Runs `scheduler` (by factory name) over `instance` with a JSONL tracer
+/// and a metrics registry tee'd together.
+///
+/// Scheduler parameters are derived from the instance exactly as
+/// `cloudsched run` derives them: `k` is the observed importance ratio
+/// (default 7 when undefined), `δ` is the capacity-class width clamped
+/// above 1.
+///
+/// # Errors
+/// If `scheduler` is not a recognised factory name, or the tracer's
+/// in-memory sink fails (it cannot, in practice).
+pub fn run_traced(instance: &Instance, scheduler: &str) -> Result<TracedRun, String> {
+    let (c_lo, c_hi) = instance.capacity.bounds();
+    let k = instance.importance_ratio().unwrap_or(7.0);
+    let delta = instance.delta().max(1.0 + 1e-9);
+    let mut sched = cloudsched_sched::by_name(scheduler, k, delta, c_lo, c_hi)?;
+    let mut sink = Tee(JsonlTracer::new(Vec::new()), MetricsRegistry::for_sim());
+    let mut report = simulate_traced(
+        &instance.jobs,
+        &instance.capacity,
+        &mut *sched,
+        RunOptions::lean(),
+        &mut sink,
+    );
+    let Tee(jsonl_tracer, metrics) = sink;
+    report.metrics = Some(metrics.snapshot());
+    let bytes = jsonl_tracer
+        .finish()
+        .map_err(|e| format!("trace sink: {e}"))?;
+    let jsonl = String::from_utf8(bytes).map_err(|e| format!("trace sink: {e}"))?;
+    Ok(TracedRun { jsonl, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_workload::PaperScenario;
+
+    #[test]
+    fn traced_run_is_deterministic_and_carries_metrics() {
+        let instance = PaperScenario::table1(8.0).generate(42).unwrap().instance;
+        let a = run_traced(&instance, "vdover").unwrap();
+        let b = run_traced(&instance, "vdover").unwrap();
+        assert_eq!(a.jsonl, b.jsonl, "same instance must trace identically");
+        assert!(!a.jsonl.is_empty());
+        let m = a.report.metrics.as_ref().expect("metrics snapshot");
+        assert_eq!(
+            m.counter("jobs.arrived"),
+            instance.job_count() as u64,
+            "every job arrives exactly once"
+        );
+    }
+
+    #[test]
+    fn unknown_scheduler_is_an_error() {
+        let instance = PaperScenario::table1(4.0).generate(1).unwrap().instance;
+        assert!(run_traced(&instance, "bogus").is_err());
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-181c32c1a7f21219.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-181c32c1a7f21219: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

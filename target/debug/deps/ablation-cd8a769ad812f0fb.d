@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-cd8a769ad812f0fb.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-cd8a769ad812f0fb.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversary-1f9bf07590cef185.d: crates/bench/src/bin/adversary.rs
+
+/root/repo/target/debug/deps/libadversary-1f9bf07590cef185.rmeta: crates/bench/src/bin/adversary.rs
+
+crates/bench/src/bin/adversary.rs:

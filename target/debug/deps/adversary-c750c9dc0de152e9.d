@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversary-c750c9dc0de152e9.d: crates/bench/src/bin/adversary.rs
+
+/root/repo/target/debug/deps/adversary-c750c9dc0de152e9: crates/bench/src/bin/adversary.rs
+
+crates/bench/src/bin/adversary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds-326e0c34772f043e.d: crates/bench/src/bin/bounds.rs
+
+/root/repo/target/debug/deps/libbounds-326e0c34772f043e.rmeta: crates/bench/src/bin/bounds.rs
+
+crates/bench/src/bin/bounds.rs:

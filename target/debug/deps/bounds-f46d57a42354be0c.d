@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds-f46d57a42354be0c.d: crates/bench/src/bin/bounds.rs
+
+/root/repo/target/debug/deps/bounds-f46d57a42354be0c: crates/bench/src/bin/bounds.rs
+
+crates/bench/src/bin/bounds.rs:

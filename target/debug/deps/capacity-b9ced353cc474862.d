@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity-b9ced353cc474862.d: crates/bench/benches/capacity.rs
+
+/root/repo/target/debug/deps/libcapacity-b9ced353cc474862.rmeta: crates/bench/benches/capacity.rs
+
+crates/bench/benches/capacity.rs:

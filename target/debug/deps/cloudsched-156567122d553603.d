@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched-156567122d553603.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libcloudsched-156567122d553603.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

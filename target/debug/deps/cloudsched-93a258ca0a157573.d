@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cloudsched-93a258ca0a157573.d: src/lib.rs src/trace.rs
+
+/root/repo/target/debug/deps/libcloudsched-93a258ca0a157573.rmeta: src/lib.rs src/trace.rs
+
+src/lib.rs:
+src/trace.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cloudsched-a3d26a003eb211da.d: src/lib.rs src/trace.rs
+
+/root/repo/target/debug/deps/cloudsched-a3d26a003eb211da: src/lib.rs src/trace.rs
+
+src/lib.rs:
+src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cloudsched-a59559c4be5a0fb8.d: src/lib.rs src/trace.rs
+
+/root/repo/target/debug/deps/libcloudsched-a59559c4be5a0fb8.rlib: src/lib.rs src/trace.rs
+
+/root/repo/target/debug/deps/libcloudsched-a59559c4be5a0fb8.rmeta: src/lib.rs src/trace.rs
+
+src/lib.rs:
+src/trace.rs:

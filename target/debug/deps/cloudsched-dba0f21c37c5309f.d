@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched-dba0f21c37c5309f.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cloudsched-dba0f21c37c5309f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

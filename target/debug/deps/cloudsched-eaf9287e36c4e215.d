@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cloudsched-eaf9287e36c4e215.d: src/lib.rs src/trace.rs
+
+/root/repo/target/debug/deps/libcloudsched-eaf9287e36c4e215.rmeta: src/lib.rs src/trace.rs
+
+src/lib.rs:
+src/trace.rs:

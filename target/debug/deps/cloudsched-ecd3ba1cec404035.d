@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloudsched-ecd3ba1cec404035.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/cloudsched-ecd3ba1cec404035: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cloudsched_analysis-0c4e8e67c8bb7f41.d: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/debug/deps/libcloudsched_analysis-0c4e8e67c8bb7f41.rmeta: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/admissibility.rs:
+crates/analysis/src/adversary.rs:
+crates/analysis/src/bounds.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cloudsched_analysis-5f10f0c9cec39d45.d: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/debug/deps/libcloudsched_analysis-5f10f0c9cec39d45.rmeta: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/admissibility.rs:
+crates/analysis/src/adversary.rs:
+crates/analysis/src/bounds.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cloudsched_analysis-f1c0fd78d6c0e50a.d: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/debug/deps/libcloudsched_analysis-f1c0fd78d6c0e50a.rlib: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/debug/deps/libcloudsched_analysis-f1c0fd78d6c0e50a.rmeta: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/admissibility.rs:
+crates/analysis/src/adversary.rs:
+crates/analysis/src/bounds.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:

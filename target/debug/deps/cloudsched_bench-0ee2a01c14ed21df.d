@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloudsched_bench-0ee2a01c14ed21df.d: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+/root/repo/target/debug/deps/libcloudsched_bench-0ee2a01c14ed21df.rmeta: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/algos.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/ratio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloudsched_bench-f1b67d3d2f9337d5.d: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+/root/repo/target/debug/deps/cloudsched_bench-f1b67d3d2f9337d5: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/algos.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/ratio.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cloudsched_capacity-403288da6572f495.d: crates/capacity/src/lib.rs crates/capacity/src/constant.rs crates/capacity/src/instance.rs crates/capacity/src/patterns.rs crates/capacity/src/piecewise.rs crates/capacity/src/profile.rs crates/capacity/src/stretch.rs
+
+/root/repo/target/debug/deps/libcloudsched_capacity-403288da6572f495.rmeta: crates/capacity/src/lib.rs crates/capacity/src/constant.rs crates/capacity/src/instance.rs crates/capacity/src/patterns.rs crates/capacity/src/piecewise.rs crates/capacity/src/profile.rs crates/capacity/src/stretch.rs
+
+crates/capacity/src/lib.rs:
+crates/capacity/src/constant.rs:
+crates/capacity/src/instance.rs:
+crates/capacity/src/patterns.rs:
+crates/capacity/src/piecewise.rs:
+crates/capacity/src/profile.rs:
+crates/capacity/src/stretch.rs:

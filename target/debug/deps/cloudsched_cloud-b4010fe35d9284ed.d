@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloudsched_cloud-b4010fe35d9284ed.d: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+/root/repo/target/debug/deps/libcloudsched_cloud-b4010fe35d9284ed.rmeta: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/fleet.rs:
+crates/cloud/src/primary.rs:
+crates/cloud/src/server.rs:
+crates/cloud/src/spot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloudsched_cloud-e1e348f2b887f5e8.d: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+/root/repo/target/debug/deps/libcloudsched_cloud-e1e348f2b887f5e8.rmeta: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/fleet.rs:
+crates/cloud/src/primary.rs:
+crates/cloud/src/server.rs:
+crates/cloud/src/spot.rs:

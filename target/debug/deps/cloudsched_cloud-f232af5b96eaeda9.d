@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cloudsched_cloud-f232af5b96eaeda9.d: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+/root/repo/target/debug/deps/libcloudsched_cloud-f232af5b96eaeda9.rlib: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+/root/repo/target/debug/deps/libcloudsched_cloud-f232af5b96eaeda9.rmeta: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/fleet.rs:
+crates/cloud/src/primary.rs:
+crates/cloud/src/server.rs:
+crates/cloud/src/spot.rs:

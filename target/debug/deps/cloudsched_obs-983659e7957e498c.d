@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cloudsched_obs-983659e7957e498c.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/tracer.rs
+
+/root/repo/target/debug/deps/libcloudsched_obs-983659e7957e498c.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/tracer.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/tracer.rs:

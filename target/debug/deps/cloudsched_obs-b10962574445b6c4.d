@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cloudsched_obs-b10962574445b6c4.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/tracer.rs
+
+/root/repo/target/debug/deps/libcloudsched_obs-b10962574445b6c4.rlib: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/tracer.rs
+
+/root/repo/target/debug/deps/libcloudsched_obs-b10962574445b6c4.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/tracer.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/tracer.rs:

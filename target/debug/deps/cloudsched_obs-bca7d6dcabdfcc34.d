@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cloudsched_obs-bca7d6dcabdfcc34.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/tracer.rs
+
+/root/repo/target/debug/deps/cloudsched_obs-bca7d6dcabdfcc34: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/tracer.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/tracer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cloudsched_offline-6a276df108192e58.d: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+/root/repo/target/debug/deps/libcloudsched_offline-6a276df108192e58.rlib: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+/root/repo/target/debug/deps/libcloudsched_offline-6a276df108192e58.rmeta: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+crates/offline/src/lib.rs:
+crates/offline/src/bounds.rs:
+crates/offline/src/exact.rs:
+crates/offline/src/feasibility.rs:
+crates/offline/src/fractional.rs:
+crates/offline/src/greedy.rs:
+crates/offline/src/reduction.rs:

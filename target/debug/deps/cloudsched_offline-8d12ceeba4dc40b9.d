@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cloudsched_offline-8d12ceeba4dc40b9.d: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+/root/repo/target/debug/deps/cloudsched_offline-8d12ceeba4dc40b9: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+crates/offline/src/lib.rs:
+crates/offline/src/bounds.rs:
+crates/offline/src/exact.rs:
+crates/offline/src/feasibility.rs:
+crates/offline/src/fractional.rs:
+crates/offline/src/greedy.rs:
+crates/offline/src/reduction.rs:

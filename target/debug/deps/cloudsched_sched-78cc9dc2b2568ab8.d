@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cloudsched_sched-78cc9dc2b2568ab8.d: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/factory.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+/root/repo/target/debug/deps/libcloudsched_sched-78cc9dc2b2568ab8.rmeta: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/factory.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dover.rs:
+crates/sched/src/edf.rs:
+crates/sched/src/factory.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/greedy.rs:
+crates/sched/src/llf.rs:
+crates/sched/src/ready.rs:
+crates/sched/src/vdover.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cloudsched_sched-7d19f7a3be93c3f9.d: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/factory.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+/root/repo/target/debug/deps/libcloudsched_sched-7d19f7a3be93c3f9.rlib: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/factory.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+/root/repo/target/debug/deps/libcloudsched_sched-7d19f7a3be93c3f9.rmeta: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/factory.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dover.rs:
+crates/sched/src/edf.rs:
+crates/sched/src/factory.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/greedy.rs:
+crates/sched/src/llf.rs:
+crates/sched/src/ready.rs:
+crates/sched/src/vdover.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cloudsched_sched-beb79fff336f2a39.d: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+/root/repo/target/debug/deps/cloudsched_sched-beb79fff336f2a39: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dover.rs:
+crates/sched/src/edf.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/greedy.rs:
+crates/sched/src/llf.rs:
+crates/sched/src/ready.rs:
+crates/sched/src/vdover.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cloudsched_sim-ff712cfbd69584e0.d: crates/sim/src/lib.rs crates/sim/src/audit.rs crates/sim/src/context.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/report.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/debug/deps/libcloudsched_sim-ff712cfbd69584e0.rlib: crates/sim/src/lib.rs crates/sim/src/audit.rs crates/sim/src/context.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/report.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/debug/deps/libcloudsched_sim-ff712cfbd69584e0.rmeta: crates/sim/src/lib.rs crates/sim/src/audit.rs crates/sim/src/context.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/report.rs crates/sim/src/scheduler.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/audit.rs:
+crates/sim/src/context.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/report.rs:
+crates/sim/src/scheduler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cloudsched_workload-10dd1b7b0f1f96aa.d: crates/workload/src/lib.rs crates/workload/src/ctmc.rs crates/workload/src/dist.rs crates/workload/src/mmpp.rs crates/workload/src/paper.rs crates/workload/src/poisson.rs crates/workload/src/traces.rs crates/workload/src/underloaded.rs
+
+/root/repo/target/debug/deps/cloudsched_workload-10dd1b7b0f1f96aa: crates/workload/src/lib.rs crates/workload/src/ctmc.rs crates/workload/src/dist.rs crates/workload/src/mmpp.rs crates/workload/src/paper.rs crates/workload/src/poisson.rs crates/workload/src/traces.rs crates/workload/src/underloaded.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/ctmc.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/mmpp.rs:
+crates/workload/src/paper.rs:
+crates/workload/src/poisson.rs:
+crates/workload/src/traces.rs:
+crates/workload/src/underloaded.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cloudsched_workload-704f13d5c2cc6be9.d: crates/workload/src/lib.rs crates/workload/src/ctmc.rs crates/workload/src/dist.rs crates/workload/src/mmpp.rs crates/workload/src/paper.rs crates/workload/src/poisson.rs crates/workload/src/traces.rs crates/workload/src/underloaded.rs
+
+/root/repo/target/debug/deps/libcloudsched_workload-704f13d5c2cc6be9.rmeta: crates/workload/src/lib.rs crates/workload/src/ctmc.rs crates/workload/src/dist.rs crates/workload/src/mmpp.rs crates/workload/src/paper.rs crates/workload/src/poisson.rs crates/workload/src/traces.rs crates/workload/src/underloaded.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/ctmc.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/mmpp.rs:
+crates/workload/src/paper.rs:
+crates/workload/src/poisson.rs:
+crates/workload/src/traces.rs:
+crates/workload/src/underloaded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2b0dd750547c829a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2b0dd750547c829a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

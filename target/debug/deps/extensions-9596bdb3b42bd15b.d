@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-9596bdb3b42bd15b.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-9596bdb3b42bd15b: tests/extensions.rs
+
+tests/extensions.rs:

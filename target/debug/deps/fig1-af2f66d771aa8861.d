@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-af2f66d771aa8861.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/libfig1-af2f66d771aa8861.rmeta: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

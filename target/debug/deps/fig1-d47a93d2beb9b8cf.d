@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-d47a93d2beb9b8cf.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-d47a93d2beb9b8cf: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/golden_trace-b9b603d0296bcb94.d: tests/golden_trace.rs tests/golden/trace_seed7_vdover.jsonl
+
+/root/repo/target/debug/deps/golden_trace-b9b603d0296bcb94: tests/golden_trace.rs tests/golden/trace_seed7_vdover.jsonl
+
+tests/golden_trace.rs:
+tests/golden/trace_seed7_vdover.jsonl:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-fbba15c619c947fe.d: crates/bench/benches/kernel.rs
+
+/root/repo/target/debug/deps/libkernel-fbba15c619c947fe.rmeta: crates/bench/benches/kernel.rs
+
+crates/bench/benches/kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-0807cf78a6bb2c26.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-0807cf78a6bb2c26: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/offline-b425b6e84bbce3cb.d: crates/bench/benches/offline.rs
+
+/root/repo/target/debug/deps/liboffline-b425b6e84bbce3cb.rmeta: crates/bench/benches/offline.rs
+
+crates/bench/benches/offline.rs:

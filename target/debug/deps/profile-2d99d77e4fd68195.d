@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-2d99d77e4fd68195.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-2d99d77e4fd68195: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

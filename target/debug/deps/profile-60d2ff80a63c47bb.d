@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-60d2ff80a63c47bb.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/libprofile-60d2ff80a63c47bb.rmeta: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ea2d7a8abf8dd64e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ea2d7a8abf8dd64e: tests/properties.rs
+
+tests/properties.rs:

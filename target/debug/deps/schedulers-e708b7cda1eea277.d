@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulers-e708b7cda1eea277.d: crates/bench/benches/schedulers.rs
+
+/root/repo/target/debug/deps/libschedulers-e708b7cda1eea277.rmeta: crates/bench/benches/schedulers.rs
+
+crates/bench/benches/schedulers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-2c6144c3655fabcd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-2c6144c3655fabcd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

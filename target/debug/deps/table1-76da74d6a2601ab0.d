@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-76da74d6a2601ab0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-76da74d6a2601ab0.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

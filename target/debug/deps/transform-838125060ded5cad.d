@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform-838125060ded5cad.d: crates/bench/src/bin/transform.rs
+
+/root/repo/target/debug/deps/libtransform-838125060ded5cad.rmeta: crates/bench/src/bin/transform.rs
+
+crates/bench/src/bin/transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform-8a71546ec54ab585.d: crates/bench/src/bin/transform.rs
+
+/root/repo/target/debug/deps/transform-8a71546ec54ab585: crates/bench/src/bin/transform.rs
+
+crates/bench/src/bin/transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/underloaded-2ac5d71be642bf11.d: crates/bench/src/bin/underloaded.rs
+
+/root/repo/target/debug/deps/underloaded-2ac5d71be642bf11: crates/bench/src/bin/underloaded.rs
+
+crates/bench/src/bin/underloaded.rs:

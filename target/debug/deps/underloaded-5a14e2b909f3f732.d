@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/underloaded-5a14e2b909f3f732.d: crates/bench/src/bin/underloaded.rs
+
+/root/repo/target/debug/deps/libunderloaded-5a14e2b909f3f732.rmeta: crates/bench/src/bin/underloaded.rs
+
+crates/bench/src/bin/underloaded.rs:

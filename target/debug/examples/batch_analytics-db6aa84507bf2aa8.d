@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_analytics-db6aa84507bf2aa8.d: examples/batch_analytics.rs
+
+/root/repo/target/debug/examples/batch_analytics-db6aa84507bf2aa8: examples/batch_analytics.rs
+
+examples/batch_analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_fleet-b67c474632155c81.d: examples/cloud_fleet.rs
+
+/root/repo/target/debug/examples/cloud_fleet-b67c474632155c81: examples/cloud_fleet.rs
+
+examples/cloud_fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overload_triage-c98617e2558b325e.d: examples/overload_triage.rs
+
+/root/repo/target/debug/examples/overload_triage-c98617e2558b325e: examples/overload_triage.rs
+
+examples/overload_triage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-748c4adc8cdc7fee.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-748c4adc8cdc7fee: examples/quickstart.rs
+
+examples/quickstart.rs:

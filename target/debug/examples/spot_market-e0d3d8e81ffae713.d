@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spot_market-e0d3d8e81ffae713.d: examples/spot_market.rs
+
+/root/repo/target/debug/examples/spot_market-e0d3d8e81ffae713: examples/spot_market.rs
+
+examples/spot_market.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-1a68a5b10365073b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-1a68a5b10365073b: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

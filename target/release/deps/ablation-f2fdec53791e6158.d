@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-f2fdec53791e6158.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-f2fdec53791e6158: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adversary-8466f2ba46e9f31b.d: crates/bench/src/bin/adversary.rs
+
+/root/repo/target/release/deps/adversary-8466f2ba46e9f31b: crates/bench/src/bin/adversary.rs
+
+crates/bench/src/bin/adversary.rs:

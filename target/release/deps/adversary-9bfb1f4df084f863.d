@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adversary-9bfb1f4df084f863.d: crates/bench/src/bin/adversary.rs
+
+/root/repo/target/release/deps/adversary-9bfb1f4df084f863: crates/bench/src/bin/adversary.rs
+
+crates/bench/src/bin/adversary.rs:

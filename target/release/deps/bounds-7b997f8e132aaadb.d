@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bounds-7b997f8e132aaadb.d: crates/bench/src/bin/bounds.rs
+
+/root/repo/target/release/deps/bounds-7b997f8e132aaadb: crates/bench/src/bin/bounds.rs
+
+crates/bench/src/bin/bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bounds-8249a3b702df843e.d: crates/bench/src/bin/bounds.rs
+
+/root/repo/target/release/deps/bounds-8249a3b702df843e: crates/bench/src/bin/bounds.rs
+
+crates/bench/src/bin/bounds.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cloudsched-7b35340a6da67983.d: src/lib.rs src/trace.rs
+
+/root/repo/target/release/deps/libcloudsched-7b35340a6da67983.rlib: src/lib.rs src/trace.rs
+
+/root/repo/target/release/deps/libcloudsched-7b35340a6da67983.rmeta: src/lib.rs src/trace.rs
+
+src/lib.rs:
+src/trace.rs:

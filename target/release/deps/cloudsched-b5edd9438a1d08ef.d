@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cloudsched-b5edd9438a1d08ef.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/cloudsched-b5edd9438a1d08ef: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cloudsched_analysis-59c00a9b1f786a91.d: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/release/deps/libcloudsched_analysis-59c00a9b1f786a91.rlib: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/release/deps/libcloudsched_analysis-59c00a9b1f786a91.rmeta: crates/analysis/src/lib.rs crates/analysis/src/admissibility.rs crates/analysis/src/adversary.rs crates/analysis/src/bounds.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/admissibility.rs:
+crates/analysis/src/adversary.rs:
+crates/analysis/src/bounds.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:

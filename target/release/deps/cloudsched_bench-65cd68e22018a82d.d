@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cloudsched_bench-65cd68e22018a82d.d: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+/root/repo/target/release/deps/libcloudsched_bench-65cd68e22018a82d.rlib: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+/root/repo/target/release/deps/libcloudsched_bench-65cd68e22018a82d.rmeta: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/algos.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/ratio.rs:

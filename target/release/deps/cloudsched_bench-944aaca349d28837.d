@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cloudsched_bench-944aaca349d28837.d: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+/root/repo/target/release/deps/libcloudsched_bench-944aaca349d28837.rlib: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+/root/repo/target/release/deps/libcloudsched_bench-944aaca349d28837.rmeta: crates/bench/src/lib.rs crates/bench/src/algos.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/ratio.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/algos.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/ratio.rs:

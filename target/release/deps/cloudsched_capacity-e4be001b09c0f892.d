@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cloudsched_capacity-e4be001b09c0f892.d: crates/capacity/src/lib.rs crates/capacity/src/constant.rs crates/capacity/src/instance.rs crates/capacity/src/patterns.rs crates/capacity/src/piecewise.rs crates/capacity/src/profile.rs crates/capacity/src/stretch.rs
+
+/root/repo/target/release/deps/libcloudsched_capacity-e4be001b09c0f892.rlib: crates/capacity/src/lib.rs crates/capacity/src/constant.rs crates/capacity/src/instance.rs crates/capacity/src/patterns.rs crates/capacity/src/piecewise.rs crates/capacity/src/profile.rs crates/capacity/src/stretch.rs
+
+/root/repo/target/release/deps/libcloudsched_capacity-e4be001b09c0f892.rmeta: crates/capacity/src/lib.rs crates/capacity/src/constant.rs crates/capacity/src/instance.rs crates/capacity/src/patterns.rs crates/capacity/src/piecewise.rs crates/capacity/src/profile.rs crates/capacity/src/stretch.rs
+
+crates/capacity/src/lib.rs:
+crates/capacity/src/constant.rs:
+crates/capacity/src/instance.rs:
+crates/capacity/src/patterns.rs:
+crates/capacity/src/piecewise.rs:
+crates/capacity/src/profile.rs:
+crates/capacity/src/stretch.rs:

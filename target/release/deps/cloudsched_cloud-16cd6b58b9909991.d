@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cloudsched_cloud-16cd6b58b9909991.d: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+/root/repo/target/release/deps/libcloudsched_cloud-16cd6b58b9909991.rlib: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+/root/repo/target/release/deps/libcloudsched_cloud-16cd6b58b9909991.rmeta: crates/cloud/src/lib.rs crates/cloud/src/fleet.rs crates/cloud/src/primary.rs crates/cloud/src/server.rs crates/cloud/src/spot.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/fleet.rs:
+crates/cloud/src/primary.rs:
+crates/cloud/src/server.rs:
+crates/cloud/src/spot.rs:

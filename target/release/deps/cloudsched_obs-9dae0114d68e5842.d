@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cloudsched_obs-9dae0114d68e5842.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/tracer.rs
+
+/root/repo/target/release/deps/libcloudsched_obs-9dae0114d68e5842.rlib: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/tracer.rs
+
+/root/repo/target/release/deps/libcloudsched_obs-9dae0114d68e5842.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/tracer.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/tracer.rs:

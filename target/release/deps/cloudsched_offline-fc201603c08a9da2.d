@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cloudsched_offline-fc201603c08a9da2.d: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+/root/repo/target/release/deps/libcloudsched_offline-fc201603c08a9da2.rlib: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+/root/repo/target/release/deps/libcloudsched_offline-fc201603c08a9da2.rmeta: crates/offline/src/lib.rs crates/offline/src/bounds.rs crates/offline/src/exact.rs crates/offline/src/feasibility.rs crates/offline/src/fractional.rs crates/offline/src/greedy.rs crates/offline/src/reduction.rs
+
+crates/offline/src/lib.rs:
+crates/offline/src/bounds.rs:
+crates/offline/src/exact.rs:
+crates/offline/src/feasibility.rs:
+crates/offline/src/fractional.rs:
+crates/offline/src/greedy.rs:
+crates/offline/src/reduction.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cloudsched_sched-a54e0e5271c03d33.d: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/factory.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+/root/repo/target/release/deps/libcloudsched_sched-a54e0e5271c03d33.rlib: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/factory.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+/root/repo/target/release/deps/libcloudsched_sched-a54e0e5271c03d33.rmeta: crates/sched/src/lib.rs crates/sched/src/dover.rs crates/sched/src/edf.rs crates/sched/src/factory.rs crates/sched/src/fifo.rs crates/sched/src/greedy.rs crates/sched/src/llf.rs crates/sched/src/ready.rs crates/sched/src/vdover.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dover.rs:
+crates/sched/src/edf.rs:
+crates/sched/src/factory.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/greedy.rs:
+crates/sched/src/llf.rs:
+crates/sched/src/ready.rs:
+crates/sched/src/vdover.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cloudsched_sim-f14cbd4a8ae986f4.d: crates/sim/src/lib.rs crates/sim/src/audit.rs crates/sim/src/context.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/report.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/release/deps/libcloudsched_sim-f14cbd4a8ae986f4.rlib: crates/sim/src/lib.rs crates/sim/src/audit.rs crates/sim/src/context.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/report.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/release/deps/libcloudsched_sim-f14cbd4a8ae986f4.rmeta: crates/sim/src/lib.rs crates/sim/src/audit.rs crates/sim/src/context.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/report.rs crates/sim/src/scheduler.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/audit.rs:
+crates/sim/src/context.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/report.rs:
+crates/sim/src/scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-bcec60250d404c75.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-bcec60250d404c75: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

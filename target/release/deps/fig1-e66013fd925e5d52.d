@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-e66013fd925e5d52.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-e66013fd925e5d52: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

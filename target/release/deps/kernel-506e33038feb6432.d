@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel-506e33038feb6432.d: crates/bench/benches/kernel.rs
+
+/root/repo/target/release/deps/kernel-506e33038feb6432: crates/bench/benches/kernel.rs
+
+crates/bench/benches/kernel.rs:

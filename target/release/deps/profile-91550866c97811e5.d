@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile-91550866c97811e5.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/release/deps/profile-91550866c97811e5: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

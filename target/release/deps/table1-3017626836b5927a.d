@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-3017626836b5927a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-3017626836b5927a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e0b5414c40e13e9f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e0b5414c40e13e9f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

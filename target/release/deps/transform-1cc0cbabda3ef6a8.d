@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transform-1cc0cbabda3ef6a8.d: crates/bench/src/bin/transform.rs
+
+/root/repo/target/release/deps/transform-1cc0cbabda3ef6a8: crates/bench/src/bin/transform.rs
+
+crates/bench/src/bin/transform.rs:

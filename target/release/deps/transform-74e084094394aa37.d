@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transform-74e084094394aa37.d: crates/bench/src/bin/transform.rs
+
+/root/repo/target/release/deps/transform-74e084094394aa37: crates/bench/src/bin/transform.rs
+
+crates/bench/src/bin/transform.rs:

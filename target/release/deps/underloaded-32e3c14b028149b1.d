@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/underloaded-32e3c14b028149b1.d: crates/bench/src/bin/underloaded.rs
+
+/root/repo/target/release/deps/underloaded-32e3c14b028149b1: crates/bench/src/bin/underloaded.rs
+
+crates/bench/src/bin/underloaded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/underloaded-664a58d05bf13557.d: crates/bench/src/bin/underloaded.rs
+
+/root/repo/target/release/deps/underloaded-664a58d05bf13557: crates/bench/src/bin/underloaded.rs
+
+crates/bench/src/bin/underloaded.rs:

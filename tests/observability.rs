@@ -1,0 +1,173 @@
+//! Tier-1 observability contracts: trace determinism and metrics
+//! invariants.
+//!
+//! The tracing layer is only trustworthy if (a) the same instance always
+//! produces the same byte stream — otherwise traces can't be diffed or
+//! checked into CI — and (b) the folded metrics obey the structural
+//! identities of the kernel's job lifecycle.
+
+#![forbid(unsafe_code)]
+
+use cloudsched::obs::{RingTracer, TraceEvent};
+use cloudsched::prelude::*;
+use cloudsched::run_traced;
+use cloudsched::sim::simulate_traced;
+use std::collections::HashMap;
+
+/// An overloaded CTMC-capacity instance from the paper's §IV setup.
+fn overloaded_instance() -> Instance {
+    PaperScenario::table1(12.0).generate(3).unwrap().instance
+}
+
+#[test]
+fn jsonl_trace_is_byte_identical_across_runs() {
+    let instance = overloaded_instance();
+    for scheduler in ["edf", "dover-lo", "vdover"] {
+        let a = run_traced(&instance, scheduler).unwrap();
+        let b = run_traced(&instance, scheduler).unwrap();
+        assert!(
+            !a.jsonl.is_empty(),
+            "{scheduler}: traced run produced no events"
+        );
+        assert_eq!(
+            a.jsonl, b.jsonl,
+            "{scheduler}: same seed + instance must trace byte-identically"
+        );
+        assert_eq!(a.report.value, b.report.value);
+    }
+}
+
+#[test]
+fn traced_report_matches_untraced_report() {
+    // Tracing must be a pure observer: the report of a traced run equals
+    // the report of an untraced run field-for-field.
+    let instance = overloaded_instance();
+    for scheduler in ["edf", "dover-lo", "vdover"] {
+        let traced = run_traced(&instance, scheduler).unwrap().report;
+        let (c_lo, c_hi) = instance.capacity.bounds();
+        let k = instance.importance_ratio().unwrap_or(7.0);
+        let delta = instance.delta().max(1.0 + 1e-9);
+        let mut s = cloudsched::sched::by_name(scheduler, k, delta, c_lo, c_hi).unwrap();
+        let plain = simulate(
+            &instance.jobs,
+            &instance.capacity,
+            &mut *s,
+            RunOptions::lean(),
+        );
+        assert_eq!(traced.value, plain.value, "{scheduler}: value drifted");
+        assert_eq!(traced.completed, plain.completed);
+        assert_eq!(traced.missed, plain.missed);
+        assert_eq!(traced.preemptions, plain.preemptions);
+        assert_eq!(
+            traced.events, plain.events,
+            "{scheduler}: event count drifted"
+        );
+        assert_eq!(traced.expired, plain.expired);
+        assert_eq!(traced.abandoned, plain.abandoned);
+    }
+}
+
+#[test]
+fn metrics_obey_lifecycle_invariants() {
+    let instance = overloaded_instance();
+    let n = instance.job_count() as u64;
+    for scheduler in ["edf", "dover-lo", "vdover"] {
+        let run = run_traced(&instance, scheduler).unwrap();
+        let m = run.report.metrics.as_ref().expect("metrics snapshot");
+        let arrived = m.counter("jobs.arrived");
+        let completed = m.counter("jobs.completed");
+        let expired = m.counter("jobs.expired");
+        let abandoned = m.counter("jobs.abandoned");
+        assert_eq!(arrived, n, "{scheduler}: every job arrives exactly once");
+        assert_eq!(
+            completed + expired + abandoned,
+            n,
+            "{scheduler}: every job ends exactly one way"
+        );
+        assert_eq!(
+            run.report.missed,
+            (expired + abandoned) as usize,
+            "{scheduler}: missed = expired + abandoned"
+        );
+        assert!(
+            m.counter("supp.rescued") <= m.counter("supp.enqueued"),
+            "{scheduler}: cannot rescue more than was parked"
+        );
+        let laxity = m.histogram("laxity.at_release").expect("laxity histogram");
+        assert_eq!(
+            laxity.total, arrived,
+            "{scheduler}: one laxity sample per arrival"
+        );
+    }
+}
+
+#[test]
+fn preemptions_balance_resumes_per_job() {
+    // Every preemption is followed by a resume, an abandonment, or an
+    // expiry of that job — checked per job from the raw event stream.
+    let instance = overloaded_instance();
+    let (c_lo, c_hi) = instance.capacity.bounds();
+    let k = instance.importance_ratio().unwrap_or(7.0);
+    let delta = instance.delta().max(1.0 + 1e-9);
+    for scheduler in ["edf", "dover-lo", "vdover"] {
+        let mut s = cloudsched::sched::by_name(scheduler, k, delta, c_lo, c_hi).unwrap();
+        let mut ring = RingTracer::new(1 << 20);
+        let report = simulate_traced(
+            &instance.jobs,
+            &instance.capacity,
+            &mut *s,
+            RunOptions::lean(),
+            &mut ring,
+        );
+        let mut preempted: HashMap<JobId, i64> = HashMap::new();
+        let mut dangling = 0u64;
+        let mut preempts = 0usize;
+        let mut resumes = 0u64;
+        for ev in ring.events() {
+            match *ev {
+                TraceEvent::Preempt { job, .. } => {
+                    preempts += 1;
+                    *preempted.entry(job).or_insert(0) += 1;
+                }
+                TraceEvent::Resume { job, .. } => {
+                    resumes += 1;
+                    let slot = preempted.entry(job).or_insert(0);
+                    assert!(*slot > 0, "{scheduler}: job {job:?} resumed while running");
+                    *slot -= 1;
+                }
+                TraceEvent::Abandon { job, .. } | TraceEvent::Expire { job, .. } => {
+                    if preempted.get(&job).copied().unwrap_or(0) > 0 {
+                        dangling += preempted[&job] as u64;
+                        preempted.insert(job, 0);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let still_parked: i64 = preempted.values().sum();
+        assert_eq!(
+            preempts as u64,
+            resumes + dangling + still_parked as u64,
+            "{scheduler}: preemptions must balance resumes + lost jobs"
+        );
+        assert_eq!(
+            report.preemptions, preempts,
+            "{scheduler}: report and trace disagree on preemption count"
+        );
+        assert_eq!(ring.dropped(), 0, "{scheduler}: ring overflowed");
+    }
+}
+
+#[test]
+fn vdover_supplement_traffic_shows_up_under_overload() {
+    // λ = 12 with the paper's parameters is well into overload; V-Dover's
+    // supplement queue must actually see traffic there, otherwise the
+    // tracing sites are dead code.
+    let instance = overloaded_instance();
+    let run = run_traced(&instance, "vdover").unwrap();
+    let m = run.report.metrics.as_ref().unwrap();
+    assert!(
+        m.counter("supp.enqueued") > 0,
+        "overloaded V-Dover run never parked a job in the supplement queue"
+    );
+}
