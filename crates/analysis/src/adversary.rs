@@ -30,7 +30,7 @@
 //! demonstrates against every scheduler in this workspace.
 
 use cloudsched_capacity::PiecewiseConstant;
-use cloudsched_core::{CoreError, JobSet};
+use cloudsched_core::{CoreError, JobId, JobSet};
 
 /// One round of the adversary game.
 #[derive(Debug, Clone)]
@@ -110,6 +110,65 @@ impl TrapRound {
     /// most one filler slot (`l/m`) after the drop.
     pub fn online_guarantee(&self, p: TrapParams) -> f64 {
         p.window.max(p.window / p.fillers as f64)
+    }
+}
+
+/// A §III-D-style *corrupt stream* for degradation testing: the trap's
+/// inadmissible bait plus a duplicate release of the first filler, riding
+/// on an otherwise clean filler stream under the stay-high capacity future.
+///
+/// The bait violates Def. 4 against the declared `c_lo = 1` (its window is
+/// `1/δ` of its minimum processing time), and the duplicate replays filler
+/// parameters under a fresh id — exactly the two job-stream faults the
+/// degradation watchdog must catch. A `Strict` policy is expected to abort
+/// on the first corrupt release; a `Degrade` policy to quarantine both and
+/// still collect the clean filler value.
+#[derive(Debug, Clone)]
+pub struct CorruptRound {
+    /// Bait (id 0), fillers (ids `1..=m`), duplicate of filler 1 (id `m+1`).
+    pub jobs: JobSet,
+    /// Stay-high capacity: constant `δ` with declared bounds `(1, δ)`.
+    pub capacity: PiecewiseConstant,
+    /// Ids of the corrupt jobs, in release order: the bait, then the
+    /// duplicate.
+    pub corrupt_ids: Vec<JobId>,
+    /// Total value of the clean fillers (what a degraded run can still
+    /// collect after quarantining the corruption).
+    pub clean_value: f64,
+}
+
+impl CorruptRound {
+    /// Builds the corrupt round from trap parameters.
+    ///
+    /// # Errors
+    /// Same domain as [`TrapRound::build`].
+    pub fn build(p: TrapParams) -> Result<CorruptRound, CoreError> {
+        let trap = TrapRound::build(p)?;
+        let m = p.fillers;
+        let mut tuples: Vec<(f64, f64, f64, f64)> = trap
+            .jobs
+            .iter()
+            .map(|j| (j.release.as_f64(), j.deadline.as_f64(), j.workload, j.value))
+            .collect();
+        // Duplicate release of the first filler (id 1): identical
+        // parameters, fresh id appended after every original. The kernel's
+        // id tie-break releases the original first, so the watchdog sees
+        // the copy as a duplicate, not as a first sighting.
+        let first_filler = trap.jobs.get(JobId(1));
+        tuples.push((
+            first_filler.release.as_f64(),
+            first_filler.deadline.as_f64(),
+            first_filler.workload,
+            first_filler.value,
+        ));
+        let jobs = JobSet::from_tuples(&tuples)?;
+        let clean_value: f64 = trap.jobs.iter().skip(1).map(|j| j.value).sum();
+        Ok(CorruptRound {
+            jobs,
+            capacity: trap.cap_stay_high,
+            corrupt_ids: vec![JobId(0), JobId(m as u64 + 1)],
+            clean_value,
+        })
     }
 }
 
@@ -195,6 +254,33 @@ mod tests {
         ] {
             assert!(TrapRound::build(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn corrupt_round_marks_exactly_the_corrupt_jobs() {
+        let p = params();
+        let r = CorruptRound::build(p).unwrap();
+        assert_eq!(r.jobs.len(), p.fillers + 2);
+        assert_eq!(r.corrupt_ids, vec![JobId(0), JobId(p.fillers as u64 + 1)]);
+        // The bait violates Def. 4 against the declared floor…
+        assert!(!r.jobs.get(JobId(0)).individually_admissible(1.0));
+        // …the duplicate replays filler 1 exactly…
+        let (orig, dup) = (
+            r.jobs.get(JobId(1)),
+            r.jobs.get(JobId(p.fillers as u64 + 1)),
+        );
+        assert_eq!(orig.release, dup.release);
+        assert_eq!(orig.deadline, dup.deadline);
+        assert!((orig.workload - dup.workload).abs() < 1e-15);
+        assert!((orig.value - dup.value).abs() < 1e-15);
+        // …and every clean filler stays admissible.
+        for j in r.jobs.iter().skip(1).take(p.fillers) {
+            assert!(j.individually_admissible(1.0), "{} must be clean", j.id);
+        }
+        let filler_total: f64 = (1..=p.fillers)
+            .map(|i| r.jobs.get(JobId(i as u64)).value)
+            .sum();
+        assert!((r.clean_value - filler_total).abs() < 1e-12);
     }
 
     #[test]

@@ -167,6 +167,29 @@ impl PiecewiseConstant {
         Ok(self)
     }
 
+    /// Overrides the declared class bounds *without* the containment check
+    /// of [`with_declared_bounds`](Self::with_declared_bounds): the realised
+    /// trace is allowed to violate the declared `(c_lo, c_hi)`.
+    ///
+    /// This is the sanctioned seam for **fault injection**: a profile that
+    /// *claims* class `C(c_lo, c_hi)` while its realised rate dips below
+    /// `c_lo` models a broken capacity SLA (the scenario
+    /// `cloudsched-faults` exercises and the degradation watchdog detects).
+    /// Everything downstream of the declaration — conservative laxities,
+    /// V-Dover's β — trusts the lie exactly as a real scheduler would.
+    ///
+    /// # Errors
+    /// If the bounds are not an interval with `0 < c_lo ≤ c_hi`.
+    pub fn with_asserted_bounds(mut self, c_lo: f64, c_hi: f64) -> Result<Self, CoreError> {
+        if !(c_lo > 0.0) || !c_hi.is_finite() || c_hi < c_lo {
+            return Err(CoreError::InvalidCapacityProfile {
+                reason: format!("invalid asserted bounds ({c_lo}, {c_hi})"),
+            });
+        }
+        self.declared = (c_lo, c_hi);
+        Ok(self)
+    }
+
     /// Observed `(min, max)` over realised segment rates.
     pub fn observed_bounds(&self) -> (f64, f64) {
         let lo = self.rates.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -425,6 +448,18 @@ mod tests {
         assert!(p.clone().with_declared_bounds(2.0, 10.0).is_err());
         assert!(p.clone().with_declared_bounds(0.5, 3.0).is_err());
         assert!(p.with_declared_bounds(-1.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn asserted_bounds_may_violate_observed_rates() {
+        // Observed rates are (1, 4); an SLA claiming C(2, 10) is a lie the
+        // fault-injection seam must be able to state.
+        let p = profile().with_asserted_bounds(2.0, 10.0).unwrap();
+        assert_eq!(p.bounds(), (2.0, 10.0));
+        assert_eq!(p.observed_bounds(), (1.0, 4.0));
+        assert!(profile().with_asserted_bounds(0.0, 1.0).is_err());
+        assert!(profile().with_asserted_bounds(2.0, 1.0).is_err());
+        assert!(profile().with_asserted_bounds(1.0, f64::INFINITY).is_err());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! cloudsched metrics [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]]
 //!                    [--scheduler NAME]
 //! cloudsched replay  --in FILE
+//! cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
+//!                    [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
+//!                    [--trace-out FILE]
 //! ```
 //!
 //! Job traces use the plain-text format of `cloudsched-workload::traces`;
@@ -43,7 +46,13 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let flags = parse_flags(args);
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match cmd.as_str() {
         "gen" => cmd_gen(&flags),
         "run" => cmd_run(&flags),
@@ -55,6 +64,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&flags),
         "metrics" => cmd_metrics(&flags),
         "replay" => cmd_replay(&flags),
+        "chaos" => cmd_chaos(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -80,20 +90,41 @@ const USAGE: &str = "usage:
   cloudsched lint   [--root DIR] [--write-baseline]
   cloudsched trace   [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]] [--scheduler NAME] [--out FILE]
   cloudsched metrics [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]] [--scheduler NAME]
-  cloudsched replay  --in FILE";
+  cloudsched replay  --in FILE
+  cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
+                     [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
+                     [--trace-out FILE]";
 
-fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+/// Renders a typed argument error (non-zero exit; `main` appends the usage).
+fn arg_error(flag: &str, reason: &str) -> String {
+    cloudsched_core::CoreError::InvalidArgument {
+        flag: flag.to_string(),
+        reason: reason.to_string(),
+    }
+    .to_string()
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
-        let key = flag.trim_start_matches("--").to_string();
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(arg_error(&flag, "expected a `--flag`"));
+        };
+        if key.is_empty() {
+            return Err(arg_error(&flag, "empty flag name"));
+        }
         let value = match args.peek() {
-            Some(v) if !v.starts_with("--") => args.next().unwrap_or_default(),
+            Some(v) if !v.starts_with("--") => args
+                .next()
+                .ok_or_else(|| arg_error(key, "flag value vanished mid-parse"))?,
             _ => String::from("true"),
         };
-        flags.insert(key, value);
+        if flags.insert(key.to_string(), value).is_some() {
+            return Err(arg_error(key, "flag given more than once"));
+        }
     }
-    flags
+    Ok(flags)
 }
 
 fn get_f64(flags: &HashMap<String, String>, key: &str) -> Result<f64, String> {
@@ -152,7 +183,8 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         "scheduler", "value", "value %", "completed", "preemptions"
     );
     for name in list.split(',') {
-        let mut s = cloudsched_sched::by_name(name.trim(), k, delta, c_lo, c_hi)?;
+        let mut s = cloudsched_sched::by_name(name.trim(), k, delta, c_lo, c_hi)
+            .map_err(|e| e.to_string())?;
         let opts = if audit {
             RunOptions::full()
         } else {
@@ -330,6 +362,65 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `cloudsched chaos`: a seed-sweep fault-injection campaign. For every
+/// seed the fault-free baseline and each degradation policy run on the
+/// *same* corrupted instance; the report compares accrued value and fault
+/// bookkeeping. `--trace-out` additionally writes the byte-stable JSONL
+/// fault trace of the first seed (Degrade policy when it is in the sweep).
+fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
+    use cloudsched_faults::{chaos_trace, run_campaign, ChaosConfig, FaultPlan};
+    use cloudsched_sim::DegradationPolicy;
+    let mut cfg = ChaosConfig::default();
+    if let Some(s) = flags.get("lambda") {
+        cfg.lambda = s.parse().map_err(|e| format!("--lambda: {e}"))?;
+    }
+    if let Some(s) = flags.get("seed") {
+        cfg.first_seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    if let Some(s) = flags.get("seeds") {
+        cfg.num_seeds = s.parse().map_err(|e| format!("--seeds: {e}"))?;
+    }
+    if let Some(s) = flags.get("scheduler") {
+        cfg.scheduler = s.clone();
+    }
+    if let Some(s) = flags.get("plan") {
+        cfg.plan = FaultPlan::preset(s).ok_or_else(|| {
+            arg_error("--plan", &format!("unknown preset `{s}` (none|mild|harsh)"))
+        })?;
+    }
+    if let Some(s) = flags.get("policy") {
+        if s != "all" {
+            let p = DegradationPolicy::parse(s).ok_or_else(|| {
+                arg_error(
+                    "--policy",
+                    &format!("unknown policy `{s}` (strict|degrade|best-effort|all)"),
+                )
+            })?;
+            cfg.policies = vec![p];
+        }
+    }
+    let report = run_campaign(&cfg).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    if let Some(path) = flags.get("trace-out") {
+        let policy = cfg
+            .policies
+            .iter()
+            .copied()
+            .find(|&p| p == DegradationPolicy::Degrade)
+            .or_else(|| cfg.policies.first().copied())
+            .ok_or("--policy resolved to an empty policy set")?;
+        let trace = chaos_trace(&cfg, cfg.first_seed, policy).map_err(|e| e.to_string())?;
+        std::fs::write(path, &trace).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "wrote {} fault-trace events (seed {}, policy {}) to {path}",
+            trace.lines().count(),
+            cfg.first_seed,
+            policy.as_str()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = flags.get("in").ok_or("missing --in FILE")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -349,7 +440,7 @@ mod tests {
     use super::*;
 
     fn flags_of(args: &[&str]) -> HashMap<String, String> {
-        parse_flags(args.iter().map(|s| s.to_string()))
+        parse_flags(args.iter().map(|s| s.to_string())).expect("valid test flags")
     }
 
     #[test]
@@ -359,6 +450,39 @@ mod tests {
         assert_eq!(f.get("seed").unwrap(), "3");
         assert_eq!(f.get("audit").unwrap(), "true");
         assert!(f.get("out").is_none());
+    }
+
+    #[test]
+    fn malformed_argument_lists_are_typed_errors() {
+        let parse = |args: &[&str]| parse_flags(args.iter().map(|s| s.to_string()));
+        let err = parse(&["run", "--trace", "x"]).unwrap_err();
+        assert!(err.contains("expected a `--flag`"), "got: {err}");
+        let err = parse(&["--seed", "1", "--seed", "2"]).unwrap_err();
+        assert!(err.contains("more than once"), "got: {err}");
+        let err = parse(&["--"]).unwrap_err();
+        assert!(err.contains("empty flag name"), "got: {err}");
+    }
+
+    #[test]
+    fn chaos_command_runs_a_tiny_campaign_and_writes_a_trace() {
+        let path = std::env::temp_dir().join("cloudsched-cli-test-chaos.jsonl");
+        cmd_chaos(&flags_of(&[
+            "--lambda",
+            "4",
+            "--seeds",
+            "1",
+            "--plan",
+            "mild",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ]))
+        .expect("chaos");
+        let trace = std::fs::read_to_string(&path).expect("trace file");
+        assert!(!trace.is_empty());
+        cmd_replay(&flags_of(&["--in", path.to_str().unwrap()])).expect("replay chaos trace");
+        std::fs::remove_file(path).ok();
+        assert!(cmd_chaos(&flags_of(&["--plan", "apocalyptic"])).is_err());
+        assert!(cmd_chaos(&flags_of(&["--policy", "yolo"])).is_err());
     }
 
     #[test]

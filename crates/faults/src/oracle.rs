@@ -1,0 +1,172 @@
+//! A deterministic, seeded faulty capacity oracle.
+//!
+//! [`FaultyOracle`] implements [`RateOracle`]: the simulation kernel probes
+//! it at every capacity-segment boundary and the oracle answers with a
+//! (possibly noisy, stale, or absent) reading of the true rate. Because
+//! probe instants are event-driven and the noise stream is a counter-less
+//! PCG seeded from the campaign seed, the same `(plan, seed)` pair always
+//! produces the same reading sequence — faults are replayable by
+//! construction.
+
+use crate::config::OracleFaultConfig;
+use cloudsched_core::rng::{Pcg32, Rng};
+use cloudsched_core::Time;
+use cloudsched_sim::{OracleReading, RateOracle};
+
+/// Stream id for the oracle's RNG, so oracle noise and stream corruption
+/// draw from decorrelated sequences of the same campaign seed.
+const ORACLE_STREAM: u64 = 0x0FAC1E;
+
+/// A capacity oracle that distorts readings according to an
+/// [`OracleFaultConfig`].
+///
+/// Fault order per probe: an ongoing blackout continues; otherwise a fresh
+/// blackout may start; otherwise the true rate is jittered by bounded
+/// multiplicative noise and delayed by `stale_lag` probes.
+#[derive(Debug, Clone)]
+pub struct FaultyOracle {
+    cfg: OracleFaultConfig,
+    rng: Pcg32,
+    /// Noisy readings so far; staleness replays an older entry.
+    history: Vec<f64>,
+    /// Remaining probes of the current blackout.
+    blackout_left: u32,
+}
+
+impl FaultyOracle {
+    /// Builds an oracle for `cfg`, seeded from the campaign seed.
+    pub fn new(cfg: OracleFaultConfig, seed: u64) -> Self {
+        FaultyOracle {
+            cfg,
+            rng: Pcg32::with_stream(seed, ORACLE_STREAM),
+            history: Vec::new(),
+            blackout_left: 0,
+        }
+    }
+
+    /// Number of readings served so far (blackouts excluded).
+    pub fn readings(&self) -> usize {
+        self.history.len()
+    }
+}
+
+impl RateOracle for FaultyOracle {
+    fn read(&mut self, _t: Time, true_rate: f64) -> OracleReading {
+        if self.blackout_left > 0 {
+            self.blackout_left -= 1;
+            return OracleReading::Down;
+        }
+        if self.cfg.blackout_prob > 0.0 && self.rng.next_f64() < self.cfg.blackout_prob {
+            // This probe is the first miss of the blackout.
+            self.blackout_left = self.cfg.blackout_len.saturating_sub(1);
+            return OracleReading::Down;
+        }
+        let noisy = if self.cfg.noise > 0.0 {
+            let u = 2.0 * self.rng.next_f64() - 1.0;
+            (true_rate * (1.0 + self.cfg.noise * u)).max(f64::MIN_POSITIVE)
+        } else {
+            true_rate
+        };
+        self.history.push(noisy);
+        // A stale pipeline reports the reading taken `stale_lag` probes ago
+        // (clamped to the oldest available).
+        let idx = self.history.len().saturating_sub(1 + self.cfg.stale_lag);
+        OracleReading::Rate(self.history[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(oracle: &mut FaultyOracle, n: usize) -> Vec<OracleReading> {
+        (0..n)
+            .map(|i| oracle.read(Time::new(i as f64), 2.0))
+            .collect()
+    }
+
+    #[test]
+    fn healthy_config_is_transparent() {
+        let mut o = FaultyOracle::new(OracleFaultConfig::none(), 7);
+        for r in drain(&mut o, 10) {
+            assert_eq!(r, OracleReading::Rate(2.0));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_reading_sequence() {
+        let cfg = OracleFaultConfig {
+            noise: 0.1,
+            stale_lag: 1,
+            blackout_prob: 0.3,
+            blackout_len: 2,
+        };
+        let a = drain(&mut FaultyOracle::new(cfg, 99), 50);
+        let b = drain(&mut FaultyOracle::new(cfg, 99), 50);
+        assert_eq!(a, b, "oracle faults must replay bit-for-bit");
+        let c = drain(&mut FaultyOracle::new(cfg, 100), 50);
+        assert_ne!(a, c, "different seeds should explore different faults");
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        let cfg = OracleFaultConfig {
+            noise: 0.25,
+            stale_lag: 0,
+            blackout_prob: 0.0,
+            blackout_len: 0,
+        };
+        let mut o = FaultyOracle::new(cfg, 3);
+        for r in drain(&mut o, 200) {
+            match r {
+                OracleReading::Rate(x) => {
+                    assert!(
+                        x > 2.0 * 0.749 && x < 2.0 * 1.251,
+                        "reading {x} out of band"
+                    )
+                }
+                OracleReading::Down => panic!("no blackouts configured"),
+            }
+        }
+    }
+
+    #[test]
+    fn blackouts_last_the_configured_length() {
+        let cfg = OracleFaultConfig {
+            noise: 0.0,
+            stale_lag: 0,
+            blackout_prob: 1.0,
+            blackout_len: 3,
+        };
+        let mut o = FaultyOracle::new(cfg, 5);
+        // With probability 1 every probe is down: first probe starts a
+        // 3-probe blackout, then the next blackout begins immediately.
+        for r in drain(&mut o, 9) {
+            assert_eq!(r, OracleReading::Down);
+        }
+        assert_eq!(o.readings(), 0);
+    }
+
+    #[test]
+    fn staleness_replays_older_readings() {
+        let cfg = OracleFaultConfig {
+            noise: 0.0,
+            stale_lag: 2,
+            blackout_prob: 0.0,
+            blackout_len: 0,
+        };
+        let mut o = FaultyOracle::new(cfg, 1);
+        // Feed distinct true rates; with lag 2 the reading at probe i is the
+        // rate from probe max(0, i-2).
+        let rates = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let got: Vec<f64> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| match o.read(Time::new(i as f64), r) {
+                OracleReading::Rate(x) => x,
+                OracleReading::Down => panic!("no blackouts configured"),
+            })
+            .collect();
+        assert_eq!(got, vec![1.0, 1.0, 1.0, 2.0, 3.0]);
+    }
+}

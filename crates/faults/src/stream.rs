@@ -1,0 +1,249 @@
+//! Job-stream corruption: injecting jobs that violate the paper's admission
+//! preconditions into an otherwise clean instance.
+//!
+//! Three corruption kinds, matching the watchdog's detectors:
+//!
+//! * **inadmissible** jobs violate Def. 4 — their window `d − r` is shorter
+//!   than `p / c_lo`, so no schedule on the declared class can finish them;
+//! * **duplicates** re-release an existing job's exact parameters under a
+//!   fresh id (a poisoned or replayed submission pipeline);
+//! * **value spikes** carry a density far above `k ·` (smallest clean
+//!   density), breaking the importance-ratio premise behind the Dover
+//!   family's β threshold.
+//!
+//! Injected jobs get fresh dense ids *after* the base jobs, which pins the
+//! kernel's deterministic tie-break: at equal release times the original
+//! (lower id) is always released before its duplicate or spike.
+
+use crate::config::StreamFaultConfig;
+use cloudsched_core::rng::{Pcg32, Rng};
+use cloudsched_core::{CoreError, Job, JobId, JobSet, Time};
+use cloudsched_obs::FaultKind;
+
+/// Stream id for corruption draws, decorrelated from the oracle's stream.
+const CORRUPT_STREAM: u64 = 0xC0FFEE;
+
+/// One injected job and the fault the watchdog is expected to report for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Id of the injected job in the corrupted set.
+    pub id: JobId,
+    /// Expected detection kind.
+    pub kind: FaultKind,
+}
+
+/// Returns a corrupted copy of `jobs` plus the list of injected faults.
+///
+/// `c_lo` is the *declared* class floor (the admissibility reference) and
+/// `k` the importance ratio the watchdog enforces. The same
+/// `(jobs, cfg, seed)` triple always yields the same corrupted set.
+///
+/// An empty base set or an inert config returns the input unchanged: there
+/// is nothing to duplicate or to spike against.
+///
+/// # Errors
+/// Propagates constructor failures (cannot occur for valid inputs: every
+/// injected job has positive workload and a non-empty window).
+pub fn corrupt_stream(
+    jobs: &JobSet,
+    cfg: &StreamFaultConfig,
+    c_lo: f64,
+    k: f64,
+    seed: u64,
+) -> Result<(JobSet, Vec<InjectedFault>), CoreError> {
+    if cfg.injected() == 0 || jobs.is_empty() {
+        return Ok((jobs.clone(), Vec::new()));
+    }
+    let mut rng = Pcg32::with_stream(seed, CORRUPT_STREAM);
+    let base: Vec<Job> = jobs.iter().cloned().collect();
+    let first_release = jobs.first_release().as_f64();
+    let last_release = base
+        .iter()
+        .map(|j| j.release.as_f64())
+        .fold(first_release, f64::max);
+    let max_density = base
+        .iter()
+        .map(|j| j.value / j.workload)
+        .fold(0.0f64, f64::max);
+
+    let mut out = base;
+    let mut injected = Vec::with_capacity(cfg.injected());
+    let mut next_id = out.len() as u64;
+    let push = |out: &mut Vec<Job>,
+                injected: &mut Vec<InjectedFault>,
+                next_id: &mut u64,
+                r: f64,
+                d: f64,
+                p: f64,
+                v: f64,
+                kind: FaultKind|
+     -> Result<(), CoreError> {
+        let id = JobId(*next_id);
+        *next_id += 1;
+        out.push(Job::new(id, Time::new(r), Time::new(d), p, v)?);
+        injected.push(InjectedFault { id, kind });
+        Ok(())
+    };
+
+    for _ in 0..cfg.inadmissible {
+        // Too-tight window: half the minimum feasible processing time.
+        let template = out[rng.next_index(jobs.len())].clone();
+        let r = first_release + rng.next_f64() * (last_release - first_release);
+        let p = template.workload;
+        let window = 0.5 * p / c_lo;
+        let density = 1.0 + rng.next_f64() * (k - 1.0).max(0.0);
+        push(
+            &mut out,
+            &mut injected,
+            &mut next_id,
+            r,
+            r + window,
+            p,
+            density * p,
+            FaultKind::Inadmissible,
+        )?;
+    }
+    for _ in 0..cfg.duplicates {
+        // Exact parameter replay of a random base job under a fresh id.
+        let orig = out[rng.next_index(jobs.len())].clone();
+        push(
+            &mut out,
+            &mut injected,
+            &mut next_id,
+            orig.release.as_f64(),
+            orig.deadline.as_f64(),
+            orig.workload,
+            orig.value,
+            FaultKind::Duplicate,
+        )?;
+    }
+    for _ in 0..cfg.value_spikes {
+        // Released together with the latest base release, so at least one
+        // clean density is on the watchdog's books before the spike shows
+        // up (the lower-id original wins the release-order tie-break).
+        let template = out[rng.next_index(jobs.len())].clone();
+        let p = template.workload;
+        let density = cfg.spike_factor.max(1.5) * k * max_density.max(f64::MIN_POSITIVE);
+        push(
+            &mut out,
+            &mut injected,
+            &mut next_id,
+            last_release,
+            last_release + 2.0 * p / c_lo,
+            p,
+            density * p,
+            FaultKind::ValueSpike,
+        )?;
+    }
+    Ok((JobSet::new(out)?, injected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> JobSet {
+        // Four admissible jobs on a c_lo = 1 class, densities in [1, 4].
+        JobSet::from_tuples(&[
+            (0.0, 10.0, 5.0, 5.0),
+            (2.0, 20.0, 6.0, 12.0),
+            (5.0, 30.0, 4.0, 16.0),
+            (8.0, 40.0, 8.0, 8.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inert_config_returns_the_input_unchanged() {
+        let jobs = base();
+        let (out, injected) =
+            corrupt_stream(&jobs, &StreamFaultConfig::none(), 1.0, 7.0, 3).unwrap();
+        assert_eq!(out, jobs);
+        assert!(injected.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_in_the_seed() {
+        let jobs = base();
+        let cfg = StreamFaultConfig {
+            inadmissible: 2,
+            duplicates: 2,
+            value_spikes: 1,
+            spike_factor: 3.0,
+        };
+        let (a, fa) = corrupt_stream(&jobs, &cfg, 1.0, 7.0, 11).unwrap();
+        let (b, fb) = corrupt_stream(&jobs, &cfg, 1.0, 7.0, 11).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+        let (c, _) = corrupt_stream(&jobs, &cfg, 1.0, 7.0, 12).unwrap();
+        assert_ne!(a, c, "different seeds should corrupt differently");
+    }
+
+    #[test]
+    fn injected_jobs_violate_the_advertised_precondition() {
+        let jobs = base();
+        let c_lo = 1.0;
+        let k = 7.0;
+        let cfg = StreamFaultConfig {
+            inadmissible: 3,
+            duplicates: 2,
+            value_spikes: 2,
+            spike_factor: 3.0,
+        };
+        let (out, injected) = corrupt_stream(&jobs, &cfg, c_lo, k, 5).unwrap();
+        assert_eq!(out.len(), jobs.len() + cfg.injected());
+        assert_eq!(injected.len(), cfg.injected());
+        let min_clean_density = jobs
+            .iter()
+            .map(|j| j.value / j.workload)
+            .fold(f64::INFINITY, f64::min);
+        for f in &injected {
+            let j = out.get(f.id);
+            match f.kind {
+                FaultKind::Inadmissible => {
+                    assert!(
+                        !j.individually_admissible(c_lo),
+                        "{} should violate Def. 4",
+                        f.id
+                    );
+                }
+                FaultKind::Duplicate => {
+                    let twin = jobs.iter().find(|b| {
+                        b.release == j.release
+                            && b.deadline == j.deadline
+                            && b.workload == j.workload // lint: allow(L001) — exact replay by construction
+                            && b.value == j.value // lint: allow(L001) — exact replay by construction
+                    });
+                    let twin = twin.expect("duplicate must replay a base job exactly");
+                    assert!(twin.id < f.id, "original must release before the duplicate");
+                }
+                FaultKind::ValueSpike => {
+                    assert!(j.individually_admissible(c_lo), "spikes stay admissible");
+                    assert!(
+                        j.value / j.workload > k * min_clean_density,
+                        "spike density must break the importance ratio"
+                    );
+                    assert!(
+                        jobs.iter().any(|b| b.release <= j.release && b.id < j.id),
+                        "a clean job must be on the books before the spike"
+                    );
+                }
+                other => panic!("unexpected injected kind {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_base_sets_are_left_alone() {
+        let jobs = JobSet::from_tuples(&[]).unwrap();
+        let cfg = StreamFaultConfig {
+            inadmissible: 1,
+            duplicates: 1,
+            value_spikes: 1,
+            spike_factor: 2.0,
+        };
+        let (out, injected) = corrupt_stream(&jobs, &cfg, 1.0, 7.0, 1).unwrap();
+        assert!(out.is_empty());
+        assert!(injected.is_empty());
+    }
+}

@@ -57,7 +57,7 @@ const L001_CRATES: &[&str] = &["core", "capacity", "sim", "sched", "offline", "a
 const L002_CRATES: &[&str] = &["sim", "sched", "capacity", "offline"];
 /// Crates that form the deterministic simulation core (no wall clock).
 const L005_CRATES: &[&str] = &[
-    "core", "capacity", "sim", "sched", "offline", "workload", "obs",
+    "core", "capacity", "sim", "sched", "offline", "workload", "obs", "faults",
 ];
 
 /// Runs every rule over one scanned file.

@@ -47,6 +47,48 @@ impl QueueKind {
     }
 }
 
+/// Which model assumption a detected fault violates. Stamped on the fault
+/// and degradation events so a trace names the broken assumption, not just
+/// "something went wrong".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The realised capacity dipped below the declared `c_lo` (the SLA
+    /// behind Definition 5 / Theorem 3).
+    SlaDip,
+    /// The capacity oracle exhausted its retry budget and was declared dead.
+    OracleDown,
+    /// A released job violates individual admissibility (Definition 4).
+    Inadmissible,
+    /// A released job duplicates the exact parameters of an earlier one.
+    Duplicate,
+    /// A released job's value density exceeds the assumed importance ratio.
+    ValueSpike,
+}
+
+impl FaultKind {
+    /// Stable wire name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::SlaDip => "sla_dip",
+            FaultKind::OracleDown => "oracle_down",
+            FaultKind::Inadmissible => "inadmissible",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::ValueSpike => "value_spike",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "sla_dip" => FaultKind::SlaDip,
+            "oracle_down" => FaultKind::OracleDown,
+            "inadmissible" => FaultKind::Inadmissible,
+            "duplicate" => FaultKind::Duplicate,
+            "value_spike" => FaultKind::ValueSpike,
+            _ => return None,
+        })
+    }
+}
+
 /// One sim-time-stamped observation of the simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
@@ -161,6 +203,75 @@ pub enum TraceEvent {
         /// 0-based segment index.
         segment: usize,
     },
+    /// The watchdog detected a job-stream fault at release time. What
+    /// happens next depends on the degradation policy (quarantine, abort,
+    /// or log-and-continue).
+    FaultDetected {
+        /// Simulation time.
+        t: Time,
+        /// The offending job.
+        job: JobId,
+        /// Which assumption it violates.
+        fault: FaultKind,
+    },
+    /// The degradation layer quarantined a faulty job: the scheduler never
+    /// sees it unless it is later re-admitted.
+    Quarantine {
+        /// Simulation time.
+        t: Time,
+        /// The quarantined job.
+        job: JobId,
+        /// Why it was quarantined.
+        fault: FaultKind,
+    },
+    /// A quarantined job was re-admitted to the scheduler after capacity
+    /// recovered (V-Dover parks late re-admissions in its supplement queue).
+    Readmit {
+        /// Simulation time.
+        t: Time,
+        /// The re-admitted job.
+        job: JobId,
+    },
+    /// The observed rate dropped below the declared class bound `c_lo`.
+    SlaViolation {
+        /// Simulation time.
+        t: Time,
+        /// The observed (violating) rate.
+        rate: f64,
+        /// The declared lower class bound it undercuts.
+        c_lo: f64,
+    },
+    /// The degradation layer lowered its running `c_lo` estimate, so
+    /// conservative laxities recompute against the new bound.
+    CloReestimate {
+        /// Simulation time.
+        t: Time,
+        /// Previous effective `c_lo`.
+        from: f64,
+        /// New effective `c_lo`.
+        to: f64,
+    },
+    /// The capacity oracle exhausted its retry budget and was declared dead.
+    OracleDropout {
+        /// Simulation time.
+        t: Time,
+        /// Consecutive failed readings before declaring death.
+        misses: usize,
+    },
+    /// The capacity oracle produced a reading again after an outage.
+    OracleRecover {
+        /// Simulation time.
+        t: Time,
+        /// How long the oracle was dark (simulation seconds).
+        down_for: f64,
+    },
+    /// The `Strict` degradation policy aborted the run on a fault.
+    PolicyAbort {
+        /// Simulation time.
+        t: Time,
+        /// The fault that triggered the abort.
+        fault: FaultKind,
+    },
 }
 
 impl TraceEvent {
@@ -178,7 +289,15 @@ impl TraceEvent {
             | TraceEvent::SupplementRescue { t, .. }
             | TraceEvent::ClaxityZero { t, .. }
             | TraceEvent::QueueDepth { t, .. }
-            | TraceEvent::CapacityChange { t, .. } => t,
+            | TraceEvent::CapacityChange { t, .. }
+            | TraceEvent::FaultDetected { t, .. }
+            | TraceEvent::Quarantine { t, .. }
+            | TraceEvent::Readmit { t, .. }
+            | TraceEvent::SlaViolation { t, .. }
+            | TraceEvent::CloReestimate { t, .. }
+            | TraceEvent::OracleDropout { t, .. }
+            | TraceEvent::OracleRecover { t, .. }
+            | TraceEvent::PolicyAbort { t, .. } => t,
         }
     }
 
@@ -194,8 +313,17 @@ impl TraceEvent {
             | TraceEvent::Abandon { job, .. }
             | TraceEvent::SupplementEnqueue { job, .. }
             | TraceEvent::SupplementRescue { job, .. }
-            | TraceEvent::ClaxityZero { job, .. } => Some(job),
-            TraceEvent::QueueDepth { .. } | TraceEvent::CapacityChange { .. } => None,
+            | TraceEvent::ClaxityZero { job, .. }
+            | TraceEvent::FaultDetected { job, .. }
+            | TraceEvent::Quarantine { job, .. }
+            | TraceEvent::Readmit { job, .. } => Some(job),
+            TraceEvent::QueueDepth { .. }
+            | TraceEvent::CapacityChange { .. }
+            | TraceEvent::SlaViolation { .. }
+            | TraceEvent::CloReestimate { .. }
+            | TraceEvent::OracleDropout { .. }
+            | TraceEvent::OracleRecover { .. }
+            | TraceEvent::PolicyAbort { .. } => None,
         }
     }
 
@@ -214,6 +342,14 @@ impl TraceEvent {
             TraceEvent::ClaxityZero { .. } => "claxity_zero",
             TraceEvent::QueueDepth { .. } => "queue_depth",
             TraceEvent::CapacityChange { .. } => "capacity",
+            TraceEvent::FaultDetected { .. } => "fault",
+            TraceEvent::Quarantine { .. } => "quarantine",
+            TraceEvent::Readmit { .. } => "readmit",
+            TraceEvent::SlaViolation { .. } => "sla_violation",
+            TraceEvent::CloReestimate { .. } => "clo_reestimate",
+            TraceEvent::OracleDropout { .. } => "oracle_down",
+            TraceEvent::OracleRecover { .. } => "oracle_up",
+            TraceEvent::PolicyAbort { .. } => "policy_abort",
         }
     }
 
@@ -276,6 +412,35 @@ impl TraceEvent {
             ),
             TraceEvent::CapacityChange { rate, segment, .. } => format!(
                 "{{\"t\":{t},\"ev\":\"capacity\",\"rate\":{rate},\"segment\":{segment}}}"
+            ),
+            TraceEvent::FaultDetected { job, fault, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"fault\",\"job\":{},\"fault\":\"{}\"}}",
+                job.0,
+                fault.as_str()
+            ),
+            TraceEvent::Quarantine { job, fault, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"quarantine\",\"job\":{},\"fault\":\"{}\"}}",
+                job.0,
+                fault.as_str()
+            ),
+            TraceEvent::Readmit { job, .. } => {
+                format!("{{\"t\":{t},\"ev\":\"readmit\",\"job\":{}}}", job.0)
+            }
+            TraceEvent::SlaViolation { rate, c_lo, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"sla_violation\",\"rate\":{rate},\"c_lo\":{c_lo}}}"
+            ),
+            TraceEvent::CloReestimate { from, to, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"clo_reestimate\",\"from\":{from},\"to\":{to}}}"
+            ),
+            TraceEvent::OracleDropout { misses, .. } => {
+                format!("{{\"t\":{t},\"ev\":\"oracle_down\",\"misses\":{misses}}}")
+            }
+            TraceEvent::OracleRecover { down_for, .. } => {
+                format!("{{\"t\":{t},\"ev\":\"oracle_up\",\"down_for\":{down_for}}}")
+            }
+            TraceEvent::PolicyAbort { fault, .. } => format!(
+                "{{\"t\":{t},\"ev\":\"policy_abort\",\"fault\":\"{}\"}}",
+                fault.as_str()
             ),
         }
     }
@@ -375,6 +540,47 @@ impl TraceEvent {
                 rate: f64_of("rate")?,
                 segment: usize_of("segment")?,
             },
+            "fault" | "quarantine" => {
+                let fault_name = get("fault")?;
+                let fault = FaultKind::parse(fault_name)
+                    .ok_or_else(|| format!("unknown fault kind `{fault_name}`"))?;
+                let job = job_of("job")?;
+                if ev == "fault" {
+                    TraceEvent::FaultDetected { t, job, fault }
+                } else {
+                    TraceEvent::Quarantine { t, job, fault }
+                }
+            }
+            "readmit" => TraceEvent::Readmit {
+                t,
+                job: job_of("job")?,
+            },
+            "sla_violation" => TraceEvent::SlaViolation {
+                t,
+                rate: f64_of("rate")?,
+                c_lo: f64_of("c_lo")?,
+            },
+            "clo_reestimate" => TraceEvent::CloReestimate {
+                t,
+                from: f64_of("from")?,
+                to: f64_of("to")?,
+            },
+            "oracle_down" => TraceEvent::OracleDropout {
+                t,
+                misses: usize_of("misses")?,
+            },
+            "oracle_up" => TraceEvent::OracleRecover {
+                t,
+                down_for: f64_of("down_for")?,
+            },
+            "policy_abort" => {
+                let fault_name = get("fault")?;
+                TraceEvent::PolicyAbort {
+                    t,
+                    fault: FaultKind::parse(fault_name)
+                        .ok_or_else(|| format!("unknown fault kind `{fault_name}`"))?,
+                }
+            }
             other => return Err(format!("unknown event kind `{other}`")),
         })
     }
@@ -418,6 +624,28 @@ impl TraceEvent {
             }
             TraceEvent::CapacityChange { rate, segment, .. } => {
                 format!("capacity      rate={rate}  segment={segment}")
+            }
+            TraceEvent::FaultDetected { job, fault, .. } => {
+                format!("FAULT         {job}  kind={}", fault.as_str())
+            }
+            TraceEvent::Quarantine { job, fault, .. } => {
+                format!("quarantine    {job}  kind={}", fault.as_str())
+            }
+            TraceEvent::Readmit { job, .. } => format!("readmit       {job}"),
+            TraceEvent::SlaViolation { rate, c_lo, .. } => {
+                format!("SLA-VIOLATION rate={rate} < c_lo={c_lo}")
+            }
+            TraceEvent::CloReestimate { from, to, .. } => {
+                format!("clo-reest     {from} -> {to}")
+            }
+            TraceEvent::OracleDropout { misses, .. } => {
+                format!("oracle-down   after {misses} misses")
+            }
+            TraceEvent::OracleRecover { down_for, .. } => {
+                format!("oracle-up     down_for={down_for:.3}")
+            }
+            TraceEvent::PolicyAbort { fault, .. } => {
+                format!("POLICY-ABORT  fault={}", fault.as_str())
             }
         };
         format!("{t:>12.4}  {body}")
@@ -503,6 +731,33 @@ mod tests {
                 rate: 35.0,
                 segment: 2,
             },
+            TraceEvent::FaultDetected {
+                t,
+                job: j,
+                fault: FaultKind::Inadmissible,
+            },
+            TraceEvent::Quarantine {
+                t,
+                job: j,
+                fault: FaultKind::ValueSpike,
+            },
+            TraceEvent::Readmit { t, job: j },
+            TraceEvent::SlaViolation {
+                t,
+                rate: 0.25,
+                c_lo: 1.0,
+            },
+            TraceEvent::CloReestimate {
+                t,
+                from: 1.0,
+                to: 0.25,
+            },
+            TraceEvent::OracleDropout { t, misses: 3 },
+            TraceEvent::OracleRecover { t, down_for: 2.5 },
+            TraceEvent::PolicyAbort {
+                t,
+                fault: FaultKind::SlaDip,
+            },
         ]
     }
 
@@ -535,7 +790,13 @@ mod tests {
             assert_eq!(ev.time(), Time::new(1.5));
             assert!(!ev.kind().is_empty());
             match ev {
-                TraceEvent::QueueDepth { .. } | TraceEvent::CapacityChange { .. } => {
+                TraceEvent::QueueDepth { .. }
+                | TraceEvent::CapacityChange { .. }
+                | TraceEvent::SlaViolation { .. }
+                | TraceEvent::CloReestimate { .. }
+                | TraceEvent::OracleDropout { .. }
+                | TraceEvent::OracleRecover { .. }
+                | TraceEvent::PolicyAbort { .. } => {
                     assert_eq!(ev.job(), None)
                 }
                 _ => assert_eq!(ev.job(), Some(JobId(3))),
@@ -567,5 +828,23 @@ mod tests {
             assert_eq!(QueueKind::parse(q.as_str()), Some(q));
         }
         assert_eq!(QueueKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn fault_kind_wire_names_round_trip() {
+        for k in [
+            FaultKind::SlaDip,
+            FaultKind::OracleDown,
+            FaultKind::Inadmissible,
+            FaultKind::Duplicate,
+            FaultKind::ValueSpike,
+        ] {
+            assert_eq!(FaultKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("gremlin"), None);
+        assert!(TraceEvent::parse_jsonl(
+            "{\"t\":1,\"ev\":\"quarantine\",\"job\":0,\"fault\":\"x\"}"
+        )
+        .is_err());
     }
 }

@@ -189,6 +189,14 @@ impl MetricsRegistry {
                 self.gauge(name, depth as u64);
             }
             TraceEvent::CapacityChange { .. } => self.incr("capacity.changes", 1),
+            TraceEvent::FaultDetected { .. } => self.incr("faults.detected", 1),
+            TraceEvent::Quarantine { .. } => self.incr("jobs.quarantined", 1),
+            TraceEvent::Readmit { .. } => self.incr("jobs.readmitted", 1),
+            TraceEvent::SlaViolation { .. } => self.incr("capacity.sla_violations", 1),
+            TraceEvent::CloReestimate { .. } => self.incr("clo.reestimates", 1),
+            TraceEvent::OracleDropout { .. } => self.incr("oracle.dropouts", 1),
+            TraceEvent::OracleRecover { .. } => self.incr("oracle.recoveries", 1),
+            TraceEvent::PolicyAbort { .. } => self.incr("policy.aborts", 1),
         }
     }
 

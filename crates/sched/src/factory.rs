@@ -6,12 +6,26 @@
 //! names — and the parameterisation conventions — identical everywhere.
 
 use crate::{Dover, Edf, Fifo, Greedy, Llf, VDover};
+use cloudsched_core::CoreError;
 use cloudsched_sim::Scheduler;
 
 /// Names accepted by [`by_name`], in display order.
 pub const SCHEDULER_NAMES: &[&str] = &[
     "vdover", "dover", "dover-lo", "dover-hi", "edf", "llf", "fifo", "greedy", "hvdf",
 ];
+
+/// Validates one factory parameter against its mathematical domain.
+fn check(name: &'static str, value: f64, ok: bool, reason: &str) -> Result<(), CoreError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidParameter {
+            name: name.to_string(),
+            value,
+            reason: reason.to_string(),
+        })
+    }
+}
 
 /// Builds a scheduler from its command-line name.
 ///
@@ -22,13 +36,42 @@ pub const SCHEDULER_NAMES: &[&str] = &[
 /// * `delta` — capacity-class width `c_hi / c_lo`, used by V-Dover;
 /// * `c_lo`, `c_hi` — class bounds; `dover`/`dover-lo` estimate capacity at
 ///   `c_lo`, `dover-hi` at `c_hi`, and LLF computes laxity against `c_lo`.
+///
+/// # Errors
+/// [`CoreError::UnknownScheduler`] for an unrecognised name;
+/// [`CoreError::InvalidParameter`] when a parameter leaves its domain
+/// (`k >= 1`, `delta >= 1`, `0 < c_lo <= c_hi`, all finite).
 pub fn by_name(
     name: &str,
     k: f64,
     delta: f64,
     c_lo: f64,
     c_hi: f64,
-) -> Result<Box<dyn Scheduler>, String> {
+) -> Result<Box<dyn Scheduler>, CoreError> {
+    check(
+        "k",
+        k,
+        k.is_finite() && k >= 1.0, // lint: allow(L001) — domain boundary, k = 1 is legal
+        "importance ratio k must be finite and >= 1",
+    )?;
+    check(
+        "delta",
+        delta,
+        delta.is_finite() && delta >= 1.0, // lint: allow(L001) — domain boundary, delta = 1 is legal
+        "capacity variation delta = c_hi/c_lo must be finite and >= 1",
+    )?;
+    check(
+        "c_lo",
+        c_lo,
+        c_lo.is_finite() && c_lo > 0.0,
+        "c_lo must be finite and > 0",
+    )?;
+    check(
+        "c_hi",
+        c_hi,
+        c_hi.is_finite() && c_hi >= c_lo, // lint: allow(L001) — domain boundary, c_hi = c_lo is legal
+        "c_hi must be finite and >= c_lo",
+    )?;
     Ok(match name {
         "vdover" => Box::new(VDover::new(k, delta)),
         "dover" | "dover-lo" => Box::new(Dover::new(k, c_lo)),
@@ -38,7 +81,11 @@ pub fn by_name(
         "fifo" => Box::new(Fifo::new()),
         "greedy" => Box::new(Greedy::highest_value()),
         "hvdf" => Box::new(Greedy::highest_density()),
-        other => return Err(format!("unknown scheduler `{other}`")),
+        other => {
+            return Err(CoreError::UnknownScheduler {
+                name: other.to_string(),
+            })
+        }
     })
 }
 
@@ -55,6 +102,32 @@ mod tests {
             );
         }
         assert!(by_name("bogus", 7.0, 2.0, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn factory_rejects_out_of_domain_parameters_with_typed_errors() {
+        match by_name("bogus", 7.0, 2.0, 1.0, 2.0) {
+            Err(CoreError::UnknownScheduler { name }) => assert_eq!(name, "bogus"),
+            Err(other) => panic!("expected UnknownScheduler, got {other:?}"),
+            Ok(_) => panic!("expected UnknownScheduler, got a scheduler"),
+        }
+        for (k, delta, c_lo, c_hi, param) in [
+            (0.5, 2.0, 1.0, 2.0, "k"),
+            (f64::NAN, 2.0, 1.0, 2.0, "k"),
+            (7.0, 0.9, 1.0, 2.0, "delta"),
+            (7.0, 2.0, 0.0, 2.0, "c_lo"),
+            (7.0, 2.0, -1.0, 2.0, "c_lo"),
+            (7.0, 2.0, 1.0, 0.5, "c_hi"),
+            (7.0, 2.0, 1.0, f64::INFINITY, "c_hi"),
+        ] {
+            match by_name("vdover", k, delta, c_lo, c_hi) {
+                Err(CoreError::InvalidParameter { name, .. }) => assert_eq!(name, param),
+                Err(other) => panic!("expected InvalidParameter({param}), got {other:?}"),
+                Ok(_) => panic!("expected InvalidParameter({param}), got a scheduler"),
+            }
+        }
+        // Boundary values are legal: k = 1, delta = 1, c_hi = c_lo.
+        assert!(by_name("vdover", 1.0, 1.0, 2.0, 2.0).is_ok());
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! The event-driven simulation kernel.
 
 use crate::context::{Decision, SimContext};
+use crate::degrade::{
+    DegradationPolicy, DegradationStats, DegradedOutcome, OracleReading, RateOracle, Watchdog,
+    WatchdogConfig,
+};
 use crate::event::{EventKind, EventQueue};
 use crate::report::{RunReport, TrajectoryPoint};
 use crate::scheduler::Scheduler;
 use cloudsched_capacity::CapacityProfile;
-use cloudsched_core::{JobId, JobOutcome, JobSet, Outcome, Schedule, Time};
-use cloudsched_obs::{MetricsRegistry, NoopTracer, Profiler, TraceEvent, Tracer};
+use cloudsched_core::{CoreError, JobId, JobOutcome, JobSet, Outcome, Schedule, Time};
+use cloudsched_obs::{FaultKind, MetricsRegistry, NoopTracer, Profiler, TraceEvent, Tracer};
 
 /// Knobs for a single run.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +93,17 @@ struct Kernel<'a, P: CapacityProfile, T: Tracer> {
     c_hi: f64,
     tracer: &'a mut T,
     profiler: Option<&'a Profiler>,
+    /// Jobs pulled from the scheduler's view by the degradation layer.
+    /// Cleared again on re-admission.
+    quarantined: Vec<bool>,
+    /// Online precondition checker; `None` for plain (non-degraded) runs.
+    watchdog: Option<Watchdog>,
+    /// Monitoring-plane channel for capacity measurements. Job progress
+    /// always integrates the physical profile; only the watchdog sees the
+    /// oracle's (possibly faulty) view.
+    oracle: Option<&'a mut dyn RateOracle>,
+    /// Set when the `Strict` policy aborts the run.
+    aborted: Option<CoreError>,
 }
 
 impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
@@ -98,6 +113,8 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         options: RunOptions,
         tracer: &'a mut T,
         profiler: Option<&'a Profiler>,
+        watchdog: Option<Watchdog>,
+        oracle: Option<&'a mut dyn RateOracle>,
     ) -> Self {
         let n = jobs.len();
         let mut queue = EventQueue::new();
@@ -110,14 +127,19 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         } else {
             Time::ZERO
         };
-        if tracer.enabled() && n > 0 {
-            // Stamp the initial segment immediately and chain the markers
-            // through the queue from there (see the CapacityChange arm).
-            tracer.record(&TraceEvent::CapacityChange {
-                t: Time::ZERO,
-                rate: capacity.rate_at(Time::ZERO),
-                segment: 0,
-            });
+        if (tracer.enabled() || watchdog.is_some()) && n > 0 {
+            // Chain capacity-segment markers through the queue (see the
+            // CapacityChange arm): the tracer wants them stamped, and the
+            // watchdog probes the oracle at every segment boundary. The
+            // initial segment is stamped here; the watchdog's t = 0 probe
+            // happens at the top of `run`.
+            if tracer.enabled() {
+                tracer.record(&TraceEvent::CapacityChange {
+                    t: Time::ZERO,
+                    rate: capacity.rate_at(Time::ZERO),
+                    segment: 0,
+                });
+            }
             let next = capacity.next_change_after(Time::ZERO);
             if next <= horizon {
                 queue.push(next, EventKind::CapacityChange);
@@ -159,6 +181,10 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             c_hi,
             tracer,
             profiler,
+            quarantined: vec![false; n],
+            watchdog,
+            oracle,
+            aborted: None,
         }
     }
 
@@ -275,6 +301,121 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         }
     }
 
+    /// Records a `Strict`-policy abort: stamps the trace and arms the main
+    /// loop's stop condition.
+    fn abort(&mut self, fault: FaultKind, err: CoreError) {
+        if self.tracer.enabled() {
+            self.tracer
+                .record(&TraceEvent::PolicyAbort { t: self.now, fault });
+        }
+        self.aborted = Some(err);
+    }
+
+    /// Probes the capacity oracle and folds the reading into the watchdog:
+    /// oracle liveness, the `c(t) >= c_lo` SLA, `c_lo` re-estimation under
+    /// `Degrade`, and re-admission of quarantined jobs once the observed
+    /// capacity is back at the declared bound. Called at t = 0 and at every
+    /// capacity-segment boundary; a no-op for plain (non-degraded) runs.
+    fn watch_capacity<S: Scheduler + ?Sized>(&mut self, scheduler: &mut S) {
+        if self.watchdog.is_none() {
+            return;
+        }
+        let true_rate = self.capacity.rate_at(self.now);
+        let reading = match self.oracle.as_deref_mut() {
+            Some(o) => o.read(self.now, true_rate),
+            None => OracleReading::Rate(true_rate),
+        };
+        let (assessment, policy, declared_lo) = match self.watchdog.as_mut() {
+            Some(w) => (
+                w.observe_rate(self.now, reading),
+                w.policy(),
+                w.declared_lo(),
+            ),
+            None => return,
+        };
+        if let Some(down_for) = assessment.recovered_after {
+            if self.tracer.enabled() {
+                self.tracer.record(&TraceEvent::OracleRecover {
+                    t: self.now,
+                    down_for,
+                });
+            }
+        }
+        if let Some(misses) = assessment.declared_dead {
+            if self.tracer.enabled() {
+                self.tracer.record(&TraceEvent::OracleDropout {
+                    t: self.now,
+                    misses: misses as usize,
+                });
+            }
+            if policy == DegradationPolicy::Strict {
+                self.abort(
+                    FaultKind::OracleDown,
+                    CoreError::OracleDown {
+                        at: self.now.as_f64(),
+                        retries: misses,
+                    },
+                );
+                return;
+            }
+        }
+        if let Some(rate) = assessment.sla_violation {
+            if self.tracer.enabled() {
+                self.tracer.record(&TraceEvent::SlaViolation {
+                    t: self.now,
+                    rate,
+                    c_lo: declared_lo,
+                });
+            }
+            if policy == DegradationPolicy::Strict {
+                self.abort(
+                    FaultKind::SlaDip,
+                    CoreError::CapacitySlaViolation {
+                        at: self.now.as_f64(),
+                        rate,
+                        c_lo: declared_lo,
+                    },
+                );
+                return;
+            }
+        }
+        if let Some((from, to)) = assessment.reestimate {
+            if self.tracer.enabled() {
+                self.tracer.record(&TraceEvent::CloReestimate {
+                    t: self.now,
+                    from,
+                    to,
+                });
+            }
+            // Schedulers read `c_lo` live from the SimContext, so V-Dover's
+            // conservative laxities (Definition 5) recompute against the
+            // re-estimated bound from the next dispatch on.
+            self.c_lo = to;
+        }
+        let pending = self.watchdog.as_ref().map_or(0, |w| w.quarantine_pending());
+        if assessment.capacity_ok && pending > 0 {
+            // Capacity is back at the declared bound: re-admit quarantined
+            // jobs (in id order) that are still live. V-Dover parks any
+            // zero-conservative-laxity re-admissions in its supplement
+            // queue, the paper's mechanism for late-feasible jobs.
+            for i in 0..self.quarantined.len() {
+                if !self.quarantined[i] || self.resolved[i] {
+                    continue;
+                }
+                let job = JobId(i as u64);
+                self.quarantined[i] = false;
+                if let Some(w) = self.watchdog.as_mut() {
+                    w.note_readmit();
+                }
+                if self.tracer.enabled() {
+                    self.tracer
+                        .record(&TraceEvent::Readmit { t: self.now, job });
+                }
+                self.dispatch_handler(scheduler, |s, ctx| s.on_release(ctx, job));
+            }
+        }
+    }
+
     fn apply(&mut self, decision: Decision) {
         match decision {
             Decision::Continue => {}
@@ -328,8 +469,15 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         }
     }
 
-    fn run<S: Scheduler + ?Sized>(mut self, scheduler: &mut S) -> RunReport {
-        while let Some(ev) = self.queue.pop() {
+    fn run<S: Scheduler + ?Sized>(
+        mut self,
+        scheduler: &mut S,
+    ) -> (RunReport, Option<CoreError>, Option<DegradationStats>) {
+        // The monitoring plane's first oracle probe happens at the origin,
+        // before any job event (a no-op without a watchdog).
+        self.watch_capacity(scheduler);
+        while self.aborted.is_none() {
+            let Some(ev) = self.queue.pop() else { break };
             self.advance_to(ev.time);
             // Capacity-segment markers are trace bookkeeping, not kernel
             // events: the processed-event count stays identical whether or
@@ -340,15 +488,18 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             match ev.kind {
                 EventKind::CapacityChange => {
                     self.capacity_segment += 1;
-                    self.tracer.record(&TraceEvent::CapacityChange {
-                        t: self.now,
-                        rate: self.capacity.rate_at(self.now),
-                        segment: self.capacity_segment,
-                    });
+                    if self.tracer.enabled() {
+                        self.tracer.record(&TraceEvent::CapacityChange {
+                            t: self.now,
+                            rate: self.capacity.rate_at(self.now),
+                            segment: self.capacity_segment,
+                        });
+                    }
                     let next = self.capacity.next_change_after(self.now);
                     if next > self.now && next <= self.horizon {
                         self.queue.push(next, EventKind::CapacityChange);
                     }
+                    self.watch_capacity(scheduler);
                 }
                 EventKind::Completion { job, epoch } => {
                     if self.running != Some(job) || epoch != self.epoch {
@@ -376,7 +527,56 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                                 .as_f64(),
                         });
                     }
-                    self.dispatch_handler(scheduler, |s, ctx| s.on_release(ctx, job));
+                    // The watchdog vets the release against the paper's
+                    // input-stream assumptions before the scheduler sees it.
+                    let fault = match self.watchdog.as_mut() {
+                        Some(w) => w.inspect_release(self.jobs.get(job)),
+                        None => None,
+                    };
+                    match fault {
+                        None => {
+                            self.dispatch_handler(scheduler, |s, ctx| s.on_release(ctx, job));
+                        }
+                        Some(f) => {
+                            if self.tracer.enabled() {
+                                self.tracer.record(&TraceEvent::FaultDetected {
+                                    t: self.now,
+                                    job,
+                                    fault: f.kind,
+                                });
+                            }
+                            let policy = self
+                                .watchdog
+                                .as_ref()
+                                .map_or(DegradationPolicy::BestEffort, |w| w.policy());
+                            match policy {
+                                DegradationPolicy::Strict => {
+                                    self.abort(f.kind, f.error);
+                                }
+                                DegradationPolicy::Degrade => {
+                                    // Quarantine: the scheduler never sees
+                                    // this job unless capacity recovery
+                                    // re-admits it.
+                                    self.quarantined[job.index()] = true;
+                                    if let Some(w) = self.watchdog.as_mut() {
+                                        w.note_quarantine();
+                                    }
+                                    if self.tracer.enabled() {
+                                        self.tracer.record(&TraceEvent::Quarantine {
+                                            t: self.now,
+                                            job,
+                                            fault: f.kind,
+                                        });
+                                    }
+                                }
+                                DegradationPolicy::BestEffort => {
+                                    self.dispatch_handler(scheduler, |s, ctx| {
+                                        s.on_release(ctx, job)
+                                    });
+                                }
+                            }
+                        }
+                    }
                 }
                 EventKind::Deadline { job } => {
                     if self.resolved[job.index()] {
@@ -387,11 +587,22 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                         self.vacate();
                     }
                     let i = job.index();
+                    // A still-quarantined job is invisible to the scheduler
+                    // (it never saw on_release), so its resolution must not
+                    // reach the scheduler's handlers either.
+                    let hidden = self.quarantined[i];
+                    if hidden {
+                        if let Some(w) = self.watchdog.as_mut() {
+                            w.note_quarantine_expired();
+                        }
+                    }
                     if self.remaining[i] <= completion_tolerance(self.jobs.get(job).workload) {
                         // Finished exactly at the deadline (within rounding):
                         // "completing a job by its deadline" succeeds.
                         self.complete(job);
-                        self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
+                        if !hidden {
+                            self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
+                        }
                     } else {
                         self.resolved[i] = true;
                         self.outcome.set(
@@ -419,7 +630,9 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                                 });
                             }
                         }
-                        self.dispatch_handler(scheduler, |s, ctx| s.on_deadline_miss(ctx, job));
+                        if !hidden {
+                            self.dispatch_handler(scheduler, |s, ctx| s.on_deadline_miss(ctx, job));
+                        }
                     }
                 }
             }
@@ -434,7 +647,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             self.expired + self.abandoned_count,
             "every miss is booked as exactly one of expired / abandoned"
         );
-        RunReport {
+        let report = RunReport {
             scheduler: scheduler.name(),
             value: self.value,
             value_fraction: if total_value > 0.0 {
@@ -455,7 +668,9 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             schedule: self.schedule,
             trajectory: self.trajectory,
             metrics: None,
-        }
+        };
+        let stats = self.watchdog.as_ref().map(|w| w.stats());
+        (report, self.aborted, stats)
     }
 }
 
@@ -479,7 +694,9 @@ where
     S: Scheduler + ?Sized,
 {
     let mut tracer = NoopTracer;
-    Kernel::new(jobs, capacity, options, &mut tracer, None).run(scheduler)
+    Kernel::new(jobs, capacity, options, &mut tracer, None, None, None)
+        .run(scheduler)
+        .0
 }
 
 /// [`simulate`] with a caller-supplied trace sink. Every kernel- and
@@ -497,7 +714,9 @@ where
     S: Scheduler + ?Sized,
     T: Tracer,
 {
-    Kernel::new(jobs, capacity, options, tracer, None).run(scheduler)
+    Kernel::new(jobs, capacity, options, tracer, None, None, None)
+        .run(scheduler)
+        .0
 }
 
 /// Fully-instrumented entry point: a trace sink plus an optional profiler
@@ -515,7 +734,9 @@ where
     S: Scheduler + ?Sized,
     T: Tracer,
 {
-    Kernel::new(jobs, capacity, options, tracer, profiler).run(scheduler)
+    Kernel::new(jobs, capacity, options, tracer, profiler, None, None)
+        .run(scheduler)
+        .0
 }
 
 /// [`simulate`] with the standard simulation metrics attached: runs with a
@@ -535,6 +756,63 @@ where
     let mut report = simulate_traced(jobs, capacity, scheduler, options, &mut registry);
     report.metrics = Some(registry.snapshot());
     report
+}
+
+/// Runs `scheduler` under a degradation policy: a [`Watchdog`] re-checks the
+/// paper's preconditions online (Definition 4 admissibility, duplicate
+/// releases, value spikes, the `c(t) >= c_lo` capacity SLA), an optional
+/// [`RateOracle`] mediates every capacity measurement the watchdog makes,
+/// and `policy` decides whether a detected fault aborts the run (`Strict`),
+/// quarantines the offender and degrades conservatively (`Degrade`), or is
+/// merely recorded (`BestEffort`). See [`crate::degrade`] for the model.
+///
+/// Job progress always integrates the *physical* capacity profile — a faulty
+/// oracle distorts what the watchdog believes, never what the processor does.
+///
+/// When the run completes (not aborted) with a recorded schedule, the
+/// post-hoc auditor ([`crate::audit::audit_report`]) runs over the result and
+/// its findings land in [`DegradedOutcome::audit_errors`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_degraded<'a, P, S, T>(
+    jobs: &'a JobSet,
+    capacity: &'a P,
+    scheduler: &mut S,
+    options: RunOptions,
+    tracer: &'a mut T,
+    policy: DegradationPolicy,
+    cfg: WatchdogConfig,
+    oracle: Option<&'a mut dyn RateOracle>,
+) -> DegradedOutcome
+where
+    P: CapacityProfile,
+    S: Scheduler + ?Sized,
+    T: Tracer,
+{
+    let (c_lo, c_hi) = capacity.bounds();
+    let watchdog = Watchdog::new(policy, c_lo, c_hi, cfg);
+    let kernel = Kernel::new(
+        jobs,
+        capacity,
+        options,
+        tracer,
+        None,
+        Some(watchdog),
+        oracle,
+    );
+    let (report, aborted, stats) = kernel.run(scheduler);
+    let stats = stats.expect("invariant: a run with a watchdog returns degradation stats");
+    let mut audit_errors = Vec::new();
+    if aborted.is_none() && report.schedule.is_some() {
+        if let Err(errors) = crate::audit::audit_report(jobs, capacity, &report) {
+            audit_errors = errors;
+        }
+    }
+    DegradedOutcome {
+        report,
+        aborted,
+        stats,
+        audit_errors,
+    }
 }
 
 #[cfg(test)]

@@ -29,18 +29,33 @@
 //! After a run, [`audit::audit_report`] re-checks the recorded schedule
 //! against the model invariants (single job at a time, capacity-respecting
 //! progress, firm deadlines, value accounting).
+//!
+//! When the cloud breaks the model's assumptions instead — capacity-SLA
+//! dips, oracle dropouts, corrupt job streams — the [`degrade`] layer keeps
+//! the kernel deterministic and honest: a [`Watchdog`] re-checks the paper's
+//! preconditions online and a [`DegradationPolicy`] decides between aborting
+//! with a typed error, quarantining-and-recovering, or logging and carrying
+//! on ([`engine::simulate_degraded`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod context;
+pub mod degrade;
 pub mod engine;
 pub mod event;
 pub mod report;
 pub mod scheduler;
 
 pub use context::{Decision, SimContext};
-pub use engine::{simulate, simulate_observed, simulate_traced, simulate_with_metrics, RunOptions};
+pub use degrade::{
+    DegradationPolicy, DegradationStats, DegradedOutcome, OracleReading, RateOracle, TrueOracle,
+    Watchdog, WatchdogConfig,
+};
+pub use engine::{
+    simulate, simulate_degraded, simulate_observed, simulate_traced, simulate_with_metrics,
+    RunOptions,
+};
 pub use report::{RunReport, TrajectoryPoint};
 pub use scheduler::Scheduler;

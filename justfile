@@ -5,7 +5,7 @@
 export CARGO_NET_OFFLINE := "true"
 
 # Run the full CI gauntlet.
-ci: fmt build bench-check test lint golden-trace
+ci: fmt build bench-check test lint golden-trace chaos
 
 fmt:
     cargo fmt --all --check
@@ -45,3 +45,16 @@ golden-trace-regen:
 # Span profile + tracing-overhead microbench.
 profile:
     cargo run --release -p cloudsched-bench --bin profile
+
+# Chaos smoke: run a fixed-seed fault-injection campaign twice and byte-diff
+# the fault traces — zero panics, deterministic fault sequence (mirrors CI).
+chaos:
+    cargo run --release -p cloudsched-cli -- chaos --lambda 6 --seed 3 --seeds 2 --plan harsh --trace-out /tmp/chaos-trace-a.jsonl
+    cargo run --release -p cloudsched-cli -- chaos --lambda 6 --seed 3 --seeds 2 --plan harsh --trace-out /tmp/chaos-trace-b.jsonl
+    diff -u /tmp/chaos-trace-a.jsonl /tmp/chaos-trace-b.jsonl
+    diff -u tests/golden/chaos_seed3_degrade.jsonl /tmp/chaos-trace-a.jsonl
+
+# Regenerate the checked-in golden chaos trace after an *intentional* change
+# to fault injection or the degradation layer.
+chaos-golden-regen:
+    cargo run --release -p cloudsched-cli -- chaos --lambda 6 --seed 3 --seeds 1 --plan harsh --policy degrade --trace-out tests/golden/chaos_seed3_degrade.jsonl

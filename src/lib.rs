@@ -45,6 +45,7 @@ pub use cloudsched_analysis as analysis;
 pub use cloudsched_capacity as capacity;
 pub use cloudsched_cloud as cloud;
 pub use cloudsched_core as core;
+pub use cloudsched_faults as faults;
 pub use cloudsched_obs as obs;
 pub use cloudsched_offline as offline;
 pub use cloudsched_sched as sched;

@@ -37,7 +37,8 @@ pub fn run_traced(instance: &Instance, scheduler: &str) -> Result<TracedRun, Str
     let (c_lo, c_hi) = instance.capacity.bounds();
     let k = instance.importance_ratio().unwrap_or(7.0);
     let delta = instance.delta().max(1.0 + 1e-9);
-    let mut sched = cloudsched_sched::by_name(scheduler, k, delta, c_lo, c_hi)?;
+    let mut sched =
+        cloudsched_sched::by_name(scheduler, k, delta, c_lo, c_hi).map_err(|e| e.to_string())?;
     let mut sink = Tee(JsonlTracer::new(Vec::new()), MetricsRegistry::for_sim());
     let mut report = simulate_traced(
         &instance.jobs,
