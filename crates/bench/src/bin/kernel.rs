@@ -1,0 +1,46 @@
+//! Kernel hot-path benchmark: ns/decision for EDF / Dover / V-Dover at
+//! n ∈ {1e3, 1e4, 1e5} jobs, written to `BENCH_kernel.json`.
+//!
+//! ```text
+//! cargo run --release -p cloudsched-bench --bin kernel [-- --quick] [--out FILE]
+//! ```
+//!
+//! `--quick` (or `CLOUDSCHED_BENCH_QUICK=1`) restricts the sweep to
+//! n = 1e3 with a single repetition — the CI smoke configuration. The
+//! written report is re-parsed through the strict schema validator before
+//! the process exits, so a malformed report fails the run.
+
+#![forbid(unsafe_code)]
+
+use cloudsched_bench::{parse_rows, rows_to_json, run_kernel_bench, KernelBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick =
+        args.iter().any(|a| a == "--quick") || std::env::var_os("CLOUDSCHED_BENCH_QUICK").is_some();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernel.json".into());
+    let cfg = if quick {
+        KernelBenchConfig::quick()
+    } else {
+        KernelBenchConfig::default()
+    };
+    eprintln!(
+        "kernel bench: sizes {:?}, seed {}, {} rep(s)",
+        cfg.sizes, cfg.seed, cfg.reps
+    );
+    let rows = run_kernel_bench(&cfg, |row| {
+        eprintln!(
+            "  {:<14} n={:<7} {:>10.1} ns/decision  {:>10.3} ms",
+            row.scheduler, row.n, row.ns_per_decision, row.wall_ms
+        );
+    });
+    let json = rows_to_json(&rows);
+    parse_rows(&json).expect("schema: generated report must validate");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("{out}: {e}"));
+    eprintln!("wrote {} rows to {out}", rows.len());
+}

@@ -1,0 +1,391 @@
+//! The kernel hot-path benchmark behind `cloudsched bench` and the
+//! `kernel` binary: seeded EDF / Dover / V-Dover runs at n ∈ {1e3, 1e4,
+//! 1e5} jobs, reporting nanoseconds per scheduling decision and total wall
+//! time, serialized to `BENCH_kernel.json` at the repository root so the
+//! perf trajectory of the project is reproducible and diffable.
+//!
+//! Timing flows through the [`cloudsched_obs::Clock`] seam
+//! ([`MonotonicClock`] — the bench crate is the sanctioned wall-clock user,
+//! lint rules L005/L006); the workload generator is fully deterministic in
+//! the seed, so two runs on the same machine measure the same instruction
+//! stream.
+
+use crate::SchedulerSpec;
+use cloudsched_capacity::Instance;
+use cloudsched_core::rng::{Pcg32, Rng};
+use cloudsched_core::{Job, JobId, JobSet, Time};
+use cloudsched_obs::{Clock, MonotonicClock};
+use cloudsched_sim::RunOptions;
+use cloudsched_workload::dist::{exponential, uniform};
+use cloudsched_workload::CtmcCapacity;
+
+/// One measurement: a `(bench, n, scheduler, seed)` cell of the sweep.
+///
+/// Serialized verbatim as one JSON object per row of `BENCH_kernel.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBenchRow {
+    /// Benchmark family (currently always `"kernel"`).
+    pub bench: String,
+    /// Number of jobs in the instance.
+    pub n: usize,
+    /// Scheduler display name (`EDF`, `Dover(c=18)`, `V-Dover`).
+    pub scheduler: String,
+    /// Wall nanoseconds per scheduling decision (kernel events processed).
+    pub ns_per_decision: f64,
+    /// Total wall time of the fastest run, in milliseconds.
+    pub wall_ms: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct KernelBenchConfig {
+    /// Instance sizes to sweep (default `[1_000, 10_000, 100_000]`).
+    pub sizes: Vec<usize>,
+    /// Workload seed (default 7, the golden-trace seed).
+    pub seed: u64,
+    /// Timed repetitions per cell; the fastest run is reported (default 3).
+    pub reps: usize,
+}
+
+impl Default for KernelBenchConfig {
+    fn default() -> Self {
+        KernelBenchConfig {
+            sizes: vec![1_000, 10_000, 100_000],
+            seed: 7,
+            reps: 3,
+        }
+    }
+}
+
+impl KernelBenchConfig {
+    /// CI smoke configuration: n = 1e3 only, single repetition.
+    pub fn quick() -> Self {
+        KernelBenchConfig {
+            sizes: vec![1_000],
+            seed: 7,
+            reps: 1,
+        }
+    }
+}
+
+/// Arrival horizon of the benchmark workload (time units). All `n` jobs
+/// are released within `[0, HORIZON]`, so the arrival rate — and with it
+/// the instantaneous queue depth — scales linearly with `n`. A fixed-rate
+/// generator keeps queue depths at O(λ) no matter how large `n` grows and
+/// linear-time queue operations never surface; the fixed-horizon burst is
+/// what makes O(n) work inside the event loop visible as a super-linear
+/// ns/decision trend across the sweep.
+const HORIZON: f64 = 100.0;
+
+/// The schedulers the sweep measures. Dover gets the mid-class capacity
+/// estimate the paper's §IV uses against C(1, 35).
+fn specs() -> Vec<SchedulerSpec> {
+    vec![
+        SchedulerSpec::Edf,
+        SchedulerSpec::Dover {
+            k: 7.0,
+            c_estimate: 18.0,
+        },
+        SchedulerSpec::VDover {
+            k: 7.0,
+            delta: 35.0,
+        },
+    ]
+}
+
+/// Fraction of *urgent* jobs — short windows, negative conservative laxity
+/// at `c_lo`, so every one of them runs the zero-laxity arbitration path
+/// (the paper's §IV overload regime).
+const TIGHT_SHARE: f64 = 0.9;
+
+/// Generates the benchmark instance: exactly `n` jobs released over the
+/// fixed [`HORIZON`] with Exp(n/HORIZON) inter-arrivals, Exp(1) workloads
+/// and value densities U[1, 7]; capacity follows the two-state CTMC on
+/// {0.01, 35} with mean sojourn a quarter of the horizon (so the run
+/// alternates between deep overload and fast drains that exercise the
+/// supplement-rescue path). Deadlines are a 90/10 mix: *urgent* jobs get
+/// windows of 40–70% of the horizon — under `c_lo = 0.01` the estimated
+/// processing time `p/c_lo = 100·p` typically exceeds the window, so their
+/// zero-laxity interrupts fire early, the Dover arbitration path runs for
+/// every one of them, and the losers dwell in `Qsupp` until their deadline
+/// — while *loose* jobs get a batch-style window of 70–95% of the horizon.
+/// Because the arrival rate grows with `n`, every queue a scheduler keeps
+/// (ready sets, `Qother`, `Qsupp`) holds Θ(n) jobs at the peak, and any
+/// linear-time queue operation inside the event loop shows up as a
+/// super-linear ns/decision trend across the sweep.
+pub fn bench_instance(n: usize, seed: u64) -> Instance {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let lambda = n as f64 / HORIZON;
+    let mut jobs = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for i in 0..n {
+        t += exponential(&mut rng, lambda);
+        let workload = exponential(&mut rng, 1.0).max(1e-9);
+        let density = uniform(&mut rng, 1.0, 7.0);
+        let window = if rng.next_f64() < TIGHT_SHARE {
+            workload + uniform(&mut rng, 0.40, 0.70) * HORIZON
+        } else {
+            workload + uniform(&mut rng, 0.70, 0.95) * HORIZON
+        };
+        jobs.push(
+            Job::new(
+                JobId(i as u64),
+                Time::new(t),
+                Time::new(t + window),
+                workload,
+                density * workload,
+            )
+            .expect("invariant: generated job parameters are positive and ordered"),
+        );
+    }
+    let jobs = JobSet::new(jobs).expect("invariant: generated ids are dense and sorted");
+    let horizon = (jobs.last_deadline().as_f64() + 1.0).max(1.0);
+    let chain = CtmcCapacity::two_state(0.01, 35.0, HORIZON / 4.0)
+        .expect("invariant: CTMC bounds are positive and ordered");
+    let capacity = chain
+        .sample(&mut rng, horizon)
+        .expect("invariant: sampled capacity trace covers a positive horizon");
+    Instance::new(jobs, capacity)
+}
+
+/// Measures one `(instance, spec)` cell: runs the simulation `reps` times
+/// and reports the fastest wall time, normalised per kernel decision (the
+/// processed-event count, which is independent of wall time).
+fn measure(instance: &Instance, spec: &SchedulerSpec, reps: usize, seed: u64) -> KernelBenchRow {
+    let clock = MonotonicClock::new();
+    let mut best_ns = u64::MAX;
+    let mut decisions = 1usize;
+    for _ in 0..reps.max(1) {
+        let t0 = clock.now_ns();
+        let report = crate::run_instance(instance, spec, RunOptions::lean());
+        let elapsed = clock.now_ns().saturating_sub(t0);
+        best_ns = best_ns.min(elapsed.max(1));
+        decisions = report.events.max(1);
+    }
+    KernelBenchRow {
+        bench: "kernel".into(),
+        n: instance.job_count(),
+        scheduler: spec.name(),
+        ns_per_decision: best_ns as f64 / decisions as f64,
+        wall_ms: best_ns as f64 / 1e6,
+        seed,
+    }
+}
+
+/// Runs the full sweep: every scheduler at every size, in deterministic
+/// order (sizes ascending, schedulers EDF → Dover → V-Dover). `progress`
+/// receives one line per completed cell.
+pub fn run_kernel_bench(
+    cfg: &KernelBenchConfig,
+    mut progress: impl FnMut(&KernelBenchRow),
+) -> Vec<KernelBenchRow> {
+    let mut rows = Vec::new();
+    for &n in &cfg.sizes {
+        let instance = bench_instance(n, cfg.seed);
+        for spec in specs() {
+            let row = measure(&instance, &spec, cfg.reps, cfg.seed);
+            progress(&row);
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Formats one f64 for the JSON report: fixed 3 decimal places, which is
+/// plenty for nanosecond ratios and keeps rows diff-friendly.
+fn fmt_f64(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Serializes rows as a JSON array, one object per line (stable key order).
+pub fn rows_to_json(rows: &[KernelBenchRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"bench\":\"{}\",\"n\":{},\"scheduler\":\"{}\",\"ns_per_decision\":{},\"wall_ms\":{},\"seed\":{}}}{}\n",
+            r.bench,
+            r.n,
+            r.scheduler,
+            fmt_f64(r.ns_per_decision),
+            fmt_f64(r.wall_ms),
+            r.seed,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Strictly parses the exact format written by [`rows_to_json`] — the
+/// schema validator used by the CI bench-smoke step. Returns the rows, or
+/// the first format violation.
+pub fn parse_rows(text: &str) -> Result<Vec<KernelBenchRow>, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines.next().ok_or("empty report")?;
+    if first.trim() != "[" {
+        return Err("line 1: expected `[`".into());
+    }
+    let mut rows = Vec::new();
+    let mut closed = false;
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let t = line.trim();
+        if t == "]" {
+            closed = true;
+            continue;
+        }
+        if closed {
+            if !t.is_empty() {
+                return Err(format!("line {line_no}: content after closing `]`"));
+            }
+            continue;
+        }
+        let obj = t.trim_end_matches(',');
+        rows.push(parse_row(obj).map_err(|e| format!("line {line_no}: {e}"))?);
+    }
+    if !closed {
+        return Err("missing closing `]`".into());
+    }
+    if rows.is_empty() {
+        return Err("report carries no rows".into());
+    }
+    Ok(rows)
+}
+
+/// Parses one row object, requiring the exact field set and order of the
+/// schema: `bench`, `n`, `scheduler`, `ns_per_decision`, `wall_ms`, `seed`.
+fn parse_row(obj: &str) -> Result<KernelBenchRow, String> {
+    let inner = obj
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("row is not a JSON object")?;
+    let mut fields = split_top_level(inner).into_iter();
+    let mut next = |key: &str| -> Result<String, String> {
+        let field = fields.next().ok_or(format!("missing field `{key}`"))?;
+        let (k, v) = field
+            .split_once(':')
+            .ok_or(format!("malformed field `{field}`"))?;
+        if k.trim() != format!("\"{key}\"") {
+            return Err(format!("expected field `{key}`, found `{}`", k.trim()));
+        }
+        Ok(v.trim().to_string())
+    };
+    let bench = unquote(&next("bench")?)?;
+    let n: usize = next("n")?.parse().map_err(|e| format!("n: {e}"))?;
+    let scheduler = unquote(&next("scheduler")?)?;
+    let ns_per_decision: f64 = next("ns_per_decision")?
+        .parse()
+        .map_err(|e| format!("ns_per_decision: {e}"))?;
+    let wall_ms: f64 = next("wall_ms")?
+        .parse()
+        .map_err(|e| format!("wall_ms: {e}"))?;
+    let seed: u64 = next("seed")?.parse().map_err(|e| format!("seed: {e}"))?;
+    if let Some(extra) = fields.next() {
+        return Err(format!("unexpected extra field `{extra}`"));
+    }
+    if !(ns_per_decision.is_finite() && ns_per_decision > 0.0) {
+        return Err(format!(
+            "ns_per_decision must be positive, got {ns_per_decision}"
+        ));
+    }
+    if !(wall_ms.is_finite() && wall_ms > 0.0) {
+        return Err(format!("wall_ms must be positive, got {wall_ms}"));
+    }
+    if n == 0 {
+        return Err("n must be positive".into());
+    }
+    Ok(KernelBenchRow {
+        bench,
+        n,
+        scheduler,
+        ns_per_decision,
+        wall_ms,
+        seed,
+    })
+}
+
+/// Splits a flat JSON-object body on commas that are not inside strings.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn unquote(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|x| x.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or(format!("expected a JSON string, got `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_is_deterministic_and_sized() {
+        let a = bench_instance(500, 7);
+        let b = bench_instance(500, 7);
+        assert_eq!(a.job_count(), 500);
+        assert_eq!(b.job_count(), 500);
+        for (x, y) in a.jobs.iter().zip(b.jobs.iter()) {
+            assert_eq!(x.release, y.release);
+            assert_eq!(x.deadline, y.deadline);
+        }
+        let c = bench_instance(500, 8);
+        assert!(a
+            .jobs
+            .iter()
+            .zip(c.jobs.iter())
+            .any(|(x, y)| x.release != y.release));
+    }
+
+    #[test]
+    fn quick_sweep_produces_schema_valid_rows() {
+        let cfg = KernelBenchConfig {
+            sizes: vec![200],
+            seed: 7,
+            reps: 1,
+        };
+        let rows = run_kernel_bench(&cfg, |_| {});
+        assert_eq!(rows.len(), 3, "EDF, Dover, V-Dover");
+        let json = rows_to_json(&rows);
+        let back = parse_rows(&json).expect("round trip");
+        assert_eq!(back.len(), rows.len());
+        for (a, b) in rows.iter().zip(back.iter()) {
+            assert_eq!(a.scheduler, b.scheduler);
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_reports() {
+        assert!(parse_rows("").is_err());
+        assert!(parse_rows("[\n]\n").is_err(), "no rows");
+        assert!(parse_rows("[\n  {\"bench\":\"kernel\"}\n]\n").is_err());
+        assert!(parse_rows(
+            "[\n  {\"bench\":\"k\",\"n\":1,\"scheduler\":\"EDF\",\"ns_per_decision\":-1,\"wall_ms\":1,\"seed\":7}\n]\n"
+        )
+        .is_err(), "negative ns/decision");
+        assert!(parse_rows("[\n  {\"n\":1}\n").is_err(), "unclosed array");
+    }
+}

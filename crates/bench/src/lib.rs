@@ -15,18 +15,23 @@
 //! | `ablation` | design-choice ablations (supplement queue, β, ĉ, Qsupp order) |
 //!
 //! The library part hosts the parallel Monte-Carlo driver, the scheduler
-//! factory and the std-only [`microbench`] timing harness shared by the
-//! binaries and the bench targets.
+//! factory, the std-only [`microbench`] timing harness shared by the
+//! binaries and the bench targets, and the [`kernel_bench`] hot-path sweep
+//! behind `cloudsched bench` / `BENCH_kernel.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algos;
 pub mod harness;
+pub mod kernel_bench;
 pub mod microbench;
 pub mod ratio;
 
 pub use algos::SchedulerSpec;
 pub use harness::{parallel_map, run_instance};
+pub use kernel_bench::{
+    bench_instance, parse_rows, rows_to_json, run_kernel_bench, KernelBenchConfig, KernelBenchRow,
+};
 pub use microbench::BenchGroup;
 pub use ratio::{empirical_ratio, Normalizer};

@@ -16,6 +16,7 @@
 //! cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
 //!                    [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
 //!                    [--trace-out FILE]
+//! cloudsched bench   [--quick] [--out FILE]
 //! ```
 //!
 //! Job traces use the plain-text format of `cloudsched-workload::traces`;
@@ -65,6 +66,7 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(&flags),
         "replay" => cmd_replay(&flags),
         "chaos" => cmd_chaos(&flags),
+        "bench" => cmd_bench(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -93,7 +95,8 @@ const USAGE: &str = "usage:
   cloudsched replay  --in FILE
   cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
                      [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
-                     [--trace-out FILE]";
+                     [--trace-out FILE]
+  cloudsched bench   [--quick] [--out FILE]";
 
 /// Renders a typed argument error (non-zero exit; `main` appends the usage).
 fn arg_error(flag: &str, reason: &str) -> String {
@@ -421,6 +424,41 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `cloudsched bench`: the kernel hot-path benchmark. Sweeps EDF / Dover /
+/// V-Dover over seeded instances (n ∈ {1e3, 1e4, 1e5}; `--quick` restricts
+/// to n = 1e3 with one repetition — the CI smoke configuration) and writes
+/// the ns/decision report to `--out` (default `BENCH_kernel.json`). All
+/// timing happens inside `cloudsched-bench` behind the `obs::Clock` seam;
+/// the written report is re-parsed through the strict schema validator so
+/// a malformed report fails the command.
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    use cloudsched_bench::{parse_rows, rows_to_json, run_kernel_bench, KernelBenchConfig};
+    let cfg = if flags.contains_key("quick") {
+        KernelBenchConfig::quick()
+    } else {
+        KernelBenchConfig::default()
+    };
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernel.json".into());
+    eprintln!(
+        "kernel bench: sizes {:?}, seed {}, {} rep(s)",
+        cfg.sizes, cfg.seed, cfg.reps
+    );
+    let rows = run_kernel_bench(&cfg, |row| {
+        eprintln!(
+            "  {:<14} n={:<7} {:>10.1} ns/decision  {:>10.3} ms",
+            row.scheduler, row.n, row.ns_per_decision, row.wall_ms
+        );
+    });
+    let json = rows_to_json(&rows);
+    parse_rows(&json).map_err(|e| format!("generated report failed schema validation: {e}"))?;
+    std::fs::write(&out, &json).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {} rows to {out}", rows.len());
+    Ok(())
+}
+
 fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = flags.get("in").ok_or("missing --in FILE")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -483,6 +521,17 @@ mod tests {
         std::fs::remove_file(path).ok();
         assert!(cmd_chaos(&flags_of(&["--plan", "apocalyptic"])).is_err());
         assert!(cmd_chaos(&flags_of(&["--policy", "yolo"])).is_err());
+    }
+
+    #[test]
+    fn bench_command_quick_writes_a_schema_valid_report() {
+        let path = std::env::temp_dir().join("cloudsched-cli-test-bench.json");
+        cmd_bench(&flags_of(&["--quick", "--out", path.to_str().unwrap()])).expect("bench");
+        let text = std::fs::read_to_string(&path).expect("report file");
+        let rows = cloudsched_bench::parse_rows(&text).expect("schema-valid report");
+        assert_eq!(rows.len(), 3, "EDF, Dover, V-Dover at n = 1e3");
+        assert!(rows.iter().all(|r| r.n == 1_000 && r.seed == 7));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

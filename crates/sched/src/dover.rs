@@ -18,7 +18,7 @@
 //! queues `Qedf` / `Qother` / `Qsupp`, the `cSlack` ledger with its
 //! `(T, t_insert, cSlack_insert)` tuples, and the three interrupt handlers.
 
-use crate::ready::DeadlineQueue;
+use crate::ready::{DeadlineMap, DeadlineQueue, RankedQueue};
 use cloudsched_core::{approx_ge, JobId, Time};
 use cloudsched_obs::{QueueKind, TraceEvent};
 use cloudsched_sim::{Decision, Scheduler, SimContext};
@@ -43,6 +43,12 @@ impl CapacityEstimate {
 }
 
 /// Order in which parked supplement jobs are revived.
+///
+/// Every order resolves ties deterministically in favour of the **lowest**
+/// [`JobId`] (the shared tie-break rule of [`crate::ready`]): two parked
+/// jobs with equal deadlines — or equal values under
+/// [`SupplementOrder::HighestValue`] — revive in id order regardless of
+/// when they were parked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SupplementOrder {
     /// Latest deadline first — the paper's choice (most time left to finish).
@@ -77,12 +83,11 @@ enum Flag {
     Supp,
 }
 
-/// An entry of `Qedf`: a recently EDF-preempted regular job together with the
-/// bookkeeping needed to restore `cSlack` (procedure C lines 2–3, 14–15).
+/// Per-entry bookkeeping of `Qedf`: what a recently EDF-preempted regular
+/// job needs to restore `cSlack` (procedure C lines 2–3, 14–15). The job id
+/// and deadline live in the [`DeadlineMap`] key.
 #[derive(Debug, Clone, Copy)]
-struct EdfEntry {
-    job: JobId,
-    deadline: Time,
+struct EdfMeta {
     t_insert: Time,
     cslack_insert: f64,
 }
@@ -93,12 +98,18 @@ struct EdfEntry {
 #[derive(Debug, Clone)]
 pub struct DoverFamily {
     cfg: FamilyConfig,
-    /// Recently EDF-scheduled regular jobs, earliest deadline first.
-    qedf: Vec<EdfEntry>,
+    /// Recently EDF-scheduled regular jobs, earliest deadline first, with
+    /// their `cSlack` restoration tuples as payload. Indexed: front pops,
+    /// arbitrary removals and membership are `O(log n)` (the sorted-`Vec`
+    /// predecessor paid `O(n)` per front pop / removal inside the event
+    /// loop, i.e. `O(n²)` per run).
+    qedf: DeadlineMap<EdfMeta>,
     /// Other regular jobs, earliest deadline first.
     qother: DeadlineQueue,
-    /// Supplement jobs (only populated when `cfg.supplement`).
-    qsupp: Vec<JobId>,
+    /// Supplement jobs (only populated when `cfg.supplement`), ranked by
+    /// the configured revival order so every pop is `O(log n)` instead of
+    /// the predecessor's full scan.
+    qsupp: RankedQueue,
     /// Slack available for new work under the capacity estimate (seconds;
     /// may be `+∞` while no regular job is committed).
     cslack: f64,
@@ -119,9 +130,9 @@ impl DoverFamily {
         }
         DoverFamily {
             cfg,
-            qedf: Vec::new(),
+            qedf: DeadlineMap::new(),
             qother: DeadlineQueue::new(),
-            qsupp: Vec::new(),
+            qsupp: RankedQueue::new(),
             cslack: f64::INFINITY,
             flag: Flag::Idle,
             generation: Vec::new(),
@@ -189,7 +200,8 @@ impl DoverFamily {
     fn insert_qother(&mut self, ctx: &mut SimContext<'_>, job: JobId) {
         let d = ctx.job(job).deadline;
         let t0 = Time::new(d.as_f64() - self.tc(ctx, job));
-        self.qother.insert(d, job);
+        let fresh = self.qother.insert(d, job);
+        debug_assert!(fresh, "{job} double-admitted to Qother");
         self.bump(job);
         let token = self.gen(job);
         ctx.set_timer(t0, job, token);
@@ -202,16 +214,22 @@ impl DoverFamily {
         }
     }
 
-    fn qedf_insert(&mut self, e: EdfEntry) {
-        let pos = self
-            .qedf
-            .partition_point(|x| (x.deadline, x.job) < (e.deadline, e.job));
-        self.qedf.insert(pos, e);
+    /// The supplement-queue rank of `job` under the configured revival
+    /// order. Ranks derive from immutable job attributes, so the same rank
+    /// is recomputable at insert, remove and pop time.
+    fn supplement_rank(&self, ctx: &SimContext<'_>, job: JobId) -> f64 {
+        match self.cfg.supplement_order {
+            SupplementOrder::LatestDeadline | SupplementOrder::EarliestDeadline => {
+                ctx.job(job).deadline.as_f64()
+            }
+            SupplementOrder::HighestValue => ctx.job(job).value,
+        }
     }
 
     /// Parks `job` in the supplement queue, stamping the enqueue.
     fn park_supplement(&mut self, ctx: &mut SimContext<'_>, job: JobId) {
-        self.qsupp.push(job);
+        let fresh = self.qsupp.insert(self.supplement_rank(ctx, job), job);
+        debug_assert!(fresh, "{job} double-parked in Qsupp");
         if ctx.tracing_enabled() {
             ctx.trace(TraceEvent::SupplementEnqueue {
                 t: ctx.now(),
@@ -222,7 +240,9 @@ impl DoverFamily {
     }
 
     fn qedf_value(&self, ctx: &SimContext<'_>) -> f64 {
-        self.qedf.iter().map(|e| ctx.job(e.job).value).sum()
+        // (deadline, id)-ascending iteration — the exact order the sorted
+        // Vec predecessor summed in, so the float total is bit-identical.
+        self.qedf.iter().map(|(_, j, _)| ctx.job(j).value).sum()
     }
 
     /// Removes `job` from whichever queue holds it (deadline misses and
@@ -230,46 +250,18 @@ impl DoverFamily {
     fn remove_everywhere(&mut self, ctx: &SimContext<'_>, job: JobId) {
         let d = ctx.job(job).deadline;
         self.qother.remove(d, job);
-        self.qedf.retain(|e| e.job != job);
-        self.qsupp.retain(|&j| j != job);
+        self.qedf.remove(d, job);
+        self.qsupp.remove(self.supplement_rank(ctx, job), job);
         self.bump(job);
     }
 
-    /// Pops the next supplement job according to the configured order.
-    fn pop_supplement(&mut self, ctx: &SimContext<'_>) -> Option<JobId> {
-        if self.qsupp.is_empty() {
-            return None;
+    /// Pops the next supplement job according to the configured order
+    /// (lowest id on rank ties, the documented [`SupplementOrder`] rule).
+    fn pop_supplement(&mut self, _ctx: &SimContext<'_>) -> Option<JobId> {
+        match self.cfg.supplement_order {
+            SupplementOrder::LatestDeadline | SupplementOrder::HighestValue => self.qsupp.pop_max(),
+            SupplementOrder::EarliestDeadline => self.qsupp.pop_min(),
         }
-        let idx = match self.cfg.supplement_order {
-            SupplementOrder::LatestDeadline => self
-                .qsupp
-                .iter()
-                .enumerate()
-                .max_by(|a, b| {
-                    let (da, db) = (ctx.job(*a.1).deadline, ctx.job(*b.1).deadline);
-                    da.cmp(&db).then(a.1.cmp(b.1))
-                })
-                .map(|(i, _)| i),
-            SupplementOrder::EarliestDeadline => self
-                .qsupp
-                .iter()
-                .enumerate()
-                .min_by(|a, b| {
-                    let (da, db) = (ctx.job(*a.1).deadline, ctx.job(*b.1).deadline);
-                    da.cmp(&db).then(a.1.cmp(b.1))
-                })
-                .map(|(i, _)| i),
-            SupplementOrder::HighestValue => self
-                .qsupp
-                .iter()
-                .enumerate()
-                .max_by(|a, b| {
-                    let (va, vb) = (ctx.job(*a.1).value, ctx.job(*b.1).value);
-                    va.total_cmp(&vb).then(b.1.cmp(a.1))
-                })
-                .map(|(i, _)| i),
-        };
-        idx.map(|i| self.qsupp.swap_remove(i))
     }
 
     // ---- procedure C: job completion or failure handler -----------------
@@ -279,23 +271,27 @@ impl DoverFamily {
         // Lines C.1–C.9: both queues non-empty — arbitrate between the head
         // of Qother and the head of Qedf under the restored slack.
         if !self.qedf.is_empty() && !self.qother.is_empty() {
-            let e = self.qedf[0];
-            let cs = e.cslack_insert - (now - e.t_insert).as_f64();
+            let (d_e, e_job, meta) = self
+                .qedf
+                .first()
+                .map(|(d, j, m)| (d, j, *m))
+                .expect("invariant: qedf checked non-empty above");
+            let cs = meta.cslack_insert - (now - meta.t_insert).as_f64();
             let (d_o, o) = self
                 .qother
                 .earliest()
                 .expect("invariant: qother checked non-empty above");
-            if d_o < e.deadline && approx_ge(cs, self.tc(ctx, o)) {
+            if d_o < d_e && approx_ge(cs, self.tc(ctx, o)) {
                 self.qother.pop_earliest();
                 self.bump(o);
                 self.cslack = (cs - self.tc(ctx, o)).min(self.claxity(ctx, o));
                 self.flag = Flag::Reg;
                 return Decision::Run(o);
             }
-            self.qedf.remove(0);
+            self.qedf.pop_first();
             self.cslack = cs;
             self.flag = Flag::Reg;
-            return Decision::Run(e.job);
+            return Decision::Run(e_job);
         }
         // Lines C.10–C.12: only Qother.
         if let Some((_, o)) = self.qother.pop_earliest() {
@@ -305,11 +301,10 @@ impl DoverFamily {
             return Decision::Run(o);
         }
         // Lines C.13–C.15: only Qedf.
-        if !self.qedf.is_empty() {
-            let e = self.qedf.remove(0);
-            self.cslack = e.cslack_insert - (now - e.t_insert).as_f64();
+        if let Some((_, e_job, meta)) = self.qedf.pop_first() {
+            self.cslack = meta.cslack_insert - (now - meta.t_insert).as_f64();
             self.flag = Flag::Reg;
-            return Decision::Run(e.job);
+            return Decision::Run(e_job);
         }
         // Lines C.16–C.22: no regular work — revive a supplement job or idle.
         self.cslack = f64::INFINITY;
@@ -352,12 +347,15 @@ impl Scheduler for DoverFamily {
                 let d_arr = ctx.job(arr).deadline;
                 let d_cur = ctx.job(cur).deadline;
                 if d_arr < d_cur && approx_ge(self.cslack, self.tc(ctx, arr)) {
-                    self.qedf_insert(EdfEntry {
-                        job: cur,
-                        deadline: d_cur,
-                        t_insert: ctx.now(),
-                        cslack_insert: self.cslack,
-                    });
+                    let fresh = self.qedf.insert(
+                        d_cur,
+                        cur,
+                        EdfMeta {
+                            t_insert: ctx.now(),
+                            cslack_insert: self.cslack,
+                        },
+                    );
+                    debug_assert!(fresh, "{cur} double-admitted to Qedf");
                     if ctx.tracing_enabled() {
                         ctx.trace(TraceEvent::QueueDepth {
                             t: ctx.now(),
@@ -447,9 +445,10 @@ impl Scheduler for DoverFamily {
                     Flag::Idle => {}
                 }
             }
-            let displaced: Vec<EdfEntry> = std::mem::take(&mut self.qedf);
-            for e in displaced {
-                self.insert_qother(ctx, e.job);
+            // Drain in (deadline, id) order — the order the sorted Vec
+            // predecessor displaced in, so timer arming order is preserved.
+            for (_, displaced, _) in self.qedf.drain() {
+                self.insert_qother(ctx, displaced);
             }
             self.cslack = 0.0;
             self.flag = Flag::Reg;

@@ -57,11 +57,13 @@ impl Scheduler for Edf {
             Some(cur) => {
                 let d_cur = ctx.job(cur).deadline;
                 if (d_new, job) < (d_cur, cur) {
-                    self.ready.insert(d_cur, cur);
+                    let fresh = self.ready.insert(d_cur, cur);
+                    debug_assert!(fresh, "{cur} double-queued in the EDF ready set");
                     self.trace_depth(ctx);
                     Decision::Run(job)
                 } else {
-                    self.ready.insert(d_new, job);
+                    let fresh = self.ready.insert(d_new, job);
+                    debug_assert!(fresh, "{job} double-queued in the EDF ready set");
                     self.trace_depth(ctx);
                     Decision::Continue
                 }

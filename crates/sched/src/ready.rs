@@ -1,7 +1,23 @@
-//! Shared ready-queue structure: a set of jobs ordered by deadline.
+//! Shared ready-queue structures: sets of jobs ordered by deadline or by an
+//! arbitrary scalar rank, with every per-operation cost `O(log n)`.
+//!
+//! Three structures live here:
+//!
+//! * [`DeadlineQueue`] — a plain `(deadline, id)` ordered set (EDF ready
+//!   queues, Dover's `Qother`);
+//! * [`DeadlineMap`] — the same ordering with a payload per entry (Dover's
+//!   `Qedf`, which carries the `cSlack` restoration bookkeeping);
+//! * [`RankedQueue`] — jobs ordered by an arbitrary finite `f64` rank
+//!   (V-Dover's `Qsupp` under its configurable revival orders).
+//!
+//! **Tie-break rule:** every pop of every structure resolves equal keys
+//! deterministically in favour of the *lowest* [`JobId`] — including
+//! [`RankedQueue::pop_max`], which returns the lowest id among the entries
+//! sharing the maximum rank. Replay determinism across queue
+//! implementations depends on this rule; do not weaken it.
 
 use cloudsched_core::{JobId, Time};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A set of ready jobs ordered by `(deadline, id)` — supports earliest- and
 /// latest-deadline queries plus arbitrary removal, all `O(log n)`.
@@ -42,9 +58,11 @@ impl DeadlineQueue {
         self.set.first().copied()
     }
 
-    /// The job with the latest deadline.
+    /// The job with the latest deadline, preferring the **lowest** id among
+    /// jobs sharing that deadline (the module-level tie-break rule).
     pub fn latest(&self) -> Option<(Time, JobId)> {
-        self.set.last().copied()
+        let &(top, _) = self.set.last()?;
+        self.set.range((top, JobId(0))..).next().copied()
     }
 
     /// Removes and returns the earliest-deadline job.
@@ -52,9 +70,11 @@ impl DeadlineQueue {
         self.set.pop_first()
     }
 
-    /// Removes and returns the latest-deadline job.
+    /// Removes and returns the latest-deadline job (lowest id on ties).
     pub fn pop_latest(&mut self) -> Option<(Time, JobId)> {
-        self.set.pop_last()
+        let entry = self.latest()?;
+        self.set.remove(&entry);
+        Some(entry)
     }
 
     /// Number of queued jobs.
@@ -77,6 +97,158 @@ impl DeadlineQueue {
         let out: Vec<_> = self.set.iter().copied().collect();
         self.set.clear();
         out
+    }
+}
+
+/// A `(deadline, id)`-ordered map carrying a payload per entry — the
+/// indexed replacement for sorted-`Vec` EDF queues whose entries hold
+/// bookkeeping (Dover's `Qedf` and its `cSlack` restoration tuples).
+///
+/// Iteration and [`DeadlineMap::drain`] yield entries in exactly the order
+/// the sorted `Vec` held them (`(deadline, id)` ascending), so replacing a
+/// `Vec`-backed queue with this map preserves float summation order and
+/// therefore byte-identical traces.
+#[derive(Debug, Clone, Default)]
+pub struct DeadlineMap<V> {
+    map: BTreeMap<(Time, JobId), V>,
+}
+
+impl<V> DeadlineMap<V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        DeadlineMap {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts an entry; returns `false` (leaving the existing payload in
+    /// place) if the job was already present under this deadline.
+    pub fn insert(&mut self, deadline: Time, job: JobId, value: V) -> bool {
+        match self.map.entry((deadline, job)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Removes an entry, returning its payload if it was present.
+    pub fn remove(&mut self, deadline: Time, job: JobId) -> Option<V> {
+        self.map.remove(&(deadline, job))
+    }
+
+    /// The earliest-deadline entry (lowest id on deadline ties).
+    pub fn first(&self) -> Option<(Time, JobId, &V)> {
+        self.map.iter().next().map(|(&(d, j), v)| (d, j, v))
+    }
+
+    /// Removes and returns the earliest-deadline entry.
+    pub fn pop_first(&mut self) -> Option<(Time, JobId, V)> {
+        self.map.pop_first().map(|((d, j), v)| (d, j, v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates entries in `(deadline, id)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, JobId, &V)> {
+        self.map.iter().map(|(&(d, j), v)| (d, j, v))
+    }
+
+    /// Removes every entry and returns them in `(deadline, id)` order.
+    pub fn drain(&mut self) -> Vec<(Time, JobId, V)> {
+        std::mem::take(&mut self.map)
+            .into_iter()
+            .map(|((d, j), v)| (d, j, v))
+            .collect()
+    }
+}
+
+/// A finite `f64` key with a total order (`f64::total_cmp`), so ranked jobs
+/// can live in a `BTreeSet`. Ranks are job attributes (deadlines, values) —
+/// always finite, so the NaN corner of `total_cmp` never matters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Rank(f64);
+
+impl Eq for Rank {}
+
+impl PartialOrd for Rank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A set of jobs ordered by an arbitrary finite `f64` rank — V-Dover's
+/// supplement queue under its configurable revival orders (rank = deadline
+/// or rank = value), with `O(log n)` insert, remove and pops at both ends.
+///
+/// Both [`RankedQueue::pop_min`] and [`RankedQueue::pop_max`] resolve rank
+/// ties in favour of the **lowest** [`JobId`] (see the module-level
+/// tie-break rule). Callers must pass the same rank at insert and remove
+/// time; ranks derive from immutable job attributes, so this is natural.
+#[derive(Debug, Clone, Default)]
+pub struct RankedQueue {
+    set: BTreeSet<(Rank, JobId)>,
+}
+
+impl RankedQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        RankedQueue {
+            set: BTreeSet::new(),
+        }
+    }
+
+    /// Inserts a job; returns `false` if it was already present.
+    pub fn insert(&mut self, rank: f64, job: JobId) -> bool {
+        self.set.insert((Rank(rank), job))
+    }
+
+    /// Removes a job; returns `true` if it was present.
+    pub fn remove(&mut self, rank: f64, job: JobId) -> bool {
+        self.set.remove(&(Rank(rank), job))
+    }
+
+    /// Removes and returns the job with the lowest rank (lowest id on ties).
+    pub fn pop_min(&mut self) -> Option<JobId> {
+        self.set.pop_first().map(|(_, j)| j)
+    }
+
+    /// Removes and returns the job with the highest rank, preferring the
+    /// **lowest** id among entries sharing that rank.
+    pub fn pop_max(&mut self) -> Option<JobId> {
+        let &(top, _) = self.set.last()?;
+        let &(rank, job) = self
+            .set
+            .range((top, JobId(0))..)
+            .next()
+            .expect("invariant: the maximal rank group is non-empty");
+        self.set.remove(&(rank, job));
+        Some(job)
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
     }
 }
 
@@ -131,5 +303,58 @@ mod tests {
         let drained = q.drain();
         assert_eq!(drained, vec![(t(1.0), JobId(1)), (t(3.0), JobId(0))]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deadline_map_orders_and_keeps_payloads() {
+        let mut m = DeadlineMap::new();
+        assert!(m.insert(t(3.0), JobId(0), "a"));
+        assert!(m.insert(t(1.0), JobId(1), "b"));
+        assert!(m.insert(t(1.0), JobId(2), "c"));
+        assert!(!m.insert(t(1.0), JobId(1), "dup"), "duplicate insert");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.first(), Some((t(1.0), JobId(1), &"b")), "lowest id wins");
+        assert_eq!(m.pop_first(), Some((t(1.0), JobId(1), "b")));
+        assert_eq!(m.remove(t(3.0), JobId(0)), Some("a"));
+        assert_eq!(m.remove(t(3.0), JobId(0)), None, "double remove");
+        assert_eq!(m.drain(), vec![(t(1.0), JobId(2), "c")]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn deadline_map_iterates_like_a_sorted_vec() {
+        let mut m = DeadlineMap::new();
+        for (d, i) in [(5.0, 4), (2.0, 0), (5.0, 1), (9.0, 2)] {
+            m.insert(t(d), JobId(i), i);
+        }
+        let order: Vec<JobId> = m.iter().map(|(_, j, _)| j).collect();
+        assert_eq!(order, vec![JobId(0), JobId(1), JobId(4), JobId(2)]);
+    }
+
+    #[test]
+    fn ranked_queue_pops_prefer_lowest_id_on_ties() {
+        let mut q = RankedQueue::new();
+        for (r, i) in [(2.0, 5), (2.0, 3), (1.0, 9), (1.0, 4)] {
+            assert!(q.insert(r, JobId(i)));
+        }
+        assert!(!q.insert(2.0, JobId(5)), "duplicate insert");
+        // Both ends prefer the lowest id within the extreme rank group.
+        assert_eq!(q.pop_max(), Some(JobId(3)));
+        assert_eq!(q.pop_min(), Some(JobId(4)));
+        assert_eq!(q.pop_max(), Some(JobId(5)));
+        assert_eq!(q.pop_min(), Some(JobId(9)));
+        assert!(q.pop_max().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ranked_queue_remove_by_rank_and_id() {
+        let mut q = RankedQueue::new();
+        q.insert(4.0, JobId(1));
+        q.insert(4.0, JobId(2));
+        assert!(q.remove(4.0, JobId(1)));
+        assert!(!q.remove(4.0, JobId(1)), "double remove");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_max(), Some(JobId(2)));
     }
 }

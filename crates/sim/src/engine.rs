@@ -96,6 +96,10 @@ struct Kernel<'a, P: CapacityProfile, T: Tracer> {
     /// Jobs pulled from the scheduler's view by the degradation layer.
     /// Cleared again on re-admission.
     quarantined: Vec<bool>,
+    /// Index of live quarantined jobs (ascending id order — the re-admission
+    /// order), so capacity recovery visits exactly the pending set instead
+    /// of scanning every job.
+    quarantine_pending: std::collections::BTreeSet<usize>,
     /// Online precondition checker; `None` for plain (non-degraded) runs.
     watchdog: Option<Watchdog>,
     /// Monitoring-plane channel for capacity measurements. Job progress
@@ -182,6 +186,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             tracer,
             profiler,
             quarantined: vec![false; n],
+            quarantine_pending: std::collections::BTreeSet::new(),
             watchdog,
             oracle,
             aborted: None,
@@ -397,8 +402,13 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             // Capacity is back at the declared bound: re-admit quarantined
             // jobs (in id order) that are still live. V-Dover parks any
             // zero-conservative-laxity re-admissions in its supplement
-            // queue, the paper's mechanism for late-feasible jobs.
-            for i in 0..self.quarantined.len() {
+            // queue, the paper's mechanism for late-feasible jobs. The
+            // pending index iterates ascending, matching the full scan it
+            // replaced; the snapshot is taken up front because re-admission
+            // dispatches into the scheduler.
+            let ready: Vec<usize> = self.quarantine_pending.iter().copied().collect();
+            for i in ready {
+                self.quarantine_pending.remove(&i);
                 if !self.quarantined[i] || self.resolved[i] {
                     continue;
                 }
@@ -558,6 +568,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                                     // this job unless capacity recovery
                                     // re-admits it.
                                     self.quarantined[job.index()] = true;
+                                    self.quarantine_pending.insert(job.index());
                                     if let Some(w) = self.watchdog.as_mut() {
                                         w.note_quarantine();
                                     }
@@ -592,6 +603,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     // reach the scheduler's handlers either.
                     let hidden = self.quarantined[i];
                     if hidden {
+                        self.quarantine_pending.remove(&i);
                         if let Some(w) = self.watchdog.as_mut() {
                             w.note_quarantine_expired();
                         }

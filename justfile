@@ -5,7 +5,7 @@
 export CARGO_NET_OFFLINE := "true"
 
 # Run the full CI gauntlet.
-ci: fmt build bench-check test lint golden-trace chaos
+ci: fmt build bench-check test lint golden-trace chaos bench-smoke
 
 fmt:
     cargo fmt --all --check
@@ -45,6 +45,18 @@ golden-trace-regen:
 # Span profile + tracing-overhead microbench.
 profile:
     cargo run --release -p cloudsched-bench --bin profile
+
+# Kernel hot-path benchmark: EDF / Dover / V-Dover at n ∈ {1e3, 1e4, 1e5},
+# rewriting BENCH_kernel.json at the repo root (see DESIGN.md §10). Run on
+# an otherwise-idle machine before updating the checked-in report.
+bench:
+    cargo run --release -p cloudsched-cli -- bench --out BENCH_kernel.json
+
+# CI bench smoke: the quick sweep (n = 1e3, one rep) written to a scratch
+# file — validates the benchmark harness and its JSON schema on every
+# commit without gating on timing-sensitive numbers.
+bench-smoke:
+    cargo run --release -p cloudsched-cli -- bench --quick --out /tmp/bench-smoke.json
 
 # Chaos smoke: run a fixed-seed fault-injection campaign twice and byte-diff
 # the fault traces — zero panics, deterministic fault sequence (mirrors CI).

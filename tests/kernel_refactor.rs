@@ -1,0 +1,549 @@
+//! Equivalence oracle for the indexed Dover/V-Dover queue refactor.
+//!
+//! `reference` reimplements the Dover family exactly as it stood before the
+//! hot-path overhaul — `Qedf` as a sorted `Vec` with `remove(0)` front-pops,
+//! `Qsupp` as an unordered `Vec` scanned linearly at every revival and
+//! `retain`-ed at every removal — with one deliberate difference: supplement
+//! revival resolves rank ties in favour of the lowest `JobId`, the
+//! normalized rule the indexed queues document. Every test below drives the
+//! shipped (indexed) schedulers and this reference through identical
+//! workloads and asserts the kernel-visible behaviour is identical:
+//!
+//! * the full `Decision` sequence on the seed-7 benchmark workload
+//!   (regression pin for the `remove(0)`/`retain` replacement), and
+//! * complete schedules across 50 seeds × 3 capacity patterns × every
+//!   supplement revival order (property sweep).
+
+#![forbid(unsafe_code)]
+
+use cloudsched_analysis::bounds::{dover_beta, optimal_beta};
+use cloudsched_capacity::{Instance, PiecewiseConstant};
+use cloudsched_core::rng::{Pcg32, Rng};
+use cloudsched_core::{approx_ge, Job, JobId, JobSet, Time};
+use cloudsched_sched::dover::SupplementOrder;
+use cloudsched_sched::ready::DeadlineQueue;
+use cloudsched_sched::vdover::VDoverConfig;
+use cloudsched_sched::{Dover, VDover};
+use cloudsched_sim::{simulate, Decision, RunOptions, RunReport, Scheduler, SimContext};
+use cloudsched_workload::dist::{exponential, uniform};
+use cloudsched_workload::CtmcCapacity;
+
+mod reference {
+    //! The pre-refactor Vec-backed Dover family (see the file-level docs).
+
+    use super::*;
+
+    #[derive(Debug, Clone, Copy)]
+    pub enum Estimate {
+        ClassLow,
+        Fixed(f64),
+    }
+
+    impl Estimate {
+        fn rate(self, ctx: &SimContext<'_>) -> f64 {
+            match self {
+                Estimate::ClassLow => ctx.c_lo(),
+                Estimate::Fixed(c) => c,
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flag {
+        Idle,
+        Reg,
+        Supp,
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct EdfEntry {
+        job: JobId,
+        deadline: Time,
+        t_insert: Time,
+        cslack_insert: f64,
+    }
+
+    /// Vec-backed Dover/V-Dover with the normalized lowest-id tie-break.
+    #[derive(Debug, Clone)]
+    pub struct VecDover {
+        estimate: Estimate,
+        beta: f64,
+        supplement: bool,
+        order: SupplementOrder,
+        qedf: Vec<EdfEntry>,
+        qother: DeadlineQueue,
+        qsupp: Vec<JobId>,
+        cslack: f64,
+        flag: Flag,
+        generation: Vec<u64>,
+    }
+
+    impl VecDover {
+        pub fn new(
+            estimate: Estimate,
+            beta: f64,
+            supplement: bool,
+            order: SupplementOrder,
+        ) -> Self {
+            assert!(beta > 1.0);
+            VecDover {
+                estimate,
+                beta,
+                supplement,
+                order,
+                qedf: Vec::new(),
+                qother: DeadlineQueue::new(),
+                qsupp: Vec::new(),
+                cslack: f64::INFINITY,
+                flag: Flag::Idle,
+                generation: Vec::new(),
+            }
+        }
+
+        fn tc(&self, ctx: &SimContext<'_>, job: JobId) -> f64 {
+            ctx.remaining(job) / self.estimate.rate(ctx)
+        }
+
+        fn claxity(&self, ctx: &SimContext<'_>, job: JobId) -> f64 {
+            (ctx.job(job).deadline - ctx.now()).as_f64() - self.tc(ctx, job)
+        }
+
+        fn gen(&self, job: JobId) -> u64 {
+            self.generation.get(job.index()).copied().unwrap_or(0)
+        }
+
+        fn bump(&mut self, job: JobId) {
+            let i = job.index();
+            if i >= self.generation.len() {
+                self.generation.resize(i + 1, 0);
+            }
+            self.generation[i] += 1;
+        }
+
+        fn insert_qother(&mut self, ctx: &mut SimContext<'_>, job: JobId) {
+            let d = ctx.job(job).deadline;
+            let t0 = Time::new(d.as_f64() - self.tc(ctx, job));
+            self.qother.insert(d, job);
+            self.bump(job);
+            let token = self.gen(job);
+            ctx.set_timer(t0, job, token);
+        }
+
+        fn qedf_insert(&mut self, e: EdfEntry) {
+            let pos = self
+                .qedf
+                .partition_point(|x| (x.deadline, x.job) < (e.deadline, e.job));
+            self.qedf.insert(pos, e);
+        }
+
+        fn qedf_value(&self, ctx: &SimContext<'_>) -> f64 {
+            self.qedf.iter().map(|e| ctx.job(e.job).value).sum()
+        }
+
+        fn remove_everywhere(&mut self, ctx: &SimContext<'_>, job: JobId) {
+            let d = ctx.job(job).deadline;
+            self.qother.remove(d, job);
+            self.qedf.retain(|e| e.job != job);
+            self.qsupp.retain(|&j| j != job);
+            self.bump(job);
+        }
+
+        /// Linear-scan revival with the normalized tie-break: ties on the
+        /// revival rank go to the lowest id, matching `RankedQueue`.
+        fn pop_supplement(&mut self, ctx: &SimContext<'_>) -> Option<JobId> {
+            if self.qsupp.is_empty() {
+                return None;
+            }
+            let idx = match self.order {
+                SupplementOrder::LatestDeadline => self
+                    .qsupp
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        let (da, db) = (ctx.job(*a.1).deadline, ctx.job(*b.1).deadline);
+                        da.cmp(&db).then(b.1.cmp(a.1))
+                    })
+                    .map(|(i, _)| i),
+                SupplementOrder::EarliestDeadline => self
+                    .qsupp
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        let (da, db) = (ctx.job(*a.1).deadline, ctx.job(*b.1).deadline);
+                        da.cmp(&db).then(a.1.cmp(b.1))
+                    })
+                    .map(|(i, _)| i),
+                SupplementOrder::HighestValue => self
+                    .qsupp
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        let (va, vb) = (ctx.job(*a.1).value, ctx.job(*b.1).value);
+                        va.total_cmp(&vb).then(b.1.cmp(a.1))
+                    })
+                    .map(|(i, _)| i),
+            };
+            idx.map(|i| self.qsupp.swap_remove(i))
+        }
+
+        fn handler_c(&mut self, ctx: &mut SimContext<'_>) -> Decision {
+            let now = ctx.now();
+            if !self.qedf.is_empty() && !self.qother.is_empty() {
+                let e = self.qedf[0];
+                let cs = e.cslack_insert - (now - e.t_insert).as_f64();
+                let (d_o, o) = self.qother.earliest().expect("qother non-empty");
+                if d_o < e.deadline && approx_ge(cs, self.tc(ctx, o)) {
+                    self.qother.pop_earliest();
+                    self.bump(o);
+                    self.cslack = (cs - self.tc(ctx, o)).min(self.claxity(ctx, o));
+                    self.flag = Flag::Reg;
+                    return Decision::Run(o);
+                }
+                self.qedf.remove(0);
+                self.cslack = cs;
+                self.flag = Flag::Reg;
+                return Decision::Run(e.job);
+            }
+            if let Some((_, o)) = self.qother.pop_earliest() {
+                self.bump(o);
+                self.cslack = self.claxity(ctx, o);
+                self.flag = Flag::Reg;
+                return Decision::Run(o);
+            }
+            if !self.qedf.is_empty() {
+                let e = self.qedf.remove(0);
+                self.cslack = e.cslack_insert - (now - e.t_insert).as_f64();
+                self.flag = Flag::Reg;
+                return Decision::Run(e.job);
+            }
+            self.cslack = f64::INFINITY;
+            if let Some(s) = self.pop_supplement(ctx) {
+                self.flag = Flag::Supp;
+                return Decision::Run(s);
+            }
+            self.flag = Flag::Idle;
+            Decision::Idle
+        }
+    }
+
+    impl Scheduler for VecDover {
+        fn name(&self) -> String {
+            "VecDover(reference)".into()
+        }
+
+        fn on_release(&mut self, ctx: &mut SimContext<'_>, arr: JobId) -> Decision {
+            self.bump(arr);
+            match (self.flag, ctx.running()) {
+                (Flag::Idle, _) | (_, None) => {
+                    self.cslack = self.claxity(ctx, arr);
+                    self.flag = Flag::Reg;
+                    Decision::Run(arr)
+                }
+                (Flag::Reg, Some(cur)) => {
+                    let d_arr = ctx.job(arr).deadline;
+                    let d_cur = ctx.job(cur).deadline;
+                    if d_arr < d_cur && approx_ge(self.cslack, self.tc(ctx, arr)) {
+                        self.qedf_insert(EdfEntry {
+                            job: cur,
+                            deadline: d_cur,
+                            t_insert: ctx.now(),
+                            cslack_insert: self.cslack,
+                        });
+                        self.cslack = (self.cslack - self.tc(ctx, arr)).min(self.claxity(ctx, arr));
+                        Decision::Run(arr)
+                    } else {
+                        self.insert_qother(ctx, arr);
+                        Decision::Continue
+                    }
+                }
+                (Flag::Supp, Some(cur)) => {
+                    if self.supplement {
+                        self.qsupp.push(cur);
+                        self.bump(cur);
+                    }
+                    self.cslack = self.claxity(ctx, arr);
+                    self.flag = Flag::Reg;
+                    Decision::Run(arr)
+                }
+            }
+        }
+
+        fn on_completion(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+            self.remove_everywhere(ctx, job);
+            if ctx.running().is_none() {
+                self.handler_c(ctx)
+            } else {
+                Decision::Continue
+            }
+        }
+
+        fn on_deadline_miss(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+            self.remove_everywhere(ctx, job);
+            if ctx.running().is_none() {
+                self.handler_c(ctx)
+            } else {
+                Decision::Continue
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut SimContext<'_>, job: JobId, token: u64) -> Decision {
+            if token != self.gen(job) {
+                return Decision::Continue;
+            }
+            let d = ctx.job(job).deadline;
+            if !self.qother.contains(d, job) {
+                return Decision::Continue;
+            }
+            self.qother.remove(d, job);
+            self.bump(job);
+            let mut protected = self.qedf_value(ctx);
+            if self.flag == Flag::Reg {
+                if let Some(cur) = ctx.running() {
+                    protected += ctx.job(cur).value;
+                }
+            }
+            if ctx.job(job).value > self.beta * protected {
+                if let Some(cur) = ctx.running() {
+                    match self.flag {
+                        Flag::Reg => self.insert_qother(ctx, cur),
+                        Flag::Supp => {
+                            if self.supplement {
+                                self.qsupp.push(cur);
+                                self.bump(cur);
+                            }
+                        }
+                        Flag::Idle => {}
+                    }
+                }
+                let displaced: Vec<EdfEntry> = std::mem::take(&mut self.qedf);
+                for e in displaced {
+                    self.insert_qother(ctx, e.job);
+                }
+                self.cslack = 0.0;
+                self.flag = Flag::Reg;
+                Decision::Run(job)
+            } else {
+                if self.supplement {
+                    self.qsupp.push(job);
+                } else {
+                    ctx.abandon(job);
+                }
+                Decision::Continue
+            }
+        }
+    }
+}
+
+/// Wraps a scheduler and records every kernel callback's `Decision`.
+struct Recording<S> {
+    inner: S,
+    log: Vec<(char, JobId, Decision)>,
+}
+
+impl<S: Scheduler> Recording<S> {
+    fn new(inner: S) -> Self {
+        Recording {
+            inner,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl<S: Scheduler> Scheduler for Recording<S> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn on_release(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        let d = self.inner.on_release(ctx, job);
+        self.log.push(('r', job, d));
+        d
+    }
+    fn on_completion(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        let d = self.inner.on_completion(ctx, job);
+        self.log.push(('c', job, d));
+        d
+    }
+    fn on_deadline_miss(&mut self, ctx: &mut SimContext<'_>, job: JobId) -> Decision {
+        let d = self.inner.on_deadline_miss(ctx, job);
+        self.log.push(('m', job, d));
+        d
+    }
+    fn on_timer(&mut self, ctx: &mut SimContext<'_>, job: JobId, token: u64) -> Decision {
+        let d = self.inner.on_timer(ctx, job, token);
+        self.log.push(('t', job, d));
+        d
+    }
+}
+
+/// Runs both schedulers on the instance and asserts the recorded decision
+/// sequences, schedules and accrued values are identical.
+fn assert_equivalent<A, B>(instance: &Instance, indexed: A, vec_ref: B, what: &str)
+where
+    A: Scheduler,
+    B: Scheduler,
+{
+    fn run<S: Scheduler>(
+        instance: &Instance,
+        scheduler: S,
+    ) -> (Vec<(char, JobId, Decision)>, RunReport) {
+        let mut rec = Recording::new(scheduler);
+        let report = simulate(
+            &instance.jobs,
+            &instance.capacity,
+            &mut rec,
+            RunOptions::full(),
+        );
+        (rec.log, report)
+    }
+    let (log_a, rep_a) = run(instance, indexed);
+    let (log_b, rep_b) = run(instance, vec_ref);
+    assert!(!log_a.is_empty(), "{what}: trivial (empty) decision log");
+    assert_eq!(log_a, log_b, "{what}: decision sequences diverge");
+    assert_eq!(
+        rep_a.value.to_bits(),
+        rep_b.value.to_bits(),
+        "{what}: accrued value diverges"
+    );
+    assert_eq!(rep_a.completed, rep_b.completed, "{what}: completions");
+    assert_eq!(rep_a.preemptions, rep_b.preemptions, "{what}: preemptions");
+    let slices = |r: &RunReport| -> Vec<JobId> {
+        r.schedule
+            .as_ref()
+            .expect("full run options build a schedule")
+            .slices()
+            .iter()
+            .map(|s| s.job)
+            .collect()
+    };
+    assert_eq!(slices(&rep_a), slices(&rep_b), "{what}: schedules diverge");
+}
+
+fn ref_vdover(k: f64, delta: f64, order: SupplementOrder) -> reference::VecDover {
+    reference::VecDover::new(
+        reference::Estimate::ClassLow,
+        optimal_beta(k, delta),
+        true,
+        order,
+    )
+}
+
+fn ref_dover(k: f64, c_estimate: f64) -> reference::VecDover {
+    reference::VecDover::new(
+        reference::Estimate::Fixed(c_estimate),
+        dover_beta(k),
+        false,
+        SupplementOrder::LatestDeadline,
+    )
+}
+
+/// Satellite (a): the indexed queues make exactly the decisions the old
+/// `remove(0)`/`retain` implementation made on the seed-7 benchmark
+/// workload — the overload burst that exercises `Qedf` arbitration,
+/// displacement and thousands of supplement parks and rescues.
+#[test]
+fn indexed_queues_match_reference_decisions_on_seed7() {
+    let instance = cloudsched_bench::bench_instance(1_500, 7);
+    assert_equivalent(
+        &instance,
+        VDover::new(7.0, 35.0),
+        ref_vdover(7.0, 35.0, SupplementOrder::LatestDeadline),
+        "V-Dover seed 7",
+    );
+    assert_equivalent(
+        &instance,
+        Dover::new(7.0, 18.0),
+        ref_dover(7.0, 18.0),
+        "Dover seed 7",
+    );
+}
+
+/// Burst workload for the property sweep: `n` jobs over a short horizon so
+/// the queues actually fill, a 70/30 urgent/loose deadline mix.
+fn burst_jobs(n: usize, seed: u64) -> JobSet {
+    const H: f64 = 30.0;
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let lambda = n as f64 / H;
+    let mut jobs = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for i in 0..n {
+        t += exponential(&mut rng, lambda);
+        let workload = exponential(&mut rng, 1.0).max(1e-9);
+        let density = uniform(&mut rng, 1.0, 7.0);
+        let window = if rng.next_f64() < 0.7 {
+            workload + uniform(&mut rng, 0.30, 0.60) * H
+        } else {
+            workload + uniform(&mut rng, 0.60, 0.90) * H
+        };
+        jobs.push(
+            Job::new(
+                JobId(i as u64),
+                Time::new(t),
+                Time::new(t + window),
+                workload,
+                density * workload,
+            )
+            .expect("generated job parameters are positive and ordered"),
+        );
+    }
+    JobSet::new(jobs).expect("generated ids are dense and sorted")
+}
+
+/// The three capacity patterns of the sweep: constant with wide declared
+/// bounds, a fast two-state CTMC, and a deep-overload CTMC whose `c_lo`
+/// makes every urgent job's zero-conservative-laxity timer fire (maximum
+/// supplement-queue traffic).
+fn capacity_pattern(pattern: usize, seed: u64, span: f64) -> PiecewiseConstant {
+    let mut rng = Pcg32::seed_from_u64(seed ^ 0xC0FFEE);
+    match pattern {
+        0 => PiecewiseConstant::constant(6.0)
+            .expect("constant capacity is positive")
+            .with_declared_bounds(0.5, 35.0)
+            .expect("declared bounds bracket the profile"),
+        1 => CtmcCapacity::two_state(0.5, 35.0, span / 4.0)
+            .expect("CTMC bounds are positive and ordered")
+            .sample(&mut rng, span)
+            .expect("sampled trace covers the span"),
+        _ => CtmcCapacity::two_state(0.01, 20.0, span / 6.0)
+            .expect("CTMC bounds are positive and ordered")
+            .sample(&mut rng, span)
+            .expect("sampled trace covers the span"),
+    }
+}
+
+/// Satellite (d): across 50 seeds × 3 capacity patterns, the indexed Dover
+/// queues and the old Vec implementation produce identical schedules — for
+/// Dover and for V-Dover under every supplement revival order.
+#[test]
+fn property_indexed_and_vec_queues_agree_across_seeds_and_patterns() {
+    for seed in 0..50u64 {
+        let jobs = burst_jobs(60, seed);
+        let span = jobs.last_deadline().as_f64() + 1.0;
+        for pattern in 0..3usize {
+            let instance = Instance::new(jobs.clone(), capacity_pattern(pattern, seed, span));
+            let what = format!("seed {seed} pattern {pattern}");
+            assert_equivalent(
+                &instance,
+                Dover::new(7.0, 6.0),
+                ref_dover(7.0, 6.0),
+                &format!("{what} Dover"),
+            );
+            for order in [
+                SupplementOrder::LatestDeadline,
+                SupplementOrder::EarliestDeadline,
+                SupplementOrder::HighestValue,
+            ] {
+                let cfg = VDoverConfig {
+                    beta: optimal_beta(7.0, 35.0),
+                    supplement: true,
+                    supplement_order: order,
+                };
+                assert_equivalent(
+                    &instance,
+                    VDover::from_config(cfg),
+                    ref_vdover(7.0, 35.0, order),
+                    &format!("{what} V-Dover {order:?}"),
+                );
+            }
+        }
+    }
+}
