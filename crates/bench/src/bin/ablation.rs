@@ -15,9 +15,10 @@
 use cloudsched_analysis::bounds::{dover_beta, optimal_beta};
 use cloudsched_analysis::stats::Summary;
 use cloudsched_analysis::table::{fnum, Table};
-use cloudsched_bench::{parallel_map, run_instance, SchedulerSpec};
+use cloudsched_bench::{parallel_map_with, run_instance_in, SchedulerSpec};
+use cloudsched_core::rng::{derive_seed, SEED_STREAM_ABLATION};
 use cloudsched_sched::dover::SupplementOrder;
-use cloudsched_sim::RunOptions;
+use cloudsched_sim::{RunOptions, SimWorkspace};
 use cloudsched_workload::PaperScenario;
 
 fn main() {
@@ -94,14 +95,20 @@ fn main() {
         variants.len(),
         args.runs
     );
-    let rows: Vec<Vec<f64>> = parallel_map(args.runs, args.threads, |run| {
-        let seed = 0xAB1A7E + run as u64;
-        let inst = scenario.generate(seed).expect("generation").instance;
-        variants
-            .iter()
-            .map(|(_, spec)| run_instance(&inst, spec, RunOptions::lean()).value_fraction * 100.0)
-            .collect()
-    });
+    let rows: Vec<Vec<f64>> =
+        parallel_map_with(args.runs, args.threads, SimWorkspace::new, |ws, run| {
+            let seed = derive_seed(SEED_STREAM_ABLATION, 0.0, run);
+            let inst = scenario.generate(seed).expect("generation").instance;
+            variants
+                .iter()
+                .map(|(_, spec)| {
+                    let report = run_instance_in(ws, &inst, spec, RunOptions::lean());
+                    let fraction = report.value_fraction * 100.0;
+                    ws.recycle(report);
+                    fraction
+                })
+                .collect()
+        });
 
     let mut table = Table::new(vec!["variant", "value %", "±95% CI"]);
     for (a, (name, _)) in variants.iter().enumerate() {
@@ -129,7 +136,7 @@ impl Args {
     fn parse() -> Args {
         let mut args = Args {
             runs: 200,
-            threads: cloudsched_bench::harness::default_threads(),
+            threads: cloudsched_bench::default_threads(),
             out: "results".into(),
         };
         let mut it = std::env::args().skip(1);

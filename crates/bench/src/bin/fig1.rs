@@ -9,7 +9,7 @@
 
 #![forbid(unsafe_code)]
 
-use cloudsched_bench::{run_instance, SchedulerSpec};
+use cloudsched_bench::{run_instance_batch, SchedulerSpec};
 use cloudsched_sim::{RunOptions, TrajectoryPoint};
 use cloudsched_workload::PaperScenario;
 
@@ -28,45 +28,39 @@ fn main() {
     );
 
     std::fs::create_dir_all(&args.out).expect("create output dir");
-    let vdover = trajectory(
-        instance,
-        &SchedulerSpec::VDover {
-            k: 7.0,
-            delta: 35.0,
-        },
-    );
+    // All five curves come from one batch over the shared sample path: the
+    // instance is consumed once and every policy replays it.
+    let c_estimates = [1.0, 10.5, 24.5, 35.0];
+    let mut specs = vec![SchedulerSpec::VDover {
+        k: 7.0,
+        delta: 35.0,
+    }];
+    specs.extend(c_estimates.iter().map(|&c| SchedulerSpec::Dover {
+        k: 7.0,
+        c_estimate: c,
+    }));
+    let mut opts = RunOptions::lean();
+    opts.record_trajectory = true;
+    let mut curves: Vec<Vec<TrajectoryPoint>> = run_instance_batch(instance, &specs, opts)
+        .into_iter()
+        .map(|report| report.trajectory.expect("trajectory recorded"))
+        .collect();
+    let dovers = curves.split_off(1);
+    let vdover = curves.remove(0);
     write_curve(&args.out, "fig1_vdover", &vdover);
 
-    for &c in &[1.0, 10.5, 24.5, 35.0] {
-        let dover = trajectory(
-            instance,
-            &SchedulerSpec::Dover {
-                k: 7.0,
-                c_estimate: c,
-            },
-        );
+    for (&c, dover) in c_estimates.iter().zip(&dovers) {
         let panel = format!("fig1_dover_c{}", c.to_string().replace('.', "_"));
-        write_curve(&args.out, &panel, &dover);
+        write_curve(&args.out, &panel, dover);
         println!(
             "\nPanel ĉ = {c}: final value V-Dover {:.1} vs Dover {:.1} (of {:.1} total)",
             last_value(&vdover),
-            last_value(&dover),
+            last_value(dover),
             total_value
         );
-        ascii_panel(&vdover, &dover, scenario.horizon);
+        ascii_panel(&vdover, dover, scenario.horizon);
     }
     eprintln!("curves written under {}/", args.out);
-}
-
-fn trajectory(
-    instance: &cloudsched_capacity::Instance,
-    spec: &SchedulerSpec,
-) -> Vec<TrajectoryPoint> {
-    let mut opts = RunOptions::lean();
-    opts.record_trajectory = true;
-    run_instance(instance, spec, opts)
-        .trajectory
-        .expect("trajectory recorded")
 }
 
 fn last_value(t: &[TrajectoryPoint]) -> f64 {

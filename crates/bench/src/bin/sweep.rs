@@ -1,0 +1,54 @@
+//! Sweep-scale throughput benchmark: Monte-Carlo runs/second for the
+//! Table-I policy panel in `fresh` vs `reuse` workspace modes across
+//! thread counts, written to `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p cloudsched-bench --bin sweep [-- --quick] [--out FILE]
+//! ```
+//!
+//! `--quick` (or `CLOUDSCHED_BENCH_QUICK=1`) restricts the sweep to 6
+//! runs at threads {1, 2} — the CI smoke configuration. The written
+//! report is re-parsed through the strict schema validator before the
+//! process exits, and the bench itself refuses to emit rows whose output
+//! digests disagree, so throughput numbers always describe byte-identical
+//! work.
+
+#![forbid(unsafe_code)]
+
+use cloudsched_bench::{parse_sweep_rows, run_sweep_bench, sweep_rows_to_json, SweepBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick =
+        args.iter().any(|a| a == "--quick") || std::env::var_os("CLOUDSCHED_BENCH_QUICK").is_some();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".into());
+    let cfg = if quick {
+        SweepBenchConfig::quick()
+    } else {
+        SweepBenchConfig::default()
+    };
+    eprintln!(
+        "sweep bench: lambda {}, {} runs/cell, threads {:?}",
+        cfg.lambda, cfg.runs, cfg.threads
+    );
+    let outcome = run_sweep_bench(&cfg, |row| {
+        eprintln!(
+            "  {:<5} threads={:<2} {:>9.2} runs/s  {:>10.3} ms  reuse_hits={}",
+            row.mode, row.threads, row.runs_per_sec, row.wall_ms, row.reuse_hits
+        );
+    });
+    eprintln!(
+        "workspace counters: runs={} reuse_hits={}",
+        outcome.metrics.counter("sweep.workspace.runs"),
+        outcome.metrics.counter("sweep.workspace.reuse_hits"),
+    );
+    let json = sweep_rows_to_json(&outcome.rows);
+    parse_sweep_rows(&json).expect("schema: generated report must validate");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("{out}: {e}"));
+    eprintln!("wrote {} rows to {out}", outcome.rows.len());
+}

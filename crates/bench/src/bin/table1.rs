@@ -10,8 +10,9 @@
 
 use cloudsched_analysis::stats::Summary;
 use cloudsched_analysis::table::{fnum, Table};
-use cloudsched_bench::{parallel_map, run_instance, SchedulerSpec};
-use cloudsched_sim::RunOptions;
+use cloudsched_bench::{parallel_map_with, run_instance_batch_in, SchedulerSpec};
+use cloudsched_core::rng::{derive_seed, SEED_STREAM_TABLE1};
+use cloudsched_sim::{RunOptions, SimWorkspace};
 use cloudsched_workload::PaperScenario;
 
 fn main() {
@@ -52,18 +53,22 @@ fn main() {
     for &lambda in &lambdas {
         let scenario = PaperScenario::table1(lambda);
         // One fraction per (run, algorithm): all algorithms see the SAME
-        // instance per seed (paired comparison, as the paper's Fig. 1 does).
-        let rows: Vec<Vec<f64>> = parallel_map(args.runs, args.threads, |run| {
-            let seed = 0x5EED_0000 + (lambda * 1000.0) as u64 * 1_000_003 + run as u64;
-            let generated = scenario.generate(seed).expect("generation");
-            specs
-                .iter()
-                .map(|spec| {
-                    run_instance(&generated.instance, spec, RunOptions::lean()).value_fraction
-                        * 100.0
-                })
-                .collect()
-        });
+        // instance per seed (paired comparison, as the paper's Fig. 1 does),
+        // generated once and replayed across the batch. Each worker reuses a
+        // simulation workspace across its runs.
+        let rows: Vec<Vec<f64>> =
+            parallel_map_with(args.runs, args.threads, SimWorkspace::new, |ws, run| {
+                let seed = derive_seed(SEED_STREAM_TABLE1, lambda, run);
+                let generated = scenario.generate(seed).expect("generation");
+                run_instance_batch_in(ws, &generated.instance, &specs, RunOptions::lean())
+                    .into_iter()
+                    .map(|report| {
+                        let fraction = report.value_fraction * 100.0;
+                        ws.recycle(report);
+                        fraction
+                    })
+                    .collect()
+            });
         let means: Vec<Summary> = (0..specs.len())
             .map(|a| Summary::from_samples(&rows.iter().map(|r| r[a]).collect::<Vec<_>>()))
             .collect();
@@ -110,7 +115,7 @@ impl Args {
     fn parse() -> Args {
         let mut args = Args {
             runs: 800,
-            threads: cloudsched_bench::harness::default_threads(),
+            threads: cloudsched_bench::default_threads(),
             out: "results".into(),
         };
         let mut it = std::env::args().skip(1);

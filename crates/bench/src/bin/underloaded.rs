@@ -13,9 +13,9 @@
 
 use cloudsched_analysis::stats::Summary;
 use cloudsched_analysis::table::{fnum, Table};
-use cloudsched_bench::{parallel_map, run_instance, SchedulerSpec};
-use cloudsched_core::rng::Pcg32;
-use cloudsched_sim::RunOptions;
+use cloudsched_bench::{parallel_map_with, run_instance_batch_in, SchedulerSpec};
+use cloudsched_core::rng::{derive_seed, Pcg32, SEED_STREAM_UNDERLOADED};
+use cloudsched_sim::{RunOptions, SimWorkspace};
 use cloudsched_workload::ctmc::CtmcCapacity;
 use cloudsched_workload::underloaded::{carve_underloaded, UnderloadedParams};
 
@@ -33,20 +33,26 @@ fn main() {
         SchedulerSpec::GreedyValue,
     ];
 
-    let fractions: Vec<Vec<f64>> = parallel_map(args.instances, args.threads, |i| {
-        let mut rng = Pcg32::seed_from_u64(0xAB1E + i as u64);
-        let chain = CtmcCapacity::two_state(1.0, 4.0, 3.0).expect("chain");
-        let capacity = chain.sample(&mut rng, 200.0).expect("trace");
-        let params = UnderloadedParams {
-            jobs: args.jobs,
-            ..UnderloadedParams::default()
-        };
-        let instance = carve_underloaded(&mut rng, capacity, params).expect("carve");
-        specs
-            .iter()
-            .map(|s| run_instance(&instance, s, RunOptions::lean()).value_fraction)
-            .collect()
-    });
+    let fractions: Vec<Vec<f64>> =
+        parallel_map_with(args.instances, args.threads, SimWorkspace::new, |ws, i| {
+            let seed = derive_seed(SEED_STREAM_UNDERLOADED, 0.0, i);
+            let mut rng = Pcg32::seed_from_u64(seed);
+            let chain = CtmcCapacity::two_state(1.0, 4.0, 3.0).expect("chain");
+            let capacity = chain.sample(&mut rng, 200.0).expect("trace");
+            let params = UnderloadedParams {
+                jobs: args.jobs,
+                ..UnderloadedParams::default()
+            };
+            let instance = carve_underloaded(&mut rng, capacity, params).expect("carve");
+            run_instance_batch_in(ws, &instance, &specs, RunOptions::lean())
+                .into_iter()
+                .map(|report| {
+                    let fraction = report.value_fraction;
+                    ws.recycle(report);
+                    fraction
+                })
+                .collect()
+        });
 
     let mut table = Table::new(vec![
         "scheduler",
@@ -97,7 +103,7 @@ impl Args {
         let mut args = Args {
             instances: 200,
             jobs: 60,
-            threads: cloudsched_bench::harness::default_threads(),
+            threads: cloudsched_bench::default_threads(),
             out: "results".into(),
         };
         let mut it = std::env::args().skip(1);

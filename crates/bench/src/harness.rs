@@ -1,65 +1,94 @@
 //! Parallel Monte-Carlo driver.
+//!
+//! The index fan-out lives in [`cloudsched_core::par`] (work-stealing,
+//! index-order deterministic, thread-count independent) and is re-exported
+//! here so experiment binaries keep a single import point. This module adds
+//! the simulation-specific layers on top: per-worker workspace reuse
+//! ([`run_instance_in`]) and the shared-instance multi-policy batch runner
+//! ([`run_instance_batch`]).
 
 use crate::algos::SchedulerSpec;
 use cloudsched_capacity::Instance;
-use cloudsched_sim::{simulate, RunOptions, RunReport};
+use cloudsched_sim::{simulate_into, RunOptions, RunReport, SimWorkspace};
 
-/// Runs `f(i)` for `i in 0..n` across `threads` workers and returns results
-/// in index order. Deterministic: the index is the only per-task input, so
-/// callers derive RNG seeds from it.
-///
-/// Each worker owns a contiguous chunk of the output buffer
-/// (`chunks_mut`), so results are written lock-free and without any shared
-/// counters — the per-slot `Mutex` allocation the previous implementation
-/// paid per task is gone, and false sharing is limited to the two cache
-/// lines at each chunk boundary.
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    assert!(threads > 0, "need at least one worker");
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.min(n);
-    let chunk = n.div_ceil(threads);
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        for (c, out) in slots.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                let base = c * chunk;
-                for (off, slot) in out.iter_mut().enumerate() {
-                    *slot = Some(f(base + off));
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("invariant: every index 0..n was computed by exactly one worker"))
-        .collect()
-}
+pub use cloudsched_core::par::{default_threads, parallel_map, parallel_map_with};
 
 /// Simulates one scheduler spec on one instance.
+///
+/// Convenience form of [`run_instance_in`] with a throwaway workspace —
+/// fine for single runs; sweeps should hold a [`SimWorkspace`] per worker
+/// (e.g. via [`parallel_map_with`]) and call [`run_instance_in`] or
+/// [`run_instance_batch`] instead.
 pub fn run_instance(instance: &Instance, spec: &SchedulerSpec, options: RunOptions) -> RunReport {
-    let mut scheduler = spec.build();
-    simulate(&instance.jobs, &instance.capacity, &mut *scheduler, options)
+    run_instance_in(&mut SimWorkspace::new(), instance, spec, options)
 }
 
-/// Default worker count: all cores.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+/// Simulates one scheduler spec on one instance, reusing `ws` for every
+/// per-run buffer. Results are byte-identical to [`run_instance`].
+pub fn run_instance_in(
+    ws: &mut SimWorkspace,
+    instance: &Instance,
+    spec: &SchedulerSpec,
+    options: RunOptions,
+) -> RunReport {
+    let mut scheduler = spec.build();
+    simulate_into(
+        ws,
+        &instance.jobs,
+        &instance.capacity,
+        &mut *scheduler,
+        options,
+    )
+}
+
+/// Runs every spec in `specs` on the same instance and returns the reports
+/// in spec order.
+///
+/// This is the Table I inner loop: the instance (arrival draw + capacity
+/// realisation) is built **once** per seed and replayed across all
+/// schedulers, instead of regenerating per policy. All runs share one
+/// internal workspace, so after the first spec warms it the remaining
+/// specs reuse its buffers (every report keeps its own outcome table — the
+/// one per-run allocation the batch can't recycle, since it's returned).
+/// The reports are exactly what per-spec [`run_instance`] calls would have
+/// produced.
+pub fn run_instance_batch(
+    instance: &Instance,
+    specs: &[SchedulerSpec],
+    options: RunOptions,
+) -> Vec<RunReport> {
+    run_instance_batch_in(&mut SimWorkspace::new(), instance, specs, options)
+}
+
+/// [`run_instance_batch`] into a caller-owned workspace, for sweeps that
+/// batch many seeds per worker.
+pub fn run_instance_batch_in(
+    ws: &mut SimWorkspace,
+    instance: &Instance,
+    specs: &[SchedulerSpec],
+    options: RunOptions,
+) -> Vec<RunReport> {
+    specs
+        .iter()
+        .map(|spec| run_instance_in(ws, instance, spec, options))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cloudsched_core::JobSet;
+
+    fn small_instance() -> Instance {
+        let jobs = JobSet::from_tuples(&[
+            (0.0, 4.0, 2.0, 1.0),
+            (0.5, 3.0, 1.0, 5.0),
+            (1.0, 9.0, 4.0, 2.0),
+        ])
+        .unwrap();
+        let cap = cloudsched_capacity::PiecewiseConstant::constant(1.0).unwrap();
+        Instance::new(jobs, cap)
+    }
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -93,5 +122,35 @@ mod tests {
         let a = parallel_map(50, 1, |i| i as u64 * 7 % 13);
         let b = parallel_map(50, 8, |i| i as u64 * 7 % 13);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let inst = small_instance();
+        let mut ws = SimWorkspace::new();
+        let vdover = SchedulerSpec::VDover { k: 5.0, delta: 1.0 };
+        for spec in [SchedulerSpec::Edf, vdover] {
+            let fresh = run_instance(&inst, &spec, RunOptions::full());
+            let reused = run_instance_in(&mut ws, &inst, &spec, RunOptions::full());
+            assert_eq!(format!("{fresh:?}"), format!("{reused:?}"));
+            ws.recycle(reused);
+        }
+        assert_eq!(ws.runs(), 2);
+    }
+
+    #[test]
+    fn batch_equals_per_spec_runs() {
+        let inst = small_instance();
+        let specs = [
+            SchedulerSpec::Edf,
+            SchedulerSpec::VDover { k: 5.0, delta: 1.0 },
+            SchedulerSpec::Edf,
+        ];
+        let batch = run_instance_batch(&inst, &specs, RunOptions::full());
+        assert_eq!(batch.len(), specs.len());
+        for (spec, got) in specs.iter().zip(&batch) {
+            let want = run_instance(&inst, spec, RunOptions::full());
+            assert_eq!(format!("{want:?}"), format!("{got:?}"));
+        }
     }
 }

@@ -307,7 +307,8 @@ fn parse_row(obj: &str) -> Result<KernelBenchRow, String> {
 }
 
 /// Splits a flat JSON-object body on commas that are not inside strings.
-fn split_top_level(s: &str) -> Vec<String> {
+/// Shared with the sweep-bench schema validator.
+pub(crate) fn split_top_level(s: &str) -> Vec<String> {
     let mut parts = Vec::new();
     let mut cur = String::new();
     let mut in_str = false;
@@ -329,7 +330,7 @@ fn split_top_level(s: &str) -> Vec<String> {
     parts
 }
 
-fn unquote(s: &str) -> Result<String, String> {
+pub(crate) fn unquote(s: &str) -> Result<String, String> {
     s.strip_prefix('"')
         .and_then(|x| x.strip_suffix('"'))
         .map(str::to_string)

@@ -16,8 +16,10 @@
 //!
 //! The library part hosts the parallel Monte-Carlo driver, the scheduler
 //! factory, the std-only [`microbench`] timing harness shared by the
-//! binaries and the bench targets, and the [`kernel_bench`] hot-path sweep
-//! behind `cloudsched bench` / `BENCH_kernel.json`.
+//! binaries and the bench targets, and the two checked-in benchmark
+//! suites behind `cloudsched bench`: the [`kernel_bench`] hot-path sweep
+//! (`BENCH_kernel.json`) and the [`sweep_bench`] Monte-Carlo throughput
+//! sweep (`BENCH_sweep.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,11 +29,19 @@ pub mod harness;
 pub mod kernel_bench;
 pub mod microbench;
 pub mod ratio;
+pub mod sweep_bench;
 
 pub use algos::SchedulerSpec;
-pub use harness::{parallel_map, run_instance};
+pub use harness::{
+    default_threads, parallel_map, parallel_map_with, run_instance, run_instance_batch,
+    run_instance_batch_in, run_instance_in,
+};
 pub use kernel_bench::{
     bench_instance, parse_rows, rows_to_json, run_kernel_bench, KernelBenchConfig, KernelBenchRow,
 };
 pub use microbench::BenchGroup;
 pub use ratio::{empirical_ratio, Normalizer};
+pub use sweep_bench::{
+    parse_sweep_rows, run_sweep_bench, sweep_rows_to_json, sweep_specs, SweepBenchConfig,
+    SweepBenchOutcome, SweepBenchRow,
+};

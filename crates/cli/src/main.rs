@@ -15,8 +15,8 @@
 //! cloudsched replay  --in FILE
 //! cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
 //!                    [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
-//!                    [--trace-out FILE]
-//! cloudsched bench   [--quick] [--out FILE]
+//!                    [--threads N] [--trace-out FILE]
+//! cloudsched bench   [--suite kernel|sweep] [--quick] [--out FILE]
 //! ```
 //!
 //! Job traces use the plain-text format of `cloudsched-workload::traces`;
@@ -95,8 +95,8 @@ const USAGE: &str = "usage:
   cloudsched replay  --in FILE
   cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
                      [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
-                     [--trace-out FILE]
-  cloudsched bench   [--quick] [--out FILE]";
+                     [--threads N] [--trace-out FILE]
+  cloudsched bench   [--suite kernel|sweep] [--quick] [--out FILE]";
 
 /// Renders a typed argument error (non-zero exit; `main` appends the usage).
 fn arg_error(flag: &str, reason: &str) -> String {
@@ -368,8 +368,10 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
 /// `cloudsched chaos`: a seed-sweep fault-injection campaign. For every
 /// seed the fault-free baseline and each degradation policy run on the
 /// *same* corrupted instance; the report compares accrued value and fault
-/// bookkeeping. `--trace-out` additionally writes the byte-stable JSONL
-/// fault trace of the first seed (Degrade policy when it is in the sweep).
+/// bookkeeping. `--threads N` fans the seed sweep out over a work-stealing
+/// pool — the report stays bit-identical to a serial run. `--trace-out`
+/// additionally writes the byte-stable JSONL fault trace of the first
+/// seed (Degrade policy when it is in the sweep).
 fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
     use cloudsched_faults::{chaos_trace, run_campaign, ChaosConfig, FaultPlan};
     use cloudsched_sim::DegradationPolicy;
@@ -402,6 +404,9 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
             cfg.policies = vec![p];
         }
     }
+    if let Some(s) = flags.get("threads") {
+        cfg.threads = s.parse().map_err(|e| format!("--threads: {e}"))?;
+    }
     let report = run_campaign(&cfg).map_err(|e| e.to_string())?;
     print!("{}", report.render());
     if let Some(path) = flags.get("trace-out") {
@@ -424,16 +429,31 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `cloudsched bench`: the kernel hot-path benchmark. Sweeps EDF / Dover /
-/// V-Dover over seeded instances (n ∈ {1e3, 1e4, 1e5}; `--quick` restricts
-/// to n = 1e3 with one repetition — the CI smoke configuration) and writes
-/// the ns/decision report to `--out` (default `BENCH_kernel.json`). All
-/// timing happens inside `cloudsched-bench` behind the `obs::Clock` seam;
-/// the written report is re-parsed through the strict schema validator so
-/// a malformed report fails the command.
+/// `cloudsched bench`: the checked-in benchmark suites. `--suite kernel`
+/// (the default) sweeps EDF / Dover / V-Dover hot-path ns/decision over
+/// seeded instances (n ∈ {1e3, 1e4, 1e5}) into `BENCH_kernel.json`;
+/// `--suite sweep` measures Monte-Carlo runs/second of the Table-I panel
+/// in fresh vs reused-workspace modes across thread counts into
+/// `BENCH_sweep.json`. `--quick` selects each suite's CI smoke
+/// configuration. All timing happens inside `cloudsched-bench` behind the
+/// `obs::Clock` seam; the written report is re-parsed through the suite's
+/// strict schema validator so a malformed report fails the command.
 fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let suite = flags.get("suite").map(String::as_str).unwrap_or("kernel");
+    let quick = flags.contains_key("quick");
+    match suite {
+        "kernel" => cmd_bench_kernel(flags, quick),
+        "sweep" => cmd_bench_sweep(flags, quick),
+        other => Err(arg_error(
+            "--suite",
+            &format!("unknown suite `{other}` (kernel|sweep)"),
+        )),
+    }
+}
+
+fn cmd_bench_kernel(flags: &HashMap<String, String>, quick: bool) -> Result<(), String> {
     use cloudsched_bench::{parse_rows, rows_to_json, run_kernel_bench, KernelBenchConfig};
-    let cfg = if flags.contains_key("quick") {
+    let cfg = if quick {
         KernelBenchConfig::quick()
     } else {
         KernelBenchConfig::default()
@@ -456,6 +476,42 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     parse_rows(&json).map_err(|e| format!("generated report failed schema validation: {e}"))?;
     std::fs::write(&out, &json).map_err(|e| format!("{out}: {e}"))?;
     eprintln!("wrote {} rows to {out}", rows.len());
+    Ok(())
+}
+
+fn cmd_bench_sweep(flags: &HashMap<String, String>, quick: bool) -> Result<(), String> {
+    use cloudsched_bench::{
+        parse_sweep_rows, run_sweep_bench, sweep_rows_to_json, SweepBenchConfig,
+    };
+    let cfg = if quick {
+        SweepBenchConfig::quick()
+    } else {
+        SweepBenchConfig::default()
+    };
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".into());
+    eprintln!(
+        "sweep bench: lambda {}, {} runs/cell, threads {:?}",
+        cfg.lambda, cfg.runs, cfg.threads
+    );
+    let outcome = run_sweep_bench(&cfg, |row| {
+        eprintln!(
+            "  {:<5} threads={:<2} {:>9.2} runs/s  {:>10.3} ms  reuse_hits={}",
+            row.mode, row.threads, row.runs_per_sec, row.wall_ms, row.reuse_hits
+        );
+    });
+    eprintln!(
+        "workspace counters: runs={} reuse_hits={}",
+        outcome.metrics.counter("sweep.workspace.runs"),
+        outcome.metrics.counter("sweep.workspace.reuse_hits"),
+    );
+    let json = sweep_rows_to_json(&outcome.rows);
+    parse_sweep_rows(&json)
+        .map_err(|e| format!("generated report failed schema validation: {e}"))?;
+    std::fs::write(&out, &json).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {} rows to {out}", outcome.rows.len());
     Ok(())
 }
 
@@ -532,6 +588,26 @@ mod tests {
         assert_eq!(rows.len(), 3, "EDF, Dover, V-Dover at n = 1e3");
         assert!(rows.iter().all(|r| r.n == 1_000 && r.seed == 7));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_sweep_quick_writes_a_schema_valid_report() {
+        let path = std::env::temp_dir().join("cloudsched-cli-test-bench-sweep.json");
+        cmd_bench(&flags_of(&[
+            "--suite",
+            "sweep",
+            "--quick",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .expect("sweep bench");
+        let text = std::fs::read_to_string(&path).expect("report file");
+        let rows = cloudsched_bench::parse_sweep_rows(&text).expect("schema-valid report");
+        assert_eq!(rows.len(), 4, "fresh/reuse at threads {{1, 2}}");
+        let digest = &rows[0].digest;
+        assert!(rows.iter().all(|r| &r.digest == digest));
+        std::fs::remove_file(path).ok();
+        assert!(cmd_bench(&flags_of(&["--suite", "espresso"])).is_err());
     }
 
     #[test]

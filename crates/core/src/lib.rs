@@ -29,6 +29,7 @@ pub mod job;
 pub mod jobset;
 pub mod numeric;
 pub mod outcome;
+pub mod par;
 pub mod rng;
 pub mod schedule;
 pub mod time;
@@ -38,7 +39,8 @@ pub use job::{Job, JobBuilder, JobId};
 pub use jobset::JobSet;
 pub use numeric::{approx_eq, approx_ge, approx_le, approx_zero, EPS_ABS, EPS_REL};
 pub use outcome::{JobOutcome, Outcome};
-pub use rng::{Pcg32, Rng, SplitMix64};
+pub use par::{default_threads, parallel_map, parallel_map_with};
+pub use rng::{derive_seed, Pcg32, Rng, SplitMix64};
 pub use schedule::{ExecutionSlice, Schedule};
 pub use time::{Duration, Time};
 

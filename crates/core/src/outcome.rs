@@ -36,12 +36,33 @@ pub struct Outcome {
     outcomes: Vec<JobOutcome>,
 }
 
+impl Default for Outcome {
+    /// An empty table — the state a recycled workspace starts from.
+    fn default() -> Self {
+        Outcome::new(0)
+    }
+}
+
 impl Outcome {
     /// Creates an outcome table for `n` jobs, all initially `NotReleased`.
     pub fn new(n: usize) -> Self {
         Outcome {
             outcomes: vec![JobOutcome::NotReleased; n],
         }
+    }
+
+    /// Resets the table to `n` jobs, all `NotReleased`, keeping the
+    /// allocation. Workspace reuse (`sim::SimWorkspace`) recycles outcome
+    /// tables across Monte-Carlo runs through this.
+    pub fn reset(&mut self, n: usize) {
+        self.outcomes.clear();
+        self.outcomes.resize(n, JobOutcome::NotReleased);
+    }
+
+    /// Number of jobs the table can hold without reallocating.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.outcomes.capacity()
     }
 
     /// Sets the outcome of one job.
@@ -155,6 +176,22 @@ mod tests {
         let o = Outcome::new(0);
         assert!(o.is_empty());
         assert_eq!(o.value_fraction(&js), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_capacity() {
+        let mut o = Outcome::new(8);
+        o.set(JobId(3), JobOutcome::Completed { at: Time::new(1.0) });
+        let cap = o.capacity();
+        assert!(cap >= 8);
+        o.reset(5);
+        assert_eq!(o.len(), 5);
+        assert_eq!(o.capacity(), cap, "reset within capacity must not realloc");
+        assert_eq!(o.get(JobId(3)), JobOutcome::NotReleased);
+        // Growing past capacity is allowed, just not free.
+        o.reset(cap + 1);
+        assert_eq!(o.len(), cap + 1);
+        assert_eq!(Outcome::default().len(), 0);
     }
 
     #[test]

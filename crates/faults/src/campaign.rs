@@ -12,7 +12,7 @@ use crate::capacity::apply_capacity_faults;
 use crate::config::FaultPlan;
 use crate::stream::{corrupt_stream, InjectedFault};
 use cloudsched_capacity::{CapacityProfile, Instance};
-use cloudsched_core::{CoreError, Rng, SplitMix64};
+use cloudsched_core::{parallel_map, CoreError, Rng, SplitMix64};
 use cloudsched_obs::{JsonlTracer, NoopTracer};
 use cloudsched_sim::{
     simulate, simulate_degraded, DegradationPolicy, DegradationStats, RunOptions, WatchdogConfig,
@@ -34,6 +34,10 @@ pub struct ChaosConfig {
     pub plan: FaultPlan,
     /// Degradation policies to compare (in report order).
     pub policies: Vec<DegradationPolicy>,
+    /// Worker threads for the seed sweep. Purely a wall-clock knob: the
+    /// report and traces are bit-identical for every value (each seed is
+    /// self-contained and results are joined in seed order).
+    pub threads: usize,
 }
 
 impl Default for ChaosConfig {
@@ -49,6 +53,7 @@ impl Default for ChaosConfig {
                 DegradationPolicy::Degrade,
                 DegradationPolicy::BestEffort,
             ],
+            threads: 1,
         }
     }
 }
@@ -296,40 +301,53 @@ fn run_policy(
 /// Unknown scheduler names, out-of-domain parameters, or instance
 /// generation failures.
 pub fn run_campaign(cfg: &ChaosConfig) -> Result<CampaignReport, CoreError> {
-    let mut seeds = Vec::with_capacity(cfg.num_seeds);
-    for i in 0..cfg.num_seeds {
-        let seed = cfg.first_seed + i as u64;
-        let fi = prepare(&cfg.plan, cfg.lambda, seed)?;
-        let (c_lo, c_hi) = fi.baseline.capacity.bounds();
-        let mut base_sched = cloudsched_sched::by_name(&cfg.scheduler, fi.k, fi.delta, c_lo, c_hi)?;
-        let baseline = simulate(
-            &fi.baseline.jobs,
-            &fi.baseline.capacity,
-            &mut *base_sched,
-            RunOptions::lean(),
-        );
-        let mut policies = Vec::with_capacity(cfg.policies.len());
-        for &policy in &cfg.policies {
-            policies.push(run_policy(
-                &fi,
-                &cfg.scheduler,
-                policy,
-                seed,
-                &cfg.plan,
-                baseline.value,
-            )?);
-        }
-        seeds.push(SeedOutcome {
-            seed,
-            clean_jobs: fi.baseline.jobs.len(),
-            injected: fi.injected.len(),
-            baseline_value: baseline.value,
-            policies,
-        });
-    }
+    // Seeds are independent, so the sweep fans out over a work-stealing
+    // pool; `parallel_map` returns results in seed order regardless of
+    // thread count, keeping the report byte-identical to a serial run.
+    let seeds = parallel_map(cfg.num_seeds, cfg.threads.max(1), |i| {
+        run_seed(cfg, cfg.first_seed + i as u64)
+    })
+    .into_iter()
+    .collect::<Result<Vec<SeedOutcome>, CoreError>>()?;
     Ok(CampaignReport {
         config: cfg.clone(),
         seeds,
+    })
+}
+
+/// Runs one seed of the campaign: the fault-free baseline plus one degraded
+/// run per policy on the identical corrupted instance.
+///
+/// # Errors
+/// Unknown scheduler names, out-of-domain parameters, or instance
+/// generation failures.
+pub fn run_seed(cfg: &ChaosConfig, seed: u64) -> Result<SeedOutcome, CoreError> {
+    let fi = prepare(&cfg.plan, cfg.lambda, seed)?;
+    let (c_lo, c_hi) = fi.baseline.capacity.bounds();
+    let mut base_sched = cloudsched_sched::by_name(&cfg.scheduler, fi.k, fi.delta, c_lo, c_hi)?;
+    let baseline = simulate(
+        &fi.baseline.jobs,
+        &fi.baseline.capacity,
+        &mut *base_sched,
+        RunOptions::lean(),
+    );
+    let mut policies = Vec::with_capacity(cfg.policies.len());
+    for &policy in &cfg.policies {
+        policies.push(run_policy(
+            &fi,
+            &cfg.scheduler,
+            policy,
+            seed,
+            &cfg.plan,
+            baseline.value,
+        )?);
+    }
+    Ok(SeedOutcome {
+        seed,
+        clean_jobs: fi.baseline.jobs.len(),
+        injected: fi.injected.len(),
+        baseline_value: baseline.value,
+        policies,
     })
 }
 
@@ -386,6 +404,7 @@ mod tests {
                 DegradationPolicy::Degrade,
                 DegradationPolicy::BestEffort,
             ],
+            threads: 1,
         }
     }
 
@@ -439,6 +458,17 @@ mod tests {
                 >= report.mean_retention(DegradationPolicy::Strict)
         );
         assert_eq!(report.audit_errors(), 0, "no run may violate the audit");
+    }
+
+    #[test]
+    fn threaded_campaigns_match_the_serial_report() {
+        let serial = run_campaign(&small()).unwrap();
+        let mut cfg = small();
+        cfg.threads = 4;
+        let threaded = run_campaign(&cfg).unwrap();
+        // The thread count is a pure wall-clock knob: render() omits it and
+        // every other byte of the report must match the serial sweep.
+        assert_eq!(serial.render(), threaded.render());
     }
 
     #[test]

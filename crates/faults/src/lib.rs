@@ -34,8 +34,8 @@ pub mod oracle;
 pub mod stream;
 
 pub use campaign::{
-    chaos_trace, oracle_seed, prepare, run_campaign, CampaignReport, ChaosConfig, FaultedInstance,
-    PolicyOutcome, SeedOutcome,
+    chaos_trace, oracle_seed, prepare, run_campaign, run_seed, CampaignReport, ChaosConfig,
+    FaultedInstance, PolicyOutcome, SeedOutcome,
 };
 pub use capacity::{apply_capacity_faults, inject_dip};
 pub use config::{CapacityFaultConfig, FaultPlan, OracleFaultConfig, StreamFaultConfig};

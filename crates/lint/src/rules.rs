@@ -56,6 +56,10 @@ const L001_CRATES: &[&str] = &["core", "capacity", "sim", "sched", "offline", "a
 /// Crates whose library code must not unwrap.
 const L002_CRATES: &[&str] = &["sim", "sched", "capacity", "offline"];
 /// Crates that form the deterministic simulation core (no wall clock).
+/// `core` includes the work-stealing `par` fan-out and `sim` the reusable
+/// `SimWorkspace`: both sit on sweep hot paths and must stay wall-clock
+/// free — all sweep timing lives in `bench` (the `kernel` and `sweep`
+/// suites), which is the sanctioned L005/L006 wall-clock user.
 const L005_CRATES: &[&str] = &[
     "core", "capacity", "sim", "sched", "offline", "workload", "obs", "faults",
 ];
@@ -490,7 +494,9 @@ fn on_ident_boundary(text: &str, at: usize, len: usize) -> bool {
 /// Everything — library and binary code alike — must obtain timing through
 /// the [`cloudsched_obs::Clock`] seam so profiled runs stay swappable for
 /// deterministic ones. The only sanctioned holders of `std::time` types are
-/// the seam itself (`obs/src/clock.rs`) and the benchmark harness.
+/// the seam itself (`obs/src/clock.rs`) and the benchmark harness (the
+/// whole `bench` crate: microbench, the `kernel` suite and the `sweep`
+/// suite with its `sweep` binary).
 fn l006_raw_time_types(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
     if file.crate_name == "bench" || file.rel_path.ends_with("obs/src/clock.rs") {
         return;

@@ -40,8 +40,11 @@ pub struct SimContext<'a> {
     current_rate: f64,
     c_lo: f64,
     c_hi: f64,
-    timer_requests: Vec<TimerRequest>,
-    abandon_notices: Vec<JobId>,
+    // Scratch buffers owned by the kernel's workspace and drained by the
+    // dispatch loop after each handler call; borrowing them keeps the
+    // steady state of a Monte-Carlo sweep allocation-free.
+    timer_requests: &'a mut Vec<TimerRequest>,
+    abandon_notices: &'a mut Vec<JobId>,
     tracer: &'a mut dyn Tracer,
 }
 
@@ -67,8 +70,11 @@ impl<'a> SimContext<'a> {
         current_rate: f64,
         c_lo: f64,
         c_hi: f64,
+        timer_requests: &'a mut Vec<TimerRequest>,
+        abandon_notices: &'a mut Vec<JobId>,
         tracer: &'a mut dyn Tracer,
     ) -> Self {
+        debug_assert!(timer_requests.is_empty() && abandon_notices.is_empty());
         SimContext {
             now,
             jobs,
@@ -77,8 +83,8 @@ impl<'a> SimContext<'a> {
             current_rate,
             c_lo,
             c_hi,
-            timer_requests: Vec::new(),
-            abandon_notices: Vec::new(),
+            timer_requests,
+            abandon_notices,
             tracer,
         }
     }
@@ -158,10 +164,6 @@ impl<'a> SimContext<'a> {
         self.timer_requests.push(TimerRequest { at, job, token });
     }
 
-    pub(crate) fn take_timer_requests(&mut self) -> Vec<TimerRequest> {
-        std::mem::take(&mut self.timer_requests)
-    }
-
     /// Whether a live tracer is attached. Handlers should skip constructing
     /// trace events entirely when this is `false`.
     #[inline]
@@ -195,10 +197,6 @@ impl<'a> SimContext<'a> {
         }
         self.abandon_notices.push(job);
     }
-
-    pub(crate) fn take_abandon_notices(&mut self) -> Vec<JobId> {
-        std::mem::take(&mut self.abandon_notices)
-    }
 }
 
 #[cfg(test)]
@@ -215,6 +213,7 @@ mod tests {
         let js = jobs();
         let remaining = [4.0, 1.0];
         let mut tracer = NoopTracer;
+        let (mut timers, mut abandons) = (Vec::new(), Vec::new());
         let ctx = SimContext::new(
             Time::new(2.0),
             &js,
@@ -223,6 +222,8 @@ mod tests {
             3.0,
             1.0,
             4.0,
+            &mut timers,
+            &mut abandons,
             &mut tracer,
         );
         assert!(!ctx.tracing_enabled());
@@ -240,6 +241,7 @@ mod tests {
         let js = jobs();
         let remaining = [4.0, 1.0];
         let mut tracer = NoopTracer;
+        let (mut timers, mut abandons) = (Vec::new(), Vec::new());
         let ctx = SimContext::new(
             Time::new(2.0),
             &js,
@@ -248,6 +250,8 @@ mod tests {
             1.0,
             2.0,
             4.0,
+            &mut timers,
+            &mut abandons,
             &mut tracer,
         );
         // Job 0: d=10, now=2, p_r=4, c_lo=2 => 10-2-2 = 6.
@@ -258,10 +262,11 @@ mod tests {
     }
 
     #[test]
-    fn timers_clamp_to_now_and_drain() {
+    fn timers_clamp_to_now_and_land_in_the_scratch_buffer() {
         let js = jobs();
         let remaining = [4.0, 1.0];
         let mut tracer = NoopTracer;
+        let (mut timers, mut abandons) = (Vec::new(), Vec::new());
         let mut ctx = SimContext::new(
             Time::new(5.0),
             &js,
@@ -270,16 +275,18 @@ mod tests {
             1.0,
             1.0,
             1.0,
+            &mut timers,
+            &mut abandons,
             &mut tracer,
         );
         ctx.set_timer(Time::new(3.0), JobId(0), 7); // in the past -> clamped
         ctx.set_timer(Time::new(8.0), JobId(1), 9);
-        let reqs = ctx.take_timer_requests();
-        assert_eq!(reqs.len(), 2);
-        assert_eq!(reqs[0].at, Time::new(5.0));
-        assert_eq!(reqs[0].token, 7);
-        assert_eq!(reqs[1].at, Time::new(8.0));
-        assert!(ctx.take_timer_requests().is_empty());
+        drop(ctx);
+        assert_eq!(timers.len(), 2);
+        assert_eq!(timers[0].at, Time::new(5.0));
+        assert_eq!(timers[0].token, 7);
+        assert_eq!(timers[1].at, Time::new(8.0));
+        assert!(abandons.is_empty());
     }
 
     #[test]
@@ -287,6 +294,7 @@ mod tests {
         let js = jobs();
         let remaining = [4.0, 1.5];
         let mut ring = RingTracer::new(8);
+        let (mut timers, mut abandons) = (Vec::new(), Vec::new());
         let mut ctx = SimContext::new(
             Time::new(3.0),
             &js,
@@ -295,13 +303,15 @@ mod tests {
             1.0,
             1.0,
             1.0,
+            &mut timers,
+            &mut abandons,
             &mut ring,
         );
         assert!(ctx.tracing_enabled());
         ctx.abandon(JobId(1));
-        assert_eq!(ctx.take_abandon_notices(), vec![JobId(1)]);
-        assert!(ctx.take_abandon_notices().is_empty());
         drop(ctx);
+        assert_eq!(abandons, vec![JobId(1)]);
+        assert!(timers.is_empty());
         let evs: Vec<_> = ring.take();
         assert_eq!(evs.len(), 1);
         match evs[0] {
@@ -324,6 +334,7 @@ mod tests {
         let js = jobs();
         let remaining = [4.0, 1.0];
         let mut tracer = NoopTracer;
+        let (mut timers, mut abandons) = (Vec::new(), Vec::new());
         let mut ctx = SimContext::new(
             Time::new(1.0),
             &js,
@@ -332,6 +343,8 @@ mod tests {
             1.0,
             1.0,
             1.0,
+            &mut timers,
+            &mut abandons,
             &mut tracer,
         );
         ctx.trace(TraceEvent::ClaxityZero {
@@ -341,6 +354,7 @@ mod tests {
         // Abandon notices still flow even when tracing is off: the kernel's
         // expired/abandoned split must not depend on observability.
         ctx.abandon(JobId(0));
-        assert_eq!(ctx.take_abandon_notices(), vec![JobId(0)]);
+        drop(ctx);
+        assert_eq!(abandons, vec![JobId(0)]);
     }
 }

@@ -5,11 +5,12 @@ use crate::degrade::{
     DegradationPolicy, DegradationStats, DegradedOutcome, OracleReading, RateOracle, Watchdog,
     WatchdogConfig,
 };
-use crate::event::{EventKind, EventQueue};
+use crate::event::EventKind;
 use crate::report::{RunReport, TrajectoryPoint};
 use crate::scheduler::Scheduler;
+use crate::workspace::SimWorkspace;
 use cloudsched_capacity::CapacityProfile;
-use cloudsched_core::{CoreError, JobId, JobOutcome, JobSet, Outcome, Schedule, Time};
+use cloudsched_core::{CoreError, JobId, JobOutcome, JobSet, Schedule, Time};
 use cloudsched_obs::{FaultKind, MetricsRegistry, NoopTracer, Profiler, TraceEvent, Tracer};
 
 /// Knobs for a single run.
@@ -58,22 +59,19 @@ fn completion_tolerance(workload: f64) -> f64 {
 struct Kernel<'a, P: CapacityProfile, T: Tracer> {
     jobs: &'a JobSet,
     capacity: &'a P,
-    queue: EventQueue,
+    /// Every per-run buffer lives here: the event queue, the per-job
+    /// remaining/released/resolved/started/abandoned/quarantined tables,
+    /// the outcome table and the handler scratch vectors. Borrowing them
+    /// from a caller-owned arena is what lets Monte-Carlo sweeps run
+    /// allocation-free after warm-up; field semantics are documented on
+    /// [`SimWorkspace`].
+    ws: &'a mut SimWorkspace,
     now: Time,
-    /// Remaining workload per job, exact integral bookkeeping.
-    remaining: Vec<f64>,
-    released: Vec<bool>,
-    resolved: Vec<bool>,
-    /// Dispatched at least once (distinguishes admit from resume in traces).
-    started: Vec<bool>,
-    /// Explicitly given up by the scheduler via `SimContext::abandon`.
-    abandoned: Vec<bool>,
     running: Option<JobId>,
     /// Incremented on every dispatch; stale completion events are detected by
     /// epoch mismatch.
     epoch: u64,
     slice_start: Time,
-    outcome: Outcome,
     value: f64,
     preemptions: usize,
     dispatches: usize,
@@ -93,13 +91,6 @@ struct Kernel<'a, P: CapacityProfile, T: Tracer> {
     c_hi: f64,
     tracer: &'a mut T,
     profiler: Option<&'a Profiler>,
-    /// Jobs pulled from the scheduler's view by the degradation layer.
-    /// Cleared again on re-admission.
-    quarantined: Vec<bool>,
-    /// Index of live quarantined jobs (ascending id order — the re-admission
-    /// order), so capacity recovery visits exactly the pending set instead
-    /// of scanning every job.
-    quarantine_pending: std::collections::BTreeSet<usize>,
     /// Online precondition checker; `None` for plain (non-degraded) runs.
     watchdog: Option<Watchdog>,
     /// Monitoring-plane channel for capacity measurements. Job progress
@@ -111,7 +102,9 @@ struct Kernel<'a, P: CapacityProfile, T: Tracer> {
 }
 
 impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
+        ws: &'a mut SimWorkspace,
         jobs: &'a JobSet,
         capacity: &'a P,
         options: RunOptions,
@@ -121,10 +114,13 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         oracle: Option<&'a mut dyn RateOracle>,
     ) -> Self {
         let n = jobs.len();
-        let mut queue = EventQueue::new();
+        ws.begin(n);
+        ws.remaining.extend(jobs.iter().map(|j| j.workload));
         for job in jobs.iter() {
-            queue.push(job.release, EventKind::Release { job: job.id });
-            queue.push(job.deadline, EventKind::Deadline { job: job.id });
+            ws.queue
+                .push(job.release, EventKind::Release { job: job.id });
+            ws.queue
+                .push(job.deadline, EventKind::Deadline { job: job.id });
         }
         let horizon = if n > 0 {
             jobs.last_deadline()
@@ -146,24 +142,18 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             }
             let next = capacity.next_change_after(Time::ZERO);
             if next <= horizon {
-                queue.push(next, EventKind::CapacityChange);
+                ws.queue.push(next, EventKind::CapacityChange);
             }
         }
         let (c_lo, c_hi) = capacity.bounds();
         Kernel {
             jobs,
             capacity,
-            queue,
+            ws,
             now: Time::ZERO,
-            remaining: jobs.iter().map(|j| j.workload).collect(),
-            released: vec![false; n],
-            resolved: vec![false; n],
-            started: vec![false; n],
-            abandoned: vec![false; n],
             running: None,
             epoch: 0,
             slice_start: Time::ZERO,
-            outcome: Outcome::new(n),
             value: 0.0,
             preemptions: 0,
             dispatches: 0,
@@ -185,8 +175,6 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             c_hi,
             tracer,
             profiler,
-            quarantined: vec![false; n],
-            quarantine_pending: std::collections::BTreeSet::new(),
             watchdog,
             oracle,
             aborted: None,
@@ -203,7 +191,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                 "capacity integral over [{}, {t}] is {done}",
                 self.now
             );
-            let r = &mut self.remaining[j.index()];
+            let r = &mut self.ws.remaining[j.index()];
             *r = (*r - done).max(0.0);
             debug_assert!(
                 r.is_finite() && *r >= 0.0,
@@ -229,15 +217,16 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
 
     /// Marks `job` completed at the current instant and accrues its value.
     fn complete(&mut self, job: JobId) {
-        debug_assert!(!self.resolved[job.index()]);
+        debug_assert!(!self.ws.resolved[job.index()]);
         debug_assert!(
-            self.remaining[job.index()] <= completion_tolerance(self.jobs.get(job).workload),
+            self.ws.remaining[job.index()] <= completion_tolerance(self.jobs.get(job).workload),
             "{job} declared complete with {} workload left",
-            self.remaining[job.index()]
+            self.ws.remaining[job.index()]
         );
-        self.remaining[job.index()] = 0.0;
-        self.resolved[job.index()] = true;
-        self.outcome
+        self.ws.remaining[job.index()] = 0.0;
+        self.ws.resolved[job.index()] = true;
+        self.ws
+            .outcome
             .set(job, JobOutcome::Completed { at: self.now });
         self.value += self.jobs.get(job).value;
         if self.tracer.enabled() {
@@ -260,26 +249,31 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         S: Scheduler + ?Sized,
         F: FnOnce(&mut S, &mut SimContext<'_>) -> Decision,
     {
+        // The context borrows disjoint workspace fields: the remaining
+        // table read-only, the two scratch vectors mutably. Draining the
+        // scratch in place (instead of mem::take into fresh vectors) is
+        // what keeps the handler path allocation-free in the steady state.
+        let ws = &mut *self.ws;
         let mut ctx = SimContext::new(
             self.now,
             self.jobs,
-            &self.remaining,
+            &ws.remaining,
             self.running,
             self.capacity.rate_at(self.now),
             self.c_lo,
             self.c_hi,
+            &mut ws.timer_scratch,
+            &mut ws.abandon_scratch,
             &mut *self.tracer,
         );
         let decision = {
             let _span = self.profiler.map(|p| p.span("kernel.dispatch"));
             f(scheduler, &mut ctx)
         };
-        let (timers, abandons) = {
-            let mut ctx = ctx;
-            (ctx.take_timer_requests(), ctx.take_abandon_notices())
-        };
-        for t in timers {
-            self.queue.push(
+        drop(ctx);
+        for i in 0..ws.timer_scratch.len() {
+            let t = ws.timer_scratch[i];
+            ws.queue.push(
                 t.at,
                 EventKind::Timer {
                     job: t.job,
@@ -287,9 +281,12 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                 },
             );
         }
-        for j in abandons {
-            self.abandoned[j.index()] = true;
+        ws.timer_scratch.clear();
+        for i in 0..ws.abandon_scratch.len() {
+            let j = ws.abandon_scratch[i];
+            ws.abandoned[j.index()] = true;
         }
+        ws.abandon_scratch.clear();
         self.apply(decision);
     }
 
@@ -300,7 +297,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                 self.tracer.record(&TraceEvent::Preempt {
                     t: self.now,
                     job: cur,
-                    remaining: self.remaining[cur.index()],
+                    remaining: self.ws.remaining[cur.index()],
                 });
             }
         }
@@ -406,14 +403,14 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             // pending index iterates ascending, matching the full scan it
             // replaced; the snapshot is taken up front because re-admission
             // dispatches into the scheduler.
-            let ready: Vec<usize> = self.quarantine_pending.iter().copied().collect();
+            let ready: Vec<usize> = self.ws.quarantine_pending.iter().copied().collect();
             for i in ready {
-                self.quarantine_pending.remove(&i);
-                if !self.quarantined[i] || self.resolved[i] {
+                self.ws.quarantine_pending.remove(&i);
+                if !self.ws.quarantined[i] || self.ws.resolved[i] {
                     continue;
                 }
                 let job = JobId(i as u64);
-                self.quarantined[i] = false;
+                self.ws.quarantined[i] = false;
                 if let Some(w) = self.watchdog.as_mut() {
                     w.note_readmit();
                 }
@@ -441,15 +438,15 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     return;
                 }
                 let i = j.index();
-                assert!(self.released[i], "scheduler dispatched unreleased {j}");
-                assert!(!self.resolved[i], "scheduler dispatched resolved {j}");
+                assert!(self.ws.released[i], "scheduler dispatched unreleased {j}");
+                assert!(!self.ws.resolved[i], "scheduler dispatched resolved {j}");
                 if self.running.is_some() {
                     self.preemptions += 1;
                     self.trace_preempt();
                     self.vacate();
                 }
                 if self.tracer.enabled() {
-                    let ev = if self.started[i] {
+                    let ev = if self.ws.started[i] {
                         TraceEvent::Resume {
                             t: self.now,
                             job: j,
@@ -462,13 +459,15 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     };
                     self.tracer.record(&ev);
                 }
-                self.started[i] = true;
+                self.ws.started[i] = true;
                 self.running = Some(j);
                 self.epoch += 1;
                 self.slice_start = self.now;
                 self.dispatches += 1;
-                let done_at = self.capacity.time_to_complete(self.now, self.remaining[i]);
-                self.queue.push(
+                let done_at = self
+                    .capacity
+                    .time_to_complete(self.now, self.ws.remaining[i]);
+                self.ws.queue.push(
                     done_at,
                     EventKind::Completion {
                         job: j,
@@ -487,7 +486,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         // before any job event (a no-op without a watchdog).
         self.watch_capacity(scheduler);
         while self.aborted.is_none() {
-            let Some(ev) = self.queue.pop() else { break };
+            let Some(ev) = self.ws.queue.pop() else { break };
             self.advance_to(ev.time);
             // Capacity-segment markers are trace bookkeeping, not kernel
             // events: the processed-event count stays identical whether or
@@ -507,7 +506,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     }
                     let next = self.capacity.next_change_after(self.now);
                     if next > self.now && next <= self.horizon {
-                        self.queue.push(next, EventKind::CapacityChange);
+                        self.ws.queue.push(next, EventKind::CapacityChange);
                     }
                     self.watch_capacity(scheduler);
                 }
@@ -520,20 +519,20 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
                 }
                 EventKind::Timer { job, token } => {
-                    if self.resolved[job.index()] || !self.released[job.index()] {
+                    if self.ws.resolved[job.index()] || !self.ws.released[job.index()] {
                         continue;
                     }
                     self.dispatch_handler(scheduler, |s, ctx| s.on_timer(ctx, job, token));
                 }
                 EventKind::Release { job } => {
-                    self.released[job.index()] = true;
+                    self.ws.released[job.index()] = true;
                     if self.tracer.enabled() {
                         let j = self.jobs.get(job);
                         self.tracer.record(&TraceEvent::Arrival {
                             t: self.now,
                             job,
                             laxity: j
-                                .laxity_with(self.now, self.remaining[job.index()], self.c_lo)
+                                .laxity_with(self.now, self.ws.remaining[job.index()], self.c_lo)
                                 .as_f64(),
                         });
                     }
@@ -567,8 +566,8 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                                     // Quarantine: the scheduler never sees
                                     // this job unless capacity recovery
                                     // re-admits it.
-                                    self.quarantined[job.index()] = true;
-                                    self.quarantine_pending.insert(job.index());
+                                    self.ws.quarantined[job.index()] = true;
+                                    self.ws.quarantine_pending.insert(job.index());
                                     if let Some(w) = self.watchdog.as_mut() {
                                         w.note_quarantine();
                                     }
@@ -590,7 +589,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     }
                 }
                 EventKind::Deadline { job } => {
-                    if self.resolved[job.index()] {
+                    if self.ws.resolved[job.index()] {
                         continue;
                     }
                     let was_running = self.running == Some(job);
@@ -601,14 +600,14 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     // A still-quarantined job is invisible to the scheduler
                     // (it never saw on_release), so its resolution must not
                     // reach the scheduler's handlers either.
-                    let hidden = self.quarantined[i];
+                    let hidden = self.ws.quarantined[i];
                     if hidden {
-                        self.quarantine_pending.remove(&i);
+                        self.ws.quarantine_pending.remove(&i);
                         if let Some(w) = self.watchdog.as_mut() {
                             w.note_quarantine_expired();
                         }
                     }
-                    if self.remaining[i] <= completion_tolerance(self.jobs.get(job).workload) {
+                    if self.ws.remaining[i] <= completion_tolerance(self.jobs.get(job).workload) {
                         // Finished exactly at the deadline (within rounding):
                         // "completing a job by its deadline" succeeds.
                         self.complete(job);
@@ -616,15 +615,15 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                             self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
                         }
                     } else {
-                        self.resolved[i] = true;
-                        self.outcome.set(
+                        self.ws.resolved[i] = true;
+                        self.ws.outcome.set(
                             job,
                             JobOutcome::Missed {
-                                remaining_workload: self.remaining[i],
+                                remaining_workload: self.ws.remaining[i],
                             },
                         );
                         let value = self.jobs.get(job).value;
-                        if self.abandoned[i] {
+                        if self.ws.abandoned[i] {
                             // The scheduler already gave this job up (and
                             // its Abandon trace event was emitted then):
                             // book it separately from passive expiry.
@@ -637,7 +636,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                                 self.tracer.record(&TraceEvent::Expire {
                                     t: self.now,
                                     job,
-                                    remaining: self.remaining[i],
+                                    remaining: self.ws.remaining[i],
                                     value,
                                 });
                             }
@@ -653,7 +652,11 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         // event always fires, vacating the processor — but stay defensive).
         self.vacate();
         let total_value = self.jobs.total_value();
-        let missed = self.outcome.missed().count();
+        // The outcome table moves into the report; the workspace's slot is
+        // left empty until the caller hands the report to
+        // `SimWorkspace::recycle` (sweeps that want full reuse do).
+        let outcome = std::mem::take(&mut self.ws.outcome);
+        let missed = outcome.missed().count();
         debug_assert_eq!(
             missed,
             self.expired + self.abandoned_count,
@@ -667,7 +670,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             } else {
                 0.0
             },
-            completed: self.outcome.completed_count(),
+            completed: outcome.completed_count(),
             missed,
             expired: self.expired,
             expired_value: self.expired_value,
@@ -676,7 +679,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             preemptions: self.preemptions,
             dispatches: self.dispatches,
             events: self.events_processed,
-            outcome: self.outcome,
+            outcome,
             schedule: self.schedule,
             trajectory: self.trajectory,
             metrics: None,
@@ -694,7 +697,9 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
 ///
 /// Untraced: instrumentation is compiled out behind [`NoopTracer`]. Use
 /// [`simulate_traced`] / [`simulate_observed`] / [`simulate_with_metrics`]
-/// for observability.
+/// for observability. For Monte-Carlo sweeps, [`simulate_into`] reuses a
+/// caller-owned [`SimWorkspace`] instead of allocating per run; this
+/// function is the single-run convenience wrapper over it.
 pub fn simulate<P, S>(
     jobs: &JobSet,
     capacity: &P,
@@ -705,8 +710,27 @@ where
     P: CapacityProfile,
     S: Scheduler + ?Sized,
 {
+    simulate_into(&mut SimWorkspace::new(), jobs, capacity, scheduler, options)
+}
+
+/// [`simulate`] into a reusable workspace: all per-run buffers come from
+/// `ws`, so a sweep that calls this in a loop allocates only until the
+/// buffers reach the campaign's high-water size. Results are byte-identical
+/// to [`simulate`] — `SimWorkspace::begin` resets every piece of run state,
+/// including the event queue's FIFO tie-break counter.
+pub fn simulate_into<P, S>(
+    ws: &mut SimWorkspace,
+    jobs: &JobSet,
+    capacity: &P,
+    scheduler: &mut S,
+    options: RunOptions,
+) -> RunReport
+where
+    P: CapacityProfile,
+    S: Scheduler + ?Sized,
+{
     let mut tracer = NoopTracer;
-    Kernel::new(jobs, capacity, options, &mut tracer, None, None, None)
+    Kernel::new(ws, jobs, capacity, options, &mut tracer, None, None, None)
         .run(scheduler)
         .0
 }
@@ -726,7 +750,32 @@ where
     S: Scheduler + ?Sized,
     T: Tracer,
 {
-    Kernel::new(jobs, capacity, options, tracer, None, None, None)
+    simulate_into_traced(
+        &mut SimWorkspace::new(),
+        jobs,
+        capacity,
+        scheduler,
+        options,
+        tracer,
+    )
+}
+
+/// [`simulate_traced`] into a reusable workspace; trace bytes are identical
+/// to a fresh-workspace run.
+pub fn simulate_into_traced<P, S, T>(
+    ws: &mut SimWorkspace,
+    jobs: &JobSet,
+    capacity: &P,
+    scheduler: &mut S,
+    options: RunOptions,
+    tracer: &mut T,
+) -> RunReport
+where
+    P: CapacityProfile,
+    S: Scheduler + ?Sized,
+    T: Tracer,
+{
+    Kernel::new(ws, jobs, capacity, options, tracer, None, None, None)
         .run(scheduler)
         .0
 }
@@ -746,9 +795,12 @@ where
     S: Scheduler + ?Sized,
     T: Tracer,
 {
-    Kernel::new(jobs, capacity, options, tracer, profiler, None, None)
-        .run(scheduler)
-        .0
+    let mut ws = SimWorkspace::new();
+    Kernel::new(
+        &mut ws, jobs, capacity, options, tracer, profiler, None, None,
+    )
+    .run(scheduler)
+    .0
 }
 
 /// [`simulate`] with the standard simulation metrics attached: runs with a
@@ -802,7 +854,15 @@ where
 {
     let (c_lo, c_hi) = capacity.bounds();
     let watchdog = Watchdog::new(policy, c_lo, c_hi, cfg);
+    let mut ws = SimWorkspace::new();
+    // Reborrow the oracle so the kernel's lifetime can be the local one of
+    // `ws` rather than the caller's `'a`.
+    let oracle: Option<&mut dyn RateOracle> = match oracle {
+        Some(o) => Some(&mut *o),
+        None => None,
+    };
     let kernel = Kernel::new(
+        &mut ws,
         jobs,
         capacity,
         options,

@@ -125,6 +125,21 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Empties the queue for reuse, keeping the heap allocation.
+    ///
+    /// The insertion-sequence counter restarts at 0: seq numbers only
+    /// break ties *within* one run, and resetting them is what makes a
+    /// recycled queue's tie-breaking byte-identical to a fresh one's.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +207,27 @@ mod tests {
             })
             .collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_restarts_the_fifo_sequence() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), EventKind::Release { job: JobId(9) });
+        q.push(t(1.0), EventKind::Release { job: JobId(8) });
+        q.clear();
+        assert!(q.is_empty());
+        // After clear, ties must resolve exactly as in a fresh queue:
+        // insertion order, counted from zero again.
+        for i in 0..3 {
+            q.push(t(2.0), EventKind::Release { job: JobId(i) });
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Release { job } => job.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod engine;
 pub mod event;
 pub mod report;
 pub mod scheduler;
+pub mod workspace;
 
 pub use context::{Decision, SimContext};
 pub use degrade::{
@@ -54,8 +55,9 @@ pub use degrade::{
     Watchdog, WatchdogConfig,
 };
 pub use engine::{
-    simulate, simulate_degraded, simulate_observed, simulate_traced, simulate_with_metrics,
-    RunOptions,
+    simulate, simulate_degraded, simulate_into, simulate_into_traced, simulate_observed,
+    simulate_traced, simulate_with_metrics, RunOptions,
 };
 pub use report::{RunReport, TrajectoryPoint};
 pub use scheduler::Scheduler;
+pub use workspace::SimWorkspace;

@@ -5,7 +5,7 @@
 export CARGO_NET_OFFLINE := "true"
 
 # Run the full CI gauntlet.
-ci: fmt build bench-check test lint golden-trace chaos bench-smoke
+ci: fmt build bench-check test lint golden-trace chaos bench-smoke sweep-smoke
 
 fmt:
     cargo fmt --all --check
@@ -57,6 +57,19 @@ bench:
 # commit without gating on timing-sensitive numbers.
 bench-smoke:
     cargo run --release -p cloudsched-cli -- bench --quick --out /tmp/bench-smoke.json
+
+# Sweep-scale throughput benchmark: Monte-Carlo runs/sec of the Table-I
+# panel, fresh vs reused workspaces across thread counts, rewriting
+# BENCH_sweep.json at the repo root (see DESIGN.md §11). Run on an
+# otherwise-idle machine before updating the checked-in report.
+sweep:
+    cargo run --release -p cloudsched-cli -- bench --suite sweep --out BENCH_sweep.json
+
+# CI sweep smoke: the quick sweep configuration written to a scratch file —
+# validates the harness, the digest invariance across modes/threads and the
+# JSON schema, without gating on timing-sensitive numbers.
+sweep-smoke:
+    cargo run --release -p cloudsched-cli -- bench --suite sweep --quick --out /tmp/sweep-smoke.json
 
 # Chaos smoke: run a fixed-seed fault-injection campaign twice and byte-diff
 # the fault traces — zero panics, deterministic fault sequence (mirrors CI).

@@ -257,6 +257,7 @@ fn chaos_trace_matches_the_checked_in_golden() {
         scheduler: "vdover".to_string(),
         plan: FaultPlan::harsh(),
         policies: vec![DegradationPolicy::Degrade],
+        threads: 1,
     };
     let trace = chaos_trace(&cfg, 3, DegradationPolicy::Degrade).unwrap();
     if trace != GOLDEN {
@@ -303,4 +304,30 @@ fn chaos_campaigns_and_traces_replay_bit_for_bit() {
     let t1 = chaos_trace(&cfg, 3, DegradationPolicy::Degrade).unwrap();
     let t2 = chaos_trace(&cfg, 3, DegradationPolicy::Degrade).unwrap();
     assert_eq!(t1, t2, "chaos traces must be byte-stable");
+}
+
+/// The campaign's `threads` knob is wall-clock only: fanning the seed sweep
+/// out over a work-stealing pool must reproduce the serial report bit for
+/// bit, including under heavy oversubscription (more threads than seeds).
+#[test]
+fn threaded_chaos_campaigns_replay_the_serial_report_bit_for_bit() {
+    let cfg = ChaosConfig {
+        lambda: 4.0,
+        first_seed: 3,
+        num_seeds: 3,
+        ..ChaosConfig::default()
+    };
+    let serial = run_campaign(&cfg).unwrap();
+    for threads in [2, 4, 16] {
+        let threaded = run_campaign(&ChaosConfig {
+            threads,
+            ..cfg.clone()
+        })
+        .unwrap();
+        assert_eq!(
+            serial.render(),
+            threaded.render(),
+            "campaign report drifted at threads={threads}"
+        );
+    }
 }
