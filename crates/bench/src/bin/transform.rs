@@ -12,7 +12,7 @@
 
 use cloudsched_analysis::table::{fnum, Table};
 use cloudsched_capacity::Instance;
-use cloudsched_core::rng::{Pcg32, Rng};
+use cloudsched_core::rng::{derive_seed, Pcg32, Rng, SEED_STREAM_TRANSFORM};
 use cloudsched_core::{Job, JobId, JobSet, Time};
 use cloudsched_offline::exact::optimal_value;
 use cloudsched_offline::greedy::greedy_by_density;
@@ -33,7 +33,9 @@ fn main() {
     ]);
 
     for i in 0..args.instances {
-        let mut rng = Pcg32::seed_from_u64(0x57E7C4 + i as u64);
+        // SEED_STREAM_TRANSFORM == the former literal base, and
+        // `derive_seed(s, 0.0, i) == s + i` exactly — output is unchanged.
+        let mut rng = Pcg32::seed_from_u64(derive_seed(SEED_STREAM_TRANSFORM, 0.0, i));
         let inst = random_instance(&mut rng, args.jobs);
         let (direct, _) = optimal_value(&inst.jobs, &inst.capacity);
         let (via, _) = solve_via_stretch(&inst).expect("reduction");

@@ -7,7 +7,7 @@
 //! cloudsched info  --trace trace.txt
 //! cloudsched bounds --k 7 --delta 35
 //! cloudsched audit --trace trace.txt [--c-lo F]
-//! cloudsched lint  [--root DIR] [--write-baseline]
+//! cloudsched lint  [--root DIR] [--json] [--explain Lxxx] [--write-baseline]
 //! cloudsched trace   [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]]
 //!                    [--scheduler NAME] [--out FILE]
 //! cloudsched metrics [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]]
@@ -89,7 +89,7 @@ const USAGE: &str = "usage:
   cloudsched info   --trace FILE
   cloudsched bounds --k F --delta F
   cloudsched audit  --trace FILE [--c-lo F]
-  cloudsched lint   [--root DIR] [--write-baseline]
+  cloudsched lint   [--root DIR] [--json] [--explain Lxxx] [--write-baseline]
   cloudsched trace   [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]] [--scheduler NAME] [--out FILE]
   cloudsched metrics [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]] [--scheduler NAME]
   cloudsched replay  --in FILE
@@ -748,6 +748,16 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(id) = flags.get("explain") {
+        let text = cloudsched_lint::explain(id).ok_or_else(|| {
+            arg_error(
+                "--explain",
+                &format!("unknown rule `{id}` (valid: L001–L011)"),
+            )
+        })?;
+        print!("{text}");
+        return Ok(());
+    }
     let root = match flags.get("root") {
         Some(dir) => std::path::PathBuf::from(dir),
         None => {
@@ -762,7 +772,11 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), String> {
         return Ok(());
     }
     let report = cloudsched_lint::run_workspace(&root).map_err(|e| e.to_string())?;
-    print!("{}", report.render());
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
     if report.is_clean() {
         Ok(())
     } else {

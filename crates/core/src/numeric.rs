@@ -49,6 +49,41 @@ pub fn approx_zero(a: f64) -> bool {
     a.abs() <= EPS_ABS
 }
 
+/// Converts `x` to `u64` with Rust's `as`-cast semantics made explicit:
+/// truncation toward zero, saturation at the type bounds, NaN → 0.
+///
+/// This is the sanctioned spelling of `x as u64` on a float quantity
+/// (lint rule L010): the call site documents that truncation/saturation is
+/// intended, and the frozen `derive_seed` formula keeps its exact bit
+/// pattern by delegating here.
+#[inline]
+pub fn f64_to_u64_saturating(x: f64) -> u64 {
+    x as u64
+}
+
+/// Checked `f64 → u64`: `Some(x as u64)` (truncating toward zero) only when
+/// `x` is finite, non-negative, and below `2^64`; `None` otherwise.
+///
+/// Use this when an out-of-range value indicates a logic error upstream —
+/// unlike [`f64_to_u64_saturating`], nothing is silently clamped.
+#[inline]
+pub fn checked_u64_from_f64(x: f64) -> Option<u64> {
+    // `u64::MAX as f64` rounds up to exactly 2^64, so `<` is the right
+    // exclusive bound for every representable in-range value.
+    if x.is_finite() && x >= 0.0 && x < u64::MAX as f64 {
+        Some(x as u64)
+    } else {
+        None
+    }
+}
+
+/// Checked `f64 → usize`: like [`checked_u64_from_f64`], additionally
+/// bounded by the platform's `usize`.
+#[inline]
+pub fn checked_usize_from_f64(x: f64) -> Option<usize> {
+    checked_u64_from_f64(x).and_then(|v| usize::try_from(v).ok())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -133,8 +133,8 @@ impl Schedule {
     /// conservatively as (slices of job) - 1 summed over jobs, i.e. how many
     /// times execution of some job was split.
     pub fn preemption_count(&self) -> usize {
-        use std::collections::HashMap;
-        let mut per_job: HashMap<JobId, usize> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut per_job: BTreeMap<JobId, usize> = BTreeMap::new();
         for s in &self.slices {
             *per_job.entry(s.job).or_insert(0) += 1;
         }

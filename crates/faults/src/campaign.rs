@@ -12,7 +12,7 @@ use crate::capacity::apply_capacity_faults;
 use crate::config::FaultPlan;
 use crate::stream::{corrupt_stream, InjectedFault};
 use cloudsched_capacity::{CapacityProfile, Instance};
-use cloudsched_core::{parallel_map, CoreError, Rng, SplitMix64};
+use cloudsched_core::{derive_seed, parallel_map, CoreError, Rng, SplitMix64};
 use cloudsched_obs::{JsonlTracer, NoopTracer};
 use cloudsched_sim::{
     simulate, simulate_degraded, DegradationPolicy, DegradationStats, RunOptions, WatchdogConfig,
@@ -197,7 +197,13 @@ impl CampaignReport {
             self.config.scheduler,
             self.config.lambda,
             self.config.first_seed,
-            self.config.first_seed + self.config.num_seeds.saturating_sub(1) as u64,
+            // The campaign's last seed. `derive_seed(s, 0.0, r) == s + r`
+            // exactly, so the header is unchanged from the former inline sum.
+            derive_seed(
+                self.config.first_seed,
+                0.0,
+                self.config.num_seeds.saturating_sub(1),
+            ),
         ));
         out.push_str(&format!(
             "{:<6} {:>6} {:>5} {:>12} | {:<12} {:>10} {:>9} {:>7} {:>6} {:>6} {:>7}\n",
@@ -304,8 +310,10 @@ pub fn run_campaign(cfg: &ChaosConfig) -> Result<CampaignReport, CoreError> {
     // Seeds are independent, so the sweep fans out over a work-stealing
     // pool; `parallel_map` returns results in seed order regardless of
     // thread count, keeping the report byte-identical to a serial run.
+    // `derive_seed(s, 0.0, i) == s + i` exactly (the frozen formula adds
+    // nothing at lambda 0), so campaign goldens stay byte-identical.
     let seeds = parallel_map(cfg.num_seeds, cfg.threads.max(1), |i| {
-        run_seed(cfg, cfg.first_seed + i as u64)
+        run_seed(cfg, derive_seed(cfg.first_seed, 0.0, i))
     })
     .into_iter()
     .collect::<Result<Vec<SeedOutcome>, CoreError>>()?;

@@ -123,6 +123,7 @@ mod tests {
     fn finding(rule: &'static str, path: &str, excerpt: &str) -> Finding {
         Finding {
             rule,
+            severity: crate::rules::Severity::Error,
             path: path.into(),
             line: 1,
             message: "m".into(),

@@ -1,51 +1,132 @@
 //! `cloudsched-lint` — run the workspace static-analysis pass.
 //!
 //! ```text
-//! cloudsched-lint [--root DIR] [--write-baseline]
+//! cloudsched-lint [--root DIR] [--json] [--explain Lxxx] [--write-baseline]
 //! ```
 //!
-//! Exit status 0 when clean (no unbaselined findings, no stale baseline
-//! entries), 1 otherwise.
+//! Exit status: 0 clean (no unbaselined findings, no stale baseline
+//! entries), 1 findings, 2 usage error. Unknown flags are rejected with a
+//! typed `InvalidArgument` — same convention as the workspace CLI.
 
 #![forbid(unsafe_code)]
 
-use cloudsched_lint::{find_workspace_root, run_workspace, write_baseline};
+use cloudsched_lint::{explain, find_workspace_root, run_workspace, write_baseline, LintError};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let mut root: Option<PathBuf> = None;
-    let mut rewrite = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+const EXIT_FINDINGS: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+
+const USAGE: &str =
+    "usage: cloudsched-lint [--root DIR] [--json] [--explain Lxxx] [--write-baseline]";
+
+/// Parsed command line.
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    explain: Option<String>,
+    write_baseline: bool,
+    help: bool,
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, LintError> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        explain: None,
+        write_baseline: false,
+        help: false,
+    };
+    let mut argv = argv.peekable();
+    while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--root" => match args.next() {
-                Some(dir) => root = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("--root needs a directory");
-                    return ExitCode::FAILURE;
+            "--root" => {
+                if args.root.is_some() {
+                    return Err(dup("--root"));
                 }
-            },
-            "--write-baseline" => rewrite = true,
-            "--help" | "-h" => {
-                println!("usage: cloudsched-lint [--root DIR] [--write-baseline]");
-                return ExitCode::SUCCESS;
+                match argv.next() {
+                    Some(dir) if !dir.starts_with("--") => args.root = Some(PathBuf::from(dir)),
+                    _ => {
+                        return Err(LintError::InvalidArgument {
+                            flag: "--root".into(),
+                            reason: "needs a directory".into(),
+                        })
+                    }
+                }
             }
+            "--explain" => {
+                if args.explain.is_some() {
+                    return Err(dup("--explain"));
+                }
+                match argv.next() {
+                    Some(id) if !id.starts_with("--") => args.explain = Some(id),
+                    _ => {
+                        return Err(LintError::InvalidArgument {
+                            flag: "--explain".into(),
+                            reason: "needs a rule id (e.g. L007)".into(),
+                        })
+                    }
+                }
+            }
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--help" | "-h" => args.help = true,
             other => {
-                eprintln!("unknown flag `{other}`");
-                return ExitCode::FAILURE;
+                return Err(LintError::InvalidArgument {
+                    flag: other.to_string(),
+                    reason: "unknown flag".into(),
+                })
             }
         }
     }
-    let root = root.or_else(|| {
+    Ok(args)
+}
+
+fn dup(flag: &str) -> LintError {
+    LintError::InvalidArgument {
+        flag: flag.into(),
+        reason: "given more than once".into(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        println!("  --root DIR         lint the workspace at DIR (default: walk up from cwd)");
+        println!("  --json             machine-readable report on stdout");
+        println!("  --explain Lxxx     print a rule's summary/scope/rationale/fix and exit");
+        println!("  --write-baseline   rewrite lint.baseline to cover current findings");
+        return ExitCode::SUCCESS;
+    }
+    if let Some(id) = &args.explain {
+        return match explain(id) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: {}", LintError::UnknownRule { id: id.clone() });
+                ExitCode::from(EXIT_USAGE)
+            }
+        };
+    }
+    let root = args.root.or_else(|| {
         let cwd = std::env::current_dir().ok()?;
         find_workspace_root(&cwd)
     });
     let Some(root) = root else {
-        eprintln!("could not locate the workspace root (pass --root DIR)");
-        return ExitCode::FAILURE;
+        eprintln!("error: could not locate the workspace root (pass --root DIR)");
+        return ExitCode::from(EXIT_USAGE);
     };
-    if rewrite {
+    if args.write_baseline {
         return match write_baseline(&root) {
             Ok(n) => {
                 eprintln!(
@@ -56,22 +137,26 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(EXIT_USAGE)
             }
         };
     }
     match run_workspace(&root) {
         Ok(report) => {
-            print!("{}", report.render());
+            if args.json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {
-                ExitCode::FAILURE
+                ExitCode::from(EXIT_FINDINGS)
             }
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }

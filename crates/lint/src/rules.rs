@@ -1,36 +1,69 @@
-//! The project-specific rule set.
+//! The project-specific rule set, evaluated over the token stream.
 //!
-//! | id | enforces | scope |
-//! |----|----------|-------|
-//! | L001 | no raw `f64` comparisons (`==`, `!=`, `<=`, `>=`) on model
-//!   quantities; route through `core::numeric::approx_*` | library code of
-//!   `core` (outside `numeric.rs`), `capacity`, `sim`, `sched`, `offline`,
-//!   `analysis` |
-//! | L002 | no `.unwrap()`; `.expect(...)` only with an `"invariant: …"`
-//!   justification | library code of `sim`, `sched`, `capacity`, `offline` |
-//! | L003 | no `panic!` / `todo!` / `unimplemented!` | library code of all
-//!   library crates |
-//! | L004 | crate roots must declare `#![forbid(unsafe_code)]` | every
-//!   `lib.rs` / binary root |
-//! | L005 | no wall clock (`Instant::now`, `SystemTime::now`) in
-//!   deterministic simulation code | library code of `core`, `capacity`,
-//!   `sim`, `sched`, `offline`, `workload`, `obs` |
-//! | L006 | no direct `std::time::Instant` / `SystemTime` types anywhere —
-//!   timing goes through the `cloudsched_obs::Clock` seam | every crate
-//!   except `bench` and the sanctioned seam `obs/src/clock.rs` |
+//! | id | severity | enforces |
+//! |----|----------|----------|
+//! | L001 | error | no raw `f64` comparisons on model quantities — route
+//!   through `core::numeric::approx_*` |
+//! | L002 | error | no `.unwrap()`; `.expect(…)` only with an
+//!   `"invariant: …"` justification |
+//! | L003 | error | no `panic!` / `todo!` / `unimplemented!` in library code |
+//! | L004 | error | crate roots must declare `#![forbid(unsafe_code)]` |
+//! | L005 | error | no wall clock (`Instant::now`, `SystemTime::now`) in
+//!   deterministic simulation code |
+//! | L006 | error | no `std::time::Instant` / `SystemTime` types outside the
+//!   `cloudsched_obs::Clock` seam and `bench` |
+//! | L007 | error | no `HashMap`/`HashSet` iteration in deterministic crates
+//!   — use `BTreeMap`/`BTreeSet` or sort explicitly |
+//! | L008 | error | no `std::thread` fan-out outside `core/src/par.rs` —
+//!   parallelism goes through `core::par::parallel_map` |
+//! | L009 | error | seed discipline: no RNG construction from integer
+//!   literals and no seed arithmetic outside `core::rng::derive_seed` |
+//! | L010 | error | no lossy `as` casts on model quantities in kernel crates
+//!   — route through the checked helpers in `core::numeric` |
+//! | L011 | error | no `std::env` / `std::fs` reads in deterministic crates
+//!   — config enters through typed constructors |
 //!
-//! All rules are lexical (see [`crate::scan`]) and therefore heuristic:
-//! escape hatches are `// lint: allow(Lxxx)` on (or above) the offending
-//! line, and the checked-in baseline for grandfathered sites.
+//! Every rule is evaluated against the [`crate::tokens`] stream and the
+//! [`crate::model`] symbol model, under a two-phase runner: phase one builds
+//! a [`crate::WorkspaceIndex`] of every file's tokens/model plus the
+//! workspace's sanctioned helper surfaces (what `core::numeric`, `core::par`
+//! and `core::rng` actually export), phase two runs the rules with that
+//! index in scope, so messages can point at the real helpers and rules can
+//! reason across files. Escape hatches: `// lint: allow(Lxxx)` on (or above)
+//! the offending line, and the checked-in baseline for grandfathered sites.
 
-use crate::scan::Scan;
+use crate::model::FileModel;
 use crate::source::{FileKind, SourceFile};
+use crate::tokens::{Token, TokenKind};
+use crate::WorkspaceIndex;
+
+/// Finding severity. Errors fail the run; warnings are reported (and
+/// surfaced as CI annotations) but do not gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Gates the tier-1 lint test and the CI lint step.
+    Error,
+    /// Reported and annotated, never gating.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase name, as rendered in text and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id, e.g. `L002`.
     pub rule: &'static str,
+    /// Severity of the rule that fired.
+    pub severity: Severity,
     /// Workspace-relative path.
     pub path: String,
     /// 1-based line.
@@ -45,34 +78,232 @@ impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: {} {}\n    {}",
-            self.path, self.line, self.rule, self.message, self.excerpt
+            "{}:{}: {} [{}] {}\n    {}",
+            self.path,
+            self.line,
+            self.rule,
+            self.severity.name(),
+            self.message,
+            self.excerpt
         )
     }
+}
+
+/// Static description of one rule, for `--explain` and the docs table.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id.
+    pub id: &'static str,
+    /// Severity when it fires.
+    pub severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Where the rule applies.
+    pub scope: &'static str,
+    /// Why the rule exists.
+    pub rationale: &'static str,
+    /// How to fix a finding.
+    pub fix: &'static str,
+}
+
+/// The rule registry, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "L001",
+        severity: Severity::Error,
+        summary: "no raw f64 comparisons on model quantities",
+        scope: "library code of core (outside numeric.rs), capacity, sim, sched, offline, analysis",
+        rationale: "chained f64 sums accumulate ulps; every completion/deadline predicate must \
+                    apply the one workspace tolerance policy or schedulers diverge between \
+                    platforms and optimization levels",
+        fix: "use core::numeric::approx_eq / approx_ge / approx_le (or total_cmp for ordering); \
+              exact sentinel/domain checks take `// lint: allow(L001) — reason`",
+    },
+    RuleInfo {
+        id: "L002",
+        severity: Severity::Error,
+        summary: "no .unwrap(); .expect(…) needs an \"invariant: …\" justification",
+        scope: "library code of sim, sched, capacity, offline",
+        rationale: "library panics crash sweeps mid-campaign; every residual panic site must \
+                    state the invariant that makes it unreachable",
+        fix: "propagate a CoreError, or write .expect(\"invariant: …\") naming the invariant",
+    },
+    RuleInfo {
+        id: "L003",
+        severity: Severity::Error,
+        summary: "no panic!/todo!/unimplemented! in library code",
+        scope: "library code of all crates",
+        rationale: "same as L002: library code returns typed errors, it does not abort",
+        fix: "return a CoreError (InvalidArgument, InvalidParameter, …) instead",
+    },
+    RuleInfo {
+        id: "L004",
+        severity: Severity::Error,
+        summary: "crate roots must declare #![forbid(unsafe_code)]",
+        scope: "every lib.rs / binary root",
+        rationale: "the determinism and no-panic stories both assume safe Rust everywhere; \
+                    forbid(unsafe_code) makes that structural",
+        fix: "add #![forbid(unsafe_code)] at the top of the crate root",
+    },
+    RuleInfo {
+        id: "L005",
+        severity: Severity::Error,
+        summary: "no wall clock in deterministic simulation code",
+        scope: "library code of core, capacity, sim, sched, offline, workload, obs, faults",
+        rationale: "simulated time comes from the event clock; a wall-clock read makes runs \
+                    irreproducible",
+        fix: "take time from the simulation clock, or inject a cloudsched_obs::Clock",
+    },
+    RuleInfo {
+        id: "L006",
+        severity: Severity::Error,
+        summary: "no std::time::Instant/SystemTime types outside the Clock seam",
+        scope: "every crate except bench and obs/src/clock.rs",
+        rationale: "holding raw time types invites timing side-channels into deterministic \
+                    code; all timing flows through the swappable Clock seam",
+        fix: "inject a cloudsched_obs::Clock instead of naming std::time types",
+    },
+    RuleInfo {
+        id: "L007",
+        severity: Severity::Error,
+        summary: "no HashMap/HashSet iteration in deterministic crates",
+        scope: "library code of core, capacity, sim, sched, offline, workload, obs, faults",
+        rationale: "hash iteration order is unspecified and changes across std releases and \
+                    RandomState seeds; one hash-order loop silently breaks byte-identical \
+                    goldens, thread-count invariance and chaos replays",
+        fix: "use BTreeMap/BTreeSet, or collect and sort by a total key before iterating; \
+              pure lookup (get/insert/contains) stays legal",
+    },
+    RuleInfo {
+        id: "L008",
+        severity: Severity::Error,
+        summary: "no std::thread fan-out outside core/src/par.rs",
+        scope: "all code except core/src/par.rs",
+        rationale: "thread-count invariance is a structural property of \
+                    core::par::parallel_map's index-ordered join; ad-hoc spawn/scope fan-out \
+                    reintroduces scheduling nondeterminism",
+        fix: "express the fan-out as core::par::parallel_map / parallel_map_with over an \
+              index range",
+    },
+    RuleInfo {
+        id: "L009",
+        severity: Severity::Error,
+        summary: "seed discipline: construct RNGs from derived seeds only",
+        scope: "all non-test code except core/src/rng.rs",
+        rationale: "every recorded artifact (Table I, goldens, BENCH_*.json) is pinned to the \
+                    frozen derive_seed streams; literal seeds and ad-hoc seed arithmetic \
+                    fork the seed universe and collide silently",
+        fix: "declare a SEED_STREAM_* constant in core::rng and derive with \
+              core::rng::derive_seed(stream, lambda, run)",
+    },
+    RuleInfo {
+        id: "L010",
+        severity: Severity::Error,
+        summary: "no lossy `as` casts on model quantities in kernel crates",
+        scope: "library code of core (outside numeric.rs), capacity, sim, sched, offline",
+        rationale: "`f64 as usize/u64` silently truncates and saturates; on model quantities \
+                    that is a correctness bug hiding as a cast",
+        fix: "route through core::numeric checked conversions (checked_usize_from_f64, \
+              checked_u64_from_f64, f64_to_u64_trunc_saturating)",
+    },
+    RuleInfo {
+        id: "L011",
+        severity: Severity::Error,
+        summary: "no std::env/std::fs reads in deterministic crates",
+        scope: "library code of core, capacity, sim, sched, offline, workload, obs, faults",
+        rationale: "ambient process state (env vars, files) is invisible to the seed and \
+                    breaks replay; configuration enters through typed constructors only",
+        fix: "move the read to the cli/bench boundary and pass the value in as a typed \
+              constructor argument",
+    },
+];
+
+/// Looks up a rule's registry entry.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Renders the `--explain` text for a rule id.
+pub fn explain(id: &str) -> Option<String> {
+    let r = rule_info(id)?;
+    Some(format!(
+        "{} ({})\n  summary:   {}\n  scope:     {}\n  rationale: {}\n  fix:       {}\n",
+        r.id,
+        r.severity.name(),
+        r.summary,
+        r.scope,
+        r.rationale,
+        r.fix
+    ))
 }
 
 /// Crates whose library code must use tolerance-disciplined comparisons.
 const L001_CRATES: &[&str] = &["core", "capacity", "sim", "sched", "offline", "analysis"];
 /// Crates whose library code must not unwrap.
 const L002_CRATES: &[&str] = &["sim", "sched", "capacity", "offline"];
-/// Crates that form the deterministic simulation core (no wall clock).
-/// `core` includes the work-stealing `par` fan-out and `sim` the reusable
+/// Crates that form the deterministic simulation core: no wall clock (L005),
+/// no hash-order iteration (L007), no ambient process state (L011). `core`
+/// includes the work-stealing `par` fan-out and `sim` the reusable
 /// `SimWorkspace`: both sit on sweep hot paths and must stay wall-clock
-/// free — all sweep timing lives in `bench` (the `kernel` and `sweep`
-/// suites), which is the sanctioned L005/L006 wall-clock user.
-const L005_CRATES: &[&str] = &[
+/// free — all sweep timing lives in `bench`, the sanctioned L005/L006
+/// wall-clock user.
+const DETERMINISTIC_CRATES: &[&str] = &[
     "core", "capacity", "sim", "sched", "offline", "workload", "obs", "faults",
 ];
+/// Kernel crates subject to the lossy-cast rule (L010).
+const L010_CRATES: &[&str] = &["core", "capacity", "sim", "sched", "offline"];
 
-/// Runs every rule over one scanned file.
-pub fn check_file(file: &SourceFile, scan: &Scan) -> Vec<Finding> {
+/// Shared context for one file's rule evaluation.
+pub(crate) struct FileCtx<'a> {
+    pub file: &'a SourceFile,
+    pub toks: &'a [Token],
+    pub model: &'a FileModel,
+    pub index: &'a WorkspaceIndex,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Is the token at `idx` live for `rule` (not test code, not escaped)?
+    fn active(&self, rule: &str, idx: usize) -> bool {
+        !self.model.in_test(idx) && !self.model.is_allowed(rule, self.toks[idx].line)
+    }
+
+    fn push(&self, findings: &mut Vec<Finding>, rule: &'static str, line: usize, message: String) {
+        let severity = rule_info(rule)
+            .map(|r| r.severity)
+            .unwrap_or(Severity::Error);
+        let excerpt = self
+            .file
+            .text
+            .lines()
+            .nth(line - 1)
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        findings.push(Finding {
+            rule,
+            severity,
+            path: self.file.rel_path.clone(),
+            line,
+            message,
+            excerpt,
+        });
+    }
+}
+
+/// Runs every rule over one file (given the workspace index from phase 1).
+pub(crate) fn check_file_ctx(ctx: &FileCtx<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
-    l001_raw_float_comparison(file, scan, &mut findings);
-    l002_unwrap_expect(file, scan, &mut findings);
-    l003_panic_macros(file, scan, &mut findings);
-    l004_forbid_unsafe(file, scan, &mut findings);
-    l005_wall_clock(file, scan, &mut findings);
-    l006_raw_time_types(file, scan, &mut findings);
+    l001_raw_float_comparison(ctx, &mut findings);
+    l002_unwrap_expect(ctx, &mut findings);
+    l003_panic_macros(ctx, &mut findings);
+    l004_forbid_unsafe(ctx, &mut findings);
+    l005_wall_clock(ctx, &mut findings);
+    l006_raw_time_types(ctx, &mut findings);
+    l007_hash_iteration(ctx, &mut findings);
+    l008_thread_fanout(ctx, &mut findings);
+    l009_seed_discipline(ctx, &mut findings);
+    l010_lossy_casts(ctx, &mut findings);
+    l011_ambient_reads(ctx, &mut findings);
     findings
 }
 
@@ -85,305 +316,243 @@ fn in_scope(file: &SourceFile, crates: &[&str]) -> bool {
     is_library_code(file) && crates.iter().any(|c| *c == file.crate_name)
 }
 
-/// Shared per-line iteration: yields (1-based line number, masked line,
-/// byte offset of line start) for non-test, non-allowed lines.
-fn active_lines<'a>(
-    scan: &'a Scan,
-    rule: &'static str,
-) -> impl Iterator<Item = (usize, &'a str)> + 'a {
-    let mut offset = 0usize;
-    scan.masked
-        .lines()
-        .enumerate()
-        .filter_map(move |(idx, text)| {
-            let line_no = idx + 1;
-            let start = offset;
-            offset += text.len() + 1;
-            if scan.in_test_code(start) || scan.is_allowed(rule, line_no) {
-                None
-            } else {
-                Some((line_no, text))
-            }
-        })
-}
+// --- token-walk helpers ----------------------------------------------------
 
-fn push(
-    findings: &mut Vec<Finding>,
-    file: &SourceFile,
-    rule: &'static str,
-    line: usize,
-    message: String,
-) {
-    let excerpt = file
-        .text
-        .lines()
-        .nth(line - 1)
-        .unwrap_or("")
-        .trim()
-        .to_string();
-    findings.push(Finding {
-        rule,
-        path: file.rel_path.clone(),
-        line,
-        message,
-        excerpt,
-    });
-}
-
-// --- L001 -----------------------------------------------------------------
-
-/// Does `s` look like it denotes an `f64` quantity? Heuristics: float
-/// literals (including exponent forms like `1e-9`), explicit `f64`,
-/// `.as_f64()` conversions, or the model's float-typed vocabulary.
-fn looks_float(s: &str) -> bool {
-    const FLOAT_IDENTS: &[&str] = &[
-        "workload",
-        "value",
-        "density",
-        "remaining",
-        "rate",
-        "laxity",
-        "c_lo",
-        "c_hi",
-        "c_ref",
-        "executed",
-        "integral",
-        "fraction",
-    ];
-    let bytes = s.as_bytes();
-    for (i, &b) in bytes.iter().enumerate() {
-        if b == b'.' && i > 0 && bytes[i - 1].is_ascii_digit() {
-            // `1.`, `1.0`, `1.0e-9` — a float literal.
-            return true;
-        }
-        if (b == b'e' || b == b'E')
-            && i > 0
-            && bytes[i - 1].is_ascii_digit()
-            && matches!(bytes.get(i + 1), Some(b'-') | Some(b'+'))
+/// Token indices covered by `debug_assert*!(…)` invocations (the whole
+/// balanced argument list), so diagnostics may compare raw floats.
+fn debug_assert_spans(toks: &[Token]) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Ident
+            && toks[i].text.starts_with("debug_assert")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
         {
-            // `1e-9`, `5E+3` — exponent literals without a dot.
-            return true;
-        }
-    }
-    if s.contains("f64") || s.contains("as_f64") || s.contains("EPS_") {
-        return true;
-    }
-    FLOAT_IDENTS.iter().any(|id| s.contains(id))
-}
-
-/// The expression text immediately left of a comparison operator at byte
-/// `at`: scans backward over balanced `()`/`[]`, stopping at clause
-/// boundaries (`,` `;` `{` `}` `&` `|` `=` `<` `>`, an unmatched opening
-/// bracket, or a single `:` — `::` paths are crossed).
-fn operand_before(text: &str, at: usize) -> &str {
-    let bytes = text.as_bytes();
-    let mut depth = 0i32;
-    let mut i = at;
-    while i > 0 {
-        match bytes[i - 1] {
-            b')' | b']' => depth += 1,
-            b'(' | b'[' => {
-                if depth == 0 {
-                    break;
-                }
-                depth -= 1;
-            }
-            b',' | b';' | b'{' | b'}' | b'&' | b'|' | b'=' | b'<' | b'>' if depth == 0 => break,
-            b':' if depth == 0 => {
-                if i >= 2 && bytes[i - 2] == b':' {
-                    i -= 2;
-                    continue;
-                }
-                break;
-            }
-            _ => {}
-        }
-        i -= 1;
-    }
-    &text[i..at]
-}
-
-/// The expression text immediately right of a comparison operator ending at
-/// byte `from`; mirror of [`operand_before`].
-fn operand_after(text: &str, from: usize) -> &str {
-    let bytes = text.as_bytes();
-    let mut depth = 0i32;
-    let mut i = from;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'(' | b'[' => depth += 1,
-            b')' | b']' => {
-                if depth == 0 {
-                    break;
-                }
-                depth -= 1;
-            }
-            b',' | b';' | b'{' | b'}' | b'&' | b'|' | b'<' | b'>' if depth == 0 => break,
-            _ => {}
-        }
-        i += 1;
-    }
-    &text[from..i]
-}
-
-/// Line numbers (1-based) covered by `debug_assert*!(…)` invocations,
-/// found by paren-matching in the masked source so multi-line calls are
-/// exempted in full.
-fn debug_assert_lines(masked: &str) -> std::collections::HashSet<usize> {
-    let mut lines = std::collections::HashSet::new();
-    let bytes = masked.as_bytes();
-    let mut from = 0usize;
-    while let Some(rel) = masked[from..].find("debug_assert") {
-        let start = from + rel;
-        from = start + "debug_assert".len();
-        let Some(open_rel) = masked[from..].find('(') else {
-            break;
-        };
-        let open = from + open_rel;
-        let mut depth = 0i64;
-        let mut end = open;
-        for (i, &b) in bytes.iter().enumerate().skip(open) {
-            match b {
-                b'(' => depth += 1,
-                b')' => {
+            let mut depth = 0i64;
+            let mut end = i + 2;
+            for (j, t) in toks.iter().enumerate().skip(i + 2) {
+                if t.is_punct("(") {
+                    depth += 1;
+                } else if t.is_punct(")") {
                     depth -= 1;
                     if depth == 0 {
-                        end = i;
+                        end = j + 1;
                         break;
                     }
                 }
-                _ => {}
+                end = j + 1;
             }
+            spans.push(i..end);
+            i = end;
+            continue;
         }
-        let first = 1 + masked[..start].matches('\n').count();
-        let last = 1 + masked[..end].matches('\n').count();
-        lines.extend(first..=last);
-        from = end.max(from);
+        i += 1;
     }
-    lines
+    spans
 }
+
+/// Walks backward from `at` (exclusive) collecting the primary-expression
+/// operand: a chain of idents, field/paths (`.`/`::`), `self`, literals and
+/// balanced `(…)`/`[…]` groups. Returns the start index of the operand.
+fn operand_start(toks: &[Token], at: usize) -> usize {
+    let mut i = at;
+    let mut depth = 0i32;
+    while i > 0 {
+        let t = &toks[i - 1];
+        if t.is_punct(")") || t.is_punct("]") {
+            depth += 1;
+            i -= 1;
+            continue;
+        }
+        if t.is_punct("(") || t.is_punct("[") {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+            i -= 1;
+            continue;
+        }
+        if depth > 0 {
+            i -= 1;
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident | TokenKind::Int | TokenKind::Float => i -= 1,
+            TokenKind::Punct if t.text == "." || t.text == "::" => i -= 1,
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Walks forward from `from` collecting the primary-expression operand on
+/// the right of a binary operator; returns the end index (exclusive). Stops
+/// at clause boundaries at depth 0.
+fn operand_end(toks: &[Token], from: usize) -> usize {
+    let mut i = from;
+    let mut depth = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct(")") || t.is_punct("]") {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+            i += 1;
+            continue;
+        }
+        if depth > 0 {
+            i += 1;
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident | TokenKind::Int | TokenKind::Float => i += 1,
+            TokenKind::Punct if t.text == "." || t.text == "::" || t.text == "-" => i += 1,
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Model vocabulary that denotes `f64` quantities.
+const FLOAT_IDENTS: &[&str] = &[
+    "workload",
+    "value",
+    "density",
+    "remaining",
+    "rate",
+    "laxity",
+    "c_lo",
+    "c_hi",
+    "c_ref",
+    "executed",
+    "integral",
+    "fraction",
+    "lambda",
+];
+
+/// Methods that yield integers regardless of receiver vocabulary.
+const INT_YIELDING: &[&str] = &["len", "capacity", "count", "0"];
+
+/// Does the operand token slice denote an `f64` quantity? Float literals,
+/// `f64`/`f32` types, `.as_f64()` conversions and the model's float-typed
+/// vocabulary count — unless the operand's final call is integer-yielding
+/// (`.len()`, `.capacity()`, `.count()`).
+fn operand_looks_float(toks: &[Token]) -> bool {
+    if toks.is_empty() {
+        return false;
+    }
+    // Integer-yielding tail call: `….len()`, `….capacity()`.
+    if toks.len() >= 4 {
+        let n = toks.len();
+        if toks[n - 1].is_punct(")")
+            && toks[n - 2].is_punct("(")
+            && toks[n - 3].kind == TokenKind::Ident
+            && INT_YIELDING.contains(&toks[n - 3].text.as_str())
+            && toks[n - 4].is_punct(".")
+        {
+            return false;
+        }
+    }
+    toks.iter().any(|t| {
+        t.kind == TokenKind::Float
+            || (t.kind == TokenKind::Ident
+                && (t.text == "f64"
+                    || t.text == "f32"
+                    || t.text == "as_f64"
+                    || t.text.starts_with("EPS_")
+                    || FLOAT_IDENTS.contains(&t.text.as_str())))
+    })
+}
+
+// --- L001 -------------------------------------------------------------------
 
 /// L001: raw float comparison outside `core::numeric`.
-fn l001_raw_float_comparison(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
-    if !in_scope(file, L001_CRATES) || file.rel_path.ends_with("core/src/numeric.rs") {
+fn l001_raw_float_comparison(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !in_scope(ctx.file, L001_CRATES) || ctx.file.rel_path.ends_with("core/src/numeric.rs") {
         return;
     }
-    // debug_assert diagnostics may compare raw floats: they gate
-    // development invariants, not model semantics.
-    let exempt = debug_assert_lines(&scan.masked);
-    for (line_no, text) in active_lines(scan, "L001") {
-        // A comparison already guarded by a tolerance helper on the same
-        // line is the sanctioned `strict || approx` idiom; comparing against
-        // a named `*_tolerance(…)` bound IS the tolerance policy.
-        if text.contains("approx_") || text.contains("total_cmp") || text.contains("_tolerance") {
+    let toks = ctx.toks;
+    let exempt = debug_assert_spans(toks);
+    // Lines carrying a tolerance guard: `a >= b || approx_eq(a, b)` is the
+    // sanctioned strict-or-approx idiom, `x <= completion_tolerance(w)` IS
+    // the tolerance policy, `total_cmp` is exact by construction.
+    let mut guarded_lines = std::collections::BTreeSet::new();
+    for t in toks {
+        if t.kind == TokenKind::Ident
+            && (t.text.starts_with("approx_")
+                || t.text == "total_cmp"
+                || t.text.ends_with("_tolerance"))
+        {
+            guarded_lines.insert(t.line);
+        }
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=") || t.is_punct("<=") || t.is_punct(">=")) {
             continue;
         }
-        if exempt.contains(&line_no) {
+        if !ctx.active("L001", i) || guarded_lines.contains(&t.line) {
             continue;
         }
-        for op in ["==", "!=", "<=", ">="] {
-            let mut from = 0usize;
-            while let Some(rel) = text[from..].find(op) {
-                let at = from + rel;
-                from = at + op.len();
-                if !is_comparison_operator(text, at, op) {
-                    continue;
-                }
-                let lhs = operand_before(text, at);
-                let rhs = operand_after(text, at + op.len());
-                if looks_float(lhs) || looks_float(rhs) {
-                    push(
-                        findings,
-                        file,
-                        "L001",
-                        line_no,
-                        format!(
-                            "raw float comparison `{op}` — use core::numeric::approx_* \
-                             (tolerance policy) instead"
-                        ),
-                    );
-                    break;
-                }
-            }
+        if exempt.iter().any(|r| r.contains(&i)) {
+            continue;
+        }
+        let lhs = &toks[operand_start(toks, i)..i];
+        let rhs = &toks[i + 1..operand_end(toks, i + 1)];
+        if operand_looks_float(lhs) || operand_looks_float(rhs) {
+            ctx.push(
+                findings,
+                "L001",
+                t.line,
+                format!(
+                    "raw float comparison `{}` — use core::numeric::approx_* \
+                     (tolerance policy) instead",
+                    t.text
+                ),
+            );
         }
     }
 }
 
-/// Filters out tokens that merely contain the operator characters:
-/// `=>`, `<=` inside `<<=`, `==` inside `===` (not Rust, but cheap), and
-/// generic turbofish `>=` as in `Vec<Foo>=`. Also skips attribute/macro
-/// lines that commonly embed `=`-ish tokens.
-fn is_comparison_operator(text: &str, at: usize, op: &str) -> bool {
-    let before = text[..at].chars().next_back();
-    let after = text[at + op.len()..].chars().next();
-    // `x <<= 1`, `a >>= b`, `=>` arms, `!==`-like runs, `+=`-family.
-    if matches!(
-        before,
-        Some('<')
-            | Some('>')
-            | Some('=')
-            | Some('+')
-            | Some('-')
-            | Some('*')
-            | Some('/')
-            | Some('%')
-            | Some('&')
-            | Some('|')
-            | Some('^')
-    ) {
-        return false;
-    }
-    if matches!(after, Some('=') | Some('>')) && op != ">=" {
-        return false;
-    }
-    if op == ">=" && matches!(after, Some('=')) {
-        return false;
-    }
-    // `->` return types never carry comparisons on the same heuristic pass.
-    true
-}
-
-// --- L002 -----------------------------------------------------------------
+// --- L002 -------------------------------------------------------------------
 
 /// L002: `.unwrap()` / unjustified `.expect(` in library code.
-fn l002_unwrap_expect(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
-    if !in_scope(file, L002_CRATES) {
+fn l002_unwrap_expect(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !in_scope(ctx.file, L002_CRATES) {
         return;
     }
-    let mut offset = 0usize;
-    for (idx, text) in scan.masked.lines().enumerate() {
-        let line_no = idx + 1;
-        let start = offset;
-        offset += text.len() + 1;
-        if scan.in_test_code(start) || scan.is_allowed("L002", line_no) {
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || i == 0 || !toks[i - 1].is_punct(".") {
             continue;
         }
-        let mut from = 0usize;
-        while let Some(rel) = text[from..].find(".unwrap()") {
-            from += rel + ".unwrap()".len();
-            push(
+        if !ctx.active("L002", i) {
+            continue;
+        }
+        if t.text == "unwrap" && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            ctx.push(
                 findings,
-                file,
                 "L002",
-                line_no,
+                t.line,
                 "`.unwrap()` in library code — propagate a CoreError or use \
                  `.expect(\"invariant: …\")` with the justification"
                     .to_string(),
             );
         }
-        let mut from = 0usize;
-        while let Some(rel) = text[from..].find(".expect(") {
-            let at = from + rel;
-            from = at + ".expect(".len();
-            // Inspect the *original* text (the scan masks string contents)
-            // from this call site for the justification prefix.
-            let abs = start + at + ".expect(".len();
-            if !expect_is_justified(&file.text, abs) {
-                push(
+        if t.text == "expect" && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            let justified = toks.get(i + 2).is_some_and(|arg| {
+                arg.kind == TokenKind::Str && arg.text.starts_with("\"invariant:")
+            });
+            if !justified {
+                ctx.push(
                     findings,
-                    file,
                     "L002",
-                    line_no,
+                    t.line,
                     "`.expect(…)` without an `\"invariant: …\"` justification \
                      in library code"
                         .to_string(),
@@ -393,59 +562,53 @@ fn l002_unwrap_expect(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding
     }
 }
 
-/// Does the `.expect(` argument starting at byte `abs` of the original
-/// source carry an `"invariant: …"` message?
-fn expect_is_justified(original: &str, abs: usize) -> bool {
-    let rest = original.get(abs..).unwrap_or("");
-    let rest = rest.trim_start();
-    rest.starts_with("\"invariant:")
-}
-
-// --- L003 -----------------------------------------------------------------
+// --- L003 -------------------------------------------------------------------
 
 /// L003: `panic!` / `todo!` / `unimplemented!` in library code.
-fn l003_panic_macros(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
-    if !is_library_code(file) {
+fn l003_panic_macros(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !is_library_code(ctx.file) {
         return;
     }
-    for (line_no, text) in active_lines(scan, "L003") {
-        for mac in ["panic!", "todo!", "unimplemented!"] {
-            let mut from = 0usize;
-            while let Some(rel) = text[from..].find(mac) {
-                let at = from + rel;
-                from = at + mac.len();
-                // Must be a free-standing macro call, not `core::panic!` in a
-                // path or `.panic!`-like suffix of a longer identifier.
-                let before = text[..at].chars().next_back();
-                if matches!(before, Some(c) if c.is_ascii_alphanumeric() || c == '_') {
-                    continue;
-                }
-                push(
-                    findings,
-                    file,
-                    "L003",
-                    line_no,
-                    format!("`{mac}` in library code — return a CoreError instead"),
-                );
-            }
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            continue;
         }
+        if !ctx.active("L003", i) {
+            continue;
+        }
+        ctx.push(
+            findings,
+            "L003",
+            t.line,
+            format!("`{}!` in library code — return a CoreError instead", t.text),
+        );
     }
 }
 
-// --- L004 -----------------------------------------------------------------
+// --- L004 -------------------------------------------------------------------
 
 /// L004: crate roots must forbid unsafe code.
-fn l004_forbid_unsafe(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
-    if !file.is_crate_root {
+fn l004_forbid_unsafe(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !ctx.file.is_crate_root || ctx.model.is_allowed("L004", 1) {
         return;
     }
-    if scan.is_allowed("L004", 1) {
-        return;
-    }
-    if !scan.masked.contains("#![forbid(unsafe_code)]") {
-        push(
+    let toks = ctx.toks;
+    let has = toks.windows(7).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+    });
+    if !has {
+        ctx.push(
             findings,
-            file,
             "L004",
             1,
             "crate root missing `#![forbid(unsafe_code)]`".to_string(),
@@ -453,71 +616,146 @@ fn l004_forbid_unsafe(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding
     }
 }
 
-// --- L005 -----------------------------------------------------------------
+// --- L005 -------------------------------------------------------------------
 
 /// L005: wall clock in deterministic simulation code.
-fn l005_wall_clock(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
-    if !in_scope(file, L005_CRATES) {
+fn l005_wall_clock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !in_scope(ctx.file, DETERMINISTIC_CRATES) {
         return;
     }
-    for (line_no, text) in active_lines(scan, "L005") {
-        for pat in ["Instant::now", "SystemTime::now"] {
-            if text.contains(pat) {
-                push(
-                    findings,
-                    file,
-                    "L005",
-                    line_no,
-                    format!(
-                        "`{pat}` in deterministic simulation code — simulated \
-                         time must come from the event clock"
-                    ),
-                );
-            }
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let is_clock_type = t.is_ident("Instant") || t.is_ident("SystemTime");
+        if !is_clock_type
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            || !toks.get(i + 2).is_some_and(|n| n.is_ident("now"))
+        {
+            continue;
         }
+        if !ctx.active("L005", i) {
+            continue;
+        }
+        ctx.push(
+            findings,
+            "L005",
+            t.line,
+            format!(
+                "`{}::now` in deterministic simulation code — simulated \
+                 time must come from the event clock",
+                t.text
+            ),
+        );
     }
 }
 
-// --- L006 -----------------------------------------------------------------
-
-/// Does `text[at..at+len]` sit on identifier boundaries? Rejects matches
-/// embedded in longer identifiers, e.g. `Instant` inside `Instantaneous`.
-fn on_ident_boundary(text: &str, at: usize, len: usize) -> bool {
-    let ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
-    let before = text[..at].chars().next_back();
-    let after = text[at + len..].chars().next();
-    !matches!(before, Some(c) if ident(c)) && !matches!(after, Some(c) if ident(c))
-}
+// --- L006 -------------------------------------------------------------------
 
 /// L006: the raw time types themselves, not just their `::now` calls.
 ///
 /// Everything — library and binary code alike — must obtain timing through
-/// the [`cloudsched_obs::Clock`] seam so profiled runs stay swappable for
-/// deterministic ones. The only sanctioned holders of `std::time` types are
-/// the seam itself (`obs/src/clock.rs`) and the benchmark harness (the
-/// whole `bench` crate: microbench, the `kernel` suite and the `sweep`
-/// suite with its `sweep` binary).
-fn l006_raw_time_types(file: &SourceFile, scan: &Scan, findings: &mut Vec<Finding>) {
-    if file.crate_name == "bench" || file.rel_path.ends_with("obs/src/clock.rs") {
+/// the `cloudsched_obs::Clock` seam. The only sanctioned holders of
+/// `std::time` types are the seam itself (`obs/src/clock.rs`) and the
+/// benchmark harness (the whole `bench` crate).
+fn l006_raw_time_types(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if ctx.file.crate_name == "bench" || ctx.file.rel_path.ends_with("obs/src/clock.rs") {
         return;
     }
-    for (line_no, text) in active_lines(scan, "L006") {
-        for pat in ["Instant", "SystemTime"] {
-            let mut from = 0usize;
-            while let Some(rel) = text[from..].find(pat) {
-                let at = from + rel;
-                from = at + pat.len();
-                if !on_ident_boundary(text, at, pat.len()) {
-                    continue;
-                }
-                push(
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !(t.is_ident("Instant") || t.is_ident("SystemTime")) {
+            continue;
+        }
+        if !ctx.active("L006", i) {
+            continue;
+        }
+        ctx.push(
+            findings,
+            "L006",
+            t.line,
+            format!(
+                "`{}` outside the clock seam — inject a \
+                 `cloudsched_obs::Clock` instead",
+                t.text
+            ),
+        );
+    }
+}
+
+// --- L007 -------------------------------------------------------------------
+
+/// Iteration methods whose order reflects the hash function.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// L007: `HashMap`/`HashSet` iteration in deterministic crates.
+///
+/// Lookup (`get`/`insert`/`contains`/`remove`) is legal — only
+/// order-exposing operations fire: iterator methods on a hash-typed
+/// binding, and `for … in` loops whose iterated expression is one.
+fn l007_hash_iteration(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !in_scope(ctx.file, DETERMINISTIC_CRATES) || ctx.model.hash_bindings.is_empty() {
+        return;
+    }
+    let toks = ctx.toks;
+    let is_hash_binding =
+        |t: &Token| t.kind == TokenKind::Ident && ctx.model.hash_bindings.contains(t.text.as_str());
+    for (i, t) in toks.iter().enumerate() {
+        // `binding.iter()` / `self.binding.keys()` / `binding.retain(…)`.
+        if is_hash_binding(t)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks.get(i + 2).is_some_and(|n| {
+                n.kind == TokenKind::Ident && HASH_ITER_METHODS.contains(&n.text.as_str())
+            })
+        {
+            if ctx.active("L007", i) {
+                ctx.push(
                     findings,
-                    file,
-                    "L006",
-                    line_no,
+                    "L007",
+                    t.line,
                     format!(
-                        "`{pat}` outside the clock seam — inject a \
-                         `cloudsched_obs::Clock` instead"
+                        "hash-order iteration `.{}()` over hash collection `{}` — use \
+                         BTreeMap/BTreeSet or sort by a total key first",
+                        toks[i + 2].text,
+                        t.text
+                    ),
+                );
+            }
+            continue;
+        }
+        // `for k in &self.binding {` / `for k in binding {`.
+        if t.is_ident("in") && i > 0 {
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|n| n.is_punct("&") || n.is_ident("mut"))
+            {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|n| n.is_ident("self"))
+                && toks.get(j + 1).is_some_and(|n| n.is_punct("."))
+            {
+                j += 2;
+            }
+            let direct_iter = toks.get(j).is_some_and(is_hash_binding)
+                && toks.get(j + 1).is_some_and(|n| n.is_punct("{"));
+            if direct_iter && ctx.active("L007", j) {
+                ctx.push(
+                    findings,
+                    "L007",
+                    toks[j].line,
+                    format!(
+                        "`for … in` over hash collection `{}` — hash order is \
+                         nondeterministic; use BTreeMap/BTreeSet or sort first",
+                        toks[j].text
                     ),
                 );
             }
@@ -525,270 +763,304 @@ fn l006_raw_time_types(file: &SourceFile, scan: &Scan, findings: &mut Vec<Findin
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::scan::scan;
-    use crate::source::{FileKind, SourceFile};
+// --- L008 -------------------------------------------------------------------
 
-    fn file(crate_name: &str, kind: FileKind, root: bool, text: &str) -> SourceFile {
-        SourceFile {
-            crate_name: crate_name.to_string(),
-            rel_path: format!("crates/{crate_name}/src/test_input.rs"),
-            kind,
-            is_crate_root: root,
-            text: text.to_string(),
+/// L008: `std::thread` fan-out outside `core/src/par.rs`.
+fn l008_thread_fanout(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if ctx.file.rel_path.ends_with("core/src/par.rs") {
+        return;
+    }
+    let par_hint = if ctx.index.par_fns.contains("parallel_map") {
+        "core::par::parallel_map"
+    } else {
+        "the sanctioned parallel fan-out"
+    };
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        // `thread::spawn`, `thread::scope`, `thread::Builder`, and the
+        // import that brings them in.
+        let thread_path = t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && (i == 0 || !toks[i - 1].is_punct("."));
+        if !thread_path {
+            continue;
+        }
+        if !ctx.active("L008", i) {
+            continue;
+        }
+        let target = toks.get(i + 2).map(|n| n.text.as_str()).unwrap_or("");
+        ctx.push(
+            findings,
+            "L008",
+            t.line,
+            format!(
+                "`thread::{target}` outside core/src/par.rs — all fan-out goes \
+                 through {par_hint} so thread-count invariance stays structural"
+            ),
+        );
+    }
+}
+
+// --- L009 -------------------------------------------------------------------
+
+/// RNG constructors whose argument is a seed.
+const SEED_CTORS: &[&str] = &["seed_from_u64", "with_stream"];
+
+/// L009: seed discipline outside `core::rng`. Test code (integration tests
+/// and `#[cfg(test)]` regions) is exempt: local test seeds do not flow into
+/// recorded artifacts.
+fn l009_seed_discipline(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if ctx.file.rel_path.ends_with("core/src/rng.rs") || ctx.file.kind == FileKind::Test {
+        return;
+    }
+    let streams: Vec<&str> = ctx
+        .index
+        .rng_consts
+        .iter()
+        .map(String::as_str)
+        .filter(|c| c.starts_with("SEED_STREAM_"))
+        .collect();
+    let hint = if streams.is_empty() {
+        "a core::rng SEED_STREAM_* constant".to_string()
+    } else {
+        format!("one of core::rng::{{{}}}", streams.join(", "))
+    };
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        // (a) RNG construction: inspect the first argument of
+        // `Pcg32::seed_from_u64(…)` / `SplitMix64::seed_from_u64(…)` /
+        // `Pcg32::with_stream(…)`.
+        if t.kind == TokenKind::Ident
+            && SEED_CTORS.contains(&t.text.as_str())
+            && i >= 1
+            && toks[i - 1].is_punct("::")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            if !ctx.active("L009", i) {
+                continue;
+            }
+            let arg = first_argument(toks, i + 1);
+            let verdict = seed_argument_verdict(arg);
+            match verdict {
+                SeedArg::Ok => {}
+                SeedArg::Literal => ctx.push(
+                    findings,
+                    "L009",
+                    t.line,
+                    format!(
+                        "RNG seeded from an integer literal — declare {hint} and derive \
+                         with core::rng::derive_seed"
+                    ),
+                ),
+                SeedArg::Arithmetic => ctx.push(
+                    findings,
+                    "L009",
+                    t.line,
+                    format!(
+                        "ad-hoc seed arithmetic in an RNG constructor — derive the seed \
+                         with core::rng::derive_seed({hint}, lambda, run) instead"
+                    ),
+                ),
+            }
+            continue;
+        }
+        // (b) Seed arithmetic anywhere: a binary `+`/`^`/`*`/`<<` whose
+        // neighbor is a seed-named identifier.
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), "+" | "^" | "*" | "<<") {
+            let neighbor_is_seed = |tok: Option<&Token>| {
+                tok.is_some_and(|n| n.kind == TokenKind::Ident && ident_names_a_seed(&n.text))
+            };
+            if (neighbor_is_seed(i.checked_sub(1).and_then(|p| toks.get(p)))
+                || neighbor_is_seed(toks.get(i + 1)))
+                && ctx.active("L009", i)
+            {
+                ctx.push(
+                    findings,
+                    "L009",
+                    t.line,
+                    format!(
+                        "seed arithmetic `{}` outside core::rng::derive_seed — all seed \
+                         derivation lives in the one frozen formula",
+                        t.text
+                    ),
+                );
+            }
         }
     }
+}
 
-    fn run(crate_name: &str, text: &str) -> Vec<Finding> {
-        let f = file(crate_name, FileKind::Lib, false, text);
-        check_file(&f, &scan(text))
-    }
+/// Does an identifier denote a single seed value? (`seed`, `first_seed`,
+/// `base_seed` — but not counts like `num_seeds`.)
+fn ident_names_a_seed(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("seed") && !lower.contains("seeds")
+}
 
-    #[test]
-    fn l001_fires_on_raw_float_equality() {
-        let found = run("sim", "fn f(a: f64) -> bool { a as f64 == 1.0 }\n");
-        assert!(found.iter().any(|f| f.rule == "L001"), "{found:?}");
-        let found = run("sim", "fn g(w: f64) -> bool { workload == w }\n");
-        assert!(found.iter().any(|f| f.rule == "L001"), "{found:?}");
-    }
-
-    #[test]
-    fn l001_inspects_operands_not_the_whole_line() {
-        // The float literal lives in a different clause than the integer
-        // comparison: must not fire.
-        let found = run(
-            "sim",
-            "fn h(n: usize) -> f64 { if n == 0 { 0.0 } else { 1.0 } }\n",
-        );
-        assert!(found.is_empty(), "{found:?}");
-    }
-
-    #[test]
-    fn l001_exempts_multiline_debug_assert() {
-        let src =
-            "fn f(r: f64) {\n    debug_assert!(\n        r >= 0.0,\n        \"bad\"\n    );\n}\n";
-        let found = run("sim", src);
-        assert!(found.is_empty(), "{found:?}");
-    }
-
-    #[test]
-    fn l001_exponent_literal_counts_as_float() {
-        let found = run("sim", "fn f(slack: f64) -> bool { slack <= 1e-9 }\n");
-        assert!(found.iter().any(|f| f.rule == "L001"), "{found:?}");
-    }
-
-    #[test]
-    fn l001_skips_named_tolerance_comparisons() {
-        let found = run(
-            "sim",
-            "fn f(r: f64, w: f64) -> bool { r <= completion_tolerance(w) }\n",
-        );
-        assert!(found.is_empty(), "{found:?}");
-    }
-
-    #[test]
-    fn l001_fires_on_float_literal_comparison() {
-        let found = run("sched", "fn g(x: f64) -> bool { x >= 1.0 }\n");
-        assert!(found.iter().any(|f| f.rule == "L001"), "{found:?}");
-    }
-
-    #[test]
-    fn l001_quiet_when_guarded_by_approx() {
-        let found = run(
-            "sim",
-            "fn f(a: f64, b: f64) -> bool { a >= b || approx_eq(a, b) }\n",
-        );
-        assert!(found.iter().all(|f| f.rule != "L001"), "{found:?}");
-    }
-
-    #[test]
-    fn l001_quiet_on_integer_comparison() {
-        let found = run("sim", "fn f(a: usize, b: usize) -> bool { a == b }\n");
-        assert!(found.iter().all(|f| f.rule != "L001"), "{found:?}");
-    }
-
-    #[test]
-    fn l001_quiet_outside_scoped_crates() {
-        let found = run("workload", "fn f(a: f64) -> bool { a == 1.0 }\n");
-        assert!(found.iter().all(|f| f.rule != "L001"), "{found:?}");
-    }
-
-    #[test]
-    fn l001_ignores_fat_arrow_and_compound_assignment() {
-        let found = run(
-            "sim",
-            "fn f(x: f64) -> f64 { let mut y = 0.0; y += x; match 1 { _ => y } }\n",
-        );
-        assert!(found.iter().all(|f| f.rule != "L001"), "{found:?}");
-    }
-
-    #[test]
-    fn l002_fires_on_unwrap_and_bare_expect() {
-        let found = run("sim", "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n");
-        assert!(found.iter().any(|f| f.rule == "L002"));
-        let found = run(
-            "sched",
-            "fn f(o: Option<u32>) -> u32 { o.expect(\"boom\") }\n",
-        );
-        assert!(found.iter().any(|f| f.rule == "L002"), "{found:?}");
-    }
-
-    #[test]
-    fn l002_accepts_justified_expect() {
-        let found = run(
-            "sim",
-            "fn f(o: Option<u32>) -> u32 { o.expect(\"invariant: queue is non-empty here\") }\n",
-        );
-        assert!(found.iter().all(|f| f.rule != "L002"), "{found:?}");
-    }
-
-    #[test]
-    fn l002_skips_test_modules_and_out_of_scope_crates() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
-        let found = run("sim", src);
-        assert!(found.iter().all(|f| f.rule != "L002"), "{found:?}");
-        let found = run("workload", "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n");
-        assert!(found.iter().all(|f| f.rule != "L002"));
-    }
-
-    #[test]
-    fn l003_fires_on_panic_todo_unimplemented() {
-        for mac in ["panic!(\"x\")", "todo!()", "unimplemented!()"] {
-            let found = run("workload", &format!("fn f() {{ {mac} }}\n"));
-            assert!(found.iter().any(|f| f.rule == "L003"), "{mac}");
+/// The token slice of the first argument after the `(` at `open`.
+fn first_argument(toks: &[Token], open: usize) -> &[Token] {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return &toks[open + 1..j];
+            }
+        } else if t.is_punct(",") && depth == 1 {
+            return &toks[open + 1..j];
         }
     }
+    &toks[open + 1..toks.len().min(open + 1)]
+}
 
-    #[test]
-    fn l003_quiet_in_bins_and_tests() {
-        let text = "fn f() { panic!(\"x\") }\n";
-        let f = SourceFile {
-            crate_name: "bench".into(),
-            rel_path: "crates/bench/src/bin/x.rs".into(),
-            kind: FileKind::Bin,
-            is_crate_root: true,
-            text: text.into(),
-        };
-        let found = check_file(&f, &scan(text));
-        assert!(found.iter().all(|f| f.rule != "L003"));
+enum SeedArg {
+    Ok,
+    Literal,
+    Arithmetic,
+}
+
+/// Classifies an RNG-constructor seed argument: a plain variable/path/field
+/// or a `derive_seed(…)` call is fine; an integer literal or in-line
+/// arithmetic is not.
+fn seed_argument_verdict(arg: &[Token]) -> SeedArg {
+    if arg.iter().any(|t| t.is_ident("derive_seed")) {
+        return SeedArg::Ok;
     }
-
-    #[test]
-    fn l004_fires_on_root_without_forbid() {
-        let text = "pub fn x() {}\n";
-        let f = SourceFile {
-            crate_name: "sim".into(),
-            rel_path: "crates/sim/src/lib.rs".into(),
-            kind: FileKind::Lib,
-            is_crate_root: true,
-            text: text.into(),
-        };
-        let found = check_file(&f, &scan(text));
-        assert!(found.iter().any(|f| f.rule == "L004"));
-        let text2 = "#![forbid(unsafe_code)]\npub fn x() {}\n";
-        let f2 = SourceFile {
-            text: text2.into(),
-            ..f
-        };
-        assert!(check_file(&f2, &scan(text2)).is_empty());
+    if arg
+        .iter()
+        .any(|t| t.kind == TokenKind::Punct && matches!(t.text.as_str(), "+" | "^" | "*" | "<<"))
+    {
+        return SeedArg::Arithmetic;
     }
-
-    #[test]
-    fn l005_fires_on_wall_clock_in_sim() {
-        let found = run("sim", "fn f() { let _ = std::time::Instant::now(); }\n");
-        assert!(found.iter().any(|f| f.rule == "L005"));
-        let found = run("core", "fn f() { let _ = std::time::SystemTime::now(); }\n");
-        assert!(found.iter().any(|f| f.rule == "L005"));
+    if arg.iter().any(|t| t.kind == TokenKind::Int) {
+        return SeedArg::Literal;
     }
+    SeedArg::Ok
+}
 
-    #[test]
-    fn l005_quiet_in_bench_crate() {
-        let f = SourceFile {
-            crate_name: "bench".into(),
-            rel_path: "crates/bench/src/microbench.rs".into(),
-            kind: FileKind::Lib,
-            is_crate_root: false,
-            text: "fn f() { let _ = std::time::Instant::now(); }\n".into(),
-        };
-        let found = check_file(&f, &scan(&f.text));
-        assert!(found.iter().all(|f| f.rule != "L005"));
+// --- L010 -------------------------------------------------------------------
+
+/// Integer target types of a lossy float cast.
+const INT_TYPES: &[&str] = &[
+    "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8",
+];
+/// Narrow targets of a lossy integer→integer cast when the operand visibly
+/// carries a wider type.
+const NARROW_TARGETS: &[&str] = &["u32", "u16", "u8", "i32", "i16", "i8"];
+/// Wider-type markers in an operand.
+const WIDE_SOURCES: &[&str] = &["u64", "usize", "i64", "isize"];
+
+/// L010: lossy `as` casts on model quantities in kernel crates.
+fn l010_lossy_casts(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !in_scope(ctx.file, L010_CRATES) || ctx.file.rel_path.ends_with("core/src/numeric.rs") {
+        return;
     }
-
-    #[test]
-    fn l006_fires_on_raw_time_types_even_in_imports() {
-        let found = run("cli", "use std::time::Instant;\n");
-        assert!(found.iter().any(|f| f.rule == "L006"), "{found:?}");
-        let found = run("workload", "fn f() -> std::time::SystemTime { todo!() }\n");
-        assert!(found.iter().any(|f| f.rule == "L006"), "{found:?}");
-    }
-
-    #[test]
-    fn l006_respects_identifier_boundaries() {
-        // `Instantaneous` must not match even in live code.
-        let found = run("sim", "fn f(x: Instantaneous) {}\n");
-        assert!(found.iter().all(|f| f.rule != "L006"), "{found:?}");
-    }
-
-    #[test]
-    fn l006_exempts_bench_and_the_clock_seam() {
-        let text = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
-        let bench = SourceFile {
-            crate_name: "bench".into(),
-            rel_path: "crates/bench/src/microbench.rs".into(),
-            kind: FileKind::Lib,
-            is_crate_root: false,
-            text: text.into(),
-        };
-        assert!(check_file(&bench, &scan(text))
+    let helper_hint = {
+        let helpers: Vec<&str> = ctx
+            .index
+            .numeric_helpers
             .iter()
-            .all(|f| f.rule != "L006"));
-        let seam = SourceFile {
-            crate_name: "obs".into(),
-            rel_path: "crates/obs/src/clock.rs".into(),
-            kind: FileKind::Lib,
-            is_crate_root: false,
-            text: text.into(),
+            .map(String::as_str)
+            .filter(|h| h.contains("_from_f64") || h.starts_with("f64_to_"))
+            .collect();
+        if helpers.is_empty() {
+            "a checked conversion helper in core::numeric".to_string()
+        } else {
+            format!("core::numeric::{{{}}}", helpers.join(", "))
+        }
+    };
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
         };
-        let found = check_file(&seam, &scan(text));
-        assert!(found.iter().all(|f| f.rule != "L006"), "{found:?}");
+        if target.kind != TokenKind::Ident || !INT_TYPES.contains(&target.text.as_str()) {
+            continue;
+        }
+        if !ctx.active("L010", i) {
+            continue;
+        }
+        let operand = &toks[operand_start(toks, i)..i];
+        if operand_looks_float(operand) {
+            ctx.push(
+                findings,
+                "L010",
+                t.line,
+                format!(
+                    "lossy float→{} `as` cast on a model quantity — route through \
+                     {helper_hint}",
+                    target.text
+                ),
+            );
+            continue;
+        }
+        if NARROW_TARGETS.contains(&target.text.as_str())
+            && operand
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && WIDE_SOURCES.contains(&t.text.as_str()))
+        {
+            ctx.push(
+                findings,
+                "L010",
+                t.line,
+                format!(
+                    "narrowing integer `as` cast to {} — use try_into or a checked \
+                     helper in core::numeric",
+                    target.text
+                ),
+            );
+        }
     }
+}
 
-    #[test]
-    fn l005_covers_the_obs_crate_outside_the_seam() {
-        let f = SourceFile {
-            crate_name: "obs".into(),
-            rel_path: "crates/obs/src/profile.rs".into(),
-            kind: FileKind::Lib,
-            is_crate_root: false,
-            text: "fn f() { let _ = std::time::Instant::now(); }\n".into(),
+// --- L011 -------------------------------------------------------------------
+
+/// L011: ambient process state (`std::env` / `std::fs`) in deterministic
+/// crates.
+fn l011_ambient_reads(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !in_scope(ctx.file, DETERMINISTIC_CRATES) {
+        return;
+    }
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        // `std::env` / `std::fs` paths, and module calls through an import
+        // (`use std::env; … env::var(…)`).
+        let qualified = t.is_ident("std")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_ident("env") || n.is_ident("fs"));
+        let imported = (t.is_ident("env") || t.is_ident("fs"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && (i == 0 || !toks[i - 1].is_punct("::"))
+            && ctx
+                .model
+                .uses
+                .get(t.text.as_str())
+                .is_some_and(|full| full == &format!("std::{}", t.text));
+        if !qualified && !imported {
+            continue;
+        }
+        if !ctx.active("L011", i) {
+            continue;
+        }
+        let module = if qualified {
+            toks[i + 2].text.clone()
+        } else {
+            t.text.clone()
         };
-        let found = check_file(&f, &scan(&f.text));
-        assert!(found.iter().any(|f| f.rule == "L005"), "{found:?}");
-        assert!(found.iter().any(|f| f.rule == "L006"), "{found:?}");
-    }
-
-    #[test]
-    fn allow_escape_suppresses_each_rule() {
-        let found = run(
-            "sim",
-            "fn f(o: Option<u32>) -> u32 { o.unwrap() } // lint: allow(L002)\n",
+        ctx.push(
+            findings,
+            "L011",
+            t.line,
+            format!(
+                "`std::{module}` access in a deterministic crate — ambient process \
+                 state breaks replay; pass configuration through typed constructors"
+            ),
         );
-        assert!(found.iter().all(|f| f.rule != "L002"), "{found:?}");
-        let found = run(
-            "sim",
-            "// lint: allow(L001)\nfn g(a: f64) -> bool { a == 1.0 }\n",
-        );
-        assert!(found.iter().all(|f| f.rule != "L001"), "{found:?}");
-    }
-
-    #[test]
-    fn comments_and_strings_never_fire() {
-        let found = run(
-            "sim",
-            "// x.unwrap() and a == 1.0 and panic!\nfn f() -> &'static str { \".unwrap() panic! == 1.0\" }\n",
-        );
-        assert!(found.is_empty(), "{found:?}");
     }
 }

@@ -1,0 +1,340 @@
+//! Fixture-driven rule matrix: every rule L001–L011 exercised on in-memory
+//! sources with one positive case (the rule fires), one negative case (the
+//! compliant spelling passes), and one allow-directive case (the escape
+//! hatch silences it). This is where rules whose violations no longer exist
+//! in the workspace (the point of this PR) keep their detection coverage.
+
+#![forbid(unsafe_code)]
+
+use cloudsched_lint::{check_files, FileKind, Finding, SourceFile};
+
+/// A library fixture file in the given crate.
+fn lib_file(crate_name: &str, rel_path: &str, text: &str) -> SourceFile {
+    SourceFile {
+        crate_name: crate_name.into(),
+        rel_path: rel_path.into(),
+        kind: FileKind::Lib,
+        is_crate_root: false,
+        text: text.into(),
+    }
+}
+
+fn lint_one(file: SourceFile) -> Vec<Finding> {
+    check_files(vec![file])
+}
+
+fn fires(findings: &[Finding], rule: &str) -> bool {
+    findings.iter().any(|f| f.rule == rule)
+}
+
+/// Asserts `text` (as library code of `crate_name`) triggers `rule`, that
+/// `clean_text` does not, and that appending the allow directive to the
+/// offending line silences it.
+fn matrix(rule: &str, crate_name: &str, rel_path: &str, text: &str, clean_text: &str) {
+    let found = lint_one(lib_file(crate_name, rel_path, text));
+    assert!(
+        fires(&found, rule),
+        "{rule} positive case did not fire on:\n{text}\nfindings: {found:#?}"
+    );
+    let clean = lint_one(lib_file(crate_name, rel_path, clean_text));
+    assert!(
+        !fires(&clean, rule),
+        "{rule} negative case fired on:\n{clean_text}\nfindings: {clean:#?}"
+    );
+    // Allow-directive case: silence every offending line of the positive
+    // fixture with a trailing directive.
+    let offending: Vec<usize> = found
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect();
+    let allowed_text: String = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if offending.contains(&(i + 1)) {
+                format!("{l} // lint: allow({rule}) — fixture\n")
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let allowed = lint_one(lib_file(crate_name, rel_path, &allowed_text));
+    assert!(
+        !fires(&allowed, rule),
+        "{rule} allow directive did not silence:\n{allowed_text}\nfindings: {allowed:#?}"
+    );
+}
+
+#[test]
+fn l001_raw_float_comparison() {
+    matrix(
+        "L001",
+        "sim",
+        "crates/sim/src/fixture.rs",
+        "pub fn done(remaining: f64, target: f64) -> bool { remaining == target }\n",
+        "pub fn done(remaining: f64, target: f64) -> bool { approx_eq(remaining, target) }\n",
+    );
+}
+
+#[test]
+fn l001_integer_yielding_tail_is_not_a_float() {
+    // The PR 5 escape class: `remaining` is float vocabulary, but
+    // `.capacity()` / `.len()` yield integers — no finding, no allow needed.
+    let f = lib_file(
+        "sim",
+        "crates/sim/src/fixture.rs",
+        "pub fn fits(&self, n: usize) -> bool { self.remaining.capacity() >= n }\n",
+    );
+    let found = lint_one(f);
+    assert!(
+        !fires(&found, "L001"),
+        "capacity comparison flagged: {found:#?}"
+    );
+}
+
+#[test]
+fn l002_unwrap_and_unjustified_expect() {
+    matrix(
+        "L002",
+        "sched",
+        "crates/sched/src/fixture.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        "pub fn f(x: Option<u32>) -> u32 { x.expect(\"invariant: queue is non-empty here\") }\n",
+    );
+    let bad_expect = lint_one(lib_file(
+        "sched",
+        "crates/sched/src/fixture.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.expect(\"oops\") }\n",
+    ));
+    assert!(fires(&bad_expect, "L002"), "unjustified expect passed");
+}
+
+#[test]
+fn l003_panic_macros() {
+    matrix(
+        "L003",
+        "workload",
+        "crates/workload/src/fixture.rs",
+        "pub fn f() { panic!(\"boom\"); }\n",
+        "pub fn f() -> Result<(), CoreError> { Err(CoreError::Infeasible) }\n",
+    );
+}
+
+#[test]
+fn l004_forbid_unsafe_on_crate_roots() {
+    let root = |text: &str| SourceFile {
+        crate_name: "sim".into(),
+        rel_path: "crates/sim/src/lib.rs".into(),
+        kind: FileKind::Lib,
+        is_crate_root: true,
+        text: text.into(),
+    };
+    let found = lint_one(root("pub mod engine;\n"));
+    assert!(fires(&found, "L004"), "missing forbid passed: {found:#?}");
+    let clean = lint_one(root("#![forbid(unsafe_code)]\npub mod engine;\n"));
+    assert!(
+        !fires(&clean, "L004"),
+        "forbidding root flagged: {clean:#?}"
+    );
+    let allowed = lint_one(root("pub mod engine; // lint: allow(L004) — fixture\n"));
+    assert!(
+        !fires(&allowed, "L004"),
+        "allow directive ignored: {allowed:#?}"
+    );
+}
+
+#[test]
+fn l005_wall_clock() {
+    matrix(
+        "L005",
+        "sim",
+        "crates/sim/src/fixture.rs",
+        "pub fn f() -> Instant { Instant::now() }\n",
+        "pub fn f(ctx: &SimContext<'_>) -> Time { ctx.now() }\n",
+    );
+}
+
+#[test]
+fn l006_raw_time_types() {
+    matrix(
+        "L006",
+        "analysis",
+        "crates/analysis/src/fixture.rs",
+        "pub struct Timer { started: std::time::Instant }\n",
+        "pub struct Timer { clock: Box<dyn Clock> }\n",
+    );
+    // The bench crate is the sanctioned wall-clock user.
+    let bench = lint_one(lib_file(
+        "bench",
+        "crates/bench/src/fixture.rs",
+        "pub struct Timer { started: std::time::Instant }\n",
+    ));
+    assert!(!fires(&bench, "L006"), "bench exemption broken: {bench:#?}");
+}
+
+#[test]
+fn l007_hash_iteration() {
+    matrix(
+        "L007",
+        "sim",
+        "crates/sim/src/fixture.rs",
+        "use std::collections::HashMap;\n\
+         pub struct S { m: HashMap<u64, u64> }\n\
+         impl S { pub fn sum(&self) -> u64 { self.m.values().sum() } }\n",
+        "use std::collections::BTreeMap;\n\
+         pub struct S { m: BTreeMap<u64, u64> }\n\
+         impl S { pub fn sum(&self) -> u64 { self.m.values().sum() } }\n",
+    );
+    // Pure lookup on a hash collection stays legal.
+    let lookup = lint_one(lib_file(
+        "sim",
+        "crates/sim/src/fixture.rs",
+        "use std::collections::HashMap;\n\
+         pub struct S { m: HashMap<u64, u64> }\n\
+         impl S { pub fn get(&self, k: u64) -> Option<&u64> { self.m.get(&k) } }\n",
+    ));
+    assert!(!fires(&lookup, "L007"), "lookup flagged: {lookup:#?}");
+    // `for … in` over a hash collection fires too.
+    let for_loop = lint_one(lib_file(
+        "sim",
+        "crates/sim/src/fixture.rs",
+        "use std::collections::HashSet;\n\
+         pub struct S { seen: HashSet<u64> }\n\
+         impl S { pub fn dump(&self) { for v in &self.seen { drop(v); } } }\n",
+    ));
+    assert!(
+        fires(&for_loop, "L007"),
+        "for-loop iteration passed: {for_loop:#?}"
+    );
+}
+
+#[test]
+fn l008_thread_fanout() {
+    matrix(
+        "L008",
+        "faults",
+        "crates/faults/src/fixture.rs",
+        "pub fn f() { std::thread::spawn(|| {}); }\n",
+        "pub fn f(n: usize) -> Vec<u64> { parallel_map(n, 4, |i| i as u64) }\n",
+    );
+    // core/src/par.rs is the sanctioned site.
+    let par = lint_one(lib_file(
+        "core",
+        "crates/core/src/par.rs",
+        "pub fn f() { std::thread::scope(|_| {}); }\n",
+    ));
+    assert!(!fires(&par, "L008"), "par.rs exemption broken: {par:#?}");
+}
+
+#[test]
+fn l009_seed_discipline() {
+    matrix(
+        "L009",
+        "workload",
+        "crates/workload/src/fixture.rs",
+        "pub fn f() -> Pcg32 { Pcg32::seed_from_u64(42) }\n",
+        "pub fn f(stream: u64, lambda: f64, run: usize) -> Pcg32 {\n\
+         \x20   Pcg32::seed_from_u64(derive_seed(stream, lambda, run))\n\
+         }\n",
+    );
+    // Ad-hoc arithmetic in the constructor argument.
+    let arith = lint_one(lib_file(
+        "workload",
+        "crates/workload/src/fixture.rs",
+        "pub fn f(seed: u64, i: u64) -> Pcg32 { Pcg32::seed_from_u64(seed + i) }\n",
+    ));
+    assert!(fires(&arith, "L009"), "seed arithmetic passed: {arith:#?}");
+    // Integration-test files are exempt: local test seeds feed no artifact.
+    let test_file = SourceFile {
+        crate_name: "workload".into(),
+        rel_path: "crates/workload/tests/fixture.rs".into(),
+        kind: FileKind::Test,
+        is_crate_root: true,
+        text: "fn f() -> Pcg32 { Pcg32::seed_from_u64(42) }\n".into(),
+    };
+    let found = lint_one(test_file);
+    assert!(!fires(&found, "L009"), "test exemption broken: {found:#?}");
+}
+
+#[test]
+fn l010_lossy_casts() {
+    matrix(
+        "L010",
+        "sim",
+        "crates/sim/src/fixture.rs",
+        "pub fn f(remaining: f64) -> usize { remaining as usize }\n",
+        "pub fn f(remaining: f64) -> Option<usize> { checked_usize_from_f64(remaining) }\n",
+    );
+    // Narrowing integer cast with a visibly wide operand.
+    let narrow = lint_one(lib_file(
+        "core",
+        "crates/core/src/fixture.rs",
+        "pub fn f(n: usize) -> u16 { (n as u64) as u16 }\n",
+    ));
+    assert!(fires(&narrow, "L010"), "narrowing cast passed: {narrow:#?}");
+    // Widening integer casts are fine.
+    let widen = lint_one(lib_file(
+        "core",
+        "crates/core/src/fixture.rs",
+        "pub fn f(n: u32) -> u64 { n as u64 }\n",
+    ));
+    assert!(!fires(&widen, "L010"), "widening cast flagged: {widen:#?}");
+}
+
+#[test]
+fn l011_ambient_reads() {
+    matrix(
+        "L011",
+        "sched",
+        "crates/sched/src/fixture.rs",
+        "pub fn f() -> Option<String> { std::env::var(\"THREADS\").ok() }\n",
+        "pub fn f(threads: usize) -> usize { threads }\n",
+    );
+    // The imported-module spelling is caught too.
+    let imported = lint_one(lib_file(
+        "sim",
+        "crates/sim/src/fixture.rs",
+        "use std::fs;\npub fn f() -> std::io::Result<String> { fs::read_to_string(\"cfg\") }\n",
+    ));
+    assert!(
+        fires(&imported, "L011"),
+        "imported fs read passed: {imported:#?}"
+    );
+    // The cli crate sits outside the deterministic core and may read files.
+    let cli = lint_one(lib_file(
+        "cli",
+        "crates/cli/src/fixture.rs",
+        "pub fn f() -> std::io::Result<String> { std::fs::read_to_string(\"cfg\") }\n",
+    ));
+    assert!(!fires(&cli, "L011"), "cli exemption broken: {cli:#?}");
+}
+
+#[test]
+fn cfg_test_regions_are_exempt_everywhere() {
+    let f = lib_file(
+        "sched",
+        "crates/sched/src/fixture.rs",
+        "pub fn ok() {}\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         \x20   fn seeded() -> Pcg32 { Pcg32::seed_from_u64(7) }\n\
+         }\n",
+    );
+    let found = lint_one(f);
+    assert!(found.is_empty(), "cfg(test) region not exempt: {found:#?}");
+}
+
+#[test]
+fn findings_inside_strings_and_comments_are_ignored() {
+    let f = lib_file(
+        "sched",
+        "crates/sched/src/fixture.rs",
+        "// a comment mentioning x.unwrap() and panic!(\"boom\")\n\
+         pub const DOC: &str = \"x.unwrap() and Instant::now()\";\n\
+         pub const RAW: &str = r#\"thread::spawn inside a raw \"string\"\"#;\n",
+    );
+    let found = lint_one(f);
+    assert!(found.is_empty(), "lexical ghosts fired: {found:#?}");
+}

@@ -1,8 +1,9 @@
 //! Tier-1 gate: the workspace must lint clean.
 //!
-//! This test makes `cargo test -q` run the full static-analysis pass: any
-//! new violation of L001–L005 (or a stale baseline entry) fails the suite
-//! with the finding list in the assertion message.
+//! This test makes `cargo test -q` run the full static-analysis pass (both
+//! phases: workspace index, then rules L001–L011): any new violation or
+//! stale baseline entry fails the suite with the finding list in the
+//! assertion message.
 
 #![forbid(unsafe_code)]
 

@@ -7,7 +7,7 @@
 
 use cloudsched_core::JobId;
 use cloudsched_sim::{Decision, Scheduler, SimContext};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Priority key for [`Greedy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +24,7 @@ pub enum GreedyKey {
 #[derive(Debug, Clone)]
 pub struct Greedy {
     key: GreedyKey,
-    ready: HashSet<JobId>,
+    ready: BTreeSet<JobId>,
 }
 
 impl Greedy {
@@ -32,7 +32,7 @@ impl Greedy {
     pub fn highest_value() -> Self {
         Greedy {
             key: GreedyKey::Value,
-            ready: HashSet::new(),
+            ready: BTreeSet::new(),
         }
     }
 
@@ -40,7 +40,7 @@ impl Greedy {
     pub fn highest_density() -> Self {
         Greedy {
             key: GreedyKey::ValueDensity,
-            ready: HashSet::new(),
+            ready: BTreeSet::new(),
         }
     }
 

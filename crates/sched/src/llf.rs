@@ -11,7 +11,7 @@
 
 use cloudsched_core::{JobId, Time};
 use cloudsched_sim::{Decision, Scheduler, SimContext};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Minimum delay of a re-evaluation timer: guarantees the event-driven LLF
 /// loop always advances simulated time (no same-instant timer storms).
@@ -24,7 +24,7 @@ pub struct Llf {
     c_est: Option<f64>,
     /// Preemption hysteresis (seconds of laxity difference).
     hysteresis: f64,
-    ready: HashSet<JobId>,
+    ready: BTreeSet<JobId>,
     /// Timer token generation (stale-crossing detection).
     generation: u64,
 }
@@ -35,7 +35,7 @@ impl Llf {
         Llf {
             c_est: None,
             hysteresis: 1e-3,
-            ready: HashSet::new(),
+            ready: BTreeSet::new(),
             generation: 0,
         }
     }
@@ -46,7 +46,7 @@ impl Llf {
         Llf {
             c_est: Some(c_est),
             hysteresis: 1e-3,
-            ready: HashSet::new(),
+            ready: BTreeSet::new(),
             generation: 0,
         }
     }

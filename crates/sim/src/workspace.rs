@@ -76,7 +76,6 @@ impl SimWorkspace {
         // (release + deadline per job). Mid-run growth (completion events,
         // timers) also reuses capacity once the high-water mark is reached,
         // since buffers are never shrunk.
-        // lint: allow(L001) — usize capacity comparison, not a model float.
         let hit = self.remaining.capacity() >= n
             && self.released.capacity() >= n
             && self.resolved.capacity() >= n

@@ -14,7 +14,7 @@ use cloudsched::workload::dist::{exponential, uniform};
 use cloudsched_core::rng::{Pcg32, Rng};
 
 fn main() {
-    let mut rng = Pcg32::seed_from_u64(4242);
+    let mut rng = Pcg32::seed_from_u64(4242); // lint: allow(L009) — pedagogical demo seed, feeds no recorded artifact
     let horizon = 150.0;
     let fleet_size = 4;
 

@@ -17,7 +17,7 @@ use cloudsched::prelude::*;
 use cloudsched_core::rng::Pcg32;
 
 fn main() {
-    let mut rng = Pcg32::seed_from_u64(2026);
+    let mut rng = Pcg32::seed_from_u64(2026); // lint: allow(L009) — pedagogical demo seed, feeds no recorded artifact
     let horizon = 200.0;
 
     // A 16-unit server; at least 2 units always remain for secondary work.

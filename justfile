@@ -19,9 +19,17 @@ bench-check:
 test:
     cargo test -q --workspace
 
-# Workspace static analysis (rules L001–L006); also runs as a tier-1 test.
+# Workspace static analysis (rules L001–L011); also runs as a tier-1 test.
 lint:
     cargo run --release -p cloudsched-lint
+
+# Machine-readable lint report (the artifact CI uploads).
+lint-json:
+    cargo run --release -p cloudsched-lint -- --json
+
+# Explain one rule: summary, scope, rationale, fix. E.g. `just lint-explain L007`.
+lint-explain rule:
+    cargo run --release -p cloudsched-lint -- --explain {{rule}}
 
 # Regenerate lint.baseline (only to grandfather genuinely unfixable debt).
 lint-baseline:
