@@ -17,6 +17,10 @@
 //!                    [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
 //!                    [--threads N] [--trace-out FILE]
 //! cloudsched bench   [--suite kernel|sweep] [--quick] [--out FILE]
+//! cloudsched inspect [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]]
+//!                    [--scheduler NAME] [--in FILE]
+//!                    [--summary | --job N | --queues | --ratio [--seeds N]]
+//! cloudsched bench-diff --old FILE --new FILE [--tol PCT]
 //! ```
 //!
 //! Job traces use the plain-text format of `cloudsched-workload::traces`;
@@ -67,6 +71,8 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&flags),
         "chaos" => cmd_chaos(&flags),
         "bench" => cmd_bench(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "bench-diff" => cmd_bench_diff(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -96,7 +102,10 @@ const USAGE: &str = "usage:
   cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
                      [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
                      [--threads N] [--trace-out FILE]
-  cloudsched bench   [--suite kernel|sweep] [--quick] [--out FILE]";
+  cloudsched bench   [--suite kernel|sweep] [--quick] [--out FILE]
+  cloudsched inspect [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]] [--scheduler NAME]
+                     [--in FILE] [--summary | --job N | --queues | --ratio [--seeds N]]
+  cloudsched bench-diff --old FILE --new FILE [--tol PCT]";
 
 /// Renders a typed argument error (non-zero exit; `main` appends the usage).
 fn arg_error(flag: &str, reason: &str) -> String {
@@ -515,6 +524,138 @@ fn cmd_bench_sweep(flags: &HashMap<String, String>, quick: bool) -> Result<(), S
     Ok(())
 }
 
+/// `cloudsched inspect`: trace analytics over one run (`cloudsched-insight`).
+///
+/// The event stream comes from `--in FILE` (a JSONL trace written by
+/// `cloudsched trace`, which must belong to the same instance the other
+/// flags resolve) or from simulating the resolved instance with decision
+/// provenance enabled. Modes: `--summary` (default) prints the value-loss
+/// ledger, `--job N` one job's timeline, `--queues` the queue-depth series,
+/// `--ratio` the empirical competitive ratio over `--seeds N` consecutive
+/// seeds (an error when an exact-optimum run lands below the Theorem 3(2)
+/// guarantee).
+fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
+    if flags.contains_key("ratio") {
+        return cmd_inspect_ratio(flags);
+    }
+    let instance = resolve_instance(flags)?;
+    let scheduler = flags
+        .get("scheduler")
+        .map(String::as_str)
+        .unwrap_or("vdover");
+    let jsonl = match flags.get("in") {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => cloudsched::run_traced_with_provenance(&instance, scheduler, true)?.jsonl,
+    };
+    let mut events = Vec::new();
+    for (idx, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(TraceEvent::parse_jsonl(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    if let Some(job) = flags.get("job") {
+        let id = job
+            .parse::<u64>()
+            .map_err(|e| format!("--job: {e}"))
+            .map(cloudsched_core::JobId)?;
+        print!("{}", cloudsched_insight::render_job_timeline(&events, id));
+        return Ok(());
+    }
+    if flags.contains_key("queues") {
+        print!("{}", cloudsched_insight::render_queue_depths(&events, 48));
+        return Ok(());
+    }
+    let report = cloudsched_insight::ValueLedger::from_events(&events)
+        .attribute(&instance.jobs)
+        .map_err(|e| format!("ledger: {e}"))?;
+    print!("{}", report.render());
+    eprintln!(
+        "{} events, {} traced jobs, conservation verified",
+        events.len(),
+        report.entries.len()
+    );
+    Ok(())
+}
+
+/// The `--ratio` mode of `cloudsched inspect`: empirical competitive ratio
+/// per seed against the exact (or, for large instances, fractional) offline
+/// optimum, next to the paper's guarantee.
+fn cmd_inspect_ratio(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scheduler = flags
+        .get("scheduler")
+        .map(String::as_str)
+        .unwrap_or("vdover");
+    let lambda = match flags.get("lambda") {
+        Some(s) => s.parse().map_err(|e| format!("--lambda: {e}"))?,
+        None => 8.0,
+    };
+    let first_seed: u64 = match flags.get("seed") {
+        Some(s) => s.parse().map_err(|e| format!("--seed: {e}"))?,
+        None => 1,
+    };
+    let seeds: u64 = match flags.get("seeds") {
+        Some(s) => s.parse().map_err(|e| format!("--seeds: {e}"))?,
+        None => 1,
+    };
+    let mut scenario = PaperScenario::table1(lambda);
+    if let Some(s) = flags.get("slack") {
+        scenario.slack_factor = s.parse().map_err(|e| format!("--slack: {e}"))?;
+    }
+    if let Some(s) = flags.get("horizon") {
+        scenario.horizon = s.parse().map_err(|e| format!("--horizon: {e}"))?;
+    }
+    let mut violations = 0usize;
+    for seed in first_seed..first_seed.saturating_add(seeds) {
+        let instance = scenario.generate(seed).map_err(|e| e.to_string())?.instance;
+        let (c_lo, c_hi) = instance.capacity.bounds();
+        let k = instance.importance_ratio().unwrap_or(7.0);
+        let delta = instance.delta().max(1.0 + 1e-9);
+        let mut s = cloudsched_sched::by_name(scheduler, k, delta, c_lo, c_hi)
+            .map_err(|e| e.to_string())?;
+        let run = simulate(
+            &instance.jobs,
+            &instance.capacity,
+            &mut *s,
+            RunOptions::lean(),
+        );
+        let report = cloudsched_insight::measure_ratio(&instance, run.value, &run.scheduler);
+        println!("seed {seed}");
+        print!("{}", report.render());
+        if report.violates_bound || report.exceeds_opt {
+            violations += 1;
+        }
+    }
+    if violations > 0 {
+        return Err(format!(
+            "{violations} run(s) violate the paper's bound — trace and theory disagree"
+        ));
+    }
+    Ok(())
+}
+
+/// `cloudsched bench-diff`: compares two benchmark reports of the same
+/// suite (`BENCH_kernel.json` or `BENCH_sweep.json`) row by row. Exits
+/// non-zero when any metric regresses beyond `--tol` percent (default 10),
+/// so report-only callers append `|| true`.
+fn cmd_bench_diff(flags: &HashMap<String, String>) -> Result<(), String> {
+    let old_path = flags.get("old").ok_or("missing --old FILE")?;
+    let new_path = flags.get("new").ok_or("missing --new FILE")?;
+    let tol = match flags.get("tol") {
+        Some(s) => s.parse().map_err(|e| format!("--tol: {e}"))?,
+        None => 10.0,
+    };
+    let old = std::fs::read_to_string(old_path).map_err(|e| format!("{old_path}: {e}"))?;
+    let new = std::fs::read_to_string(new_path).map_err(|e| format!("{new_path}: {e}"))?;
+    let diff = cloudsched_insight::diff_reports(&old, &new, tol)?;
+    print!("{}", diff.render());
+    let regressions = diff.regressions();
+    if regressions > 0 {
+        return Err(format!("{regressions} metric(s) regressed beyond ±{tol}%"));
+    }
+    Ok(())
+}
+
 fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = flags.get("in").ok_or("missing --in FILE")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -608,6 +749,73 @@ mod tests {
         assert!(rows.iter().all(|r| &r.digest == digest));
         std::fs::remove_file(path).ok();
         assert!(cmd_bench(&flags_of(&["--suite", "espresso"])).is_err());
+    }
+
+    #[test]
+    fn inspect_summary_timeline_queue_and_ratio_modes() {
+        let base = &["--lambda", "4", "--seed", "2", "--horizon", "4"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            flags_of(&v)
+        };
+        cmd_inspect(&with(&[])).expect("summary mode");
+        cmd_inspect(&with(&["--job", "0"])).expect("timeline mode");
+        cmd_inspect(&with(&["--queues"])).expect("queue mode");
+        cmd_inspect(&with(&["--ratio"])).expect("ratio mode");
+        assert!(cmd_inspect(&with(&["--job", "x"])).is_err());
+    }
+
+    #[test]
+    fn inspect_reads_back_a_written_trace() {
+        let path = std::env::temp_dir().join("cloudsched-cli-test-inspect.jsonl");
+        let base = &["--lambda", "4", "--seed", "3", "--scheduler", "vdover"];
+        let mut trace_flags: Vec<&str> = base.to_vec();
+        let path_str = path.to_str().expect("utf-8 temp path");
+        trace_flags.extend_from_slice(&["--out", path_str]);
+        cmd_trace(&flags_of(&trace_flags)).expect("trace");
+        let mut inspect_flags: Vec<&str> = base.to_vec();
+        inspect_flags.extend_from_slice(&["--in", path_str]);
+        cmd_inspect(&flags_of(&inspect_flags)).expect("inspect --in");
+        // A trace from a different instance breaks conservation.
+        let mismatched = flags_of(&["--lambda", "8", "--seed", "9", "--in", path_str]);
+        assert!(cmd_inspect(&mismatched).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_diff_compares_reports_and_flags_regressions() {
+        use cloudsched_bench::{rows_to_json, KernelBenchRow};
+        let row = |ns: f64| KernelBenchRow {
+            bench: "kernel".into(),
+            n: 1000,
+            scheduler: "EDF".into(),
+            ns_per_decision: ns,
+            wall_ms: 1.0,
+            seed: 7,
+        };
+        let dir = std::env::temp_dir();
+        let old = dir.join("cloudsched-cli-test-diff-old.json");
+        let new = dir.join("cloudsched-cli-test-diff-new.json");
+        std::fs::write(&old, rows_to_json(&[row(100.0)])).expect("write old");
+        std::fs::write(&new, rows_to_json(&[row(101.0)])).expect("write new");
+        let flags = |tol: &str| {
+            flags_of(&[
+                "--old",
+                old.to_str().expect("utf-8 temp path"),
+                "--new",
+                new.to_str().expect("utf-8 temp path"),
+                "--tol",
+                tol,
+            ])
+        };
+        cmd_bench_diff(&flags("10")).expect("1% drift within 10% tolerance");
+        std::fs::write(&new, rows_to_json(&[row(200.0)])).expect("write new");
+        let err = cmd_bench_diff(&flags("10")).expect_err("100% slowdown");
+        assert!(err.contains("regressed"), "got: {err}");
+        assert!(cmd_bench_diff(&flags_of(&["--old", "/no/file"])).is_err());
+        std::fs::remove_file(old).ok();
+        std::fs::remove_file(new).ok();
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Structural diffs between two benchmark reports.
+//!
+//! Parses two `BENCH_kernel.json` or `BENCH_sweep.json` files with the
+//! strict parsers from `cloudsched-bench`, matches rows by configuration
+//! key, and reports per-metric deltas with a tolerance. Rows present in
+//! only one file (e.g. a `--quick` run covers fewer sizes) are listed as
+//! informational, never as regressions.
+
+use std::collections::BTreeMap;
+
+use cloudsched_bench::{parse_rows, parse_sweep_rows};
+
+/// One metric's old-vs-new comparison for one matched row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Row configuration key (e.g. `V-Dover n=1000` or `reuse threads=4`).
+    pub key: String,
+    /// Metric name (`ns_per_decision`, `wall_ms`, `runs_per_sec`).
+    pub metric: &'static str,
+    /// Value in the old report.
+    pub old: f64,
+    /// Value in the new report.
+    pub new: f64,
+    /// Percent change relative to old (0 when old is not positive).
+    pub delta_pct: f64,
+    /// Whether the change crosses the tolerance in the bad direction.
+    pub regression: bool,
+}
+
+/// The full diff between two reports of the same suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// `"kernel"` or `"sweep"`.
+    pub suite: &'static str,
+    /// Per-metric deltas for rows present in both reports, in key order.
+    pub deltas: Vec<MetricDelta>,
+    /// Row keys only the old report has.
+    pub only_old: Vec<String>,
+    /// Row keys only the new report has.
+    pub only_new: Vec<String>,
+    /// The tolerance (percent) regressions were judged against.
+    pub tol_pct: f64,
+}
+
+impl BenchDiff {
+    /// Number of metric deltas flagged as regressions.
+    pub fn regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regression).count()
+    }
+
+    /// Deterministic fixed-format text report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "bench-diff ({}) tolerance ±{:.1}%\n",
+            self.suite, self.tol_pct
+        );
+        if self.deltas.is_empty() {
+            out.push_str("  (no rows in common)\n");
+        }
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "  {:<28} {:<16} {:>14.3} -> {:>14.3}  {:>+7.1}%{}\n",
+                d.key,
+                d.metric,
+                d.old,
+                d.new,
+                d.delta_pct,
+                if d.regression { "  REGRESSION" } else { "" }
+            ));
+        }
+        for k in &self.only_old {
+            out.push_str(&format!("  {k:<28} only in old report\n"));
+        }
+        for k in &self.only_new {
+            out.push_str(&format!("  {k:<28} only in new report\n"));
+        }
+        out.push_str(&format!(
+            "  {} matched metric(s), {} regression(s)\n",
+            self.deltas.len(),
+            self.regressions()
+        ));
+        out
+    }
+}
+
+/// Percent change of `new` relative to `old` (0 when `old` is not positive).
+fn pct(old: f64, new: f64) -> f64 {
+    if old > 0.0 {
+        100.0 * (new - old) / old
+    } else {
+        0.0
+    }
+}
+
+/// Compares one metric where *larger is worse* (latency, wall time).
+fn worse_if_up(key: &str, metric: &'static str, old: f64, new: f64, tol_pct: f64) -> MetricDelta {
+    let delta_pct = pct(old, new);
+    MetricDelta {
+        key: key.to_string(),
+        metric,
+        old,
+        new,
+        delta_pct,
+        regression: delta_pct > tol_pct,
+    }
+}
+
+/// Compares one metric where *smaller is worse* (throughput).
+fn worse_if_down(key: &str, metric: &'static str, old: f64, new: f64, tol_pct: f64) -> MetricDelta {
+    let delta_pct = pct(old, new);
+    MetricDelta {
+        key: key.to_string(),
+        metric,
+        old,
+        new,
+        delta_pct,
+        regression: delta_pct < -tol_pct,
+    }
+}
+
+/// Matches two keyed maps and folds each common key through `emit`.
+fn match_rows<T>(
+    old: BTreeMap<String, T>,
+    new: BTreeMap<String, T>,
+    tol_pct: f64,
+    emit: impl Fn(&str, &T, &T, f64, &mut Vec<MetricDelta>),
+) -> (Vec<MetricDelta>, Vec<String>, Vec<String>) {
+    let mut deltas = Vec::new();
+    let mut only_old = Vec::new();
+    let mut only_new: Vec<String> = new
+        .keys()
+        .filter(|k| !old.contains_key(*k))
+        .cloned()
+        .collect();
+    only_new.sort();
+    for (key, o) in &old {
+        match new.get(key) {
+            Some(n) => emit(key, o, n, tol_pct, &mut deltas),
+            None => only_old.push(key.clone()),
+        }
+    }
+    (deltas, only_old, only_new)
+}
+
+/// Diffs two benchmark reports of the same suite.
+///
+/// The suite is auto-detected: both texts must parse as kernel reports, or
+/// both as sweep reports.
+///
+/// # Errors
+/// When the two texts parse as different suites, or neither parser accepts
+/// them.
+pub fn diff_reports(old_text: &str, new_text: &str, tol_pct: f64) -> Result<BenchDiff, String> {
+    let tol_pct = tol_pct.abs();
+    match (parse_rows(old_text), parse_rows(new_text)) {
+        (Ok(old), Ok(new)) => {
+            let key = |r: &cloudsched_bench::KernelBenchRow| format!("{} n={}", r.scheduler, r.n);
+            let old: BTreeMap<_, _> = old.into_iter().map(|r| (key(&r), r)).collect();
+            let new: BTreeMap<_, _> = new.into_iter().map(|r| (key(&r), r)).collect();
+            let (deltas, only_old, only_new) =
+                match_rows(old, new, tol_pct, |k, o, n, tol, out| {
+                    out.push(worse_if_up(
+                        k,
+                        "ns_per_decision",
+                        o.ns_per_decision,
+                        n.ns_per_decision,
+                        tol,
+                    ));
+                    out.push(worse_if_up(k, "wall_ms", o.wall_ms, n.wall_ms, tol));
+                });
+            return Ok(BenchDiff {
+                suite: "kernel",
+                deltas,
+                only_old,
+                only_new,
+                tol_pct,
+            });
+        }
+        (Ok(_), Err(e)) => {
+            // Old is a kernel report; new must be too.
+            if parse_sweep_rows(new_text).is_ok() {
+                return Err("cannot diff a kernel report against a sweep report".into());
+            }
+            return Err(format!("new report: {e}"));
+        }
+        (Err(e), Ok(_)) => {
+            if parse_sweep_rows(old_text).is_ok() {
+                return Err("cannot diff a sweep report against a kernel report".into());
+            }
+            return Err(format!("old report: {e}"));
+        }
+        (Err(_), Err(_)) => {}
+    }
+    let old = parse_sweep_rows(old_text).map_err(|e| format!("old report: {e}"))?;
+    let new = parse_sweep_rows(new_text).map_err(|e| format!("new report: {e}"))?;
+    let key = |r: &cloudsched_bench::SweepBenchRow| format!("{} threads={}", r.mode, r.threads);
+    let old: BTreeMap<_, _> = old.into_iter().map(|r| (key(&r), r)).collect();
+    let new: BTreeMap<_, _> = new.into_iter().map(|r| (key(&r), r)).collect();
+    let (deltas, only_old, only_new) = match_rows(old, new, tol_pct, |k, o, n, tol, out| {
+        out.push(worse_if_down(
+            k,
+            "runs_per_sec",
+            o.runs_per_sec,
+            n.runs_per_sec,
+            tol,
+        ));
+        out.push(worse_if_up(k, "wall_ms", o.wall_ms, n.wall_ms, tol));
+    });
+    Ok(BenchDiff {
+        suite: "sweep",
+        deltas,
+        only_old,
+        only_new,
+        tol_pct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_bench::{rows_to_json, sweep_rows_to_json, KernelBenchRow, SweepBenchRow};
+
+    fn kernel_row(scheduler: &str, n: usize, ns: f64, wall: f64) -> KernelBenchRow {
+        KernelBenchRow {
+            bench: "kernel".into(),
+            n,
+            scheduler: scheduler.into(),
+            ns_per_decision: ns,
+            wall_ms: wall,
+            seed: 7,
+        }
+    }
+
+    fn sweep_row(mode: &str, threads: usize, rps: f64, wall: f64) -> SweepBenchRow {
+        SweepBenchRow {
+            bench: "sweep".into(),
+            mode: mode.into(),
+            threads,
+            runs: 64,
+            wall_ms: wall,
+            runs_per_sec: rps,
+            reuse_hits: 0,
+            digest: "00000000deadbeef".into(),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn kernel_diff_flags_slowdowns_beyond_tolerance() {
+        let old = rows_to_json(&[
+            kernel_row("EDF", 1000, 100.0, 1.0),
+            kernel_row("V-Dover", 1000, 200.0, 2.0),
+            kernel_row("V-Dover", 10000, 250.0, 20.0),
+        ]);
+        let new = rows_to_json(&[
+            kernel_row("EDF", 1000, 105.0, 1.0),
+            kernel_row("V-Dover", 1000, 300.0, 2.0),
+        ]);
+        let diff = diff_reports(&old, &new, 10.0).expect("same suite");
+        assert_eq!(diff.suite, "kernel");
+        // 2 matched rows x 2 metrics.
+        assert_eq!(diff.deltas.len(), 4);
+        assert_eq!(diff.regressions(), 1);
+        let reg = diff
+            .deltas
+            .iter()
+            .find(|d| d.regression)
+            .expect("one regression");
+        assert_eq!(reg.key, "V-Dover n=1000");
+        assert_eq!(reg.metric, "ns_per_decision");
+        assert!((reg.delta_pct - 50.0).abs() < 1e-9);
+        assert_eq!(diff.only_old, vec!["V-Dover n=10000".to_string()]);
+        assert!(diff.only_new.is_empty());
+        let text = diff.render();
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("only in old report"), "{text}");
+        assert!(
+            text.contains("4 matched metric(s), 1 regression(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn sweep_diff_flags_throughput_drops() {
+        let old = sweep_rows_to_json(&[sweep_row("reuse", 4, 1000.0, 64.0)]);
+        let new = sweep_rows_to_json(&[
+            sweep_row("reuse", 4, 800.0, 80.0),
+            sweep_row("fresh", 4, 900.0, 70.0),
+        ]);
+        let diff = diff_reports(&old, &new, 10.0).expect("same suite");
+        assert_eq!(diff.suite, "sweep");
+        let rps = diff
+            .deltas
+            .iter()
+            .find(|d| d.metric == "runs_per_sec")
+            .expect("matched");
+        assert!(rps.regression, "20% throughput drop at 10% tolerance");
+        assert!((rps.delta_pct + 20.0).abs() < 1e-9);
+        assert_eq!(diff.only_new, vec!["fresh threads=4".to_string()]);
+    }
+
+    #[test]
+    fn improvements_are_not_regressions() {
+        let old = rows_to_json(&[kernel_row("EDF", 1000, 100.0, 1.0)]);
+        let new = rows_to_json(&[kernel_row("EDF", 1000, 50.0, 0.5)]);
+        let diff = diff_reports(&old, &new, 10.0).expect("same suite");
+        assert_eq!(diff.regressions(), 0);
+        assert!(diff.render().contains("-50.0%"));
+    }
+
+    #[test]
+    fn mixed_suites_are_rejected() {
+        let kernel = rows_to_json(&[kernel_row("EDF", 1000, 100.0, 1.0)]);
+        let sweep = sweep_rows_to_json(&[sweep_row("reuse", 4, 1000.0, 64.0)]);
+        let err = diff_reports(&kernel, &sweep, 10.0).expect_err("mixed suites");
+        assert!(
+            err.contains("kernel report against a sweep report"),
+            "{err}"
+        );
+        let err = diff_reports(&sweep, &kernel, 10.0).expect_err("mixed suites");
+        assert!(
+            err.contains("sweep report against a kernel report"),
+            "{err}"
+        );
+        assert!(diff_reports("not json", "either", 10.0).is_err());
+    }
+}

@@ -149,7 +149,8 @@ pub const RULES: &[RuleInfo] = &[
         id: "L005",
         severity: Severity::Error,
         summary: "no wall clock in deterministic simulation code",
-        scope: "library code of core, capacity, sim, sched, offline, workload, obs, faults",
+        scope: "library code of core, capacity, sim, sched, offline, workload, obs, faults, \
+                insight",
         rationale: "simulated time comes from the event clock; a wall-clock read makes runs \
                     irreproducible",
         fix: "take time from the simulation clock, or inject a cloudsched_obs::Clock",
@@ -167,7 +168,8 @@ pub const RULES: &[RuleInfo] = &[
         id: "L007",
         severity: Severity::Error,
         summary: "no HashMap/HashSet iteration in deterministic crates",
-        scope: "library code of core, capacity, sim, sched, offline, workload, obs, faults",
+        scope: "library code of core, capacity, sim, sched, offline, workload, obs, faults, \
+                insight",
         rationale: "hash iteration order is unspecified and changes across std releases and \
                     RandomState seeds; one hash-order loop silently breaks byte-identical \
                     goldens, thread-count invariance and chaos replays",
@@ -210,7 +212,8 @@ pub const RULES: &[RuleInfo] = &[
         id: "L011",
         severity: Severity::Error,
         summary: "no std::env/std::fs reads in deterministic crates",
-        scope: "library code of core, capacity, sim, sched, offline, workload, obs, faults",
+        scope: "library code of core, capacity, sim, sched, offline, workload, obs, faults, \
+                insight",
         rationale: "ambient process state (env vars, files) is invisible to the seed and \
                     breaks replay; configuration enters through typed constructors only",
         fix: "move the read to the cli/bench boundary and pass the value in as a typed \
@@ -246,9 +249,11 @@ const L002_CRATES: &[&str] = &["sim", "sched", "capacity", "offline"];
 /// includes the work-stealing `par` fan-out and `sim` the reusable
 /// `SimWorkspace`: both sit on sweep hot paths and must stay wall-clock
 /// free — all sweep timing lives in `bench`, the sanctioned L005/L006
-/// wall-clock user.
+/// wall-clock user. `insight` folds traces into ledgers and ratio reports
+/// that must reproduce bit-for-bit from a trace file alone, so it inherits
+/// the full determinism contract; its file I/O stays at the cli boundary.
 const DETERMINISTIC_CRATES: &[&str] = &[
-    "core", "capacity", "sim", "sched", "offline", "workload", "obs", "faults",
+    "core", "capacity", "sim", "sched", "offline", "workload", "obs", "faults", "insight",
 ];
 /// Kernel crates subject to the lossy-cast rule (L010).
 const L010_CRATES: &[&str] = &["core", "capacity", "sim", "sched", "offline"];

@@ -311,6 +311,39 @@ fn l011_ambient_reads() {
 }
 
 #[test]
+fn insight_is_a_deterministic_crate() {
+    // PR 7 adds `insight` to the deterministic core: ledgers and ratio
+    // reports must reproduce bit-for-bit from a trace alone, so the crate
+    // inherits L005 (no wall clock), L007 (no hash-order iteration) and
+    // L011 (no ambient process state).
+    matrix(
+        "L005",
+        "insight",
+        "crates/insight/src/fixture.rs",
+        "pub fn f() -> Instant { Instant::now() }\n",
+        "pub fn f(t: Time) -> Time { t }\n",
+    );
+    matrix(
+        "L007",
+        "insight",
+        "crates/insight/src/fixture.rs",
+        "use std::collections::HashMap;\n\
+         pub struct Ledger { buckets: HashMap<u64, f64> }\n\
+         impl Ledger { pub fn total(&self) -> f64 { self.buckets.values().sum() } }\n",
+        "use std::collections::BTreeMap;\n\
+         pub struct Ledger { buckets: BTreeMap<u64, f64> }\n\
+         impl Ledger { pub fn total(&self) -> f64 { self.buckets.values().sum() } }\n",
+    );
+    matrix(
+        "L011",
+        "insight",
+        "crates/insight/src/fixture.rs",
+        "pub fn f(path: &str) -> std::io::Result<String> { std::fs::read_to_string(path) }\n",
+        "pub fn f(jsonl: &str) -> usize { jsonl.lines().count() }\n",
+    );
+}
+
+#[test]
 fn cfg_test_regions_are_exempt_everywhere() {
     let f = lib_file(
         "sched",

@@ -89,6 +89,56 @@ impl FaultKind {
     }
 }
 
+/// Which scheduling choice a [`TraceEvent::Decision`] provenance stamp
+/// explains. The wire names are the stable JSONL `act` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionAction {
+    /// The job was dispatched onto the processor (first admit or resume).
+    Admit,
+    /// The job lost an arbitration and was filed in a regular queue
+    /// (Dover's `Qother`) instead of running now.
+    Reject,
+    /// The running job was displaced by a more urgent or more valuable one.
+    Preempt,
+    /// V-Dover parked a zero-laxity loser in the supplement queue.
+    Park,
+    /// V-Dover revived a supplement job onto the drained processor.
+    Rescue,
+    /// The job's firm deadline passed with workload left.
+    Expire,
+    /// The scheduler explicitly dropped the job (Dover's procedure D with
+    /// no supplement queue to park in).
+    Abandon,
+}
+
+impl DecisionAction {
+    /// Stable wire name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionAction::Admit => "admit",
+            DecisionAction::Reject => "reject",
+            DecisionAction::Preempt => "preempt",
+            DecisionAction::Park => "park",
+            DecisionAction::Rescue => "rescue",
+            DecisionAction::Expire => "expire",
+            DecisionAction::Abandon => "abandon",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "admit" => DecisionAction::Admit,
+            "reject" => DecisionAction::Reject,
+            "preempt" => DecisionAction::Preempt,
+            "park" => DecisionAction::Park,
+            "rescue" => DecisionAction::Rescue,
+            "expire" => DecisionAction::Expire,
+            "abandon" => DecisionAction::Abandon,
+            _ => return None,
+        })
+    }
+}
+
 /// One sim-time-stamped observation of the simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
@@ -272,6 +322,29 @@ pub enum TraceEvent {
         /// The fault that triggered the abort.
         fault: FaultKind,
     },
+    /// Decision provenance: the inputs that drove an admit / reject /
+    /// preempt / park / rescue / expire / abandon choice. Only emitted when
+    /// the active sink opts in (`Tracer::wants_provenance`), so default
+    /// traces stay byte-identical.
+    Decision {
+        /// Simulation time.
+        t: Time,
+        /// The job the decision concerns.
+        job: JobId,
+        /// Which choice was made.
+        action: DecisionAction,
+        /// Conservative laxity (Definition 5) at the decision instant, per
+        /// the rate estimate the decision-maker actually used.
+        laxity: f64,
+        /// Value density `v / p` of the job.
+        density: f64,
+        /// 0-based rank / depth in the queue relevant to the decision
+        /// (0 when no queue is involved).
+        rank: usize,
+        /// Whether the conservative-laxity sign flip (the procedure-D
+        /// interrupt condition) had occurred at the decision instant.
+        flip: bool,
+    },
 }
 
 impl TraceEvent {
@@ -297,7 +370,8 @@ impl TraceEvent {
             | TraceEvent::CloReestimate { t, .. }
             | TraceEvent::OracleDropout { t, .. }
             | TraceEvent::OracleRecover { t, .. }
-            | TraceEvent::PolicyAbort { t, .. } => t,
+            | TraceEvent::PolicyAbort { t, .. }
+            | TraceEvent::Decision { t, .. } => t,
         }
     }
 
@@ -316,7 +390,8 @@ impl TraceEvent {
             | TraceEvent::ClaxityZero { job, .. }
             | TraceEvent::FaultDetected { job, .. }
             | TraceEvent::Quarantine { job, .. }
-            | TraceEvent::Readmit { job, .. } => Some(job),
+            | TraceEvent::Readmit { job, .. }
+            | TraceEvent::Decision { job, .. } => Some(job),
             TraceEvent::QueueDepth { .. }
             | TraceEvent::CapacityChange { .. }
             | TraceEvent::SlaViolation { .. }
@@ -350,6 +425,7 @@ impl TraceEvent {
             TraceEvent::OracleDropout { .. } => "oracle_down",
             TraceEvent::OracleRecover { .. } => "oracle_up",
             TraceEvent::PolicyAbort { .. } => "policy_abort",
+            TraceEvent::Decision { .. } => "decision",
         }
     }
 
@@ -441,6 +517,19 @@ impl TraceEvent {
             TraceEvent::PolicyAbort { fault, .. } => format!(
                 "{{\"t\":{t},\"ev\":\"policy_abort\",\"fault\":\"{}\"}}",
                 fault.as_str()
+            ),
+            TraceEvent::Decision {
+                job,
+                action,
+                laxity,
+                density,
+                rank,
+                flip,
+                ..
+            } => format!(
+                "{{\"t\":{t},\"ev\":\"decision\",\"job\":{},\"act\":\"{}\",\"laxity\":{laxity},\"density\":{density},\"rank\":{rank},\"flip\":{flip}}}",
+                job.0,
+                action.as_str()
             ),
         }
     }
@@ -581,6 +670,24 @@ impl TraceEvent {
                         .ok_or_else(|| format!("unknown fault kind `{fault_name}`"))?,
                 }
             }
+            "decision" => {
+                let act_name = get("act")?;
+                let flip_raw = get("flip")?;
+                TraceEvent::Decision {
+                    t,
+                    job: job_of("job")?,
+                    action: DecisionAction::parse(act_name)
+                        .ok_or_else(|| format!("unknown decision action `{act_name}`"))?,
+                    laxity: f64_of("laxity")?,
+                    density: f64_of("density")?,
+                    rank: usize_of("rank")?,
+                    flip: match flip_raw {
+                        "true" => true,
+                        "false" => false,
+                        other => return Err(format!("bad bool for `flip`: `{other}`")),
+                    },
+                }
+            }
             other => return Err(format!("unknown event kind `{other}`")),
         })
     }
@@ -647,6 +754,18 @@ impl TraceEvent {
             TraceEvent::PolicyAbort { fault, .. } => {
                 format!("POLICY-ABORT  fault={}", fault.as_str())
             }
+            TraceEvent::Decision {
+                job,
+                action,
+                laxity,
+                density,
+                rank,
+                flip,
+                ..
+            } => format!(
+                "decision      {job}  act={} claxity={laxity:.3} density={density:.3} rank={rank} flip={flip}",
+                action.as_str()
+            ),
         };
         format!("{t:>12.4}  {body}")
     }
@@ -758,6 +877,15 @@ mod tests {
                 t,
                 fault: FaultKind::SlaDip,
             },
+            TraceEvent::Decision {
+                t,
+                job: j,
+                action: DecisionAction::Reject,
+                laxity: -0.5,
+                density: 3.0,
+                rank: 2,
+                flip: true,
+            },
         ]
     }
 
@@ -828,6 +956,47 @@ mod tests {
             assert_eq!(QueueKind::parse(q.as_str()), Some(q));
         }
         assert_eq!(QueueKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn decision_action_wire_names_round_trip() {
+        for a in [
+            DecisionAction::Admit,
+            DecisionAction::Reject,
+            DecisionAction::Preempt,
+            DecisionAction::Park,
+            DecisionAction::Rescue,
+            DecisionAction::Expire,
+            DecisionAction::Abandon,
+        ] {
+            assert_eq!(DecisionAction::parse(a.as_str()), Some(a));
+        }
+        assert_eq!(DecisionAction::parse("shrug"), None);
+        assert!(TraceEvent::parse_jsonl(
+            "{\"t\":1,\"ev\":\"decision\",\"job\":0,\"act\":\"x\",\"laxity\":0,\"density\":1,\"rank\":0,\"flip\":false}"
+        )
+        .is_err());
+        assert!(TraceEvent::parse_jsonl(
+            "{\"t\":1,\"ev\":\"decision\",\"job\":0,\"act\":\"admit\",\"laxity\":0,\"density\":1,\"rank\":0,\"flip\":2}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn decision_jsonl_is_deterministic_text() {
+        let ev = TraceEvent::Decision {
+            t: Time::new(2.5),
+            job: JobId(9),
+            action: DecisionAction::Park,
+            laxity: -0.125,
+            density: 3.5,
+            rank: 4,
+            flip: true,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"t\":2.5,\"ev\":\"decision\",\"job\":9,\"act\":\"park\",\"laxity\":-0.125,\"density\":3.5,\"rank\":4,\"flip\":true}"
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod profile;
 pub mod tracer;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, NullClock};
-pub use event::{FaultKind, QueueKind, TraceEvent};
+pub use event::{DecisionAction, FaultKind, QueueKind, TraceEvent};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use profile::{Profiler, SpanStats};
-pub use tracer::{JsonlTracer, NoopTracer, RingTracer, Tee, Tracer};
+pub use tracer::{JsonlTracer, NoopTracer, RingTracer, Tee, Tracer, WithProvenance};

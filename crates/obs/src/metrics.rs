@@ -7,7 +7,7 @@
 //! (typically via [`crate::Tee`]) and [`MetricsRegistry::fold`] encodes the
 //! standard event → metric mapping in one place.
 
-use crate::event::{QueueKind, TraceEvent};
+use crate::event::{DecisionAction, QueueKind, TraceEvent};
 use crate::tracer::Tracer;
 use std::collections::BTreeMap;
 
@@ -197,6 +197,18 @@ impl MetricsRegistry {
             TraceEvent::OracleDropout { .. } => self.incr("oracle.dropouts", 1),
             TraceEvent::OracleRecover { .. } => self.incr("oracle.recoveries", 1),
             TraceEvent::PolicyAbort { .. } => self.incr("policy.aborts", 1),
+            TraceEvent::Decision { action, .. } => {
+                let name = match action {
+                    DecisionAction::Admit => "decision.admit",
+                    DecisionAction::Reject => "decision.reject",
+                    DecisionAction::Preempt => "decision.preempt",
+                    DecisionAction::Park => "decision.park",
+                    DecisionAction::Rescue => "decision.rescue",
+                    DecisionAction::Expire => "decision.expire",
+                    DecisionAction::Abandon => "decision.abandon",
+                };
+                self.incr(name, 1);
+            }
         }
     }
 
@@ -253,6 +265,73 @@ pub struct HistogramSnapshot {
     pub total: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// within the fixed buckets, Prometheus-style.
+    ///
+    /// Returns `None` when the histogram is empty. When the quantile lands
+    /// in the overflow bucket only the last bound is known, so that bound is
+    /// returned (a lower bound on the true quantile). The first bucket has
+    /// no recorded lower edge: it interpolates from `0` when its upper bound
+    /// is positive, and otherwise returns the bound itself.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut cum = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += count;
+            if count == 0 || (cum as f64) < rank {
+                continue;
+            }
+            if i >= self.bounds.len() {
+                // Overflow bucket: the last finite bound is all we know.
+                return self.bounds.last().copied();
+            }
+            let hi = self.bounds[i];
+            let lo = if i == 0 {
+                if hi > 0.0 {
+                    0.0
+                } else {
+                    return Some(hi);
+                }
+            } else {
+                self.bounds[i - 1]
+            };
+            let frac = (rank - prev as f64) / count as f64;
+            return Some(lo + (hi - lo) * frac.clamp(0.0, 1.0));
+        }
+        self.bounds.last().copied()
+    }
+
+    /// Interpolated median. `None` when empty.
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(0.5)
+    }
+
+    /// Interpolated 95th percentile. `None` when empty.
+    pub fn p95(&self) -> Option<f64> {
+        self.percentile(0.95)
+    }
+
+    /// Upper edge of the highest non-empty bucket — the tightest known upper
+    /// bound on the maximum sample. `f64::INFINITY` when the overflow bucket
+    /// is occupied; `None` when the histogram is empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        for (i, &count) in self.counts.iter().enumerate().rev() {
+            if count > 0 {
+                return Some(self.bounds.get(i).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        None
+    }
+}
+
 /// An immutable metrics snapshot, embedded in `RunReport` and rendered by
 /// the `cloudsched metrics` subcommand.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -305,6 +384,9 @@ impl MetricsSnapshot {
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!("histogram  {name:<24} total={}", h.total));
+            if let (Some(p50), Some(p95), Some(max)) = (h.p50(), h.p95(), h.max()) {
+                out.push_str(&format!(" p50={p50:.3} p95={p95:.3} max={max:.3}"));
+            }
             let mut lo = f64::NEG_INFINITY;
             for (i, &count) in h.counts.iter().enumerate() {
                 let hi = h.bounds.get(i).copied().unwrap_or(f64::INFINITY);
@@ -413,6 +495,86 @@ mod tests {
         let hist = s.histogram("laxity.at_release").unwrap();
         assert_eq!(hist.total, 1);
         assert_eq!(hist.counts.iter().sum::<u64>(), hist.total);
+    }
+
+    #[test]
+    fn fold_counts_decisions_per_action() {
+        let mut m = MetricsRegistry::new();
+        for action in [
+            DecisionAction::Admit,
+            DecisionAction::Admit,
+            DecisionAction::Park,
+        ] {
+            m.fold(&TraceEvent::Decision {
+                t: Time::new(1.0),
+                job: JobId(0),
+                action,
+                laxity: 0.5,
+                density: 2.0,
+                rank: 1,
+                flip: false,
+            });
+        }
+        let s = m.snapshot();
+        assert_eq!(s.counter("decision.admit"), 2);
+        assert_eq!(s.counter("decision.park"), 1);
+        assert_eq!(s.counter("decision.rescue"), 0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let mut m = MetricsRegistry::new();
+        // 10 samples uniform in [0, 10) against bounds [2, 4, 6, 8, 10].
+        for i in 0..10 {
+            m.sample("x", &[2.0, 4.0, 6.0, 8.0, 10.0], i as f64 + 0.5);
+        }
+        let s = m.snapshot();
+        let h = s.histogram("x").unwrap();
+        assert_eq!(h.total, 10);
+        // rank(p50) = 5 → bucket [4,6), frac (5-4)/2 = 0.5 → 5.0.
+        let p50 = h.p50().unwrap();
+        assert!((p50 - 5.0).abs() < 1e-9, "p50={p50}");
+        // rank(p95) = 9.5 → bucket [8,10), frac (9.5-8)/2 = 0.75 → 9.5.
+        let p95 = h.p95().unwrap();
+        assert!((p95 - 9.5).abs() < 1e-9, "p95={p95}");
+        assert!((h.max().unwrap() - 10.0).abs() < 1e-9);
+        // p0 interpolates down to the zero lower edge of the first bucket.
+        assert!(h.percentile(0.0).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_handle_empty_and_overflow() {
+        let empty = HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            counts: vec![0, 0, 0],
+            total: 0,
+        };
+        assert_eq!(empty.p50(), None);
+        assert_eq!(empty.max(), None);
+        let overflow = HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            counts: vec![0, 0, 4],
+            total: 4,
+        };
+        // Quantiles in the overflow bucket degrade to the last known bound;
+        // the max is unbounded above it.
+        assert!((overflow.p50().unwrap() - 2.0).abs() < 1e-9);
+        assert_eq!(overflow.max(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn render_includes_percentiles_for_nonempty_histograms() {
+        let mut m = MetricsRegistry::new();
+        for _ in 0..4 {
+            m.sample("y", &[1.0, 2.0], 0.5);
+        }
+        let text = m.snapshot().render();
+        assert!(text.contains("p50=0.500"), "{text}");
+        assert!(text.contains("p95=0.950"), "{text}");
+        assert!(text.contains("max=1.000"), "{text}");
+        // Empty histograms render without a percentile block.
+        let empty = MetricsRegistry::for_sim().snapshot().render();
+        assert!(!empty.contains("p50="), "{empty}");
     }
 
     #[test]

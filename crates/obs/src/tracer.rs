@@ -19,6 +19,14 @@ pub trait Tracer {
     fn enabled(&self) -> bool {
         true
     }
+
+    /// Whether this sink opts into optional decision-provenance events
+    /// ([`TraceEvent::Decision`]). Defaults to `false` so existing
+    /// byte-stable trace streams never change shape; wrap a sink in
+    /// [`WithProvenance`] to opt in.
+    fn wants_provenance(&self) -> bool {
+        false
+    }
 }
 
 impl<T: Tracer + ?Sized> Tracer for &mut T {
@@ -28,6 +36,29 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
 
     fn enabled(&self) -> bool {
         (**self).enabled()
+    }
+
+    fn wants_provenance(&self) -> bool {
+        (**self).wants_provenance()
+    }
+}
+
+/// Opt-in wrapper that requests decision-provenance events on behalf of the
+/// wrapped sink. Everything else forwards unchanged.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WithProvenance<T>(pub T);
+
+impl<T: Tracer> Tracer for WithProvenance<T> {
+    fn record(&mut self, event: &TraceEvent) {
+        self.0.record(event);
+    }
+
+    fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+
+    fn wants_provenance(&self) -> bool {
+        true
     }
 }
 
@@ -167,6 +198,10 @@ impl<A: Tracer, B: Tracer> Tracer for Tee<A, B> {
     fn enabled(&self) -> bool {
         self.0.enabled() || self.1.enabled()
     }
+
+    fn wants_provenance(&self) -> bool {
+        self.0.wants_provenance() || self.1.wants_provenance()
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +278,23 @@ mod tests {
         assert_eq!(tee.0.len(), 1);
         let both_off = Tee(NoopTracer, NoopTracer);
         assert!(!both_off.enabled());
+    }
+
+    #[test]
+    fn provenance_is_opt_in() {
+        let ring = RingTracer::new(4);
+        assert!(!ring.wants_provenance());
+        let mut wrapped = WithProvenance(ring);
+        assert!(wrapped.wants_provenance());
+        assert!(wrapped.enabled());
+        wrapped.record(&admit(1.0, 0));
+        assert_eq!(wrapped.0.len(), 1);
+        // Tee ORs the capability; &mut forwards it.
+        let mut tee = Tee(NoopTracer, WithProvenance(NoopTracer));
+        assert!(tee.wants_provenance());
+        let as_dyn: &mut dyn Tracer = &mut tee;
+        assert!(as_dyn.wants_provenance());
+        assert!(!Tee(NoopTracer, NoopTracer).wants_provenance());
     }
 
     #[test]

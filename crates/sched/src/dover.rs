@@ -20,7 +20,7 @@
 
 use crate::ready::{DeadlineMap, DeadlineQueue, RankedQueue};
 use cloudsched_core::{approx_ge, JobId, Time};
-use cloudsched_obs::{QueueKind, TraceEvent};
+use cloudsched_obs::{DecisionAction, QueueKind, TraceEvent};
 use cloudsched_sim::{Decision, Scheduler, SimContext};
 
 /// Which constant future-capacity assumption drives laxity computations.
@@ -212,6 +212,20 @@ impl DoverFamily {
                 depth: self.qother.len(),
             });
         }
+        if ctx.provenance_enabled() {
+            // Rejected-for-now: the job lost its arbitration and waits in
+            // Qother for its zero-laxity interrupt. Laxity is stamped under
+            // the scheduler's own capacity estimate — the number the
+            // decision actually used.
+            let flip = self.claxity(ctx, job) <= 0.0; // lint: allow(L001) — flip is defined by exact sign, not tolerance
+            ctx.trace_decision(
+                DecisionAction::Reject,
+                job,
+                self.rate(ctx),
+                self.qother.len(),
+                flip,
+            );
+        }
     }
 
     /// The supplement-queue rank of `job` under the configured revival
@@ -236,6 +250,16 @@ impl DoverFamily {
                 job,
                 depth: self.qsupp.len(),
             });
+        }
+        if ctx.provenance_enabled() {
+            let flip = self.claxity(ctx, job) <= 0.0; // lint: allow(L001) — flip is defined by exact sign, not tolerance
+            ctx.trace_decision(
+                DecisionAction::Park,
+                job,
+                self.rate(ctx),
+                self.qsupp.len(),
+                flip,
+            );
         }
     }
 
@@ -315,6 +339,16 @@ impl DoverFamily {
                     job: s,
                     depth: self.qsupp.len(),
                 });
+            }
+            if ctx.provenance_enabled() {
+                let flip = self.claxity(ctx, s) <= 0.0; // lint: allow(L001) — flip is defined by exact sign, not tolerance
+                ctx.trace_decision(
+                    DecisionAction::Rescue,
+                    s,
+                    self.rate(ctx),
+                    self.qsupp.len(),
+                    flip,
+                );
             }
             self.flag = Flag::Supp;
             return Decision::Run(s);

@@ -1,7 +1,7 @@
 //! The scheduler's window into the simulation.
 
 use cloudsched_core::{Duration, Job, JobId, JobSet, Time};
-use cloudsched_obs::{TraceEvent, Tracer};
+use cloudsched_obs::{DecisionAction, TraceEvent, Tracer};
 
 /// What the scheduler wants the processor to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +181,45 @@ impl<'a> SimContext<'a> {
         }
     }
 
+    /// Whether the attached sink opted into decision-provenance events.
+    /// Provenance stamps (and the laxity/density arithmetic feeding them)
+    /// should be skipped entirely when this is `false`, which keeps default
+    /// trace streams byte-identical.
+    #[inline]
+    pub fn provenance_enabled(&self) -> bool {
+        self.tracer.enabled() && self.tracer.wants_provenance()
+    }
+
+    /// Emits a [`TraceEvent::Decision`] provenance stamp for `job`, filling
+    /// in the conservative laxity under `rate` (the estimate the caller's
+    /// decision actually used) and the job's value density. No-op unless the
+    /// sink opted in via [`SimContext::provenance_enabled`].
+    pub fn trace_decision(
+        &mut self,
+        action: DecisionAction,
+        job: JobId,
+        rate: f64,
+        rank: usize,
+        flip: bool,
+    ) {
+        if !self.provenance_enabled() {
+            return;
+        }
+        let j = self.job(job);
+        let laxity = j.laxity_with(self.now, self.remaining(job), rate).as_f64();
+        let density = j.value_density();
+        let ev = TraceEvent::Decision {
+            t: self.now,
+            job,
+            action,
+            laxity,
+            density,
+            rank,
+            flip,
+        };
+        self.tracer.record(&ev);
+    }
+
     /// Declares that the scheduler has permanently given up on `job` before
     /// its deadline (Dover's procedure D without a supplement queue). The
     /// kernel books the job as *abandoned* rather than *expired* when its
@@ -194,6 +233,9 @@ impl<'a> SimContext<'a> {
                 value: self.job(job).value,
             };
             self.tracer.record(&ev);
+            // Abandonment happens on the losing side of a zero-laxity
+            // arbitration, so the flip state is stamped as already flipped.
+            self.trace_decision(DecisionAction::Abandon, job, self.c_lo, 0, true);
         }
         self.abandon_notices.push(job);
     }
@@ -326,6 +368,71 @@ mod tests {
                 assert!((value - 5.0).abs() < 1e-12);
             }
             ref other => panic!("expected abandon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_decision_is_gated_on_provenance_opt_in() {
+        use cloudsched_obs::WithProvenance;
+        let js = jobs();
+        let remaining = [4.0, 1.0];
+        let (mut timers, mut abandons) = (Vec::new(), Vec::new());
+        // A live but non-opted-in sink records nothing.
+        let mut plain = RingTracer::new(8);
+        let mut ctx = SimContext::new(
+            Time::new(2.0),
+            &js,
+            &remaining,
+            None,
+            1.0,
+            2.0,
+            4.0,
+            &mut timers,
+            &mut abandons,
+            &mut plain,
+        );
+        assert!(!ctx.provenance_enabled());
+        ctx.trace_decision(DecisionAction::Admit, JobId(0), 2.0, 0, false);
+        drop(ctx);
+        assert!(plain.is_empty());
+        // An opted-in sink gets the stamp with laxity/density filled in.
+        let mut wrapped = WithProvenance(RingTracer::new(8));
+        let mut ctx = SimContext::new(
+            Time::new(2.0),
+            &js,
+            &remaining,
+            None,
+            1.0,
+            2.0,
+            4.0,
+            &mut timers,
+            &mut abandons,
+            &mut wrapped,
+        );
+        assert!(ctx.provenance_enabled());
+        ctx.trace_decision(DecisionAction::Reject, JobId(0), 2.0, 3, true);
+        drop(ctx);
+        let evs = wrapped.0.take();
+        assert_eq!(evs.len(), 1);
+        match evs[0] {
+            TraceEvent::Decision {
+                job,
+                action,
+                laxity,
+                density,
+                rank,
+                flip,
+                ..
+            } => {
+                assert_eq!(job, JobId(0));
+                assert_eq!(action, DecisionAction::Reject);
+                // d=10, now=2, p_r=4, rate=2 => laxity 6; density 1/4.
+                assert!((laxity - 6.0).abs() < 1e-12);
+                assert!((density - 0.25).abs() < 1e-12);
+                assert_eq!(rank, 3);
+                assert!(flip);
+            }
+            ref other => panic!("expected decision, got {other:?}"),
         }
     }
 

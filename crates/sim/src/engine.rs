@@ -11,7 +11,9 @@ use crate::scheduler::Scheduler;
 use crate::workspace::SimWorkspace;
 use cloudsched_capacity::CapacityProfile;
 use cloudsched_core::{CoreError, JobId, JobOutcome, JobSet, Schedule, Time};
-use cloudsched_obs::{FaultKind, MetricsRegistry, NoopTracer, Profiler, TraceEvent, Tracer};
+use cloudsched_obs::{
+    DecisionAction, FaultKind, MetricsRegistry, NoopTracer, Profiler, TraceEvent, Tracer,
+};
 
 /// Knobs for a single run.
 #[derive(Debug, Clone, Copy)]
@@ -299,8 +301,33 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     job: cur,
                     remaining: self.ws.remaining[cur.index()],
                 });
+                self.trace_provenance(DecisionAction::Preempt, cur, 0);
             }
         }
+    }
+
+    /// Stamps a kernel-side decision-provenance event, filling in the
+    /// conservative laxity (Definition 5, against the effective `c_lo`) and
+    /// value density at the decision instant. Emitted only when the attached
+    /// sink opted in via `Tracer::wants_provenance`, so default trace
+    /// streams stay byte-identical.
+    fn trace_provenance(&mut self, action: DecisionAction, job: JobId, rank: usize) {
+        if !(self.tracer.enabled() && self.tracer.wants_provenance()) {
+            return;
+        }
+        let j = self.jobs.get(job);
+        let laxity = j
+            .laxity_with(self.now, self.ws.remaining[job.index()], self.c_lo)
+            .as_f64();
+        self.tracer.record(&TraceEvent::Decision {
+            t: self.now,
+            job,
+            action,
+            laxity,
+            density: j.value_density(),
+            rank,
+            flip: laxity < 0.0,
+        });
     }
 
     /// Records a `Strict`-policy abort: stamps the trace and arms the main
@@ -458,6 +485,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                         }
                     };
                     self.tracer.record(&ev);
+                    self.trace_provenance(DecisionAction::Admit, j, 0);
                 }
                 self.ws.started[i] = true;
                 self.running = Some(j);
@@ -639,6 +667,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                                     remaining: self.ws.remaining[i],
                                     value,
                                 });
+                                self.trace_provenance(DecisionAction::Expire, job, 0);
                             }
                         }
                         if !hidden {

@@ -79,6 +79,26 @@ sweep:
 sweep-smoke:
     cargo run --release -p cloudsched-cli -- bench --suite sweep --quick --out /tmp/sweep-smoke.json
 
+# Value-loss ledger for one instance: where did the arrived value go?
+# E.g. `just inspect 12 7` or `just inspect 8 1 --queues`.
+inspect lambda="8" seed="1" *flags="":
+    cargo run --release -p cloudsched-cli -- inspect --lambda {{lambda}} --seed {{seed}} {{flags}}
+
+# Empirical competitive ratio vs the paper's Theorem 3 bounds.
+inspect-ratio lambda="8" seed="1" seeds="3":
+    cargo run --release -p cloudsched-cli -- inspect --ratio --lambda {{lambda}} --seed {{seed}} --seeds {{seeds}}
+
+# Regenerate the checked-in golden ledger summary after an *intentional*
+# change to the ledger's classification rules or report format.
+golden-inspect-regen:
+    cargo run --release -p cloudsched-cli -- inspect --lambda 12 --seed 7 --horizon 6 --scheduler vdover --in tests/golden/trace_seed7_vdover.jsonl > tests/golden/inspect_seed7_vdover.txt
+
+# Compare a fresh quick kernel run against the checked-in report
+# (report-only in CI; run `just bench` on an idle machine for real numbers).
+bench-diff tol="50":
+    cargo run --release -p cloudsched-cli -- bench --quick --out /tmp/bench-smoke.json
+    cargo run --release -p cloudsched-cli -- bench-diff --old BENCH_kernel.json --new /tmp/bench-smoke.json --tol {{tol}}
+
 # Chaos smoke: run a fixed-seed fault-injection campaign twice and byte-diff
 # the fault traces — zero panics, deterministic fault sequence (mirrors CI).
 chaos:

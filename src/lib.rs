@@ -46,6 +46,7 @@ pub use cloudsched_capacity as capacity;
 pub use cloudsched_cloud as cloud;
 pub use cloudsched_core as core;
 pub use cloudsched_faults as faults;
+pub use cloudsched_insight as insight;
 pub use cloudsched_obs as obs;
 pub use cloudsched_offline as offline;
 pub use cloudsched_sched as sched;
@@ -67,4 +68,4 @@ pub mod prelude {
     pub use cloudsched_workload::{poisson_arrivals, PaperScenario};
 }
 
-pub use trace::{run_traced, TracedRun};
+pub use trace::{run_traced, run_traced_with_provenance, TracedRun};

@@ -9,7 +9,7 @@
 //! the deterministic shortest round-trip form.
 
 use cloudsched_capacity::{CapacityProfile, Instance};
-use cloudsched_obs::{JsonlTracer, MetricsRegistry, Tee};
+use cloudsched_obs::{JsonlTracer, MetricsRegistry, Tee, WithProvenance};
 use cloudsched_sim::{simulate_traced, RunOptions, RunReport};
 
 /// The result of a traced run: the JSONL event stream plus the usual report
@@ -34,24 +34,54 @@ pub struct TracedRun {
 /// If `scheduler` is not a recognised factory name, or the tracer's
 /// in-memory sink fails (it cannot, in practice).
 pub fn run_traced(instance: &Instance, scheduler: &str) -> Result<TracedRun, String> {
+    run_traced_with_provenance(instance, scheduler, false)
+}
+
+/// [`run_traced`] with decision provenance opt-in.
+///
+/// With `provenance = false` this is exactly `run_traced`: the JSONL stream
+/// stays byte-identical because no sink opts in and the zero-cost noop path
+/// stamps nothing. With `provenance = true` the JSONL sink is wrapped in
+/// [`WithProvenance`], so the kernel and the schedulers additionally emit
+/// `decision` events carrying the inputs that drove each admit / reject /
+/// preempt / park / rescue / expire / abandon choice; every other line is
+/// unchanged.
+///
+/// # Errors
+/// Same failure modes as [`run_traced`].
+pub fn run_traced_with_provenance(
+    instance: &Instance,
+    scheduler: &str,
+    provenance: bool,
+) -> Result<TracedRun, String> {
     let (c_lo, c_hi) = instance.capacity.bounds();
     let k = instance.importance_ratio().unwrap_or(7.0);
     let delta = instance.delta().max(1.0 + 1e-9);
     let mut sched =
         cloudsched_sched::by_name(scheduler, k, delta, c_lo, c_hi).map_err(|e| e.to_string())?;
-    let mut sink = Tee(JsonlTracer::new(Vec::new()), MetricsRegistry::for_sim());
-    let mut report = simulate_traced(
-        &instance.jobs,
-        &instance.capacity,
-        &mut *sched,
-        RunOptions::lean(),
-        &mut sink,
-    );
-    let Tee(jsonl_tracer, metrics) = sink;
-    report.metrics = Some(metrics.snapshot());
-    let bytes = jsonl_tracer
-        .finish()
-        .map_err(|e| format!("trace sink: {e}"))?;
+    let mut run = |jsonl_tracer: &mut dyn cloudsched_obs::Tracer| -> RunReport {
+        let mut metrics = MetricsRegistry::for_sim();
+        let mut sink = Tee(jsonl_tracer, &mut metrics);
+        let mut report = simulate_traced(
+            &instance.jobs,
+            &instance.capacity,
+            &mut *sched,
+            RunOptions::lean(),
+            &mut sink,
+        );
+        report.metrics = Some(metrics.snapshot());
+        report
+    };
+    let (report, finished) = if provenance {
+        let mut tracer = WithProvenance(JsonlTracer::new(Vec::new()));
+        let report = run(&mut tracer);
+        (report, tracer.0.finish())
+    } else {
+        let mut tracer = JsonlTracer::new(Vec::new());
+        let report = run(&mut tracer);
+        (report, tracer.finish())
+    };
+    let bytes = finished.map_err(|e| format!("trace sink: {e}"))?;
     let jsonl = String::from_utf8(bytes).map_err(|e| format!("trace sink: {e}"))?;
     Ok(TracedRun { jsonl, report })
 }
@@ -80,5 +110,36 @@ mod tests {
     fn unknown_scheduler_is_an_error() {
         let instance = PaperScenario::table1(4.0).generate(1).unwrap().instance;
         assert!(run_traced(&instance, "bogus").is_err());
+    }
+
+    #[test]
+    fn provenance_adds_only_decision_lines() {
+        let instance = PaperScenario::table1(8.0).generate(42).unwrap().instance;
+        let plain = run_traced(&instance, "vdover").unwrap();
+        let with = run_traced_with_provenance(&instance, "vdover", true).unwrap();
+        assert!(
+            with.jsonl
+                .lines()
+                .any(|l| l.contains("\"ev\":\"decision\"")),
+            "provenance run must stamp decision events"
+        );
+        // Dropping the decision lines recovers the default stream byte for
+        // byte: provenance is additive, never perturbing.
+        let stripped: String = with
+            .jsonl
+            .lines()
+            .filter(|l| !l.contains("\"ev\":\"decision\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, plain.jsonl);
+        assert_eq!(with.report.value, plain.report.value);
+    }
+
+    #[test]
+    fn provenance_off_is_run_traced() {
+        let instance = PaperScenario::table1(4.0).generate(7).unwrap().instance;
+        let a = run_traced(&instance, "dover").unwrap();
+        let b = run_traced_with_provenance(&instance, "dover", false).unwrap();
+        assert_eq!(a.jsonl, b.jsonl);
     }
 }

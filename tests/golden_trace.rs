@@ -20,6 +20,7 @@ use cloudsched::prelude::*;
 use cloudsched::run_traced;
 
 const GOLDEN: &str = include_str!("golden/trace_seed7_vdover.jsonl");
+const GOLDEN_INSPECT: &str = include_str!("golden/inspect_seed7_vdover.txt");
 
 fn golden_instance() -> Instance {
     let mut scenario = PaperScenario::table1(12.0);
@@ -58,4 +59,38 @@ fn golden_trace_parses_and_is_time_ordered() {
         n += 1;
     }
     assert!(n > 100, "golden trace suspiciously small ({n} events)");
+}
+
+#[test]
+fn golden_inspect_summary_matches_the_checked_in_render() {
+    // The value-loss ledger folded from the golden trace must render
+    // byte-identically to the checked-in summary — this pins the ledger's
+    // classification rules and report format alongside the trace encoding.
+    // Regenerate with:
+    //
+    //   cloudsched inspect --lambda 12 --seed 7 --horizon 6 --scheduler vdover \
+    //       --in tests/golden/trace_seed7_vdover.jsonl \
+    //       > tests/golden/inspect_seed7_vdover.txt
+    let events: Vec<TraceEvent> = GOLDEN
+        .lines()
+        .map(|l| TraceEvent::parse_jsonl(l).expect("golden line parses"))
+        .collect();
+    let instance = golden_instance();
+    let report = cloudsched::insight::ValueLedger::from_events(&events)
+        .attribute(&instance.jobs)
+        .expect("golden trace conserves value");
+    assert_eq!(
+        report.render(),
+        GOLDEN_INSPECT,
+        "ledger summary drifted from tests/golden/inspect_seed7_vdover.txt"
+    );
+    // The summary's arithmetic must also agree with the instance itself.
+    assert_eq!(report.entries.len(), instance.job_count());
+    assert_eq!(report.total_value.to_bits(), {
+        let mut sum = 0.0f64;
+        for job in instance.jobs.iter() {
+            sum += job.value;
+        }
+        sum.to_bits()
+    });
 }

@@ -8,7 +8,9 @@
 
 #![forbid(unsafe_code)]
 
-use cloudsched::obs::{RingTracer, TraceEvent};
+use cloudsched::obs::{
+    JsonlTracer, NoopTracer, RingTracer, Tee, TraceEvent, Tracer, WithProvenance,
+};
 use cloudsched::prelude::*;
 use cloudsched::run_traced;
 use cloudsched::sim::simulate_traced;
@@ -156,6 +158,71 @@ fn preemptions_balance_resumes_per_job() {
         );
         assert_eq!(ring.dropped(), 0, "{scheduler}: ring overflowed");
     }
+}
+
+/// Runs `scheduler` over the overloaded instance into `sink`.
+fn run_into<T: Tracer>(instance: &Instance, scheduler: &str, sink: &mut T) -> RunReport {
+    let (c_lo, c_hi) = instance.capacity.bounds();
+    let k = instance.importance_ratio().unwrap_or(7.0);
+    let delta = instance.delta().max(1.0 + 1e-9);
+    let mut s = cloudsched::sched::by_name(scheduler, k, delta, c_lo, c_hi).unwrap();
+    simulate_traced(
+        &instance.jobs,
+        &instance.capacity,
+        &mut *s,
+        RunOptions::lean(),
+        sink,
+    )
+}
+
+#[test]
+fn ring_tracer_keeps_the_newest_events_on_wraparound() {
+    let instance = overloaded_instance();
+    // Reference run: a ring big enough to hold everything.
+    let mut full = RingTracer::new(1 << 20);
+    run_into(&instance, "vdover", &mut full);
+    assert_eq!(full.dropped(), 0, "reference ring must not wrap");
+    let all: Vec<TraceEvent> = full.take();
+    assert!(all.len() > 64, "overloaded run must emit plenty of events");
+    // Same run into a tiny ring: it retains exactly the newest `cap`
+    // events in order and accounts for every eviction.
+    let cap = 64;
+    let mut ring = RingTracer::new(cap);
+    run_into(&instance, "vdover", &mut ring);
+    assert_eq!(ring.len(), cap, "ring must be full after wraparound");
+    assert_eq!(
+        ring.dropped() as usize,
+        all.len() - cap,
+        "every eviction is counted"
+    );
+    let tail: Vec<TraceEvent> = ring.events().copied().collect();
+    assert_eq!(
+        tail,
+        all[all.len() - cap..],
+        "ring holds the newest events, oldest first"
+    );
+}
+
+#[test]
+fn tee_preserves_order_and_ors_provenance() {
+    let instance = overloaded_instance();
+    // Both arms of a Tee see the identical stream in the identical order:
+    // the ring's events re-serialized must equal the JSONL arm's lines.
+    let mut tee = Tee(RingTracer::new(1 << 20), JsonlTracer::new(Vec::new()));
+    run_into(&instance, "vdover", &mut tee);
+    let Tee(mut ring, jsonl) = tee;
+    let bytes = jsonl.finish().unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+    let reserialized: String = ring.take().iter().map(|e| e.to_jsonl() + "\n").collect();
+    assert_eq!(
+        reserialized, text,
+        "Tee arms must observe the same events in the same order"
+    );
+    // Provenance opt-in is an OR across arms; the ring and JSONL sinks
+    // default to off, so only a WithProvenance wrapper flips the Tee.
+    assert!(!Tee(RingTracer::new(8), NoopTracer).wants_provenance());
+    assert!(Tee(NoopTracer, WithProvenance(RingTracer::new(8))).wants_provenance());
+    assert!(Tee(WithProvenance(NoopTracer), RingTracer::new(8)).wants_provenance());
 }
 
 #[test]
