@@ -21,11 +21,21 @@
 //!                    [--scheduler NAME] [--in FILE]
 //!                    [--summary | --job N | --queues | --ratio [--seeds N]]
 //! cloudsched bench-diff --old FILE --new FILE [--tol PCT]
+//! cloudsched serve   --in FILE [--journal FILE] [--snapshot-every N] [--scheduler NAME]
+//!                    [--rate F] [--k F] [--delta F] [--queue-cap N]
+//!                    [--policy strict|degrade|best-effort] [--crash-after N] [--retries N]
+//! cloudsched recover --journal FILE --in FILE
 //! ```
 //!
 //! Job traces use the plain-text format of `cloudsched-workload::traces`;
 //! `trace` emits (and `replay` pretty-prints) the deterministic JSONL event
-//! stream of `cloudsched-obs`.
+//! stream of `cloudsched-obs`. `serve` runs the crash-safe streaming
+//! admission service over a JSONL arrival stream, journaling every record;
+//! `recover` restores a crashed serve run from its journal and finishes it
+//! — printing output byte-identical to the uninterrupted run.
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error (unknown
+//! command, malformed or unknown flags).
 
 #![forbid(unsafe_code)]
 
@@ -45,43 +55,78 @@ use cloudsched_workload::{traces, PaperScenario};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+/// CLI failures, split by exit code: usage errors (malformed command
+/// lines — exit 2, usage appended) versus runtime errors (exit 1).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(e: String) -> Self {
+        CliError::Runtime(e)
+    }
+}
+
+/// Marks an argument error as a usage failure (exit 2).
+fn usage_err<T>(flag: &str, reason: &str) -> Result<T, CliError> {
+    Err(CliError::Usage(arg_error(flag, reason)))
+}
+
+/// Classifies a legacy string error: flag-shaped messages (`--flag: ...`)
+/// are usage failures, everything else is a runtime failure.
+fn classify(e: String) -> CliError {
+    if e.starts_with("--") || e.starts_with("missing --") {
+        CliError::Usage(e)
+    } else {
+        CliError::Runtime(e)
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let flags = match parse_flags(args) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
-    let result = match cmd.as_str() {
-        "gen" => cmd_gen(&flags),
-        "run" => cmd_run(&flags),
-        "opt" => cmd_opt(&flags),
-        "info" => cmd_info(&flags),
-        "bounds" => cmd_bounds(&flags),
-        "audit" => cmd_audit(&flags),
-        "lint" => cmd_lint(&flags),
-        "trace" => cmd_trace(&flags),
-        "metrics" => cmd_metrics(&flags),
-        "replay" => cmd_replay(&flags),
-        "chaos" => cmd_chaos(&flags),
-        "bench" => cmd_bench(&flags),
+    let result: Result<(), CliError> = match cmd.as_str() {
+        "gen" => cmd_gen(&flags).map_err(CliError::Runtime),
+        "run" => cmd_run(&flags).map_err(CliError::Runtime),
+        "opt" => cmd_opt(&flags).map_err(CliError::Runtime),
+        "info" => cmd_info(&flags).map_err(CliError::Runtime),
+        "bounds" => cmd_bounds(&flags).map_err(CliError::Runtime),
+        "audit" => cmd_audit(&flags).map_err(CliError::Runtime),
+        "lint" => cmd_lint(&flags).map_err(CliError::Runtime),
+        "trace" => cmd_trace(&flags).map_err(CliError::Runtime),
+        "metrics" => cmd_metrics(&flags).map_err(CliError::Runtime),
+        "replay" => cmd_replay(&flags).map_err(CliError::Runtime),
+        "chaos" => cmd_chaos(&flags).map_err(CliError::Runtime),
+        "bench" => cmd_bench(&flags).map_err(CliError::Runtime),
         "inspect" => cmd_inspect(&flags),
         "bench-diff" => cmd_bench_diff(&flags),
+        "serve" => cmd_serve(&flags),
+        "recover" => cmd_recover(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
@@ -105,7 +150,33 @@ const USAGE: &str = "usage:
   cloudsched bench   [--suite kernel|sweep] [--quick] [--out FILE]
   cloudsched inspect [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]] [--scheduler NAME]
                      [--in FILE] [--summary | --job N | --queues | --ratio [--seeds N]]
-  cloudsched bench-diff --old FILE --new FILE [--tol PCT]";
+  cloudsched bench-diff --old FILE --new FILE [--tol PCT]
+  cloudsched serve   --in FILE [--journal FILE] [--snapshot-every N] [--scheduler NAME]
+                     [--rate F] [--k F] [--delta F] [--queue-cap N]
+                     [--policy strict|degrade|best-effort] [--crash-after N] [--retries N]
+  cloudsched recover --journal FILE --in FILE";
+
+/// Rejects flags a command does not understand — a typo like
+/// `--scheduler` on `bench-diff` is a usage error (exit 2), not a
+/// silently ignored knob.
+fn reject_unknown_flags(flags: &HashMap<String, String>, allowed: &[&str]) -> Result<(), CliError> {
+    let mut unknown: Vec<&str> = flags
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !allowed.contains(k))
+        .collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        Some(flag) => usage_err(
+            flag,
+            &format!(
+                "unknown flag for this command (expected one of: --{})",
+                allowed.join(", --")
+            ),
+        ),
+        None => Ok(()),
+    }
+}
 
 /// Renders a typed argument error (non-zero exit; `main` appends the usage).
 fn arg_error(flag: &str, reason: &str) -> String {
@@ -534,11 +605,46 @@ fn cmd_bench_sweep(flags: &HashMap<String, String>, quick: bool) -> Result<(), S
 /// `--ratio` the empirical competitive ratio over `--seeds N` consecutive
 /// seeds (an error when an exact-optimum run lands below the Theorem 3(2)
 /// guarantee).
-fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    reject_unknown_flags(
+        flags,
+        &[
+            "trace",
+            "lambda",
+            "seed",
+            "slack",
+            "horizon",
+            "scheduler",
+            "in",
+            "summary",
+            "job",
+            "queues",
+            "ratio",
+            "seeds",
+        ],
+    )?;
+    let modes: Vec<&str> = ["summary", "job", "queues", "ratio"]
+        .into_iter()
+        .filter(|m| flags.contains_key(*m))
+        .collect();
+    if modes.len() > 1 {
+        return usage_err(
+            modes[1],
+            &format!("conflicts with --{}; pick one mode", modes[0]),
+        );
+    }
     if flags.contains_key("ratio") {
         return cmd_inspect_ratio(flags);
     }
-    let instance = resolve_instance(flags)?;
+    // Validate the job id before paying for a trace.
+    let job_id = match flags.get("job") {
+        Some(job) => match job.parse::<u64>() {
+            Ok(id) => Some(cloudsched_core::JobId(id)),
+            Err(_) => return usage_err("job", &format!("expected a job id, got `{job}`")),
+        },
+        None => None,
+    };
+    let instance = resolve_instance(flags).map_err(classify)?;
     let scheduler = flags
         .get("scheduler")
         .map(String::as_str)
@@ -554,11 +660,7 @@ fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         events.push(TraceEvent::parse_jsonl(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
     }
-    if let Some(job) = flags.get("job") {
-        let id = job
-            .parse::<u64>()
-            .map_err(|e| format!("--job: {e}"))
-            .map(cloudsched_core::JobId)?;
+    if let Some(id) = job_id {
         print!("{}", cloudsched_insight::render_job_timeline(&events, id));
         return Ok(());
     }
@@ -581,21 +683,30 @@ fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
 /// The `--ratio` mode of `cloudsched inspect`: empirical competitive ratio
 /// per seed against the exact (or, for large instances, fractional) offline
 /// optimum, next to the paper's guarantee.
-fn cmd_inspect_ratio(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_inspect_ratio(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let scheduler = flags
         .get("scheduler")
         .map(String::as_str)
         .unwrap_or("vdover");
-    let lambda = match flags.get("lambda") {
-        Some(s) => s.parse().map_err(|e| format!("--lambda: {e}"))?,
+    let lambda: f64 = match flags.get("lambda") {
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) => v,
+            Err(e) => return usage_err("lambda", &e.to_string()),
+        },
         None => 8.0,
     };
     let first_seed: u64 = match flags.get("seed") {
-        Some(s) => s.parse().map_err(|e| format!("--seed: {e}"))?,
+        Some(s) => match s.parse() {
+            Ok(v) => v,
+            Err(e) => return usage_err("seed", &format!("{e}")),
+        },
         None => 1,
     };
     let seeds: u64 = match flags.get("seeds") {
-        Some(s) => s.parse().map_err(|e| format!("--seeds: {e}"))?,
+        Some(s) => match s.parse() {
+            Ok(v) => v,
+            Err(e) => return usage_err("seeds", &format!("{e}")),
+        },
         None => 1,
     };
     let mut scenario = PaperScenario::table1(lambda);
@@ -627,9 +738,9 @@ fn cmd_inspect_ratio(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     if violations > 0 {
-        return Err(format!(
+        return Err(CliError::Runtime(format!(
             "{violations} run(s) violate the paper's bound — trace and theory disagree"
-        ));
+        )));
     }
     Ok(())
 }
@@ -638,11 +749,24 @@ fn cmd_inspect_ratio(flags: &HashMap<String, String>) -> Result<(), String> {
 /// suite (`BENCH_kernel.json` or `BENCH_sweep.json`) row by row. Exits
 /// non-zero when any metric regresses beyond `--tol` percent (default 10),
 /// so report-only callers append `|| true`.
-fn cmd_bench_diff(flags: &HashMap<String, String>) -> Result<(), String> {
-    let old_path = flags.get("old").ok_or("missing --old FILE")?;
-    let new_path = flags.get("new").ok_or("missing --new FILE")?;
-    let tol = match flags.get("tol") {
-        Some(s) => s.parse().map_err(|e| format!("--tol: {e}"))?,
+fn cmd_bench_diff(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    reject_unknown_flags(flags, &["old", "new", "tol"])?;
+    let Some(old_path) = flags.get("old") else {
+        return usage_err("old", "required flag is missing (`--old FILE`)");
+    };
+    let Some(new_path) = flags.get("new") else {
+        return usage_err("new", "required flag is missing (`--new FILE`)");
+    };
+    let tol: f64 = match flags.get("tol") {
+        Some(s) => match s.parse::<f64>().ok().filter(|t| t.is_finite() && *t >= 0.0) {
+            Some(t) => t,
+            None => {
+                return usage_err(
+                    "tol",
+                    &format!("expected a non-negative percent, got `{s}`"),
+                )
+            }
+        },
         None => 10.0,
     };
     let old = std::fs::read_to_string(old_path).map_err(|e| format!("{old_path}: {e}"))?;
@@ -651,9 +775,185 @@ fn cmd_bench_diff(flags: &HashMap<String, String>) -> Result<(), String> {
     print!("{}", diff.render());
     let regressions = diff.regressions();
     if regressions > 0 {
-        return Err(format!("{regressions} metric(s) regressed beyond ±{tol}%"));
+        return Err(CliError::Runtime(format!(
+            "{regressions} metric(s) regressed beyond ±{tol}%"
+        )));
     }
     Ok(())
+}
+
+/// The summary both service commands print: the value-loss ledger and the
+/// commitment audit. `recover` must reproduce `serve`'s output byte for
+/// byte, so there is exactly one renderer.
+fn render_service_outcome(outcome: &cloudsched_sim::ServiceOutcome) -> Result<String, String> {
+    let ledger = cloudsched_insight::ValueLedger::from_events(&outcome.events)
+        .attribute(&outcome.jobs)
+        .map_err(|e| format!("ledger: {e}"))?;
+    let commitments =
+        cloudsched_sim::audit::commitments::audit_commitments(&outcome.decisions, &outcome.events);
+    Ok(format!("{}{}", ledger.render(), commitments.render()))
+}
+
+/// Prints (or reports) a finished service run; shared by `serve` and
+/// `recover`.
+fn finish_service_outcome(outcome: &cloudsched_sim::ServiceOutcome) -> Result<(), CliError> {
+    print!("{}", render_service_outcome(outcome)?);
+    let admitted = outcome.decisions.iter().filter(|d| d.admitted).count();
+    eprintln!(
+        "{} arrivals: {} admitted, {} rejected; {} trace events",
+        outcome.arrivals_applied,
+        admitted,
+        outcome.decisions.len() - admitted,
+        outcome.events.len()
+    );
+    if let Some(err) = &outcome.aborted {
+        return Err(CliError::Runtime(format!("run aborted: {err}")));
+    }
+    Ok(())
+}
+
+/// `cloudsched serve`: the crash-safe streaming admission service. Arrivals
+/// are read from `--in` (JSONL `{"r":..,"d":..,"p":..,"v":..}` lines in
+/// release order) and fed to the kernel one at a time; every arrival and
+/// admission verdict is write-ahead journaled to `--journal` before its
+/// effects apply, with a full kernel snapshot every `--snapshot-every`
+/// arrivals. `--crash-after N` stops the run dead after arrival N (for
+/// drills); `cloudsched recover` then finishes it from the journal.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use cloudsched_obs::JournalSink;
+    reject_unknown_flags(
+        flags,
+        &[
+            "in",
+            "journal",
+            "snapshot-every",
+            "scheduler",
+            "rate",
+            "k",
+            "delta",
+            "queue-cap",
+            "policy",
+            "crash-after",
+            "retries",
+        ],
+    )?;
+    let Some(in_path) = flags.get("in") else {
+        return usage_err("in", "required flag is missing (`--in FILE`)");
+    };
+    let mut cfg = cloudsched_sim::ServiceConfig::new(
+        flags
+            .get("scheduler")
+            .map(String::as_str)
+            .unwrap_or("vdover"),
+        7.0,
+    );
+    let num = |key: &str, default: f64| -> Result<f64, CliError> {
+        match flags.get(key) {
+            Some(s) => match s.parse::<f64>().ok().filter(|v| v.is_finite()) {
+                Some(v) => Ok(v),
+                None => Err(CliError::Usage(arg_error(
+                    key,
+                    &format!("expected a finite number, got `{s}`"),
+                ))),
+            },
+            None => Ok(default),
+        }
+    };
+    let int = |key: &str, default: u64| -> Result<u64, CliError> {
+        match flags.get(key) {
+            Some(s) => match s.parse::<u64>() {
+                Ok(v) => Ok(v),
+                Err(e) => Err(CliError::Usage(arg_error(key, &format!("{e}")))),
+            },
+            None => Ok(default),
+        }
+    };
+    cfg.k = num("k", 7.0)?;
+    cfg.delta = num("delta", 1.0)?;
+    cfg.snapshot_every = int("snapshot-every", 0)?;
+    cfg.queue_cap = int("queue-cap", u64::MAX)? as usize;
+    cfg.journal_attempts = int("retries", 3)? as u32;
+    if flags.contains_key("crash-after") {
+        cfg.crash_after = Some(int("crash-after", 0)?);
+    }
+    if let Some(s) = flags.get("policy") {
+        cfg.policy = match cloudsched_sim::DegradationPolicy::parse(s) {
+            Some(p) => p,
+            None => {
+                return usage_err(
+                    "policy",
+                    &format!("unknown policy `{s}` (strict|degrade|best-effort)"),
+                )
+            }
+        };
+    }
+    let rate = num("rate", 1.0)?;
+    let capacity = match cloudsched_capacity::Constant::new(rate) {
+        Ok(c) => c,
+        Err(e) => return usage_err("rate", &e.to_string()),
+    };
+    let stream = std::fs::read_to_string(in_path).map_err(|e| format!("{in_path}: {e}"))?;
+    let mut scheduler = cloudsched_sched::by_name(&cfg.scheduler, cfg.k, cfg.delta, rate, rate)
+        .map_err(|e| CliError::Usage(arg_error("scheduler", &e.to_string())))?;
+    let mut journal = match flags.get("journal") {
+        Some(path) => Some(
+            cloudsched_obs::FileJournal::create(std::path::Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let outcome = cloudsched_sim::serve(
+        &capacity,
+        &cfg,
+        scheduler.as_mut(),
+        &stream,
+        journal.as_mut().map(|j| j as &mut dyn JournalSink),
+    )
+    .map_err(|e| e.to_string())?;
+    if outcome.crashed {
+        eprintln!(
+            "crashed after arrival {} (seeded drill); run `cloudsched recover` on the journal",
+            outcome.arrivals_applied - 1
+        );
+        return Ok(());
+    }
+    finish_service_outcome(&outcome)
+}
+
+/// `cloudsched recover`: finishes a crashed `serve` run. The journal's
+/// `open` record names the scheduler, capacity and admission knobs; the
+/// last snapshot (if any) restores the kernel mid-run, the journal tail is
+/// deterministically replayed, and any arrivals in `--in` the journal
+/// never saw are then served. Output is byte-identical to the run having
+/// never crashed.
+fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    reject_unknown_flags(flags, &["journal", "in"])?;
+    let Some(journal_path) = flags.get("journal") else {
+        return usage_err("journal", "required flag is missing (`--journal FILE`)");
+    };
+    let Some(in_path) = flags.get("in") else {
+        return usage_err("in", "required flag is missing (`--in FILE`)");
+    };
+    let journal =
+        std::fs::read_to_string(journal_path).map_err(|e| format!("{journal_path}: {e}"))?;
+    let stream = std::fs::read_to_string(in_path).map_err(|e| format!("{in_path}: {e}"))?;
+    let header = cloudsched_sim::journal_header(&journal).map_err(|e| e.to_string())?;
+    let capacity = cloudsched_capacity::Constant::new(header.rate).map_err(|e| e.to_string())?;
+    let mut scheduler = cloudsched_sched::by_name(
+        &header.scheduler,
+        header.k,
+        header.delta,
+        header.c_lo,
+        header.c_hi,
+    )
+    .map_err(|e| e.to_string())?;
+    let outcome = cloudsched_sim::recover(&capacity, scheduler.as_mut(), &journal, &stream)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "recovered from {journal_path}: scheduler {}, {} journaled arrivals",
+        header.scheduler, outcome.arrivals_applied
+    );
+    finish_service_outcome(&outcome)
 }
 
 fn cmd_replay(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -812,7 +1112,10 @@ mod tests {
         cmd_bench_diff(&flags("10")).expect("1% drift within 10% tolerance");
         std::fs::write(&new, rows_to_json(&[row(200.0)])).expect("write new");
         let err = cmd_bench_diff(&flags("10")).expect_err("100% slowdown");
-        assert!(err.contains("regressed"), "got: {err}");
+        match &err {
+            CliError::Runtime(e) => assert!(e.contains("regressed"), "got: {e}"),
+            CliError::Usage(e) => panic!("regression is a runtime error, got usage: {e}"),
+        }
         assert!(cmd_bench_diff(&flags_of(&["--old", "/no/file"])).is_err());
         std::fs::remove_file(old).ok();
         std::fs::remove_file(new).ok();
@@ -900,6 +1203,74 @@ mod tests {
     fn missing_trace_is_an_error() {
         assert!(load_trace(&flags_of(&[])).is_err());
         assert!(load_trace(&flags_of(&["--trace", "/no/such/file"])).is_err());
+    }
+
+    #[test]
+    fn usage_errors_are_typed_and_distinct_from_runtime_errors() {
+        let usage = |r: Result<(), CliError>| matches!(r, Err(CliError::Usage(_)));
+        let runtime = |r: Result<(), CliError>| matches!(r, Err(CliError::Runtime(_)));
+        // bench-diff: missing required flags, malformed tolerance, unknown
+        // flags → usage; unreadable files → runtime.
+        assert!(usage(cmd_bench_diff(&flags_of(&["--old", "x"]))));
+        assert!(usage(cmd_bench_diff(&flags_of(&[
+            "--old", "a", "--new", "b", "--tol", "-1"
+        ]))));
+        assert!(usage(cmd_bench_diff(&flags_of(&[
+            "--old", "a", "--new", "b", "--typo", "1"
+        ]))));
+        assert!(runtime(cmd_bench_diff(&flags_of(&[
+            "--old", "/no/a", "--new", "/no/b"
+        ]))));
+        // inspect: malformed job id, unknown flag, conflicting modes.
+        let base = &["--lambda", "4", "--seed", "2", "--horizon", "4"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            flags_of(&v)
+        };
+        assert!(usage(cmd_inspect(&with(&["--job", "x"]))));
+        assert!(usage(cmd_inspect(&with(&["--frobnicate", "1"]))));
+        assert!(usage(cmd_inspect(&with(&["--queues", "--job", "0"]))));
+        assert!(usage(cmd_inspect(&with(&["--ratio", "--seeds", "x"]))));
+        // serve/recover: missing required flags.
+        assert!(usage(cmd_serve(&flags_of(&[]))));
+        assert!(usage(cmd_recover(&flags_of(&["--journal", "x"]))));
+    }
+
+    #[test]
+    fn serve_crash_and_recover_round_trip_through_files() {
+        let dir = std::env::temp_dir();
+        let stream = dir.join("cloudsched-cli-test-serve-stream.jsonl");
+        let journal = dir.join("cloudsched-cli-test-serve-journal.jsonl");
+        std::fs::write(
+            &stream,
+            "{\"r\":0,\"d\":6,\"p\":3,\"v\":4}\n\
+             {\"r\":1,\"d\":4,\"p\":2,\"v\":9}\n\
+             {\"r\":3,\"d\":9,\"p\":4,\"v\":5}\n\
+             {\"r\":4,\"d\":12,\"p\":2,\"v\":6}\n",
+        )
+        .expect("write stream");
+        let stream_s = stream.to_str().expect("utf-8 temp path");
+        let journal_s = journal.to_str().expect("utf-8 temp path");
+        cmd_serve(&flags_of(&[
+            "--in",
+            stream_s,
+            "--journal",
+            journal_s,
+            "--snapshot-every",
+            "2",
+            "--crash-after",
+            "1",
+        ]))
+        .expect("crashed serve still exits cleanly");
+        cmd_recover(&flags_of(&["--journal", journal_s, "--in", stream_s]))
+            .expect("recover finishes the crashed run");
+        // The journal header names the scheduler for recovery.
+        let body = std::fs::read_to_string(&journal).expect("journal file");
+        let header = cloudsched_sim::journal_header(&body).expect("parsable journal");
+        assert_eq!(header.scheduler, "vdover");
+        std::fs::remove_file(stream).ok();
+        std::fs::remove_file(journal).ok();
     }
 }
 

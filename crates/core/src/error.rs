@@ -118,6 +118,32 @@ pub enum CoreError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A write-ahead journal append or sync failed even after the retry
+    /// budget was exhausted. Carries a rendered cause rather than the
+    /// underlying `io::Error` (which is neither `Clone` nor `PartialEq`).
+    JournalWrite {
+        /// Rendered cause of the final failed attempt.
+        reason: String,
+        /// Total attempts made (first try plus retries).
+        attempts: u32,
+    },
+    /// The streaming service's bounded admission queue overflowed under the
+    /// `Strict` backpressure policy.
+    QueueOverflow {
+        /// 0-based arrival sequence number that overflowed the queue.
+        seq: u64,
+        /// Admitted-but-unresolved jobs at that instant.
+        live: usize,
+        /// The configured queue capacity.
+        cap: usize,
+    },
+    /// A journal or snapshot record could not be parsed during recovery.
+    CorruptJournal {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -174,6 +200,19 @@ impl fmt::Display for CoreError {
             ),
             CoreError::InvalidArgument { flag, reason } => {
                 write!(f, "argument {flag}: {reason}")
+            }
+            CoreError::QueueOverflow { seq, live, cap } => write!(
+                f,
+                "admission queue overflow at arrival {seq}: {live} live jobs, capacity {cap}"
+            ),
+            CoreError::JournalWrite { reason, attempts } => {
+                write!(
+                    f,
+                    "journal write failed after {attempts} attempts: {reason}"
+                )
+            }
+            CoreError::CorruptJournal { line, reason } => {
+                write!(f, "corrupt journal record at line {line}: {reason}")
             }
         }
     }
@@ -235,6 +274,16 @@ mod tests {
             reason: "not a number".into(),
         };
         assert!(e.to_string().contains("--seeds"));
+        let e = CoreError::JournalWrite {
+            reason: "disk full".into(),
+            attempts: 3,
+        };
+        assert!(e.to_string().contains("3 attempts") && e.to_string().contains("disk full"));
+        let e = CoreError::CorruptJournal {
+            line: 17,
+            reason: "bad svc record".into(),
+        };
+        assert!(e.to_string().contains("line 17"));
     }
 
     #[test]

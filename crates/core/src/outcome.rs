@@ -65,6 +65,15 @@ impl Outcome {
         self.outcomes.capacity()
     }
 
+    /// Extends the table to `n` jobs, new slots `NotReleased`, without
+    /// touching existing entries — streaming admission grows the table one
+    /// arrival at a time mid-run. A no-op when `n <= len()`.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.outcomes.len() {
+            self.outcomes.resize(n, JobOutcome::NotReleased);
+        }
+    }
+
     /// Sets the outcome of one job.
     #[inline]
     pub fn set(&mut self, id: JobId, outcome: JobOutcome) {
@@ -192,6 +201,21 @@ mod tests {
         o.reset(cap + 1);
         assert_eq!(o.len(), cap + 1);
         assert_eq!(Outcome::default().len(), 0);
+    }
+
+    #[test]
+    fn grow_preserves_existing_entries() {
+        let mut o = Outcome::new(2);
+        o.set(JobId(1), JobOutcome::Completed { at: Time::new(3.0) });
+        o.grow(4);
+        assert_eq!(o.len(), 4);
+        assert_eq!(
+            o.get(JobId(1)),
+            JobOutcome::Completed { at: Time::new(3.0) }
+        );
+        assert_eq!(o.get(JobId(3)), JobOutcome::NotReleased);
+        o.grow(1); // shrink request is a no-op
+        assert_eq!(o.len(), 4);
     }
 
     #[test]

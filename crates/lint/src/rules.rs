@@ -212,8 +212,8 @@ pub const RULES: &[RuleInfo] = &[
         id: "L011",
         severity: Severity::Error,
         summary: "no std::env/std::fs reads in deterministic crates",
-        scope: "library code of core, capacity, sim, sched, offline, workload, obs, faults, \
-                insight",
+        scope: "library code of core, capacity, sim, sched, offline, workload, obs (outside \
+                journal.rs, the write-ahead-journal seam), faults, insight",
         rationale: "ambient process state (env vars, files) is invisible to the seed and \
                     breaks replay; configuration enters through typed constructors only",
         fix: "move the read to the cli/bench boundary and pass the value in as a typed \
@@ -1028,6 +1028,13 @@ fn l010_lossy_casts(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
 /// crates.
 fn l011_ambient_reads(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     if !in_scope(ctx.file, DETERMINISTIC_CRATES) {
+        return;
+    }
+    // The write-ahead journal is the seam itself: `obs/src/journal.rs` is
+    // the single sanctioned `std::fs` site in the deterministic core,
+    // mirroring the `obs/src/clock.rs` carve-out for L005/L006. Everything
+    // durable flows through its `JournalSink` trait.
+    if ctx.file.rel_path.ends_with("obs/src/journal.rs") {
         return;
     }
     let toks = ctx.toks;

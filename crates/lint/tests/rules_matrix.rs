@@ -311,6 +311,39 @@ fn l011_ambient_reads() {
 }
 
 #[test]
+fn l011_journal_is_the_sanctioned_fs_seam() {
+    // PR 8's write-ahead journal: `obs/src/journal.rs` is the single
+    // sanctioned `std::fs` site in the deterministic core (mirroring the
+    // `obs/src/clock.rs` carve-out for L005/L006) — everything durable
+    // flows through its `JournalSink` trait, so the file itself may open
+    // and append to files without per-line allow directives.
+    let journal = lint_one(lib_file(
+        "obs",
+        "crates/obs/src/journal.rs",
+        "pub fn create(path: &str) -> std::io::Result<std::fs::File> {\n\
+         \x20   std::fs::File::create(path)\n\
+         }\n",
+    ));
+    assert!(
+        !fires(&journal, "L011"),
+        "journal carve-out broken: {journal:#?}"
+    );
+    // The carve-out is the file, not the crate: any other obs module
+    // touching `std::fs` still fires.
+    let sibling = lint_one(lib_file(
+        "obs",
+        "crates/obs/src/metrics.rs",
+        "pub fn dump(path: &str, body: &str) -> std::io::Result<()> {\n\
+         \x20   std::fs::write(path, body)\n\
+         }\n",
+    ));
+    assert!(
+        fires(&sibling, "L011"),
+        "fs access outside journal.rs passed in obs: {sibling:#?}"
+    );
+}
+
+#[test]
 fn insight_is_a_deterministic_crate() {
     // PR 7 adds `insight` to the deterministic core: ledgers and ratio
     // reports must reproduce bit-for-bit from a trace alone, so the crate

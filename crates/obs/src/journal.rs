@@ -1,0 +1,287 @@
+//! The write-ahead journal seam: the one sanctioned `std::fs` touchpoint.
+//!
+//! Lint rule L011 forbids `std::env`/`std::fs` everywhere in the
+//! deterministic core — ambient process state is invisible to the seed and
+//! breaks replay. A crash-safe streaming service still needs a durable
+//! journal, so (mirroring the [`Clock`](crate::Clock) seam for wall time)
+//! all durability flows through the [`JournalSink`] trait defined here:
+//! deterministic code appends lines and requests syncs against the trait;
+//! only [`FileJournal`] — this module, the single permitted `std::fs` site
+//! in the workspace — actually touches the filesystem. Tests and replay
+//! harnesses plug in [`MemJournal`], which is deterministic, inspectable
+//! and can inject write failures at chosen points.
+//!
+//! The journal discipline is classic WAL: the service appends the record of
+//! an arrival or decision and calls [`JournalSink::sync`] *before* applying
+//! its effects to the kernel, so after a crash the journal is always ahead
+//! of (or equal to) the applied state, never behind. [`RetryingJournal`]
+//! wraps any sink with a bounded, clock-free retry budget and converts
+//! exhausted budgets into [`CoreError::JournalWrite`] — the streaming
+//! service's backpressure/abort path picks it up from there.
+
+use cloudsched_core::CoreError;
+use std::io::{self, Write};
+
+/// An append-only, sync-able line sink — the durability seam of the
+/// streaming service's write-ahead journal.
+pub trait JournalSink {
+    /// Appends one record (without trailing newline; the sink adds it).
+    /// Buffered: durability is only guaranteed after [`JournalSink::sync`].
+    fn append(&mut self, line: &str) -> io::Result<()>;
+
+    /// Flushes and makes every appended record durable.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl<J: JournalSink + ?Sized> JournalSink for &mut J {
+    fn append(&mut self, line: &str) -> io::Result<()> {
+        (**self).append(line)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+}
+
+/// A journal backed by a real file. **The single sanctioned `std::fs` site
+/// in the deterministic core** (see the module docs); everything else must
+/// stay behind [`JournalSink`].
+#[derive(Debug)]
+pub struct FileJournal {
+    file: std::fs::File,
+}
+
+impl FileJournal {
+    /// Creates (truncating) a journal file at `path`.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        Ok(FileJournal {
+            file: std::fs::File::create(path)?,
+        })
+    }
+
+    /// Opens an existing journal for appending (recovery resumes the
+    /// journal of the crashed run rather than starting a new one).
+    pub fn open_append(path: &std::path::Path) -> io::Result<Self> {
+        Ok(FileJournal {
+            file: std::fs::OpenOptions::new().append(true).open(path)?,
+        })
+    }
+}
+
+impl JournalSink for FileJournal {
+    fn append(&mut self, line: &str) -> io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// An in-memory journal for tests and deterministic replay: records every
+/// appended line, tracks the synced (durable) prefix, and can inject write
+/// failures at chosen points to exercise the retry path.
+#[derive(Debug, Default)]
+pub struct MemJournal {
+    lines: Vec<String>,
+    synced: usize,
+    fail_next: u64,
+}
+
+impl MemJournal {
+    /// An empty journal that never fails.
+    pub fn new() -> Self {
+        MemJournal::default()
+    }
+
+    /// Makes the next `n` operations (appends or syncs) fail with an
+    /// injected I/O error, after which operations succeed again —
+    /// a transient fault for exercising [`RetryingJournal`].
+    pub fn fail_next(&mut self, n: u64) {
+        self.fail_next = n;
+    }
+
+    /// Every appended line, durable or not.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The durable prefix: lines appended before the last successful sync.
+    /// A crash simulation discards everything after this.
+    pub fn synced_lines(&self) -> &[String] {
+        &self.lines[..self.synced]
+    }
+
+    fn take_failure(&mut self) -> bool {
+        if self.fail_next > 0 {
+            self.fail_next -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl JournalSink for MemJournal {
+    fn append(&mut self, line: &str) -> io::Result<()> {
+        if self.take_failure() {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                "injected journal append failure",
+            ));
+        }
+        self.lines.push(line.to_string());
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.take_failure() {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                "injected journal sync failure",
+            ));
+        }
+        self.synced = self.lines.len();
+        Ok(())
+    }
+}
+
+/// Wraps a [`JournalSink`] with a bounded retry budget. Retries are
+/// immediate — the deterministic core owns no clock, so there is no sleep
+/// between attempts; the budget bounds work, not wall time. When the budget
+/// is exhausted the last I/O error is rendered into
+/// [`CoreError::JournalWrite`] for the service's abort path.
+#[derive(Debug)]
+pub struct RetryingJournal<J> {
+    inner: J,
+    /// Maximum attempts per operation (first try included); at least 1.
+    attempts: u32,
+}
+
+impl<J: JournalSink> RetryingJournal<J> {
+    /// Wraps `inner` with an attempt budget (clamped to at least 1).
+    pub fn new(inner: J, attempts: u32) -> Self {
+        RetryingJournal {
+            inner,
+            attempts: attempts.max(1),
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &J {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the wrapped sink.
+    pub fn into_inner(self) -> J {
+        self.inner
+    }
+
+    fn retry<F>(&mut self, mut op: F) -> Result<(), CoreError>
+    where
+        F: FnMut(&mut J) -> io::Result<()>,
+    {
+        let mut last: Option<io::Error> = None;
+        for _ in 0..self.attempts {
+            match op(&mut self.inner) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(CoreError::JournalWrite {
+            reason: last
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "unknown".into()),
+            attempts: self.attempts,
+        })
+    }
+
+    /// [`JournalSink::append`] with retries.
+    pub fn append(&mut self, line: &str) -> Result<(), CoreError> {
+        self.retry(|j| j.append(line))
+    }
+
+    /// [`JournalSink::sync`] with retries.
+    pub fn sync(&mut self) -> Result<(), CoreError> {
+        self.retry(|j| j.sync())
+    }
+
+    /// The WAL primitive: append `line` and make it durable, retrying each
+    /// step. Callers apply the record's effects only after this returns.
+    pub fn commit(&mut self, line: &str) -> Result<(), CoreError> {
+        self.append(line)?;
+        self.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_journal_tracks_durable_prefix() {
+        let mut j = MemJournal::new();
+        j.append("a").unwrap();
+        j.append("b").unwrap();
+        assert_eq!(j.lines().len(), 2);
+        assert_eq!(j.synced_lines().len(), 0, "nothing durable before sync");
+        j.sync().unwrap();
+        assert_eq!(j.synced_lines(), ["a", "b"]);
+        j.append("c").unwrap();
+        assert_eq!(j.synced_lines().len(), 2, "tail not durable yet");
+    }
+
+    #[test]
+    fn retrying_journal_rides_out_transient_failures() {
+        let mut j = RetryingJournal::new(MemJournal::new(), 3);
+        j.inner.fail_next(2); // first two attempts fail, third succeeds
+        j.append("survives").unwrap();
+        assert_eq!(j.inner().lines(), ["survives"]);
+        j.inner.fail_next(2);
+        j.sync().unwrap();
+        assert_eq!(j.inner().synced_lines(), ["survives"]);
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_journal_write_error() {
+        let mut j = RetryingJournal::new(MemJournal::new(), 2);
+        j.inner.fail_next(5);
+        match j.append("lost") {
+            Err(CoreError::JournalWrite { attempts, reason }) => {
+                assert_eq!(attempts, 2);
+                assert!(reason.contains("injected"));
+            }
+            other => panic!("expected JournalWrite, got {other:?}"),
+        }
+        assert!(j.inner().lines().is_empty());
+    }
+
+    #[test]
+    fn commit_is_append_plus_sync() {
+        let mut j = RetryingJournal::new(MemJournal::new(), 1);
+        j.commit("wal").unwrap();
+        assert_eq!(j.inner().synced_lines(), ["wal"]);
+    }
+
+    #[test]
+    fn file_journal_round_trips_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "cloudsched-journal-test-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let mut j = FileJournal::create(&path).unwrap();
+            j.append("first").unwrap();
+            j.sync().unwrap();
+        }
+        {
+            let mut j = FileJournal::open_append(&path).unwrap();
+            j.append("second").unwrap();
+            j.sync().unwrap();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "first\nsecond\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -5,7 +5,7 @@
 //! bound via conservative laxity and the supplement queue) are claims about
 //! *why* jobs are admitted, preempted, rescued or abandoned — this crate
 //! makes those decisions visible and measurable without compromising the
-//! simulator's determinism. Three pillars:
+//! simulator's determinism. Four pillars:
 //!
 //! 1. **Structured event tracing** ([`event`], [`tracer`]) — a typed,
 //!    sim-time-stamped [`TraceEvent`] taxonomy covering the job lifecycle
@@ -27,6 +27,12 @@
 //!    clock (lint rules L005/L006); `std::time::Instant` is quarantined in
 //!    [`clock::MonotonicClock`], which measurement code (`crates/bench`)
 //!    plugs in for real timings while tests use [`clock::ManualClock`].
+//! 4. **Durability** ([`journal`]) — the write-ahead-journal seam of the
+//!    streaming service. Deterministic code appends and syncs against the
+//!    [`JournalSink`] trait; `std::fs` is quarantined in [`FileJournal`]
+//!    (the lint L011 carve-out, mirroring the clock), with [`MemJournal`]
+//!    as the deterministic, fault-injectable test double and
+//!    [`RetryingJournal`] adding a bounded clock-free retry budget.
 //!
 //! The crate is std-only and depends only on `cloudsched-core`.
 
@@ -35,12 +41,14 @@
 
 pub mod clock;
 pub mod event;
+pub mod journal;
 pub mod metrics;
 pub mod profile;
 pub mod tracer;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, NullClock};
 pub use event::{DecisionAction, FaultKind, QueueKind, TraceEvent};
+pub use journal::{FileJournal, JournalSink, MemJournal, RetryingJournal};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use profile::{Profiler, SpanStats};
 pub use tracer::{JsonlTracer, NoopTracer, RingTracer, Tee, Tracer, WithProvenance};

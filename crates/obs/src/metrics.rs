@@ -269,14 +269,27 @@ impl HistogramSnapshot {
     /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear interpolation
     /// within the fixed buckets, Prometheus-style.
     ///
-    /// Returns `None` when the histogram is empty. When the quantile lands
-    /// in the overflow bucket only the last bound is known, so that bound is
-    /// returned (a lower bound on the true quantile). The first bucket has
-    /// no recorded lower edge: it interpolates from `0` when its upper bound
-    /// is positive, and otherwise returns the bound itself.
+    /// Returns `None` when the histogram is empty or `q` is NaN. A
+    /// **single-sample** histogram admits no interpolation, so every
+    /// quantile returns the same estimate — the occupied bucket's upper
+    /// bound (previously `p50` and `p95` of one sample interpolated to
+    /// different points of the bucket, which was nonsense). When the
+    /// quantile lands in the overflow bucket only the last finite bound is
+    /// known, so that bound is returned (a lower bound on the true
+    /// quantile); a histogram with no finite bounds at all yields `None`.
+    /// The first bucket has no recorded lower edge: it interpolates from
+    /// `0` when its upper bound is positive, and otherwise returns the
+    /// bound itself.
     pub fn percentile(&self, q: f64) -> Option<f64> {
-        if self.total == 0 {
+        if self.total == 0 || q.is_nan() {
             return None;
+        }
+        if self.total == 1 {
+            let i = self.counts.iter().position(|&c| c > 0)?;
+            return match self.bounds.get(i) {
+                Some(&hi) => Some(hi),
+                None => self.bounds.last().copied(),
+            };
         }
         let rank = q.clamp(0.0, 1.0) * self.total as f64;
         let mut cum = 0u64;
@@ -560,6 +573,37 @@ mod tests {
         // the max is unbounded above it.
         assert!((overflow.p50().unwrap() - 2.0).abs() < 1e-9);
         assert_eq!(overflow.max(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_consistent() {
+        // One sample admits no interpolation: every quantile is the same
+        // estimate, the occupied bucket's upper bound.
+        let one = HistogramSnapshot {
+            bounds: vec![1.0, 2.0, 4.0],
+            counts: vec![0, 1, 0, 0],
+            total: 1,
+        };
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(one.percentile(q), Some(2.0), "q={q}");
+        }
+        // Single sample in the overflow bucket: the last finite bound.
+        let over = HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            counts: vec![0, 0, 1],
+            total: 1,
+        };
+        assert_eq!(over.p50(), Some(2.0));
+        assert_eq!(over.p95(), Some(2.0));
+        // Degenerate histogram with no finite bounds at all: no estimate.
+        let unbounded = HistogramSnapshot {
+            bounds: vec![],
+            counts: vec![1],
+            total: 1,
+        };
+        assert_eq!(unbounded.p50(), None);
+        // NaN quantile requests are refused rather than propagated.
+        assert_eq!(one.percentile(f64::NAN), None);
     }
 
     #[test]

@@ -250,6 +250,12 @@ impl RankedQueue {
     pub fn is_empty(&self) -> bool {
         self.set.is_empty()
     }
+
+    /// Iterates `(rank, job)` in `(rank, id)` order — snapshot serialization
+    /// walks the queue through this.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, JobId)> + '_ {
+        self.set.iter().map(|&(Rank(r), j)| (r, j))
+    }
 }
 
 #[cfg(test)]

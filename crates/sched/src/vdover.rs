@@ -18,7 +18,7 @@
 
 use crate::dover::{CapacityEstimate, DoverFamily, FamilyConfig, SupplementOrder};
 use cloudsched_analysis::bounds::{dover_beta, optimal_beta};
-use cloudsched_core::JobId;
+use cloudsched_core::{CoreError, JobId};
 use cloudsched_sim::{Decision, Scheduler, SimContext};
 
 /// Tunable parameters of [`VDover`] (the defaults reproduce the paper).
@@ -113,6 +113,12 @@ impl Scheduler for VDover {
     }
     fn on_timer(&mut self, ctx: &mut SimContext<'_>, job: JobId, token: u64) -> Decision {
         self.0.on_timer(ctx, job, token)
+    }
+    fn snapshot_state(&self) -> Option<String> {
+        self.0.snapshot_state()
+    }
+    fn restore_state(&mut self, state: &str) -> Result<(), CoreError> {
+        self.0.restore_state(state)
     }
 }
 

@@ -433,6 +433,128 @@ pub fn certify_stretch_roundtrip(profile: &PiecewiseConstant, probes: &[Time]) -
     }
 }
 
+pub mod commitments {
+    //! The admission-commitment gate of the streaming service.
+    //!
+    //! An admission journaled by the service is a *commitment*: the run
+    //! promises the job a resolution. This audit proves, from the
+    //! decisions and the trace alone, that no commitment was reneged —
+    //! every admitted, uncorrupted job reaches a terminal event
+    //! (complete, expire or abandon), and no rejected job was ever
+    //! secretly scheduled. Corrupt admissions (`BestEffort` letting a
+    //! flagged arrival through) are exempt: the contract covers clean
+    //! work only. A `Strict` abort legitimately strands admitted jobs —
+    //! such runs are *expected* to flag here, which is exactly the signal
+    //! the gate exists to raise.
+
+    use crate::service::ServiceDecision;
+    use cloudsched_core::JobId;
+    use cloudsched_obs::TraceEvent;
+    use std::collections::BTreeSet;
+
+    /// The gate's verdict.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct CommitmentReport {
+        /// Clean admissions under audit.
+        pub admitted: usize,
+        /// Rejected arrivals (faults and sheds).
+        pub rejected: usize,
+        /// Corrupt admissions exempt from the contract (`BestEffort`).
+        pub exempt: usize,
+        /// Admitted, uncorrupted jobs with no terminal event: broken
+        /// promises.
+        pub reneged: Vec<JobId>,
+        /// Rejected jobs the trace shows being scheduled anyway, and any
+        /// other contract violations.
+        pub violations: Vec<String>,
+    }
+
+    impl CommitmentReport {
+        /// `true` when every commitment was honoured.
+        pub fn ok(&self) -> bool {
+            self.reneged.is_empty() && self.violations.is_empty()
+        }
+
+        /// Deterministic, fixed-format summary.
+        pub fn render(&self) -> String {
+            let mut out = String::from("commitment audit\n");
+            out.push_str(&format!(
+                "  admitted {}  rejected {}  exempt-corrupt {}\n",
+                self.admitted, self.rejected, self.exempt
+            ));
+            if self.ok() {
+                out.push_str("  verdict OK: no commitment reneged\n");
+            } else {
+                out.push_str(&format!(
+                    "  verdict FLAGGED: {} reneged, {} violations\n",
+                    self.reneged.len(),
+                    self.violations.len()
+                ));
+                for j in &self.reneged {
+                    out.push_str(&format!("  - {j}: admitted but never resolved\n"));
+                }
+                for v in &self.violations {
+                    out.push_str(&format!("  - {v}\n"));
+                }
+            }
+            out
+        }
+    }
+
+    /// Checks every journaled admission decision against the trace.
+    pub fn audit_commitments(
+        decisions: &[ServiceDecision],
+        events: &[TraceEvent],
+    ) -> CommitmentReport {
+        let mut terminal: BTreeSet<JobId> = BTreeSet::new();
+        let mut scheduled: BTreeSet<JobId> = BTreeSet::new();
+        for ev in events {
+            match *ev {
+                TraceEvent::Complete { job, .. }
+                | TraceEvent::Expire { job, .. }
+                | TraceEvent::Abandon { job, .. } => {
+                    terminal.insert(job);
+                }
+                TraceEvent::Admit { job, .. }
+                | TraceEvent::Resume { job, .. }
+                | TraceEvent::Preempt { job, .. } => {
+                    scheduled.insert(job);
+                }
+                _ => {}
+            }
+        }
+        let mut report = CommitmentReport {
+            admitted: 0,
+            rejected: 0,
+            exempt: 0,
+            reneged: Vec::new(),
+            violations: Vec::new(),
+        };
+        for d in decisions {
+            if d.is_corrupt_admission() {
+                report.exempt += 1;
+                continue;
+            }
+            if d.admitted {
+                report.admitted += 1;
+                if !terminal.contains(&d.job) {
+                    report.reneged.push(d.job);
+                }
+            } else {
+                report.rejected += 1;
+                if scheduled.contains(&d.job) {
+                    report.violations.push(format!(
+                        "{} was rejected ({}) but the trace shows it scheduled",
+                        d.job,
+                        d.reason.as_str()
+                    ));
+                }
+            }
+        }
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

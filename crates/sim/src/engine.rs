@@ -5,12 +5,12 @@ use crate::degrade::{
     DegradationPolicy, DegradationStats, DegradedOutcome, OracleReading, RateOracle, Watchdog,
     WatchdogConfig,
 };
-use crate::event::EventKind;
+use crate::event::{Event, EventKind};
 use crate::report::{RunReport, TrajectoryPoint};
 use crate::scheduler::Scheduler;
 use crate::workspace::SimWorkspace;
 use cloudsched_capacity::CapacityProfile;
-use cloudsched_core::{CoreError, JobId, JobOutcome, JobSet, Schedule, Time};
+use cloudsched_core::{CoreError, Job, JobId, JobOutcome, JobSet, Schedule, Time};
 use cloudsched_obs::{
     DecisionAction, FaultKind, MetricsRegistry, NoopTracer, Profiler, TraceEvent, Tracer,
 };
@@ -54,11 +54,88 @@ impl RunOptions {
 /// Workload tolerance below which a job counts as finished: absolute dust
 /// plus a relative component of its total workload.
 #[inline]
-fn completion_tolerance(workload: f64) -> f64 {
+pub(crate) fn completion_tolerance(workload: f64) -> f64 {
     1e-9 + 1e-12 * workload
 }
 
-struct Kernel<'a, P: CapacityProfile, T: Tracer> {
+/// The mutable run-state of a [`Kernel`], separated from its borrows so a
+/// streaming service can suspend a run between arrivals (dropping the kernel
+/// view and its borrows) and resume it later — or serialize it into a
+/// crash-recovery snapshot ([`crate::snapshot`]).
+///
+/// Batch runs never see this type: [`Kernel::new`] builds a fresh state and
+/// [`Kernel::run`] consumes it. The field semantics are those the kernel
+/// documents inline.
+#[derive(Debug, Clone)]
+pub(crate) struct KernelState {
+    pub(crate) now: Time,
+    pub(crate) running: Option<JobId>,
+    /// Incremented on every dispatch; stale completion events are detected by
+    /// epoch mismatch.
+    pub(crate) epoch: u64,
+    pub(crate) slice_start: Time,
+    pub(crate) value: f64,
+    pub(crate) preemptions: usize,
+    pub(crate) dispatches: usize,
+    pub(crate) events_processed: usize,
+    pub(crate) expired: usize,
+    pub(crate) expired_value: f64,
+    pub(crate) abandoned_count: usize,
+    pub(crate) abandoned_value: f64,
+    /// 0-based index of the capacity segment currently in force (only
+    /// maintained while tracing).
+    pub(crate) capacity_segment: usize,
+    /// Last instant of interest; capacity-segment markers stop here. Grows
+    /// when streaming admission seeds a job with a later deadline.
+    pub(crate) horizon: Time,
+    /// Whether a capacity-segment marker event is pending in the queue. The
+    /// marker chain stops when the next boundary lies past the horizon;
+    /// seeding a job that extends the horizon re-arms it.
+    pub(crate) capacity_armed: bool,
+    pub(crate) c_lo: f64,
+    pub(crate) c_hi: f64,
+    pub(crate) schedule: Option<Schedule>,
+    pub(crate) trajectory: Option<Vec<TrajectoryPoint>>,
+    /// Set when the `Strict` policy aborts the run.
+    pub(crate) aborted: Option<CoreError>,
+}
+
+impl KernelState {
+    /// A fresh pre-run state for a streaming kernel that starts empty:
+    /// time at the origin, nothing running, horizon zero, marker chain
+    /// unarmed (seeding the first job arms it).
+    pub(crate) fn streaming(options: RunOptions, c_lo: f64, c_hi: f64) -> Self {
+        KernelState {
+            now: Time::ZERO,
+            running: None,
+            epoch: 0,
+            slice_start: Time::ZERO,
+            value: 0.0,
+            preemptions: 0,
+            dispatches: 0,
+            events_processed: 0,
+            expired: 0,
+            expired_value: 0.0,
+            abandoned_count: 0,
+            abandoned_value: 0.0,
+            capacity_segment: 0,
+            horizon: Time::ZERO,
+            capacity_armed: false,
+            c_lo,
+            c_hi,
+            schedule: options.record_schedule.then(Schedule::new),
+            trajectory: options.record_trajectory.then(|| {
+                vec![TrajectoryPoint {
+                    time: 0.0,
+                    cumulative_value: 0.0,
+                }]
+            }),
+            aborted: None,
+        }
+    }
+}
+
+pub(crate) struct Kernel<'a, P: CapacityProfile, T: Tracer> {
     jobs: &'a JobSet,
     capacity: &'a P,
     /// Every per-run buffer lives here: the event queue, the per-job
@@ -68,29 +145,7 @@ struct Kernel<'a, P: CapacityProfile, T: Tracer> {
     /// allocation-free after warm-up; field semantics are documented on
     /// [`SimWorkspace`].
     ws: &'a mut SimWorkspace,
-    now: Time,
-    running: Option<JobId>,
-    /// Incremented on every dispatch; stale completion events are detected by
-    /// epoch mismatch.
-    epoch: u64,
-    slice_start: Time,
-    value: f64,
-    preemptions: usize,
-    dispatches: usize,
-    events_processed: usize,
-    expired: usize,
-    expired_value: f64,
-    abandoned_count: usize,
-    abandoned_value: f64,
-    /// 0-based index of the capacity segment currently in force (only
-    /// maintained while tracing).
-    capacity_segment: usize,
-    /// Last instant of interest; capacity-segment markers stop here.
-    horizon: Time,
-    schedule: Option<Schedule>,
-    trajectory: Option<Vec<TrajectoryPoint>>,
-    c_lo: f64,
-    c_hi: f64,
+    st: KernelState,
     tracer: &'a mut T,
     profiler: Option<&'a Profiler>,
     /// Online precondition checker; `None` for plain (non-degraded) runs.
@@ -99,13 +154,11 @@ struct Kernel<'a, P: CapacityProfile, T: Tracer> {
     /// always integrates the physical profile; only the watchdog sees the
     /// oracle's (possibly faulty) view.
     oracle: Option<&'a mut dyn RateOracle>,
-    /// Set when the `Strict` policy aborts the run.
-    aborted: Option<CoreError>,
 }
 
 impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
     #[allow(clippy::too_many_arguments)]
-    fn new(
+    pub(crate) fn new(
         ws: &'a mut SimWorkspace,
         jobs: &'a JobSet,
         capacity: &'a P,
@@ -129,6 +182,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         } else {
             Time::ZERO
         };
+        let mut capacity_armed = false;
         if (tracer.enabled() || watchdog.is_some()) && n > 0 {
             // Chain capacity-segment markers through the queue (see the
             // CapacityChange arm): the tracer wants them stamped, and the
@@ -145,53 +199,99 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             let next = capacity.next_change_after(Time::ZERO);
             if next <= horizon {
                 ws.queue.push(next, EventKind::CapacityChange);
+                capacity_armed = true;
             }
         }
         let (c_lo, c_hi) = capacity.bounds();
+        let mut st = KernelState::streaming(options, c_lo, c_hi);
+        st.horizon = horizon;
+        st.capacity_armed = capacity_armed;
         Kernel {
             jobs,
             capacity,
             ws,
-            now: Time::ZERO,
-            running: None,
-            epoch: 0,
-            slice_start: Time::ZERO,
-            value: 0.0,
-            preemptions: 0,
-            dispatches: 0,
-            events_processed: 0,
-            expired: 0,
-            expired_value: 0.0,
-            abandoned_count: 0,
-            abandoned_value: 0.0,
-            capacity_segment: 0,
-            horizon,
-            schedule: options.record_schedule.then(Schedule::new),
-            trajectory: options.record_trajectory.then(|| {
-                vec![TrajectoryPoint {
-                    time: 0.0,
-                    cumulative_value: 0.0,
-                }]
-            }),
-            c_lo,
-            c_hi,
+            st,
             tracer,
             profiler,
             watchdog,
             oracle,
-            aborted: None,
+        }
+    }
+
+    /// Re-attaches a kernel view over a suspended run: the workspace carries
+    /// the live event queue and per-job tables exactly as [`Kernel::suspend`]
+    /// (or a snapshot restore) left them, `st` the scalar run-state. No
+    /// buffer is reset and nothing is seeded — the streaming service drives
+    /// seeding explicitly through [`Kernel::admit_job`].
+    pub(crate) fn resume(
+        ws: &'a mut SimWorkspace,
+        jobs: &'a JobSet,
+        capacity: &'a P,
+        tracer: &'a mut T,
+        st: KernelState,
+    ) -> Self {
+        Kernel {
+            jobs,
+            capacity,
+            ws,
+            st,
+            tracer,
+            profiler: None,
+            watchdog: None,
+            oracle: None,
+        }
+    }
+
+    /// Detaches the kernel view, returning the scalar run-state. The borrowed
+    /// workspace keeps the event queue and tables; `resume` re-attaches.
+    pub(crate) fn suspend(self) -> KernelState {
+        self.st
+    }
+
+    /// Grows the per-job tables by one slot for `job` without scheduling any
+    /// events — rejected arrivals occupy an id slot (keeping table indexes
+    /// aligned with the growing job set) but never release.
+    pub(crate) fn register_job(&mut self, job: &Job) {
+        debug_assert_eq!(
+            job.id.index(),
+            self.ws.remaining.len(),
+            "streaming jobs must seed in id order"
+        );
+        self.ws.grow_one(job.workload);
+    }
+
+    /// Admits a streaming arrival into the run: grows the tables, schedules
+    /// its release and deadline events, extends the horizon and re-arms the
+    /// capacity-marker chain if it had run out.
+    pub(crate) fn admit_job(&mut self, job: &Job) {
+        self.register_job(job);
+        self.ws
+            .queue
+            .push(job.release, EventKind::Release { job: job.id });
+        self.ws
+            .queue
+            .push(job.deadline, EventKind::Deadline { job: job.id });
+        if job.deadline > self.st.horizon {
+            self.st.horizon = job.deadline;
+        }
+        if self.tracer.enabled() && !self.st.capacity_armed {
+            let next = self.capacity.next_change_after(self.st.now);
+            if next > self.st.now && next <= self.st.horizon {
+                self.ws.queue.push(next, EventKind::CapacityChange);
+                self.st.capacity_armed = true;
+            }
         }
     }
 
     /// Integrates the running job's progress from the last visited instant.
     fn advance_to(&mut self, t: Time) {
-        debug_assert!(t >= self.now, "kernel time went backwards");
-        if let Some(j) = self.running {
-            let done = self.capacity.integrate(self.now, t);
+        debug_assert!(t >= self.st.now, "kernel time went backwards");
+        if let Some(j) = self.st.running {
+            let done = self.capacity.integrate(self.st.now, t);
             debug_assert!(
                 done.is_finite() && done >= 0.0,
                 "capacity integral over [{}, {t}] is {done}",
-                self.now
+                self.st.now
             );
             let r = &mut self.ws.remaining[j.index()];
             *r = (*r - done).max(0.0);
@@ -200,20 +300,20 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                 "remaining workload of {j} went to {r}"
             );
         }
-        self.now = t;
+        self.st.now = t;
     }
 
     /// Removes the running job from the processor, recording its slice.
     fn vacate(&mut self) {
-        if let Some(j) = self.running.take() {
-            if self.now > self.slice_start {
-                if let Some(s) = self.schedule.as_mut() {
-                    s.push(j, self.slice_start, self.now).expect(
+        if let Some(j) = self.st.running.take() {
+            if self.st.now > self.st.slice_start {
+                if let Some(s) = self.st.schedule.as_mut() {
+                    s.push(j, self.st.slice_start, self.st.now).expect(
                         "invariant: slice_start <= now, so kernel slices stay time-ordered",
                     );
                 }
             }
-            self.epoch += 1;
+            self.st.epoch += 1;
         }
     }
 
@@ -229,19 +329,19 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         self.ws.resolved[job.index()] = true;
         self.ws
             .outcome
-            .set(job, JobOutcome::Completed { at: self.now });
-        self.value += self.jobs.get(job).value;
+            .set(job, JobOutcome::Completed { at: self.st.now });
+        self.st.value += self.jobs.get(job).value;
         if self.tracer.enabled() {
             self.tracer.record(&TraceEvent::Complete {
-                t: self.now,
+                t: self.st.now,
                 job,
                 value: self.jobs.get(job).value,
             });
         }
-        if let Some(traj) = self.trajectory.as_mut() {
+        if let Some(traj) = self.st.trajectory.as_mut() {
             traj.push(TrajectoryPoint {
-                time: self.now.as_f64(),
-                cumulative_value: self.value,
+                time: self.st.now.as_f64(),
+                cumulative_value: self.st.value,
             });
         }
     }
@@ -257,13 +357,13 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         // what keeps the handler path allocation-free in the steady state.
         let ws = &mut *self.ws;
         let mut ctx = SimContext::new(
-            self.now,
+            self.st.now,
             self.jobs,
             &ws.remaining,
-            self.running,
-            self.capacity.rate_at(self.now),
-            self.c_lo,
-            self.c_hi,
+            self.st.running,
+            self.capacity.rate_at(self.st.now),
+            self.st.c_lo,
+            self.st.c_hi,
             &mut ws.timer_scratch,
             &mut ws.abandon_scratch,
             &mut *self.tracer,
@@ -295,9 +395,9 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
     /// Stamps a preemption trace event for the currently running job.
     fn trace_preempt(&mut self) {
         if self.tracer.enabled() {
-            if let Some(cur) = self.running {
+            if let Some(cur) = self.st.running {
                 self.tracer.record(&TraceEvent::Preempt {
-                    t: self.now,
+                    t: self.st.now,
                     job: cur,
                     remaining: self.ws.remaining[cur.index()],
                 });
@@ -317,10 +417,10 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         }
         let j = self.jobs.get(job);
         let laxity = j
-            .laxity_with(self.now, self.ws.remaining[job.index()], self.c_lo)
+            .laxity_with(self.st.now, self.ws.remaining[job.index()], self.st.c_lo)
             .as_f64();
         self.tracer.record(&TraceEvent::Decision {
-            t: self.now,
+            t: self.st.now,
             job,
             action,
             laxity,
@@ -334,10 +434,12 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
     /// loop's stop condition.
     fn abort(&mut self, fault: FaultKind, err: CoreError) {
         if self.tracer.enabled() {
-            self.tracer
-                .record(&TraceEvent::PolicyAbort { t: self.now, fault });
+            self.tracer.record(&TraceEvent::PolicyAbort {
+                t: self.st.now,
+                fault,
+            });
         }
-        self.aborted = Some(err);
+        self.st.aborted = Some(err);
     }
 
     /// Probes the capacity oracle and folds the reading into the watchdog:
@@ -349,14 +451,14 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         if self.watchdog.is_none() {
             return;
         }
-        let true_rate = self.capacity.rate_at(self.now);
+        let true_rate = self.capacity.rate_at(self.st.now);
         let reading = match self.oracle.as_deref_mut() {
-            Some(o) => o.read(self.now, true_rate),
+            Some(o) => o.read(self.st.now, true_rate),
             None => OracleReading::Rate(true_rate),
         };
         let (assessment, policy, declared_lo) = match self.watchdog.as_mut() {
             Some(w) => (
-                w.observe_rate(self.now, reading),
+                w.observe_rate(self.st.now, reading),
                 w.policy(),
                 w.declared_lo(),
             ),
@@ -365,7 +467,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         if let Some(down_for) = assessment.recovered_after {
             if self.tracer.enabled() {
                 self.tracer.record(&TraceEvent::OracleRecover {
-                    t: self.now,
+                    t: self.st.now,
                     down_for,
                 });
             }
@@ -373,7 +475,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         if let Some(misses) = assessment.declared_dead {
             if self.tracer.enabled() {
                 self.tracer.record(&TraceEvent::OracleDropout {
-                    t: self.now,
+                    t: self.st.now,
                     misses: misses as usize,
                 });
             }
@@ -381,7 +483,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                 self.abort(
                     FaultKind::OracleDown,
                     CoreError::OracleDown {
-                        at: self.now.as_f64(),
+                        at: self.st.now.as_f64(),
                         retries: misses,
                     },
                 );
@@ -391,7 +493,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         if let Some(rate) = assessment.sla_violation {
             if self.tracer.enabled() {
                 self.tracer.record(&TraceEvent::SlaViolation {
-                    t: self.now,
+                    t: self.st.now,
                     rate,
                     c_lo: declared_lo,
                 });
@@ -400,7 +502,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                 self.abort(
                     FaultKind::SlaDip,
                     CoreError::CapacitySlaViolation {
-                        at: self.now.as_f64(),
+                        at: self.st.now.as_f64(),
                         rate,
                         c_lo: declared_lo,
                     },
@@ -411,7 +513,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         if let Some((from, to)) = assessment.reestimate {
             if self.tracer.enabled() {
                 self.tracer.record(&TraceEvent::CloReestimate {
-                    t: self.now,
+                    t: self.st.now,
                     from,
                     to,
                 });
@@ -419,7 +521,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             // Schedulers read `c_lo` live from the SimContext, so V-Dover's
             // conservative laxities (Definition 5) recompute against the
             // re-estimated bound from the next dispatch on.
-            self.c_lo = to;
+            self.st.c_lo = to;
         }
         let pending = self.watchdog.as_ref().map_or(0, |w| w.quarantine_pending());
         if assessment.capacity_ok && pending > 0 {
@@ -442,8 +544,10 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     w.note_readmit();
                 }
                 if self.tracer.enabled() {
-                    self.tracer
-                        .record(&TraceEvent::Readmit { t: self.now, job });
+                    self.tracer.record(&TraceEvent::Readmit {
+                        t: self.st.now,
+                        job,
+                    });
                 }
                 self.dispatch_handler(scheduler, |s, ctx| s.on_release(ctx, job));
             }
@@ -454,33 +558,33 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         match decision {
             Decision::Continue => {}
             Decision::Idle => {
-                if self.running.is_some() {
-                    self.preemptions += 1;
+                if self.st.running.is_some() {
+                    self.st.preemptions += 1;
                     self.trace_preempt();
                     self.vacate();
                 }
             }
             Decision::Run(j) => {
-                if self.running == Some(j) {
+                if self.st.running == Some(j) {
                     return;
                 }
                 let i = j.index();
                 assert!(self.ws.released[i], "scheduler dispatched unreleased {j}");
                 assert!(!self.ws.resolved[i], "scheduler dispatched resolved {j}");
-                if self.running.is_some() {
-                    self.preemptions += 1;
+                if self.st.running.is_some() {
+                    self.st.preemptions += 1;
                     self.trace_preempt();
                     self.vacate();
                 }
                 if self.tracer.enabled() {
                     let ev = if self.ws.started[i] {
                         TraceEvent::Resume {
-                            t: self.now,
+                            t: self.st.now,
                             job: j,
                         }
                     } else {
                         TraceEvent::Admit {
-                            t: self.now,
+                            t: self.st.now,
                             job: j,
                         }
                     };
@@ -488,195 +592,243 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     self.trace_provenance(DecisionAction::Admit, j, 0);
                 }
                 self.ws.started[i] = true;
-                self.running = Some(j);
-                self.epoch += 1;
-                self.slice_start = self.now;
-                self.dispatches += 1;
+                self.st.running = Some(j);
+                self.st.epoch += 1;
+                self.st.slice_start = self.st.now;
+                self.st.dispatches += 1;
                 let done_at = self
                     .capacity
-                    .time_to_complete(self.now, self.ws.remaining[i]);
+                    .time_to_complete(self.st.now, self.ws.remaining[i]);
                 self.ws.queue.push(
                     done_at,
                     EventKind::Completion {
                         job: j,
-                        epoch: self.epoch,
+                        epoch: self.st.epoch,
                     },
                 );
             }
         }
     }
 
-    fn run<S: Scheduler + ?Sized>(
-        mut self,
-        scheduler: &mut S,
-    ) -> (RunReport, Option<CoreError>, Option<DegradationStats>) {
-        // The monitoring plane's first oracle probe happens at the origin,
-        // before any job event (a no-op without a watchdog).
+    /// The monitoring plane's first oracle probe, at the origin before any
+    /// job event (a no-op without a watchdog). Batch runs call this once at
+    /// the top of [`Kernel::run`].
+    fn prime<S: Scheduler + ?Sized>(&mut self, scheduler: &mut S) {
         self.watch_capacity(scheduler);
-        while self.aborted.is_none() {
-            let Some(ev) = self.ws.queue.pop() else { break };
-            self.advance_to(ev.time);
-            // Capacity-segment markers are trace bookkeeping, not kernel
-            // events: the processed-event count stays identical whether or
-            // not a tracer is attached.
-            if !matches!(ev.kind, EventKind::CapacityChange) {
-                self.events_processed += 1;
+    }
+
+    /// Processes one popped event: advances the clock, counts it, and
+    /// executes its arm. The single code path behind both the batch drain
+    /// and the streaming service's bounded pumps — which is what makes an
+    /// interleaved (pump/seed/pump) run produce the same event sequence as a
+    /// batch run over the same admitted job set.
+    fn step<S: Scheduler + ?Sized>(&mut self, scheduler: &mut S, ev: Event) {
+        self.advance_to(ev.time);
+        // Capacity-segment markers are trace bookkeeping, not kernel
+        // events: the processed-event count stays identical whether or
+        // not a tracer is attached.
+        if !matches!(ev.kind, EventKind::CapacityChange) {
+            self.st.events_processed += 1;
+        }
+        match ev.kind {
+            EventKind::CapacityChange => {
+                self.st.capacity_segment += 1;
+                if self.tracer.enabled() {
+                    self.tracer.record(&TraceEvent::CapacityChange {
+                        t: self.st.now,
+                        rate: self.capacity.rate_at(self.st.now),
+                        segment: self.st.capacity_segment,
+                    });
+                }
+                self.st.capacity_armed = false;
+                let next = self.capacity.next_change_after(self.st.now);
+                if next > self.st.now && next <= self.st.horizon {
+                    self.ws.queue.push(next, EventKind::CapacityChange);
+                    self.st.capacity_armed = true;
+                }
+                self.watch_capacity(scheduler);
             }
-            match ev.kind {
-                EventKind::CapacityChange => {
-                    self.capacity_segment += 1;
-                    if self.tracer.enabled() {
-                        self.tracer.record(&TraceEvent::CapacityChange {
-                            t: self.now,
-                            rate: self.capacity.rate_at(self.now),
-                            segment: self.capacity_segment,
-                        });
-                    }
-                    let next = self.capacity.next_change_after(self.now);
-                    if next > self.now && next <= self.horizon {
-                        self.ws.queue.push(next, EventKind::CapacityChange);
-                    }
-                    self.watch_capacity(scheduler);
+            EventKind::Completion { job, epoch } => {
+                if self.st.running != Some(job) || epoch != self.st.epoch {
+                    return; // stale: the job was preempted since
                 }
-                EventKind::Completion { job, epoch } => {
-                    if self.running != Some(job) || epoch != self.epoch {
-                        continue; // stale: the job was preempted since
-                    }
-                    self.vacate();
-                    self.complete(job);
-                    self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
+                self.vacate();
+                self.complete(job);
+                self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
+            }
+            EventKind::Timer { job, token } => {
+                if self.ws.resolved[job.index()] || !self.ws.released[job.index()] {
+                    return;
                 }
-                EventKind::Timer { job, token } => {
-                    if self.ws.resolved[job.index()] || !self.ws.released[job.index()] {
-                        continue;
-                    }
-                    self.dispatch_handler(scheduler, |s, ctx| s.on_timer(ctx, job, token));
+                self.dispatch_handler(scheduler, |s, ctx| s.on_timer(ctx, job, token));
+            }
+            EventKind::Release { job } => {
+                self.ws.released[job.index()] = true;
+                if self.tracer.enabled() {
+                    let j = self.jobs.get(job);
+                    self.tracer.record(&TraceEvent::Arrival {
+                        t: self.st.now,
+                        job,
+                        laxity: j
+                            .laxity_with(self.st.now, self.ws.remaining[job.index()], self.st.c_lo)
+                            .as_f64(),
+                    });
                 }
-                EventKind::Release { job } => {
-                    self.ws.released[job.index()] = true;
-                    if self.tracer.enabled() {
-                        let j = self.jobs.get(job);
-                        self.tracer.record(&TraceEvent::Arrival {
-                            t: self.now,
-                            job,
-                            laxity: j
-                                .laxity_with(self.now, self.ws.remaining[job.index()], self.c_lo)
-                                .as_f64(),
-                        });
+                // The watchdog vets the release against the paper's
+                // input-stream assumptions before the scheduler sees it.
+                let fault = match self.watchdog.as_mut() {
+                    Some(w) => w.inspect_release(self.jobs.get(job)),
+                    None => None,
+                };
+                match fault {
+                    None => {
+                        self.dispatch_handler(scheduler, |s, ctx| s.on_release(ctx, job));
                     }
-                    // The watchdog vets the release against the paper's
-                    // input-stream assumptions before the scheduler sees it.
-                    let fault = match self.watchdog.as_mut() {
-                        Some(w) => w.inspect_release(self.jobs.get(job)),
-                        None => None,
-                    };
-                    match fault {
-                        None => {
-                            self.dispatch_handler(scheduler, |s, ctx| s.on_release(ctx, job));
+                    Some(f) => {
+                        if self.tracer.enabled() {
+                            self.tracer.record(&TraceEvent::FaultDetected {
+                                t: self.st.now,
+                                job,
+                                fault: f.kind,
+                            });
                         }
-                        Some(f) => {
-                            if self.tracer.enabled() {
-                                self.tracer.record(&TraceEvent::FaultDetected {
-                                    t: self.now,
-                                    job,
-                                    fault: f.kind,
-                                });
+                        let policy = self
+                            .watchdog
+                            .as_ref()
+                            .map_or(DegradationPolicy::BestEffort, |w| w.policy());
+                        match policy {
+                            DegradationPolicy::Strict => {
+                                self.abort(f.kind, f.error);
                             }
-                            let policy = self
-                                .watchdog
-                                .as_ref()
-                                .map_or(DegradationPolicy::BestEffort, |w| w.policy());
-                            match policy {
-                                DegradationPolicy::Strict => {
-                                    self.abort(f.kind, f.error);
+                            DegradationPolicy::Degrade => {
+                                // Quarantine: the scheduler never sees
+                                // this job unless capacity recovery
+                                // re-admits it.
+                                self.ws.quarantined[job.index()] = true;
+                                self.ws.quarantine_pending.insert(job.index());
+                                if let Some(w) = self.watchdog.as_mut() {
+                                    w.note_quarantine();
                                 }
-                                DegradationPolicy::Degrade => {
-                                    // Quarantine: the scheduler never sees
-                                    // this job unless capacity recovery
-                                    // re-admits it.
-                                    self.ws.quarantined[job.index()] = true;
-                                    self.ws.quarantine_pending.insert(job.index());
-                                    if let Some(w) = self.watchdog.as_mut() {
-                                        w.note_quarantine();
-                                    }
-                                    if self.tracer.enabled() {
-                                        self.tracer.record(&TraceEvent::Quarantine {
-                                            t: self.now,
-                                            job,
-                                            fault: f.kind,
-                                        });
-                                    }
-                                }
-                                DegradationPolicy::BestEffort => {
-                                    self.dispatch_handler(scheduler, |s, ctx| {
-                                        s.on_release(ctx, job)
+                                if self.tracer.enabled() {
+                                    self.tracer.record(&TraceEvent::Quarantine {
+                                        t: self.st.now,
+                                        job,
+                                        fault: f.kind,
                                     });
                                 }
                             }
+                            DegradationPolicy::BestEffort => {
+                                self.dispatch_handler(scheduler, |s, ctx| s.on_release(ctx, job));
+                            }
                         }
                     }
                 }
-                EventKind::Deadline { job } => {
-                    if self.ws.resolved[job.index()] {
-                        continue;
+            }
+            EventKind::Deadline { job } => {
+                if self.ws.resolved[job.index()] {
+                    return;
+                }
+                let was_running = self.st.running == Some(job);
+                if was_running {
+                    self.vacate();
+                }
+                let i = job.index();
+                // A still-quarantined job is invisible to the scheduler
+                // (it never saw on_release), so its resolution must not
+                // reach the scheduler's handlers either.
+                let hidden = self.ws.quarantined[i];
+                if hidden {
+                    self.ws.quarantine_pending.remove(&i);
+                    if let Some(w) = self.watchdog.as_mut() {
+                        w.note_quarantine_expired();
                     }
-                    let was_running = self.running == Some(job);
-                    if was_running {
-                        self.vacate();
+                }
+                if self.ws.remaining[i] <= completion_tolerance(self.jobs.get(job).workload) {
+                    // Finished exactly at the deadline (within rounding):
+                    // "completing a job by its deadline" succeeds.
+                    self.complete(job);
+                    if !hidden {
+                        self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
                     }
-                    let i = job.index();
-                    // A still-quarantined job is invisible to the scheduler
-                    // (it never saw on_release), so its resolution must not
-                    // reach the scheduler's handlers either.
-                    let hidden = self.ws.quarantined[i];
-                    if hidden {
-                        self.ws.quarantine_pending.remove(&i);
-                        if let Some(w) = self.watchdog.as_mut() {
-                            w.note_quarantine_expired();
-                        }
-                    }
-                    if self.ws.remaining[i] <= completion_tolerance(self.jobs.get(job).workload) {
-                        // Finished exactly at the deadline (within rounding):
-                        // "completing a job by its deadline" succeeds.
-                        self.complete(job);
-                        if !hidden {
-                            self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
-                        }
+                } else {
+                    self.ws.resolved[i] = true;
+                    self.ws.outcome.set(
+                        job,
+                        JobOutcome::Missed {
+                            remaining_workload: self.ws.remaining[i],
+                        },
+                    );
+                    let value = self.jobs.get(job).value;
+                    if self.ws.abandoned[i] {
+                        // The scheduler already gave this job up (and
+                        // its Abandon trace event was emitted then):
+                        // book it separately from passive expiry.
+                        self.st.abandoned_count += 1;
+                        self.st.abandoned_value += value;
                     } else {
-                        self.ws.resolved[i] = true;
-                        self.ws.outcome.set(
-                            job,
-                            JobOutcome::Missed {
-                                remaining_workload: self.ws.remaining[i],
-                            },
-                        );
-                        let value = self.jobs.get(job).value;
-                        if self.ws.abandoned[i] {
-                            // The scheduler already gave this job up (and
-                            // its Abandon trace event was emitted then):
-                            // book it separately from passive expiry.
-                            self.abandoned_count += 1;
-                            self.abandoned_value += value;
-                        } else {
-                            self.expired += 1;
-                            self.expired_value += value;
-                            if self.tracer.enabled() {
-                                self.tracer.record(&TraceEvent::Expire {
-                                    t: self.now,
-                                    job,
-                                    remaining: self.ws.remaining[i],
-                                    value,
-                                });
-                                self.trace_provenance(DecisionAction::Expire, job, 0);
-                            }
+                        self.st.expired += 1;
+                        self.st.expired_value += value;
+                        if self.tracer.enabled() {
+                            self.tracer.record(&TraceEvent::Expire {
+                                t: self.st.now,
+                                job,
+                                remaining: self.ws.remaining[i],
+                                value,
+                            });
+                            self.trace_provenance(DecisionAction::Expire, job, 0);
                         }
-                        if !hidden {
-                            self.dispatch_handler(scheduler, |s, ctx| s.on_deadline_miss(ctx, job));
-                        }
+                    }
+                    if !hidden {
+                        self.dispatch_handler(scheduler, |s, ctx| s.on_deadline_miss(ctx, job));
                     }
                 }
             }
         }
+    }
+
+    /// Processes every event strictly before `until`, plus co-timed events
+    /// that batch ordering places before a release at `until` (capacity
+    /// markers, completions and timers — see `EventKind::priority`). This is
+    /// the streaming service's pump boundary: seeding an arrival after
+    /// `pump_ready(release)` reproduces the exact event order a batch run
+    /// (all jobs known upfront) would process.
+    pub(crate) fn pump_ready<S: Scheduler + ?Sized>(&mut self, scheduler: &mut S, until: Time) {
+        while self.st.aborted.is_none() {
+            let ready = match self.ws.queue.peek() {
+                None => false,
+                Some(ev) => {
+                    ev.time < until
+                        || (ev.time == until
+                            && matches!(
+                                ev.kind,
+                                EventKind::CapacityChange
+                                    | EventKind::Completion { .. }
+                                    | EventKind::Timer { .. }
+                            ))
+                }
+            };
+            if !ready {
+                break;
+            }
+            let ev = self.ws.queue.pop().expect("invariant: peek saw an event");
+            self.step(scheduler, ev);
+        }
+    }
+
+    /// Runs the event loop to completion (or abort).
+    fn drain<S: Scheduler + ?Sized>(&mut self, scheduler: &mut S) {
+        while self.st.aborted.is_none() {
+            let Some(ev) = self.ws.queue.pop() else { break };
+            self.step(scheduler, ev);
+        }
+    }
+
+    /// Drains all remaining events and builds the final report.
+    pub(crate) fn finish<S: Scheduler + ?Sized>(
+        mut self,
+        scheduler: &mut S,
+    ) -> (RunReport, Option<CoreError>, Option<DegradationStats>) {
+        self.drain(scheduler);
         // Close any open slice (cannot happen: the running job's deadline
         // event always fires, vacating the processor — but stay defensive).
         self.vacate();
@@ -688,33 +840,41 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         let missed = outcome.missed().count();
         debug_assert_eq!(
             missed,
-            self.expired + self.abandoned_count,
+            self.st.expired + self.st.abandoned_count,
             "every miss is booked as exactly one of expired / abandoned"
         );
         let report = RunReport {
             scheduler: scheduler.name(),
-            value: self.value,
+            value: self.st.value,
             value_fraction: if total_value > 0.0 {
-                self.value / total_value
+                self.st.value / total_value
             } else {
                 0.0
             },
             completed: outcome.completed_count(),
             missed,
-            expired: self.expired,
-            expired_value: self.expired_value,
-            abandoned: self.abandoned_count,
-            abandoned_value: self.abandoned_value,
-            preemptions: self.preemptions,
-            dispatches: self.dispatches,
-            events: self.events_processed,
+            expired: self.st.expired,
+            expired_value: self.st.expired_value,
+            abandoned: self.st.abandoned_count,
+            abandoned_value: self.st.abandoned_value,
+            preemptions: self.st.preemptions,
+            dispatches: self.st.dispatches,
+            events: self.st.events_processed,
             outcome,
-            schedule: self.schedule,
-            trajectory: self.trajectory,
+            schedule: self.st.schedule,
+            trajectory: self.st.trajectory,
             metrics: None,
         };
         let stats = self.watchdog.as_ref().map(|w| w.stats());
-        (report, self.aborted, stats)
+        (report, self.st.aborted, stats)
+    }
+
+    fn run<S: Scheduler + ?Sized>(
+        mut self,
+        scheduler: &mut S,
+    ) -> (RunReport, Option<CoreError>, Option<DegradationStats>) {
+        self.prime(scheduler);
+        self.finish(scheduler)
     }
 }
 
@@ -1408,5 +1568,69 @@ mod tests {
         assert_eq!(r.preemptions, 0);
         assert_eq!(r.dispatches, 1);
         assert!(r.outcome.get(JobId(0)).is_completed());
+    }
+
+    #[test]
+    fn interleaved_pump_and_seed_matches_batch_run() {
+        use cloudsched_obs::RingTracer;
+        // Feed the same jobs one release at a time through the streaming
+        // seam (pump to each release, then admit) and compare against the
+        // batch run: traces and reports must be byte-identical. Includes a
+        // capacity change and co-timed releases to exercise the pump
+        // boundary's priority handling.
+        let tuples: &[(f64, f64, f64, f64)] = &[
+            (0.0, 6.0, 3.0, 4.0),
+            (1.0, 4.0, 2.0, 9.0),
+            (1.0, 7.0, 1.0, 2.0),
+            (3.0, 9.0, 4.0, 5.0),
+        ];
+        let jobs = JobSet::from_tuples(tuples).unwrap();
+        let cap = PiecewiseConstant::from_durations(&[(2.0, 1.0), (10.0, 2.0)]).unwrap();
+
+        let mut batch_ring = RingTracer::new(256);
+        let mut batch_sched = TestLifoResume { stack: vec![] };
+        let batch = simulate_traced(
+            &jobs,
+            &cap,
+            &mut batch_sched,
+            RunOptions::lean(),
+            &mut batch_ring,
+        );
+
+        let mut stream_ring = RingTracer::new(256);
+        let mut stream_sched = TestLifoResume { stack: vec![] };
+        let mut ws = SimWorkspace::new();
+        ws.begin(0);
+        let mut st = {
+            let (c_lo, c_hi) = cap.bounds();
+            KernelState::streaming(RunOptions::lean(), c_lo, c_hi)
+        };
+        // The batch kernel stamps segment 0 up front; the streaming caller
+        // owns that stamp (its job table starts empty).
+        stream_ring.record(&TraceEvent::CapacityChange {
+            t: Time::ZERO,
+            rate: cap.rate_at(Time::ZERO),
+            segment: 0,
+        });
+        for job in jobs.iter() {
+            let mut k = Kernel::resume(&mut ws, &jobs, &cap, &mut stream_ring, st);
+            k.pump_ready(&mut stream_sched, job.release);
+            k.admit_job(job);
+            st = k.suspend();
+        }
+        let k = Kernel::resume(&mut ws, &jobs, &cap, &mut stream_ring, st);
+        let (stream, aborted, _) = k.finish(&mut stream_sched);
+        assert!(aborted.is_none());
+
+        let batch_events: Vec<String> = batch_ring.events().map(|e| e.to_jsonl()).collect();
+        let stream_events: Vec<String> = stream_ring.events().map(|e| e.to_jsonl()).collect();
+        assert_eq!(batch_events, stream_events, "trace streams must match");
+        assert_eq!(batch.value, stream.value);
+        assert_eq!(batch.events, stream.events);
+        assert_eq!(batch.preemptions, stream.preemptions);
+        assert_eq!(batch.dispatches, stream.dispatches);
+        for j in jobs.iter() {
+            assert_eq!(batch.outcome.get(j.id), stream.outcome.get(j.id));
+        }
     }
 }

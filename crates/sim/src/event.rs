@@ -116,6 +116,40 @@ impl EventQueue {
         self.heap.pop().map(|r| r.0)
     }
 
+    /// The earliest pending event without removing it — the streaming
+    /// service peeks to decide whether the next event precedes the next
+    /// arrival.
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek().map(|r| &r.0)
+    }
+
+    /// All pending events in pop order plus the live sequence counter — the
+    /// snapshot image of the queue. The total `(time, priority, seq)` order
+    /// makes the pop sequence a pure function of the event multiset, so
+    /// restoring this image reproduces the exact future of the run.
+    pub(crate) fn snapshot(&self) -> (Vec<(Time, EventKind, u64)>, u64) {
+        let mut events: Vec<Event> = self.heap.iter().map(|r| r.0).collect();
+        events.sort();
+        (
+            events
+                .into_iter()
+                .map(|e| (e.time, e.kind, e.seq))
+                .collect(),
+            self.next_seq,
+        )
+    }
+
+    /// Rebuilds the queue from a snapshot image. Counterpart of
+    /// [`EventQueue::snapshot`]; pops after a restore are byte-identical to
+    /// pops of the original queue.
+    pub(crate) fn restore(&mut self, events: Vec<(Time, EventKind, u64)>, next_seq: u64) {
+        self.heap.clear();
+        for (time, kind, seq) in events {
+            self.heap.push(std::cmp::Reverse(Event { time, kind, seq }));
+        }
+        self.next_seq = next_seq;
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -228,6 +262,44 @@ mod tests {
             })
             .collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_pop_order_and_fifo_counter() {
+        let mut q = EventQueue::new();
+        q.push(t(2.0), EventKind::Deadline { job: JobId(0) });
+        q.push(t(1.0), EventKind::Release { job: JobId(1) });
+        q.push(t(1.0), EventKind::Release { job: JobId(2) });
+        q.push(
+            t(1.0),
+            EventKind::Completion {
+                job: JobId(3),
+                epoch: 4,
+            },
+        );
+        let (image, next_seq) = q.snapshot();
+        assert_eq!(next_seq, 4);
+        let mut restored = EventQueue::new();
+        restored.restore(image, next_seq);
+        // Identical pop sequence...
+        let a: Vec<Event> = std::iter::from_fn(|| q.pop()).collect();
+        let b: Vec<Event> = std::iter::from_fn(|| restored.pop()).collect();
+        assert_eq!(a, b);
+        // ...and pushes after the restore continue the original seq stream.
+        restored.push(t(9.0), EventKind::CapacityChange);
+        let (image, next_seq) = restored.snapshot();
+        assert_eq!(next_seq, 5);
+        assert_eq!(image[0].2, 4, "new event got the continued seq");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), EventKind::Release { job: JobId(7) });
+        assert_eq!(q.peek().unwrap().time, t(1.0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.peek().is_none());
     }
 
     #[test]

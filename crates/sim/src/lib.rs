@@ -47,6 +47,8 @@ pub mod engine;
 pub mod event;
 pub mod report;
 pub mod scheduler;
+pub mod service;
+pub mod snapshot;
 pub mod workspace;
 
 pub use context::{Decision, SimContext};
@@ -60,4 +62,8 @@ pub use engine::{
 };
 pub use report::{RunReport, TrajectoryPoint};
 pub use scheduler::Scheduler;
+pub use service::{
+    journal_header, parse_stream, recover, serve, Arrival, DecisionReason, JournalHeader,
+    ServiceConfig, ServiceDecision, ServiceOutcome,
+};
 pub use workspace::SimWorkspace;

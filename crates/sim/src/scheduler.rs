@@ -1,7 +1,7 @@
 //! The online-scheduler interface.
 
 use crate::context::{Decision, SimContext};
-use cloudsched_core::JobId;
+use cloudsched_core::{CoreError, JobId};
 
 /// An online scheduling algorithm driven by kernel interrupts.
 ///
@@ -35,6 +35,30 @@ pub trait Scheduler {
         let _ = (ctx, job, token);
         Decision::Continue
     }
+
+    /// Serializes the scheduler's internal queues and bookkeeping into an
+    /// opaque, byte-stable string for crash-recovery snapshots. Returns
+    /// `None` (the default) for schedulers without snapshot support — the
+    /// streaming service refuses to snapshot over those.
+    ///
+    /// Contract: feeding the returned string to [`Scheduler::restore_state`]
+    /// on a freshly constructed instance of the same configuration must
+    /// yield a scheduler whose future decisions are byte-identical to the
+    /// original's.
+    fn snapshot_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores internal state captured by [`Scheduler::snapshot_state`].
+    /// The default (for schedulers without snapshot support) rejects the
+    /// blob, surfacing a corrupt/mismatched journal during recovery.
+    fn restore_state(&mut self, state: &str) -> Result<(), CoreError> {
+        let _ = state;
+        Err(CoreError::CorruptJournal {
+            line: 0,
+            reason: format!("scheduler `{}` does not support state restore", self.name()),
+        })
+    }
 }
 
 /// Blanket impl so `&mut S` is itself a scheduler (handy for harnesses that
@@ -54,5 +78,11 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     }
     fn on_timer(&mut self, ctx: &mut SimContext<'_>, job: JobId, token: u64) -> Decision {
         (**self).on_timer(ctx, job, token)
+    }
+    fn snapshot_state(&self) -> Option<String> {
+        (**self).snapshot_state()
+    }
+    fn restore_state(&mut self, state: &str) -> Result<(), CoreError> {
+        (**self).restore_state(state)
     }
 }

@@ -106,6 +106,25 @@ impl SimWorkspace {
         self.abandon_scratch.clear();
     }
 
+    /// Grows every per-job table by one slot for a streaming arrival:
+    /// workload `p` in the remaining table, all flags clear, outcome
+    /// `NotReleased`. The streaming service calls this (through the kernel's
+    /// seeding methods) once per arrival, in job-id order.
+    pub(crate) fn grow_one(&mut self, workload: f64) {
+        self.remaining.push(workload);
+        let n = self.remaining.len();
+        for flags in [
+            &mut self.released,
+            &mut self.resolved,
+            &mut self.started,
+            &mut self.abandoned,
+            &mut self.quarantined,
+        ] {
+            flags.resize(n, false);
+        }
+        self.outcome.grow(n);
+    }
+
     /// Reclaims the outcome table of a finished run's report, closing the
     /// last per-run allocation. Call after extracting whatever the sweep
     /// records (value fraction, counters, …); the report is consumed.
@@ -149,6 +168,127 @@ mod tests {
         begin_and_seed(&mut ws, 1024);
         assert_eq!(ws.reuse_hits(), 3);
         assert_eq!(ws.runs(), 5);
+    }
+
+    /// Minimal work-conserving FIFO, just enough to drive `simulate_into`
+    /// through the real kernel for the recycle-accounting tests below.
+    struct Fifo {
+        ready: Vec<JobId>,
+    }
+    impl Fifo {
+        fn next(&mut self, ctx: &crate::SimContext<'_>) -> crate::Decision {
+            if ctx.running().is_some() {
+                return crate::Decision::Continue;
+            }
+            match self.ready.first().copied() {
+                Some(j) => {
+                    self.ready.remove(0);
+                    crate::Decision::Run(j)
+                }
+                None => crate::Decision::Idle,
+            }
+        }
+    }
+    impl crate::Scheduler for Fifo {
+        fn name(&self) -> String {
+            "ws-fifo".into()
+        }
+        fn on_release(&mut self, ctx: &mut crate::SimContext<'_>, job: JobId) -> crate::Decision {
+            self.ready.push(job);
+            self.next(ctx)
+        }
+        fn on_completion(
+            &mut self,
+            ctx: &mut crate::SimContext<'_>,
+            _job: JobId,
+        ) -> crate::Decision {
+            self.next(ctx)
+        }
+        fn on_deadline_miss(
+            &mut self,
+            ctx: &mut crate::SimContext<'_>,
+            job: JobId,
+        ) -> crate::Decision {
+            self.ready.retain(|&j| j != job);
+            self.next(ctx)
+        }
+    }
+
+    /// A spread-out instance with `n` jobs: unit workloads, generous
+    /// deadlines, so every job completes under any work-conserving policy.
+    fn instance(n: usize) -> cloudsched_core::JobSet {
+        let tuples: Vec<(f64, f64, f64, f64)> = (0..n)
+            .map(|i| (i as f64, i as f64 + 4.0, 1.0, 1.0))
+            .collect();
+        cloudsched_core::JobSet::from_tuples(&tuples).unwrap()
+    }
+
+    fn run(ws: &mut SimWorkspace, n: usize) -> crate::RunReport {
+        let cap = cloudsched_capacity::Constant::new(1.0).unwrap();
+        crate::simulate_into(
+            ws,
+            &instance(n),
+            &cap,
+            &mut Fifo { ready: Vec::new() },
+            crate::RunOptions::lean(),
+        )
+    }
+
+    /// The sweep-layer contract: once buffers are warm, shrinking runs hit —
+    /// but only if each report is recycled, since the outcome table leaves
+    /// the workspace inside the report and `begin` counts its absence as
+    /// growth.
+    #[test]
+    fn recycle_keeps_shrinking_runs_on_the_reuse_path() {
+        let mut ws = SimWorkspace::new();
+        let warm = run(&mut ws, 8);
+        assert_eq!((ws.runs(), ws.reuse_hits()), (1, 0), "first run warms up");
+        ws.recycle(warm);
+
+        for (i, n) in [8, 5, 3, 1].into_iter().enumerate() {
+            let report = run(&mut ws, n);
+            assert_eq!(report.completed, n, "all jobs finish in the {n}-job run");
+            assert_eq!(
+                (ws.runs(), ws.reuse_hits()),
+                (i as u64 + 2, i as u64 + 1),
+                "recycled shrinking run #{i} must reuse every buffer"
+            );
+            ws.recycle(report);
+        }
+    }
+
+    /// Dropping a report instead of recycling it forfeits the outcome
+    /// buffer, so even a smaller follow-up run is a (correct) miss.
+    #[test]
+    fn unrecycled_reports_break_the_reuse_streak() {
+        let mut ws = SimWorkspace::new();
+        let report = run(&mut ws, 6);
+        drop(report);
+        run(&mut ws, 2);
+        assert_eq!(ws.runs(), 2);
+        assert_eq!(
+            ws.reuse_hits(),
+            0,
+            "outcome table left with the dropped report, so begin reallocates"
+        );
+    }
+
+    /// `recycle` only restores capacity — it must not leak the previous
+    /// run's outcomes into the next report.
+    #[test]
+    fn recycled_outcome_state_does_not_leak_between_runs() {
+        let mut ws = SimWorkspace::new();
+        let first = run(&mut ws, 5);
+        let first_outcomes: Vec<_> = (0..5).map(|i| first.outcome.get(JobId(i))).collect();
+        ws.recycle(first);
+        let second = run(&mut ws, 5);
+        assert_eq!(ws.reuse_hits(), 1);
+        let second_outcomes: Vec<_> = (0..5).map(|i| second.outcome.get(JobId(i))).collect();
+        assert_eq!(
+            first_outcomes, second_outcomes,
+            "identical instance, identical outcomes"
+        );
+        assert_eq!(second.outcome.len(), 5);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 export CARGO_NET_OFFLINE := "true"
 
 # Run the full CI gauntlet.
-ci: fmt build bench-check test lint golden-trace chaos bench-smoke sweep-smoke
+ci: fmt build bench-check test lint golden-trace chaos serve-smoke bench-smoke sweep-smoke
 
 fmt:
     cargo fmt --all --check
@@ -98,6 +98,23 @@ golden-inspect-regen:
 bench-diff tol="50":
     cargo run --release -p cloudsched-cli -- bench --quick --out /tmp/bench-smoke.json
     cargo run --release -p cloudsched-cli -- bench-diff --old BENCH_kernel.json --new /tmp/bench-smoke.json --tol {{tol}}
+
+# Crash-recovery smoke (mirrors the CI kill-and-recover step): serve the
+# checked-in golden stream to completion, then serve it again with a seeded
+# crash mid-stream and recover from the journal — both the uninterrupted
+# and the recovered ledger + commitment audit must match the checked-in
+# golden byte-for-byte.
+serve-smoke:
+    cargo run --release -p cloudsched-cli -- serve --in tests/golden/stream_small.jsonl --scheduler vdover --k 7 --snapshot-every 8 --journal /tmp/serve-smoke-full.wal > /tmp/serve-smoke-full.txt
+    diff -u tests/golden/serve_stream_small.txt /tmp/serve-smoke-full.txt
+    cargo run --release -p cloudsched-cli -- serve --in tests/golden/stream_small.jsonl --scheduler vdover --k 7 --snapshot-every 8 --journal /tmp/serve-smoke-crash.wal --crash-after 17
+    cargo run --release -p cloudsched-cli -- recover --journal /tmp/serve-smoke-crash.wal --in tests/golden/stream_small.jsonl > /tmp/serve-smoke-recovered.txt
+    diff -u tests/golden/serve_stream_small.txt /tmp/serve-smoke-recovered.txt
+
+# Regenerate the checked-in golden service ledger after an *intentional*
+# change to the admission service, the ledger, or the commitment audit.
+serve-golden-regen:
+    cargo run --release -p cloudsched-cli -- serve --in tests/golden/stream_small.jsonl --scheduler vdover --k 7 --snapshot-every 8 > tests/golden/serve_stream_small.txt
 
 # Chaos smoke: run a fixed-seed fault-injection campaign twice and byte-diff
 # the fault traces — zero panics, deterministic fault sequence (mirrors CI).
