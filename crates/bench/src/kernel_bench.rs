@@ -15,7 +15,7 @@ use cloudsched_capacity::Instance;
 use cloudsched_core::rng::{Pcg32, Rng};
 use cloudsched_core::{Job, JobId, JobSet, Time};
 use cloudsched_obs::{Clock, MonotonicClock};
-use cloudsched_sim::RunOptions;
+use cloudsched_sim::{RunOptions, SimWorkspace};
 use cloudsched_workload::dist::{exponential, uniform};
 use cloudsched_workload::CtmcCapacity;
 
@@ -36,6 +36,11 @@ pub struct KernelBenchRow {
     pub wall_ms: f64,
     /// Workload seed.
     pub seed: u64,
+    /// Event-queue backend the cell ran on: `"flat"` (calendar queue, the
+    /// production path) or `"heap"` (reference `BinaryHeap`, emitted by the
+    /// flat-vs-heap comparison mode). Older reports omit the field and
+    /// parse as `"flat"`.
+    pub queue: String,
 }
 
 /// Sweep configuration.
@@ -47,14 +52,20 @@ pub struct KernelBenchConfig {
     pub seed: u64,
     /// Timed repetitions per cell; the fastest run is reported (default 3).
     pub reps: usize,
+    /// Flat-vs-heap comparison mode: when set, every cell is measured twice
+    /// — once on the calendar queue (`queue: "flat"`) and once on the
+    /// reference `BinaryHeap` backend (`queue: "heap"`) — so the memory-
+    /// layout win is recorded in the report instead of a commit message.
+    pub compare: bool,
 }
 
 impl Default for KernelBenchConfig {
     fn default() -> Self {
         KernelBenchConfig {
-            sizes: vec![1_000, 10_000, 100_000],
+            sizes: vec![1_000, 10_000, 100_000, 1_000_000],
             seed: 7,
             reps: 3,
+            compare: false,
         }
     }
 }
@@ -66,6 +77,7 @@ impl KernelBenchConfig {
             sizes: vec![1_000],
             seed: 7,
             reps: 1,
+            compare: false,
         }
     }
 }
@@ -150,16 +162,29 @@ pub fn bench_instance(n: usize, seed: u64) -> Instance {
     Instance::new(jobs, capacity)
 }
 
-/// Measures one `(instance, spec)` cell: runs the simulation `reps` times
-/// and reports the fastest wall time, normalised per kernel decision (the
-/// processed-event count, which is independent of wall time).
-fn measure(instance: &Instance, spec: &SchedulerSpec, reps: usize, seed: u64) -> KernelBenchRow {
+/// Measures one `(instance, spec, queue)` cell: runs the simulation `reps`
+/// times and reports the fastest wall time, normalised per kernel decision
+/// (the processed-event count, which is independent of wall time). Both
+/// backends get a fresh workspace per repetition, so the comparison
+/// measures the queue, not allocator warm-up asymmetry.
+fn measure(
+    instance: &Instance,
+    spec: &SchedulerSpec,
+    reps: usize,
+    seed: u64,
+    queue: &str,
+) -> KernelBenchRow {
     let clock = MonotonicClock::new();
     let mut best_ns = u64::MAX;
     let mut decisions = 1usize;
     for _ in 0..reps.max(1) {
+        let mut ws = if queue == "heap" {
+            SimWorkspace::with_reference_queue()
+        } else {
+            SimWorkspace::new()
+        };
         let t0 = clock.now_ns();
-        let report = crate::run_instance(instance, spec, RunOptions::lean());
+        let report = crate::run_instance_in(&mut ws, instance, spec, RunOptions::lean());
         let elapsed = clock.now_ns().saturating_sub(t0);
         best_ns = best_ns.min(elapsed.max(1));
         decisions = report.events.max(1);
@@ -171,12 +196,14 @@ fn measure(instance: &Instance, spec: &SchedulerSpec, reps: usize, seed: u64) ->
         ns_per_decision: best_ns as f64 / decisions as f64,
         wall_ms: best_ns as f64 / 1e6,
         seed,
+        queue: queue.into(),
     }
 }
 
 /// Runs the full sweep: every scheduler at every size, in deterministic
-/// order (sizes ascending, schedulers EDF → Dover → V-Dover). `progress`
-/// receives one line per completed cell.
+/// order (sizes ascending, schedulers EDF → Dover → V-Dover; in comparison
+/// mode each cell's `flat` row is immediately followed by its `heap` row).
+/// `progress` receives one line per completed cell.
 pub fn run_kernel_bench(
     cfg: &KernelBenchConfig,
     mut progress: impl FnMut(&KernelBenchRow),
@@ -185,9 +212,15 @@ pub fn run_kernel_bench(
     for &n in &cfg.sizes {
         let instance = bench_instance(n, cfg.seed);
         for spec in specs() {
-            let row = measure(&instance, &spec, cfg.reps, cfg.seed);
-            progress(&row);
-            rows.push(row);
+            for queue in if cfg.compare {
+                &["flat", "heap"][..]
+            } else {
+                &["flat"][..]
+            } {
+                let row = measure(&instance, &spec, cfg.reps, cfg.seed, queue);
+                progress(&row);
+                rows.push(row);
+            }
         }
     }
     rows
@@ -204,13 +237,14 @@ pub fn rows_to_json(rows: &[KernelBenchRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"bench\":\"{}\",\"n\":{},\"scheduler\":\"{}\",\"ns_per_decision\":{},\"wall_ms\":{},\"seed\":{}}}{}\n",
+            "  {{\"bench\":\"{}\",\"n\":{},\"scheduler\":\"{}\",\"ns_per_decision\":{},\"wall_ms\":{},\"seed\":{},\"queue\":\"{}\"}}{}\n",
             r.bench,
             r.n,
             r.scheduler,
             fmt_f64(r.ns_per_decision),
             fmt_f64(r.wall_ms),
             r.seed,
+            r.queue,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -255,7 +289,9 @@ pub fn parse_rows(text: &str) -> Result<Vec<KernelBenchRow>, String> {
 }
 
 /// Parses one row object, requiring the exact field set and order of the
-/// schema: `bench`, `n`, `scheduler`, `ns_per_decision`, `wall_ms`, `seed`.
+/// schema: `bench`, `n`, `scheduler`, `ns_per_decision`, `wall_ms`, `seed`,
+/// plus an optional trailing `queue` (`"flat"`/`"heap"`; pre-comparison
+/// reports omit it and default to `"flat"`).
 fn parse_row(obj: &str) -> Result<KernelBenchRow, String> {
     let inner = obj
         .strip_prefix('{')
@@ -282,6 +318,18 @@ fn parse_row(obj: &str) -> Result<KernelBenchRow, String> {
         .parse()
         .map_err(|e| format!("wall_ms: {e}"))?;
     let seed: u64 = next("seed")?.parse().map_err(|e| format!("seed: {e}"))?;
+    let queue = match fields.next() {
+        Some(field) => {
+            let (k, v) = field
+                .split_once(':')
+                .ok_or(format!("malformed field `{field}`"))?;
+            if k.trim() != "\"queue\"" {
+                return Err(format!("unexpected extra field `{field}`"));
+            }
+            unquote(v.trim())?
+        }
+        None => "flat".to_string(),
+    };
     if let Some(extra) = fields.next() {
         return Err(format!("unexpected extra field `{extra}`"));
     }
@@ -296,6 +344,9 @@ fn parse_row(obj: &str) -> Result<KernelBenchRow, String> {
     if n == 0 {
         return Err("n must be positive".into());
     }
+    if queue != "flat" && queue != "heap" {
+        return Err(format!("queue must be `flat` or `heap`, got `{queue}`"));
+    }
     Ok(KernelBenchRow {
         bench,
         n,
@@ -303,6 +354,7 @@ fn parse_row(obj: &str) -> Result<KernelBenchRow, String> {
         ns_per_decision,
         wall_ms,
         seed,
+        queue,
     })
 }
 
@@ -365,9 +417,11 @@ mod tests {
             sizes: vec![200],
             seed: 7,
             reps: 1,
+            compare: false,
         };
         let rows = run_kernel_bench(&cfg, |_| {});
         assert_eq!(rows.len(), 3, "EDF, Dover, V-Dover");
+        assert!(rows.iter().all(|r| r.queue == "flat"));
         let json = rows_to_json(&rows);
         let back = parse_rows(&json).expect("round trip");
         assert_eq!(back.len(), rows.len());
@@ -375,7 +429,43 @@ mod tests {
             assert_eq!(a.scheduler, b.scheduler);
             assert_eq!(a.n, b.n);
             assert_eq!(a.seed, b.seed);
+            assert_eq!(a.queue, b.queue);
         }
+    }
+
+    #[test]
+    fn compare_mode_emits_paired_flat_and_heap_rows() {
+        let cfg = KernelBenchConfig {
+            sizes: vec![200],
+            seed: 7,
+            reps: 1,
+            compare: true,
+        };
+        let rows = run_kernel_bench(&cfg, |_| {});
+        assert_eq!(rows.len(), 6, "each scheduler cell measured twice");
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].scheduler, pair[1].scheduler);
+            assert_eq!(pair[0].n, pair[1].n);
+            assert_eq!(
+                (pair[0].queue.as_str(), pair[1].queue.as_str()),
+                ("flat", "heap")
+            );
+        }
+        let back = parse_rows(&rows_to_json(&rows)).expect("round trip");
+        assert_eq!(back, rows_should_eq(&rows));
+    }
+
+    /// Timing fields survive the 3-decimal serialization only approximately;
+    /// normalise them so `compare_mode_emits_paired_flat_and_heap_rows` can
+    /// compare full rows.
+    fn rows_should_eq(rows: &[KernelBenchRow]) -> Vec<KernelBenchRow> {
+        rows.iter()
+            .map(|r| KernelBenchRow {
+                ns_per_decision: format!("{:.3}", r.ns_per_decision).parse().unwrap(),
+                wall_ms: format!("{:.3}", r.wall_ms).parse().unwrap(),
+                ..r.clone()
+            })
+            .collect()
     }
 
     #[test]
@@ -388,5 +478,16 @@ mod tests {
         )
         .is_err(), "negative ns/decision");
         assert!(parse_rows("[\n  {\"n\":1}\n").is_err(), "unclosed array");
+        // Pre-comparison reports (no queue field) parse as flat rows.
+        let legacy = parse_rows(
+            "[\n  {\"bench\":\"kernel\",\"n\":1,\"scheduler\":\"EDF\",\"ns_per_decision\":1,\"wall_ms\":1,\"seed\":7}\n]\n"
+        ).expect("legacy rows stay valid");
+        assert_eq!(legacy[0].queue, "flat");
+        assert!(parse_rows(
+            "[\n  {\"bench\":\"kernel\",\"n\":1,\"scheduler\":\"EDF\",\"ns_per_decision\":1,\"wall_ms\":1,\"seed\":7,\"queue\":\"ring\"}\n]\n"
+        ).is_err(), "unknown queue backend");
+        assert!(parse_rows(
+            "[\n  {\"bench\":\"kernel\",\"n\":1,\"scheduler\":\"EDF\",\"ns_per_decision\":1,\"wall_ms\":1,\"seed\":7,\"queue\":\"heap\",\"x\":1}\n]\n"
+        ).is_err(), "extra field after queue");
     }
 }

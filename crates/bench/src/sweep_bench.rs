@@ -43,8 +43,12 @@ pub struct SweepBenchRow {
     pub wall_ms: f64,
     /// Runs per second (`runs / wall`), the headline throughput number.
     pub runs_per_sec: f64,
-    /// Workspace reuse hits (runs where no buffer had to grow); 0 in
-    /// `fresh` mode by construction.
+    /// Workspace reuse hits under the *canonical* accounting: runs (in
+    /// index order) whose job count does not raise the high-water mark of
+    /// a single virtual serial arena. This is a pure function of the seed
+    /// sequence — identical at every thread count — unlike the physical
+    /// per-worker counters, which depend on which runs each worker saw
+    /// first. 0 in `fresh` mode by construction.
     pub reuse_hits: u64,
     /// FNV-1a 64 digest of every report in run order, as 16 hex digits.
     /// Identical across all rows of a report, or the bench refuses to emit.
@@ -132,12 +136,31 @@ fn run_digest(reports: &[RunReport]) -> u64 {
     h
 }
 
-/// Per-run result the workers hand back: the run's digest plus its
-/// workspace-reuse bookkeeping deltas.
+/// Per-run result the workers hand back: the run's digest, its instance
+/// size (for the canonical reuse-hit fold) and its physical workspace
+/// bookkeeping delta.
 struct RunCell {
     digest: u64,
+    jobs: usize,
     ws_runs: u64,
-    reuse_hits: u64,
+}
+
+/// Canonical reuse-hit count: fold the per-run instance sizes in run
+/// (index) order through one virtual serial arena — a run hits iff its
+/// job count fits the high-water mark of the runs before it. The physical
+/// per-workspace counters ([`SimWorkspace::reuse_hits`]) depend on which
+/// runs each worker happened to draw, so they drift with the thread count;
+/// this fold is a pure function of the seed sequence.
+fn canonical_reuse_hits(cells: &[RunCell]) -> u64 {
+    let mut high_water = 0usize;
+    let mut hits = 0u64;
+    for c in cells {
+        if c.jobs <= high_water {
+            hits += 1;
+        }
+        high_water = high_water.max(c.jobs);
+    }
+    hits
 }
 
 /// Combines per-run digests in run (index) order — this is what makes the
@@ -190,15 +213,15 @@ pub fn run_sweep_bench(
                         .collect();
                     RunCell {
                         digest: run_digest(&reports),
+                        jobs: generated.instance.jobs.len(),
                         ws_runs: 0,
-                        reuse_hits: 0,
                     }
                 })
             } else {
                 parallel_map_with(cfg.runs, threads, SimWorkspace::new, |ws, run| {
                     let seed = derive_seed(SEED_STREAM_TABLE1, cfg.lambda, run);
                     let generated = scenario.generate(seed).expect("generation");
-                    let (runs0, hits0) = (ws.runs(), ws.reuse_hits());
+                    let runs0 = ws.runs();
                     let mut reports =
                         run_instance_batch_in(ws, &generated.instance, &specs, RunOptions::lean());
                     let digest = run_digest(&reports);
@@ -207,13 +230,17 @@ pub fn run_sweep_bench(
                     }
                     RunCell {
                         digest,
+                        jobs: generated.instance.jobs.len(),
                         ws_runs: ws.runs() - runs0,
-                        reuse_hits: ws.reuse_hits() - hits0,
                     }
                 })
             };
             let wall_ns = clock.now_ns().saturating_sub(t0).max(1);
-            let reuse_hits: u64 = cells.iter().map(|c| c.reuse_hits).sum();
+            let reuse_hits: u64 = if mode == "reuse" {
+                canonical_reuse_hits(&cells)
+            } else {
+                0
+            };
             if mode == "reuse" {
                 metrics.incr(
                     "sweep.workspace.runs",

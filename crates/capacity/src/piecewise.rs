@@ -9,6 +9,7 @@
 
 use crate::profile::CapacityProfile;
 use cloudsched_core::{CoreError, Time};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One segment of a piecewise-constant profile: rate `rate` from `start`
 /// until the next segment's start (the last segment extends to `+∞`).
@@ -24,7 +25,14 @@ pub struct Segment {
 ///
 /// Invariants: segment starts strictly increase beginning at `0`; every rate
 /// is finite and `> 0`; the last segment's rate extends forever.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Segment lookups keep a memoized cursor (the last segment returned): the
+/// kernel's queries march forward in event-time and the stretch transform
+/// walks `cum` monotonically, so the common case is "same segment or the
+/// next one" and resolves without a binary search. The cursor is a pure
+/// performance memo — it never changes a result (a stale hint falls back to
+/// the exact `partition_point` search) and is excluded from equality and
+/// debug formatting.
 pub struct PiecewiseConstant {
     /// Segment start times; `starts[0] == 0.0`, strictly increasing.
     starts: Vec<f64>,
@@ -34,6 +42,43 @@ pub struct PiecewiseConstant {
     cum: Vec<f64>,
     /// Declared class bounds `(c_lo, c_hi)`; default: observed min/max rate.
     declared: (f64, f64),
+    /// Last segment index returned by a time-keyed lookup.
+    seg_hint: AtomicUsize,
+    /// Last segment index returned by an area-keyed (`inverse_integral`) lookup.
+    inv_hint: AtomicUsize,
+}
+
+impl Clone for PiecewiseConstant {
+    fn clone(&self) -> Self {
+        PiecewiseConstant {
+            starts: self.starts.clone(),
+            rates: self.rates.clone(),
+            cum: self.cum.clone(),
+            declared: self.declared,
+            seg_hint: AtomicUsize::new(self.seg_hint.load(Ordering::Relaxed)),
+            inv_hint: AtomicUsize::new(self.inv_hint.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for PiecewiseConstant {
+    fn eq(&self, other: &Self) -> bool {
+        self.starts == other.starts
+            && self.rates == other.rates
+            && self.cum == other.cum
+            && self.declared == other.declared
+    }
+}
+
+impl std::fmt::Debug for PiecewiseConstant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PiecewiseConstant")
+            .field("starts", &self.starts)
+            .field("rates", &self.rates)
+            .field("cum", &self.cum)
+            .field("declared", &self.declared)
+            .finish()
+    }
 }
 
 impl PiecewiseConstant {
@@ -95,6 +140,8 @@ impl PiecewiseConstant {
             rates,
             cum,
             declared: (lo, hi),
+            seg_hint: AtomicUsize::new(0),
+            inv_hint: AtomicUsize::new(0),
         })
     }
 
@@ -212,11 +259,29 @@ impl PiecewiseConstant {
     }
 
     /// Index of the segment containing `t` (largest `i` with `starts[i] <= t`).
+    ///
+    /// Checks the memoized cursor (and its successor) before falling back to
+    /// a binary search; every path reproduces `partition_point(|s| s <= t) - 1`
+    /// exactly, so results are bit-identical with or without the memo.
     #[inline]
     fn seg_index(&self, t: f64) -> usize {
         debug_assert!(t >= 0.0, "profile queried before time 0");
-        // partition_point returns the first index with starts[i] > t.
-        self.starts.partition_point(|&s| s <= t).saturating_sub(1)
+        let n = self.starts.len();
+        let h = self.seg_hint.load(Ordering::Relaxed).min(n - 1);
+        let i = if self.starts[h] <= t {
+            if h + 1 == n || self.starts[h + 1] > t {
+                h
+            } else if h + 2 == n || self.starts[h + 2] > t {
+                h + 1
+            } else {
+                // partition_point returns the first index with starts[i] > t.
+                self.starts.partition_point(|&s| s <= t).saturating_sub(1)
+            }
+        } else {
+            self.starts.partition_point(|&s| s <= t).saturating_sub(1)
+        };
+        self.seg_hint.store(i, Ordering::Relaxed);
+        i
     }
 
     /// Exact prefix integral `∫_0^t c(τ)dτ`.
@@ -234,8 +299,23 @@ impl PiecewiseConstant {
         if area <= 0.0 {
             return Time::ZERO;
         }
-        // First index with cum[i] > area, minus one.
-        let i = self.cum.partition_point(|&c| c <= area).saturating_sub(1);
+        // Memoized cursor over `cum` (strictly increasing, since every
+        // segment has positive rate and duration); same bit-exact contract
+        // as `seg_index`: first index with cum[i] > area, minus one.
+        let n = self.cum.len();
+        let h = self.inv_hint.load(Ordering::Relaxed).min(n - 1);
+        let i = if self.cum[h] <= area {
+            if h + 1 == n || self.cum[h + 1] > area {
+                h
+            } else if h + 2 == n || self.cum[h + 2] > area {
+                h + 1
+            } else {
+                self.cum.partition_point(|&c| c <= area).saturating_sub(1)
+            }
+        } else {
+            self.cum.partition_point(|&c| c <= area).saturating_sub(1)
+        };
+        self.inv_hint.store(i, Ordering::Relaxed);
         Time::new(self.starts[i] + (area - self.cum[i]) / self.rates[i])
     }
 }
@@ -497,6 +577,47 @@ mod tests {
         let segs: Vec<Segment> = p.segments().collect();
         let q = PiecewiseConstant::new(segs).unwrap();
         assert_eq!(p, q);
+    }
+
+    /// The memoized cursor must never change an answer: random
+    /// back-and-forth queries (worst case for a stale hint) agree with a
+    /// plain binary search over the same segment table.
+    #[test]
+    fn memoized_cursor_matches_binary_search() {
+        let pairs: Vec<(f64, f64)> = (0..257)
+            .map(|i| (0.25 + (i % 7) as f64 * 0.125, 1.0 + (i % 5) as f64))
+            .collect();
+        let p = PiecewiseConstant::from_durations(&pairs).unwrap();
+        let segs: Vec<Segment> = p.segments().collect();
+        let starts: Vec<f64> = segs.iter().map(|s| s.start.as_f64()).collect();
+        let mut cum = vec![0.0];
+        for i in 1..starts.len() {
+            cum.push(cum[i - 1] + segs[i - 1].rate * (starts[i] - starts[i - 1]));
+        }
+        let span = starts.last().unwrap() + 5.0;
+        let total = p.integral_to(t(span));
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut rng = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..2000 {
+            let q = rng() * span;
+            let i = starts.partition_point(|&s| s <= q).saturating_sub(1);
+            assert_eq!(p.rate_at(t(q)), segs[i].rate, "rate diverged at {q}");
+            let expect = cum[i] + segs[i].rate * (q - starts[i]);
+            assert_eq!(p.integral_to(t(q)), expect, "integral diverged at {q}");
+            let a = rng() * total;
+            let j = cum.partition_point(|&c| c <= a).saturating_sub(1);
+            let expect = starts[j] + (a - cum[j]) / segs[j].rate;
+            assert_eq!(
+                p.inverse_integral(a),
+                Time::new(expect),
+                "inverse diverged at area {a}"
+            );
+        }
     }
 
     #[test]

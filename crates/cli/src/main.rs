@@ -16,7 +16,7 @@
 //! cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
 //!                    [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
 //!                    [--threads N] [--trace-out FILE]
-//! cloudsched bench   [--suite kernel|sweep] [--quick] [--out FILE]
+//! cloudsched bench   [--suite kernel|sweep] [--quick] [--compare] [--out FILE]
 //! cloudsched inspect [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]]
 //!                    [--scheduler NAME] [--in FILE]
 //!                    [--summary | --job N | --queues | --ratio [--seeds N]]
@@ -147,7 +147,7 @@ const USAGE: &str = "usage:
   cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
                      [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
                      [--threads N] [--trace-out FILE]
-  cloudsched bench   [--suite kernel|sweep] [--quick] [--out FILE]
+  cloudsched bench   [--suite kernel|sweep] [--quick] [--compare] [--out FILE]
   cloudsched inspect [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]] [--scheduler NAME]
                      [--in FILE] [--summary | --job N | --queues | --ratio [--seeds N]]
   cloudsched bench-diff --old FILE --new FILE [--tol PCT]
@@ -511,7 +511,9 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
 
 /// `cloudsched bench`: the checked-in benchmark suites. `--suite kernel`
 /// (the default) sweeps EDF / Dover / V-Dover hot-path ns/decision over
-/// seeded instances (n ∈ {1e3, 1e4, 1e5}) into `BENCH_kernel.json`;
+/// seeded instances (n ∈ {1e3, 1e4, 1e5, 1e6}) into `BENCH_kernel.json`;
+/// `--compare` additionally measures every kernel cell on the reference
+/// binary-heap event queue, recording paired `flat`/`heap` rows.
 /// `--suite sweep` measures Monte-Carlo runs/second of the Table-I panel
 /// in fresh vs reused-workspace modes across thread counts into
 /// `BENCH_sweep.json`. `--quick` selects each suite's CI smoke
@@ -533,23 +535,27 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_bench_kernel(flags: &HashMap<String, String>, quick: bool) -> Result<(), String> {
     use cloudsched_bench::{parse_rows, rows_to_json, run_kernel_bench, KernelBenchConfig};
-    let cfg = if quick {
+    let mut cfg = if quick {
         KernelBenchConfig::quick()
     } else {
         KernelBenchConfig::default()
     };
+    cfg.compare = flags.contains_key("compare");
     let out = flags
         .get("out")
         .cloned()
         .unwrap_or_else(|| "BENCH_kernel.json".into());
     eprintln!(
-        "kernel bench: sizes {:?}, seed {}, {} rep(s)",
-        cfg.sizes, cfg.seed, cfg.reps
+        "kernel bench: sizes {:?}, seed {}, {} rep(s){}",
+        cfg.sizes,
+        cfg.seed,
+        cfg.reps,
+        if cfg.compare { ", flat-vs-heap" } else { "" }
     );
     let rows = run_kernel_bench(&cfg, |row| {
         eprintln!(
-            "  {:<14} n={:<7} {:>10.1} ns/decision  {:>10.3} ms",
-            row.scheduler, row.n, row.ns_per_decision, row.wall_ms
+            "  {:<14} n={:<7} [{:<4}] {:>10.1} ns/decision  {:>10.3} ms",
+            row.scheduler, row.n, row.queue, row.ns_per_decision, row.wall_ms
         );
     });
     let json = rows_to_json(&rows);
@@ -798,6 +804,12 @@ fn render_service_outcome(outcome: &cloudsched_sim::ServiceOutcome) -> Result<St
 /// `recover`.
 fn finish_service_outcome(outcome: &cloudsched_sim::ServiceOutcome) -> Result<(), CliError> {
     print!("{}", render_service_outcome(outcome)?);
+    if outcome.snapshot_unsupported {
+        eprintln!(
+            "warning: snapshot cadence configured but the scheduler cannot checkpoint; \
+             recovery will replay the journal from genesis"
+        );
+    }
     let admitted = outcome.decisions.iter().filter(|d| d.admitted).count();
     eprintln!(
         "{} arrivals: {} admitted, {} rejected; {} trace events",
@@ -1093,6 +1105,7 @@ mod tests {
             ns_per_decision: ns,
             wall_ms: 1.0,
             seed: 7,
+            queue: "flat".into(),
         };
         let dir = std::env::temp_dir();
         let old = dir.join("cloudsched-cli-test-diff-old.json");

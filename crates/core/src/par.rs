@@ -67,14 +67,20 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = threads.max(1).min(n);
+    // Spawning more workers than the machine has cores buys no throughput
+    // and costs contention on the shared counter, so the requested count is
+    // capped at the detected parallelism (output is thread-count invariant,
+    // so this is a pure throughput decision).
+    let workers = threads.max(1).min(n).min(default_threads());
     if workers == 1 {
         let mut state = init();
         return (0..n).map(|i| f(&mut state, i)).collect();
     }
     // Aim for ~8 blocks per worker so late-arriving stragglers still find
-    // work to steal, capped so the counter stays cold.
-    let block = (n / (workers * 8)).clamp(1, MAX_BLOCK);
+    // work to steal, capped so the counter stays cold. Round up: truncating
+    // degenerated to block = 1 whenever n < workers * 8 (exactly the small
+    // sweep fan-outs we run), maximizing counter traffic.
+    let block = n.div_ceil(workers * 8).clamp(1, MAX_BLOCK);
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);

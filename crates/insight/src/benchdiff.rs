@@ -154,7 +154,16 @@ pub fn diff_reports(old_text: &str, new_text: &str, tol_pct: f64) -> Result<Benc
     let tol_pct = tol_pct.abs();
     match (parse_rows(old_text), parse_rows(new_text)) {
         (Ok(old), Ok(new)) => {
-            let key = |r: &cloudsched_bench::KernelBenchRow| format!("{} n={}", r.scheduler, r.n);
+            // Heap-backend rows from the flat-vs-heap comparison mode get
+            // their own key, so a comparison report diffs cleanly against a
+            // flat-only one (heap rows fall out as only-in-one, informational).
+            let key = |r: &cloudsched_bench::KernelBenchRow| {
+                if r.queue == "heap" {
+                    format!("{} n={} [heap]", r.scheduler, r.n)
+                } else {
+                    format!("{} n={}", r.scheduler, r.n)
+                }
+            };
             let old: BTreeMap<_, _> = old.into_iter().map(|r| (key(&r), r)).collect();
             let new: BTreeMap<_, _> = new.into_iter().map(|r| (key(&r), r)).collect();
             let (deltas, only_old, only_new) =
@@ -228,6 +237,7 @@ mod tests {
             ns_per_decision: ns,
             wall_ms: wall,
             seed: 7,
+            queue: "flat".into(),
         }
     }
 
@@ -297,6 +307,24 @@ mod tests {
         assert!(rps.regression, "20% throughput drop at 10% tolerance");
         assert!((rps.delta_pct + 20.0).abs() < 1e-9);
         assert_eq!(diff.only_new, vec!["fresh threads=4".to_string()]);
+    }
+
+    #[test]
+    fn heap_rows_key_separately_from_flat_rows() {
+        let heap = |mut r: KernelBenchRow| {
+            r.queue = "heap".into();
+            r
+        };
+        // Old: flat-only report. New: comparison report with both backends.
+        let old = rows_to_json(&[kernel_row("V-Dover", 1000, 100.0, 1.0)]);
+        let new = rows_to_json(&[
+            kernel_row("V-Dover", 1000, 90.0, 0.9),
+            heap(kernel_row("V-Dover", 1000, 300.0, 3.0)),
+        ]);
+        let diff = diff_reports(&old, &new, 10.0).expect("same suite");
+        assert_eq!(diff.deltas.len(), 2, "only the flat rows match");
+        assert_eq!(diff.regressions(), 0, "the slow heap row is not a match");
+        assert_eq!(diff.only_new, vec!["V-Dover n=1000 [heap]".to_string()]);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::degrade::{
 use crate::event::{Event, EventKind};
 use crate::report::{RunReport, TrajectoryPoint};
 use crate::scheduler::Scheduler;
-use crate::workspace::SimWorkspace;
+use crate::workspace::{flag, SimWorkspace};
 use cloudsched_capacity::CapacityProfile;
 use cloudsched_core::{CoreError, Job, JobId, JobOutcome, JobSet, Schedule, Time};
 use cloudsched_obs::{
@@ -319,14 +319,14 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
 
     /// Marks `job` completed at the current instant and accrues its value.
     fn complete(&mut self, job: JobId) {
-        debug_assert!(!self.ws.resolved[job.index()]);
+        debug_assert!(!self.ws.resolved(job.index()));
         debug_assert!(
             self.ws.remaining[job.index()] <= completion_tolerance(self.jobs.get(job).workload),
             "{job} declared complete with {} workload left",
             self.ws.remaining[job.index()]
         );
         self.ws.remaining[job.index()] = 0.0;
-        self.ws.resolved[job.index()] = true;
+        self.ws.set_flag(job.index(), flag::RESOLVED, true);
         self.ws
             .outcome
             .set(job, JobOutcome::Completed { at: self.st.now });
@@ -386,7 +386,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
         ws.timer_scratch.clear();
         for i in 0..ws.abandon_scratch.len() {
             let j = ws.abandon_scratch[i];
-            ws.abandoned[j.index()] = true;
+            ws.set_flag(j.index(), flag::ABANDONED, true);
         }
         ws.abandon_scratch.clear();
         self.apply(decision);
@@ -535,11 +535,11 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
             let ready: Vec<usize> = self.ws.quarantine_pending.iter().copied().collect();
             for i in ready {
                 self.ws.quarantine_pending.remove(&i);
-                if !self.ws.quarantined[i] || self.ws.resolved[i] {
+                if !self.ws.quarantined(i) || self.ws.resolved(i) {
                     continue;
                 }
                 let job = JobId(i as u64);
-                self.ws.quarantined[i] = false;
+                self.ws.set_flag(i, flag::QUARANTINED, false);
                 if let Some(w) = self.watchdog.as_mut() {
                     w.note_readmit();
                 }
@@ -569,15 +569,15 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     return;
                 }
                 let i = j.index();
-                assert!(self.ws.released[i], "scheduler dispatched unreleased {j}");
-                assert!(!self.ws.resolved[i], "scheduler dispatched resolved {j}");
+                assert!(self.ws.released(i), "scheduler dispatched unreleased {j}");
+                assert!(!self.ws.resolved(i), "scheduler dispatched resolved {j}");
                 if self.st.running.is_some() {
                     self.st.preemptions += 1;
                     self.trace_preempt();
                     self.vacate();
                 }
                 if self.tracer.enabled() {
-                    let ev = if self.ws.started[i] {
+                    let ev = if self.ws.started(i) {
                         TraceEvent::Resume {
                             t: self.st.now,
                             job: j,
@@ -591,7 +591,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                     self.tracer.record(&ev);
                     self.trace_provenance(DecisionAction::Admit, j, 0);
                 }
-                self.ws.started[i] = true;
+                self.ws.set_flag(i, flag::STARTED, true);
                 self.st.running = Some(j);
                 self.st.epoch += 1;
                 self.st.slice_start = self.st.now;
@@ -657,13 +657,13 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                 self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
             }
             EventKind::Timer { job, token } => {
-                if self.ws.resolved[job.index()] || !self.ws.released[job.index()] {
+                if self.ws.resolved(job.index()) || !self.ws.released(job.index()) {
                     return;
                 }
                 self.dispatch_handler(scheduler, |s, ctx| s.on_timer(ctx, job, token));
             }
             EventKind::Release { job } => {
-                self.ws.released[job.index()] = true;
+                self.ws.set_flag(job.index(), flag::RELEASED, true);
                 if self.tracer.enabled() {
                     let j = self.jobs.get(job);
                     self.tracer.record(&TraceEvent::Arrival {
@@ -704,7 +704,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                                 // Quarantine: the scheduler never sees
                                 // this job unless capacity recovery
                                 // re-admits it.
-                                self.ws.quarantined[job.index()] = true;
+                                self.ws.set_flag(job.index(), flag::QUARANTINED, true);
                                 self.ws.quarantine_pending.insert(job.index());
                                 if let Some(w) = self.watchdog.as_mut() {
                                     w.note_quarantine();
@@ -725,7 +725,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                 }
             }
             EventKind::Deadline { job } => {
-                if self.ws.resolved[job.index()] {
+                if self.ws.resolved(job.index()) {
                     return;
                 }
                 let was_running = self.st.running == Some(job);
@@ -736,7 +736,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                 // A still-quarantined job is invisible to the scheduler
                 // (it never saw on_release), so its resolution must not
                 // reach the scheduler's handlers either.
-                let hidden = self.ws.quarantined[i];
+                let hidden = self.ws.quarantined(i);
                 if hidden {
                     self.ws.quarantine_pending.remove(&i);
                     if let Some(w) = self.watchdog.as_mut() {
@@ -751,7 +751,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                         self.dispatch_handler(scheduler, |s, ctx| s.on_completion(ctx, job));
                     }
                 } else {
-                    self.ws.resolved[i] = true;
+                    self.ws.set_flag(i, flag::RESOLVED, true);
                     self.ws.outcome.set(
                         job,
                         JobOutcome::Missed {
@@ -759,7 +759,7 @@ impl<'a, P: CapacityProfile, T: Tracer> Kernel<'a, P, T> {
                         },
                     );
                     let value = self.jobs.get(job).value;
-                    if self.ws.abandoned[i] {
+                    if self.ws.abandoned(i) {
                         // The scheduler already gave this job up (and
                         // its Abandon trace event was emitted then):
                         // book it separately from passive expiry.

@@ -1,4 +1,14 @@
 //! Kernel events and the deterministic event queue.
+//!
+//! The queue is a *calendar queue* (a bucketed timing wheel with a heap
+//! fallback), not a plain binary heap: near-future events live in an array
+//! of time buckets scanned by a cursor, far-future and non-finite events
+//! wait in an overflow heap. Pops stay byte-identical to a `BinaryHeap`
+//! with the same `(time, kind-priority, seq)` total order — the bucket
+//! boundaries are a pure function of event *time*, so co-timed events can
+//! never straddle a bucket edge and ties always resolve inside one bucket
+//! by the full [`Ord`] on [`Event`]. A reference heap backend is kept for
+//! the `flat-vs-heap` benchmark rows and the property tests.
 
 use cloudsched_core::{JobId, Time};
 use std::cmp::Ordering;
@@ -88,18 +98,296 @@ impl Ord for Event {
     }
 }
 
-/// Min-heap of events with deterministic tie-breaking.
-#[derive(Debug, Default)]
+/// Smallest bucket count the calendar ever uses.
+const MIN_BUCKETS: usize = 64;
+/// A single bucket longer than this triggers a re-spread (window re-fit).
+const SPILL_LIMIT: usize = 128;
+/// Average per-bucket occupancy a re-spread aims for.
+const TARGET_OCCUPANCY: usize = 8;
+/// Global average occupancy that triggers a re-spread on push.
+const MAX_AVG_OCCUPANCY: usize = 32;
+/// How many calendar windows past the dense span still go into buckets;
+/// events beyond `origin + FAR_WINDOWS × span` fall back to the heap.
+const FAR_WINDOWS: f64 = 4.0;
+
+/// Backing store of an [`EventQueue`].
+#[derive(Debug)]
+enum Backend {
+    /// The calendar: time buckets + cursor + overflow heap.
+    Calendar(Calendar),
+    /// A plain binary min-heap — the pre-flattening reference, kept for
+    /// the `flat-vs-heap` benchmark comparison and the equivalence
+    /// property tests.
+    Heap(BinaryHeap<std::cmp::Reverse<Event>>),
+}
+
+/// Deterministic event queue: calendar buckets by default, with a
+/// reference binary-heap backend selectable for benchmarks and tests.
+/// Both backends pop the exact same `(time, kind-priority, seq)` order.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<std::cmp::Reverse<Event>>,
+    backend: Backend,
     next_seq: u64,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// The calendar proper. Invariants:
+///
+/// * every bucketed event has a finite time `< limit`; every overflow
+///   event has a non-finite time or a time `>= limit` — so the earliest
+///   bucketed event always precedes every overflow event, and co-timed
+///   events are always classified the same way;
+/// * bucket assignment is monotone in time (`slot`), so bucket `i` holds
+///   strictly earlier times than bucket `j > i`;
+/// * no non-empty bucket lies before `cursor`;
+/// * when `sorted` is set, `buckets[cursor]` is sorted descending, so the
+///   minimum is at the back.
+#[derive(Debug, Default)]
+struct Calendar {
+    buckets: Vec<Vec<Event>>,
+    /// Index of the first possibly non-empty bucket.
+    cursor: usize,
+    /// Whether `buckets[cursor]` is currently sorted (descending).
+    sorted: bool,
+    /// Time at the start of bucket 0.
+    origin: f64,
+    /// Bucket width in time units (always positive and finite).
+    width: f64,
+    /// Times `>= limit` (or non-finite) go to the overflow heap.
+    limit: f64,
+    /// Events currently held in buckets (not counting overflow).
+    in_buckets: usize,
+    /// Re-spreads are deferred until the population doubles past this
+    /// mark, so degenerate inputs (e.g. thousands of co-timed events the
+    /// window cannot split) cost `O(n log n)` total, not `O(n²)`.
+    respread_floor: usize,
+    overflow: BinaryHeap<std::cmp::Reverse<Event>>,
+    /// Scratch buffer reused by re-spreads.
+    scratch: Vec<Event>,
+}
+
+impl Calendar {
+    fn new() -> Self {
+        Calendar {
+            buckets: Vec::new(),
+            cursor: 0,
+            sorted: false,
+            origin: 0.0,
+            width: 1.0,
+            limit: f64::INFINITY,
+            in_buckets: 0,
+            respread_floor: 0,
+            overflow: BinaryHeap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Bucket index for a time accepted by the window (`t < limit`,
+    /// finite). Monotone in `t`; times past the geometric end of the
+    /// window clamp into the last bucket, times before the origin into the
+    /// first — both keep the assignment monotone, which is all ordering
+    /// needs.
+    #[inline]
+    fn slot(&self, t: f64) -> usize {
+        // `as usize` saturates at 0 for negative values, which is exactly
+        // the clamp we want for t < origin.
+        let idx = ((t - self.origin) / self.width) as usize;
+        idx.min(self.buckets.len() - 1)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.in_buckets + self.overflow.len()
+    }
+
+    fn insert(&mut self, ev: Event) {
+        let t = ev.time.as_f64();
+        if !t.is_finite() || t >= self.limit {
+            self.overflow.push(std::cmp::Reverse(ev));
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets.resize_with(MIN_BUCKETS, Vec::new);
+        }
+        let idx = self.slot(t);
+        if idx < self.cursor {
+            self.cursor = idx;
+            self.sorted = false;
+        }
+        if idx == self.cursor && self.sorted {
+            // Keep the current bucket's descending order so pops stay O(1).
+            let b = &mut self.buckets[idx];
+            let pos = b.partition_point(|e| *e > ev);
+            b.insert(pos, ev);
+        } else {
+            self.buckets[idx].push(ev);
+        }
+        self.in_buckets += 1;
+        let spilled = self.buckets[idx].len() >= SPILL_LIMIT
+            || self.in_buckets > self.buckets.len() * MAX_AVG_OCCUPANCY;
+        if spilled && self.in_buckets >= self.respread_floor {
+            self.respread();
+        }
+    }
+
+    /// Re-fits the window to the current population: gathers every event
+    /// (buckets *and* overflow), re-derives origin/width/limit from the
+    /// dense span, and redistributes. Order is untouched — bucketing is a
+    /// pure monotone function of time.
+    fn respread(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for b in &mut self.buckets {
+            scratch.append(b);
+        }
+        scratch.extend(self.overflow.drain().map(|r| r.0));
+        self.in_buckets = 0;
+        self.respread_floor = (scratch.len() * 2).max(2 * SPILL_LIMIT);
+
+        // Dense span over the finite times; non-finite events go straight
+        // back to the overflow heap below.
+        let mut tmin = f64::INFINITY;
+        let mut tmax = f64::NEG_INFINITY;
+        for ev in &scratch {
+            let t = ev.time.as_f64();
+            if t.is_finite() {
+                tmin = tmin.min(t);
+                tmax = tmax.max(t);
+            }
+        }
+        if tmin.is_finite() {
+            let want = (scratch.len() / TARGET_OCCUPANCY).max(MIN_BUCKETS);
+            if want > self.buckets.len() {
+                self.buckets.resize_with(want, Vec::new);
+            }
+            let nb = self.buckets.len();
+            let span = tmax - tmin;
+            self.origin = tmin;
+            self.width = if span > 0.0 && (span / (nb - 1) as f64) > 0.0 {
+                span / (nb - 1) as f64
+            } else {
+                1.0
+            };
+            // Heap fallback for the far future: anything beyond a few
+            // window spans of the dense region waits in the overflow heap
+            // instead of piling into the last bucket.
+            self.limit = self.origin + (self.width * nb as f64) * FAR_WINDOWS;
+        }
+        self.cursor = 0;
+        self.sorted = false;
+        for ev in scratch.drain(..) {
+            let t = ev.time.as_f64();
+            if !t.is_finite() || t >= self.limit {
+                self.overflow.push(std::cmp::Reverse(ev));
+            } else {
+                let idx = self.slot(t);
+                self.buckets[idx].push(ev);
+                self.in_buckets += 1;
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    /// Advances `cursor` to the first non-empty bucket, if any.
+    #[inline]
+    fn settle_cursor(&mut self) -> bool {
+        while self.cursor < self.buckets.len() {
+            if !self.buckets[self.cursor].is_empty() {
+                return true;
+            }
+            self.cursor += 1;
+            self.sorted = false;
+        }
+        false
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        loop {
+            if self.settle_cursor() {
+                if !self.sorted {
+                    self.buckets[self.cursor].sort_unstable_by(|a, b| b.cmp(a));
+                    self.sorted = true;
+                }
+                self.in_buckets -= 1;
+                return self.buckets[self.cursor].pop();
+            }
+            // Window drained: refill from the overflow heap.
+            match self.overflow.peek() {
+                None => return None,
+                Some(r) if !r.0.time.as_f64().is_finite() => {
+                    // Only non-finite times remain (the heap minimum is
+                    // non-finite): pop straight from the heap.
+                    return self.overflow.pop().map(|r| r.0);
+                }
+                Some(_) => {
+                    // Re-anchor the window at the overflow's dense span;
+                    // at least its earliest event lands in bucket 0, so
+                    // the next iteration pops.
+                    self.limit = f64::INFINITY;
+                    self.respread();
+                }
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<&Event> {
+        for b in &self.buckets[self.cursor.min(self.buckets.len())..] {
+            if b.is_empty() {
+                continue;
+            }
+            // The bucket invariant puts every bucketed event before every
+            // overflow event, so the bucket minimum is the queue minimum.
+            return if self.sorted && std::ptr::eq(b, &self.buckets[self.cursor]) {
+                b.last()
+            } else {
+                b.iter().min()
+            };
+        }
+        self.overflow.peek().map(|r| &r.0)
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.cursor = 0;
+        self.sorted = false;
+        self.origin = 0.0;
+        self.limit = f64::INFINITY;
+        self.in_buckets = 0;
+        self.respread_floor = 0;
+        // width and bucket count are kept: they only shape *where* events
+        // land, never the pop order, and a recycled run of similar scale
+        // re-uses the fitted geometry.
+    }
+
+    fn capacity(&self) -> usize {
+        self.buckets.iter().map(Vec::capacity).sum::<usize>() + self.overflow.capacity()
+    }
+}
+
 impl EventQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the calendar backend.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: Backend::Calendar(Calendar::new()),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue on the reference binary-heap backend. Pops
+    /// are byte-identical to the calendar's; this exists so benchmarks can
+    /// measure the flat-vs-heap gap and property tests can cross-check the
+    /// two implementations.
+    pub fn reference_heap() -> Self {
+        EventQueue {
+            backend: Backend::Heap(BinaryHeap::new()),
             next_seq: 0,
         }
     }
@@ -108,27 +396,46 @@ impl EventQueue {
     pub fn push(&mut self, time: Time, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(std::cmp::Reverse(Event { time, kind, seq }));
+        let ev = Event { time, kind, seq };
+        match &mut self.backend {
+            Backend::Calendar(c) => c.insert(ev),
+            Backend::Heap(h) => h.push(std::cmp::Reverse(ev)),
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop().map(|r| r.0)
+        match &mut self.backend {
+            Backend::Calendar(c) => c.pop(),
+            Backend::Heap(h) => h.pop().map(|r| r.0),
+        }
     }
 
     /// The earliest pending event without removing it — the streaming
     /// service peeks to decide whether the next event precedes the next
     /// arrival.
     pub fn peek(&self) -> Option<&Event> {
-        self.heap.peek().map(|r| &r.0)
+        match &self.backend {
+            Backend::Calendar(c) => c.peek(),
+            Backend::Heap(h) => h.peek().map(|r| &r.0),
+        }
     }
 
     /// All pending events in pop order plus the live sequence counter — the
     /// snapshot image of the queue. The total `(time, priority, seq)` order
     /// makes the pop sequence a pure function of the event multiset, so
-    /// restoring this image reproduces the exact future of the run.
+    /// restoring this image reproduces the exact future of the run —
+    /// regardless of which backend held the events or how the calendar
+    /// happened to bucket them.
     pub(crate) fn snapshot(&self) -> (Vec<(Time, EventKind, u64)>, u64) {
-        let mut events: Vec<Event> = self.heap.iter().map(|r| r.0).collect();
+        let mut events: Vec<Event> = match &self.backend {
+            Backend::Calendar(c) => {
+                let mut v: Vec<Event> = c.buckets.iter().flatten().copied().collect();
+                v.extend(c.overflow.iter().map(|r| r.0));
+                v
+            }
+            Backend::Heap(h) => h.iter().map(|r| r.0).collect(),
+        };
         events.sort();
         (
             events
@@ -143,36 +450,50 @@ impl EventQueue {
     /// [`EventQueue::snapshot`]; pops after a restore are byte-identical to
     /// pops of the original queue.
     pub(crate) fn restore(&mut self, events: Vec<(Time, EventKind, u64)>, next_seq: u64) {
-        self.heap.clear();
+        self.clear();
         for (time, kind, seq) in events {
-            self.heap.push(std::cmp::Reverse(Event { time, kind, seq }));
+            let ev = Event { time, kind, seq };
+            match &mut self.backend {
+                Backend::Calendar(c) => c.insert(ev),
+                Backend::Heap(h) => h.push(std::cmp::Reverse(ev)),
+            }
         }
         self.next_seq = next_seq;
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Calendar(c) => c.len(),
+            Backend::Heap(h) => h.len(),
+        }
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Empties the queue for reuse, keeping the heap allocation.
+    /// Empties the queue for reuse, keeping the backing allocations.
     ///
     /// The insertion-sequence counter restarts at 0: seq numbers only
     /// break ties *within* one run, and resetting them is what makes a
     /// recycled queue's tie-breaking byte-identical to a fresh one's.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Calendar(c) => c.clear(),
+            Backend::Heap(h) => h.clear(),
+        }
         self.next_seq = 0;
     }
 
-    /// Number of events the queue can hold without reallocating.
+    /// Number of events the queue can hold without reallocating (summed
+    /// over the calendar's buckets and overflow heap).
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.backend {
+            Backend::Calendar(c) => c.capacity(),
+            Backend::Heap(h) => h.capacity(),
+        }
     }
 }
 
@@ -311,5 +632,104 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    /// Deterministic xorshift, so the fuzz cases below need no RNG dep.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    fn arbitrary_kind(r: u64) -> EventKind {
+        match r % 5 {
+            0 => EventKind::CapacityChange,
+            1 => EventKind::Completion {
+                job: JobId(r % 11),
+                epoch: r % 3,
+            },
+            2 => EventKind::Timer {
+                job: JobId(r % 11),
+                token: r % 7,
+            },
+            3 => EventKind::Release { job: JobId(r % 11) },
+            _ => EventKind::Deadline { job: JobId(r % 11) },
+        }
+    }
+
+    /// The cross-backend contract: any interleaving of pushes and pops —
+    /// including heavy time ties, far-future outliers and non-finite
+    /// times — pops identically from the calendar and the reference heap.
+    #[test]
+    fn calendar_matches_reference_heap_under_fuzz() {
+        for seed in 1..=20u64 {
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut cal = EventQueue::new();
+            let mut heap = EventQueue::reference_heap();
+            for step in 0..600 {
+                let r = xorshift(&mut state);
+                if r % 4 == 0 && !cal.is_empty() {
+                    assert_eq!(cal.peek().copied(), heap.peek().copied());
+                    assert_eq!(cal.pop(), heap.pop(), "seed {seed} step {step}");
+                } else {
+                    let raw = xorshift(&mut state);
+                    // Cluster times on a coarse grid for ties; sprinkle
+                    // far-future outliers and a few NEVERs.
+                    let time = match raw % 16 {
+                        0 => Time::NEVER,
+                        1 => Time::new(1.0e9 + (raw % 100) as f64),
+                        _ => Time::new(((raw >> 8) % 64) as f64 * 0.25),
+                    };
+                    let kind = arbitrary_kind(xorshift(&mut state));
+                    cal.push(time, kind);
+                    heap.push(time, kind);
+                }
+                assert_eq!(cal.len(), heap.len());
+            }
+            let a: Vec<Event> = std::iter::from_fn(|| cal.pop()).collect();
+            let b: Vec<Event> = std::iter::from_fn(|| heap.pop()).collect();
+            assert_eq!(a, b, "drain order diverged for seed {seed}");
+        }
+    }
+
+    /// Re-spreads must trigger (and stay cheap) when volume concentrates
+    /// in one bucket — including the degenerate all-co-timed case.
+    #[test]
+    fn heavy_single_bucket_load_stays_ordered() {
+        let mut q = EventQueue::new();
+        for i in 0..2_000u64 {
+            q.push(t(5.0), EventKind::Release { job: JobId(i) });
+        }
+        for want in 0..2_000u64 {
+            match q.pop().unwrap().kind {
+                EventKind::Release { job } => assert_eq!(job.0, want),
+                _ => unreachable!(),
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    /// Far-future events must come back out of the overflow heap in exact
+    /// order once the near window drains.
+    #[test]
+    fn overflow_refill_preserves_order() {
+        let mut q = EventQueue::new();
+        // Dense near cluster to shape the window...
+        for i in 0..512u64 {
+            q.push(t(i as f64 * 0.01), EventKind::Release { job: JobId(i) });
+        }
+        // ...then far-future stragglers and a NEVER deadline.
+        q.push(t(1.0e7), EventKind::Deadline { job: JobId(1) });
+        q.push(t(1.0e7), EventKind::Release { job: JobId(2) });
+        q.push(Time::NEVER, EventKind::Deadline { job: JobId(3) });
+        let drained: Vec<Event> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained.len(), 515);
+        let mut sorted = drained.clone();
+        sorted.sort();
+        assert_eq!(drained, sorted, "pop order is the total order");
+        assert_eq!(drained[514].time, Time::NEVER);
     }
 }

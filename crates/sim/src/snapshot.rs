@@ -25,7 +25,7 @@
 
 use crate::engine::KernelState;
 use crate::event::EventKind;
-use crate::workspace::SimWorkspace;
+use crate::workspace::{flag as wsflag, SimWorkspace};
 use cloudsched_core::{CoreError, JobId, JobOutcome, Time};
 
 /// Magic tag of snapshot format v1.
@@ -65,17 +65,8 @@ impl SnapshotImage {
     pub(crate) fn apply(self, ws: &mut SimWorkspace) -> KernelState {
         ws.begin(0);
         ws.remaining.extend_from_slice(&self.remaining);
-        let [rel, res, sta, aba, qua] = self.flags;
-        ws.released.clear();
-        ws.released.extend_from_slice(&rel);
-        ws.resolved.clear();
-        ws.resolved.extend_from_slice(&res);
-        ws.started.clear();
-        ws.started.extend_from_slice(&sta);
-        ws.abandoned.clear();
-        ws.abandoned.extend_from_slice(&aba);
-        ws.quarantined.clear();
-        ws.quarantined.extend_from_slice(&qua);
+        let [rel, res, sta, aba, qua] = &self.flags;
+        ws.load_flag_columns([rel, res, sta, aba, qua]);
         for i in self.quarantine_pending {
             ws.quarantine_pending.insert(i);
         }
@@ -146,14 +137,20 @@ pub(crate) fn encode(st: &KernelState, ws: &SimWorkspace, sched_blob: &str) -> S
         .collect::<Vec<_>>()
         .join(",");
 
-    let bits =
-        |flags: &[bool]| -> String { flags.iter().map(|&b| if b { '1' } else { '0' }).collect() };
+    // The packed flag byte unpacks into the same five bit-string columns
+    // format v1 has always used, so the blob bytes are unchanged.
+    let bits = |mask: u8| -> String {
+        ws.flag_column(mask)
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
+    };
     let flags = [
-        bits(&ws.released),
-        bits(&ws.resolved),
-        bits(&ws.started),
-        bits(&ws.abandoned),
-        bits(&ws.quarantined),
+        bits(wsflag::RELEASED),
+        bits(wsflag::RESOLVED),
+        bits(wsflag::STARTED),
+        bits(wsflag::ABANDONED),
+        bits(wsflag::QUARANTINED),
     ]
     .join(",");
 
@@ -465,12 +462,12 @@ mod tests {
             },
         );
         ws.queue.push(Time::new(2.0), EventKind::CapacityChange);
-        ws.released[0] = true;
-        ws.released[1] = true;
-        ws.resolved[0] = true;
-        ws.started[1] = true;
-        ws.abandoned[0] = true;
-        ws.quarantined[2] = true;
+        ws.set_flag(0, wsflag::RELEASED, true);
+        ws.set_flag(1, wsflag::RELEASED, true);
+        ws.set_flag(0, wsflag::RESOLVED, true);
+        ws.set_flag(1, wsflag::STARTED, true);
+        ws.set_flag(0, wsflag::ABANDONED, true);
+        ws.set_flag(2, wsflag::QUARANTINED, true);
         ws.quarantine_pending.insert(2);
         ws.outcome.set(
             JobId(0),

@@ -1,14 +1,21 @@
 //! Reusable per-run buffer arena for Monte-Carlo sweeps.
 //!
-//! A single simulation allocates roughly a dozen buffers (the event heap,
-//! per-job workload/flag tables, the outcome table, scheduler scratch) and
-//! throws them away when the run ends. A Table I campaign does this 28,000
-//! times over instances of nearly identical size — the paper's §IV grid is
-//! 7 λ-values × 5 algorithms × 800 runs — so the sweep layer keeps one
-//! [`SimWorkspace`] per worker thread and routes every run through
-//! [`crate::simulate_into`]. After the first run warms the buffers to the
-//! campaign's high-water size, subsequent runs perform **zero heap
+//! A single simulation allocates roughly a dozen buffers (the event
+//! calendar, per-job workload/flag tables, the outcome table, scheduler
+//! scratch) and throws them away when the run ends. A Table I campaign does
+//! this 28,000 times over instances of nearly identical size — the paper's
+//! §IV grid is 7 λ-values × 5 algorithms × 800 runs — so the sweep layer
+//! keeps one [`SimWorkspace`] per worker thread and routes every run
+//! through [`crate::simulate_into`]. After the first run warms the buffers
+//! to the campaign's high-water size, subsequent runs perform **zero heap
 //! allocation** in the kernel: every buffer is cleared and reused in place.
+//!
+//! Per-job state is laid out structure-of-arrays, indexed by `JobId`: the
+//! remaining-workload table is one dense `Vec<f64>`, and the five
+//! lifecycle flags (released, resolved, started, abandoned, quarantined)
+//! are packed into a single byte per job instead of five parallel
+//! `Vec<bool>`s — one cache line covers 64 jobs' entire lifecycle state,
+//! and the kernel's per-event flag checks touch exactly one table.
 //!
 //! Reuse never changes results: [`SimWorkspace::begin`] resets all run
 //! state, including the event queue's FIFO tie-break counter, so a recycled
@@ -21,6 +28,21 @@ use crate::event::EventQueue;
 use cloudsched_core::{JobId, Outcome};
 use std::collections::BTreeSet;
 
+/// Bit masks of the packed per-job lifecycle byte. Kept `pub(crate)` so
+/// the snapshot codec can unpack columns without five separate tables.
+pub(crate) mod flag {
+    /// Release event processed; the scheduler knows the job.
+    pub const RELEASED: u8 = 1 << 0;
+    /// Lifecycle settled: completed, expired or abandoned.
+    pub const RESOLVED: u8 = 1 << 1;
+    /// Dispatched at least once (distinguishes Start from Resume traces).
+    pub const STARTED: u8 = 1 << 2;
+    /// Scheduler surrendered the job before its deadline.
+    pub const ABANDONED: u8 = 1 << 3;
+    /// Hidden from the scheduler by the degradation layer.
+    pub const QUARANTINED: u8 = 1 << 4;
+}
+
 /// Arena of every per-run buffer the simulation kernel needs.
 ///
 /// Create one (per worker thread), then pass it to [`crate::simulate_into`]
@@ -32,11 +54,8 @@ use std::collections::BTreeSet;
 pub struct SimWorkspace {
     pub(crate) queue: EventQueue,
     pub(crate) remaining: Vec<f64>,
-    pub(crate) released: Vec<bool>,
-    pub(crate) resolved: Vec<bool>,
-    pub(crate) started: Vec<bool>,
-    pub(crate) abandoned: Vec<bool>,
-    pub(crate) quarantined: Vec<bool>,
+    /// Packed lifecycle flags, one byte per job (see [`flag`]).
+    pub(crate) flags: Vec<u8>,
     pub(crate) quarantine_pending: BTreeSet<usize>,
     pub(crate) outcome: Outcome,
     /// Timer registrations drained by the kernel after each handler call.
@@ -53,6 +72,17 @@ impl SimWorkspace {
         SimWorkspace::default()
     }
 
+    /// Creates a workspace whose event queue runs on the reference
+    /// binary-heap backend instead of the calendar. Results are
+    /// byte-identical; this exists for the `flat-vs-heap` benchmark rows
+    /// and the backend-equivalence property tests.
+    pub fn with_reference_queue() -> Self {
+        SimWorkspace {
+            queue: EventQueue::reference_heap(),
+            ..SimWorkspace::default()
+        }
+    }
+
     /// Number of runs started in this workspace.
     #[inline]
     pub fn runs(&self) -> u64 {
@@ -64,24 +94,88 @@ impl SimWorkspace {
     /// `runs() - reuse_hits()` is the count of warm-up (allocating) runs;
     /// in a steady-state sweep it stays at the handful of runs that raised
     /// the high-water mark.
+    ///
+    /// This is the *physical* per-arena count: it depends on the exact run
+    /// sequence this workspace saw. Sweep reports use the canonical
+    /// run-order accounting in `cloudsched-bench` instead, which is
+    /// invariant in the thread count.
     #[inline]
     pub fn reuse_hits(&self) -> u64 {
         self.reuse_hits
     }
 
+    #[inline]
+    pub(crate) fn released(&self, i: usize) -> bool {
+        self.flags[i] & flag::RELEASED != 0
+    }
+
+    #[inline]
+    pub(crate) fn resolved(&self, i: usize) -> bool {
+        self.flags[i] & flag::RESOLVED != 0
+    }
+
+    #[inline]
+    pub(crate) fn started(&self, i: usize) -> bool {
+        self.flags[i] & flag::STARTED != 0
+    }
+
+    #[inline]
+    pub(crate) fn abandoned(&self, i: usize) -> bool {
+        self.flags[i] & flag::ABANDONED != 0
+    }
+
+    #[inline]
+    pub(crate) fn quarantined(&self, i: usize) -> bool {
+        self.flags[i] & flag::QUARANTINED != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_flag(&mut self, i: usize, mask: u8, on: bool) {
+        if on {
+            self.flags[i] |= mask;
+        } else {
+            self.flags[i] &= !mask;
+        }
+    }
+
+    /// One lifecycle column as booleans, for the snapshot codec.
+    pub(crate) fn flag_column(&self, mask: u8) -> Vec<bool> {
+        self.flags.iter().map(|&f| f & mask != 0).collect()
+    }
+
+    /// Rebuilds the packed table from five equal-length columns
+    /// (released, resolved, started, abandoned, quarantined) — the
+    /// snapshot codec's restore path.
+    pub(crate) fn load_flag_columns(&mut self, cols: [&[bool]; 5]) {
+        let n = cols[0].len();
+        debug_assert!(cols.iter().all(|c| c.len() == n));
+        self.flags.clear();
+        self.flags.resize(n, 0);
+        const MASKS: [u8; 5] = [
+            flag::RELEASED,
+            flag::RESOLVED,
+            flag::STARTED,
+            flag::ABANDONED,
+            flag::QUARANTINED,
+        ];
+        for (col, mask) in cols.iter().zip(MASKS) {
+            for (i, &on) in col.iter().enumerate() {
+                if on {
+                    self.flags[i] |= mask;
+                }
+            }
+        }
+    }
+
     /// Resets all run state for an `n`-job instance, keeping allocations.
     pub(crate) fn begin(&mut self, n: usize) {
         // A hit means this reset allocates nothing: every per-job buffer
-        // can hold n entries and the heap can hold the 2n seed events
+        // can hold n entries and the calendar can hold the 2n seed events
         // (release + deadline per job). Mid-run growth (completion events,
         // timers) also reuses capacity once the high-water mark is reached,
         // since buffers are never shrunk.
         let hit = self.remaining.capacity() >= n
-            && self.released.capacity() >= n
-            && self.resolved.capacity() >= n
-            && self.started.capacity() >= n
-            && self.abandoned.capacity() >= n
-            && self.quarantined.capacity() >= n
+            && self.flags.capacity() >= n
             && self.outcome.capacity() >= n
             && self.queue.capacity() >= 2 * n;
         self.runs += 1;
@@ -90,16 +184,8 @@ impl SimWorkspace {
         }
         self.queue.clear();
         self.remaining.clear();
-        for flags in [
-            &mut self.released,
-            &mut self.resolved,
-            &mut self.started,
-            &mut self.abandoned,
-            &mut self.quarantined,
-        ] {
-            flags.clear();
-            flags.resize(n, false);
-        }
+        self.flags.clear();
+        self.flags.resize(n, 0);
         self.quarantine_pending.clear();
         self.outcome.reset(n);
         self.timer_scratch.clear();
@@ -113,15 +199,7 @@ impl SimWorkspace {
     pub(crate) fn grow_one(&mut self, workload: f64) {
         self.remaining.push(workload);
         let n = self.remaining.len();
-        for flags in [
-            &mut self.released,
-            &mut self.resolved,
-            &mut self.started,
-            &mut self.abandoned,
-            &mut self.quarantined,
-        ] {
-            flags.resize(n, false);
-        }
+        self.flags.resize(n, 0);
         self.outcome.grow(n);
     }
 
@@ -168,6 +246,33 @@ mod tests {
         begin_and_seed(&mut ws, 1024);
         assert_eq!(ws.reuse_hits(), 3);
         assert_eq!(ws.runs(), 5);
+    }
+
+    #[test]
+    fn packed_flags_round_trip_through_columns() {
+        let mut ws = SimWorkspace::new();
+        ws.begin(4);
+        ws.set_flag(0, flag::RELEASED, true);
+        ws.set_flag(1, flag::RESOLVED, true);
+        ws.set_flag(1, flag::STARTED, true);
+        ws.set_flag(2, flag::ABANDONED, true);
+        ws.set_flag(3, flag::QUARANTINED, true);
+        ws.set_flag(3, flag::QUARANTINED, false);
+        assert!(ws.released(0) && !ws.released(1));
+        assert!(ws.resolved(1) && ws.started(1));
+        assert!(ws.abandoned(2) && !ws.quarantined(3));
+        let cols = [
+            ws.flag_column(flag::RELEASED),
+            ws.flag_column(flag::RESOLVED),
+            ws.flag_column(flag::STARTED),
+            ws.flag_column(flag::ABANDONED),
+            ws.flag_column(flag::QUARANTINED),
+        ];
+        assert_eq!(cols[0], vec![true, false, false, false]);
+        let mut other = SimWorkspace::new();
+        other.begin(0);
+        other.load_flag_columns([&cols[0], &cols[1], &cols[2], &cols[3], &cols[4]]);
+        assert_eq!(other.flags, ws.flags);
     }
 
     /// Minimal work-conserving FIFO, just enough to drive `simulate_into`
@@ -291,17 +396,32 @@ mod tests {
         assert_eq!(second.outcome.len(), 5);
     }
 
+    /// The heap-backed reference workspace must produce reports identical
+    /// to the calendar-backed default.
+    #[test]
+    fn reference_queue_workspace_matches_default() {
+        let mut flat = SimWorkspace::new();
+        let mut heap = SimWorkspace::with_reference_queue();
+        for n in [6, 3, 8] {
+            let a = run(&mut flat, n);
+            let b = run(&mut heap, n);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            flat.recycle(a);
+            heap.recycle(b);
+        }
+    }
+
     #[test]
     fn begin_resets_all_run_state() {
         let mut ws = SimWorkspace::new();
         ws.begin(3);
         ws.remaining.extend([1.0, 2.0, 3.0]);
-        ws.released[1] = true;
+        ws.set_flag(1, flag::RELEASED, true);
         ws.quarantine_pending.insert(2);
         ws.abandon_scratch.push(JobId(0));
         ws.begin(3);
         assert!(ws.remaining.is_empty());
-        assert!(!ws.released.iter().any(|&b| b));
+        assert!(!(0..3).any(|i| ws.released(i)));
         assert!(ws.quarantine_pending.is_empty());
         assert!(ws.abandon_scratch.is_empty());
         assert_eq!(ws.outcome.len(), 3);

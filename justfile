@@ -54,11 +54,19 @@ golden-trace-regen:
 profile:
     cargo run --release -p cloudsched-bench --bin profile
 
-# Kernel hot-path benchmark: EDF / Dover / V-Dover at n ∈ {1e3, 1e4, 1e5},
+# Kernel hot-path benchmark: EDF / Dover / V-Dover at n ∈ {1e3 … 1e6},
 # rewriting BENCH_kernel.json at the repo root (see DESIGN.md §10). Run on
 # an otherwise-idle machine before updating the checked-in report.
 bench:
     cargo run --release -p cloudsched-cli -- bench --out BENCH_kernel.json
+
+# Flat-vs-heap comparison: the kernel suite with --compare, so every
+# (scheduler, n) cell is measured twice — once on the default calendar
+# event queue and once on the reference binary-heap workspace — and the
+# report carries paired rows (the heap row is tagged `"queue":"heap"`).
+# This is the configuration of the checked-in BENCH_kernel.json.
+bench-flat:
+    cargo run --release -p cloudsched-cli -- bench --compare --out BENCH_kernel.json
 
 # CI bench smoke: the quick sweep (n = 1e3, one rep) written to a scratch
 # file — validates the benchmark harness and its JSON schema on every
@@ -93,11 +101,14 @@ inspect-ratio lambda="8" seed="1" seeds="3":
 golden-inspect-regen:
     cargo run --release -p cloudsched-cli -- inspect --lambda 12 --seed 7 --horizon 6 --scheduler vdover --in tests/golden/trace_seed7_vdover.jsonl > tests/golden/inspect_seed7_vdover.txt
 
-# Compare a fresh quick kernel run against the checked-in report
-# (report-only in CI; run `just bench` on an idle machine for real numbers).
+# Compare fresh quick kernel and sweep runs against the checked-in reports
+# (report-only in CI; run `just bench` / `just sweep` on an idle machine for
+# real numbers). bench-diff auto-detects the suite from the report schema.
 bench-diff tol="50":
     cargo run --release -p cloudsched-cli -- bench --quick --out /tmp/bench-smoke.json
     cargo run --release -p cloudsched-cli -- bench-diff --old BENCH_kernel.json --new /tmp/bench-smoke.json --tol {{tol}}
+    cargo run --release -p cloudsched-cli -- bench --suite sweep --quick --out /tmp/sweep-smoke.json
+    cargo run --release -p cloudsched-cli -- bench-diff --old BENCH_sweep.json --new /tmp/sweep-smoke.json --tol {{tol}}
 
 # Crash-recovery smoke (mirrors the CI kill-and-recover step): serve the
 # checked-in golden stream to completion, then serve it again with a seeded

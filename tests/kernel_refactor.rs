@@ -13,18 +13,29 @@
 //!   (regression pin for the `remove(0)`/`retain` replacement), and
 //! * complete schedules across 50 seeds × 3 capacity patterns × every
 //!   supplement revival order (property sweep).
+//!
+//! The second half of the file is the equivalence oracle for the
+//! flat-memory kernel refactor: the bucketed calendar event queue must make
+//! exactly the pops the reference `BinaryHeap` backend makes (same 50 × 3
+//! sweep, this time across the whole scheduler roster), and a `csnap1`
+//! snapshot taken while the calendar is crowded must restore byte-exactly
+//! through the service's serve → crash → recover loop.
 
 #![forbid(unsafe_code)]
 
 use cloudsched_analysis::bounds::{dover_beta, optimal_beta};
-use cloudsched_capacity::{Instance, PiecewiseConstant};
+use cloudsched_capacity::{CapacityProfile, Instance, PiecewiseConstant};
 use cloudsched_core::rng::{Pcg32, Rng};
 use cloudsched_core::{approx_ge, Job, JobId, JobSet, Time};
+use cloudsched_obs::MemJournal;
 use cloudsched_sched::dover::SupplementOrder;
 use cloudsched_sched::ready::DeadlineQueue;
 use cloudsched_sched::vdover::VDoverConfig;
-use cloudsched_sched::{Dover, VDover};
-use cloudsched_sim::{simulate, Decision, RunOptions, RunReport, Scheduler, SimContext};
+use cloudsched_sched::{by_name, Dover, VDover, SCHEDULER_NAMES};
+use cloudsched_sim::{
+    journal_header, recover, serve, simulate, simulate_into, Decision, RunOptions, RunReport,
+    Scheduler, ServiceConfig, SimContext, SimWorkspace,
+};
 use cloudsched_workload::dist::{exponential, uniform};
 use cloudsched_workload::CtmcCapacity;
 
@@ -546,4 +557,177 @@ fn property_indexed_and_vec_queues_agree_across_seeds_and_patterns() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Flat-memory kernel: calendar event queue vs. the reference binary heap
+// ---------------------------------------------------------------------------
+
+/// Runs `name` twice on `instance` — once on the default workspace (bucketed
+/// calendar event queue) and once on the reference `BinaryHeap` workspace —
+/// and asserts the kernel-visible behaviour is identical: the `Decision`
+/// sequence of every scheduler callback, the bit-exact accrued value, and
+/// the full schedule.
+fn assert_queue_backends_agree(instance: &Instance, name: &str, what: &str) {
+    let (c_lo, c_hi) = instance.capacity.bounds();
+    let run = |ws: &mut SimWorkspace| -> (Vec<(char, JobId, Decision)>, RunReport) {
+        let mut sched = by_name(name, 7.0, 5.0, c_lo, c_hi).expect("roster scheduler builds");
+        let mut rec = Recording::new(sched.as_mut());
+        let report = simulate_into(
+            ws,
+            &instance.jobs,
+            &instance.capacity,
+            &mut rec,
+            RunOptions::full(),
+        );
+        (rec.log, report)
+    };
+    let (log_cal, rep_cal) = run(&mut SimWorkspace::new());
+    let (log_heap, rep_heap) = run(&mut SimWorkspace::with_reference_queue());
+    assert!(!log_cal.is_empty(), "{what}: trivial (empty) decision log");
+    assert_eq!(log_cal, log_heap, "{what}: decision sequences diverge");
+    assert_eq!(
+        rep_cal.value.to_bits(),
+        rep_heap.value.to_bits(),
+        "{what}: accrued value diverges"
+    );
+    assert_eq!(rep_cal.completed, rep_heap.completed, "{what}: completions");
+    assert_eq!(
+        rep_cal.preemptions, rep_heap.preemptions,
+        "{what}: preemptions"
+    );
+    let slices = |r: &RunReport| -> Vec<JobId> {
+        r.schedule
+            .as_ref()
+            .expect("full run options build a schedule")
+            .slices()
+            .iter()
+            .map(|s| s.job)
+            .collect()
+    };
+    assert_eq!(
+        slices(&rep_cal),
+        slices(&rep_heap),
+        "{what}: schedules diverge"
+    );
+}
+
+/// Tentpole oracle: across 50 seeds × 3 capacity patterns × the whole
+/// scheduler roster, the calendar queue pops events in exactly the
+/// (time, kind-priority, seq) order the reference heap does — the CTMC
+/// patterns keep a rotating `CapacityChange` armed and the deep-overload
+/// pattern floods the queue with timers, so bucket spills, respreads and
+/// the overflow heap all see traffic.
+#[test]
+fn property_calendar_queue_matches_reference_heap() {
+    for seed in 0..50u64 {
+        let jobs = burst_jobs(60, seed);
+        let span = jobs.last_deadline().as_f64() + 1.0;
+        for pattern in 0..3usize {
+            let instance = Instance::new(jobs.clone(), capacity_pattern(pattern, seed, span));
+            for name in SCHEDULER_NAMES {
+                assert_queue_backends_agree(
+                    &instance,
+                    name,
+                    &format!("seed {seed} pattern {pattern} {name}"),
+                );
+            }
+        }
+    }
+}
+
+/// Renders a job set as the service's JSONL arrival stream, ordered by
+/// release time (the admission contract).
+fn stream_text(jobs: &JobSet) -> String {
+    let mut out = String::new();
+    for j in jobs.iter_by_release() {
+        out.push_str(&format!(
+            "{{\"r\":{},\"d\":{},\"p\":{},\"v\":{}}}\n",
+            j.release.as_f64(),
+            j.deadline.as_f64(),
+            j.workload,
+            j.value
+        ));
+    }
+    out
+}
+
+/// Tentpole acceptance: a `csnap1` snapshot serialised mid-run — while the
+/// calendar holds a crowd of pending deadline/completion/timer events —
+/// restores bit-exactly. The run is served with a seeded crash well past
+/// several snapshot points, recovered from the durable journal prefix, and
+/// the recovered trace and decisions must match the uninterrupted run byte
+/// for byte. The test also opens the snapshot the recovery resumes from and
+/// asserts its event-queue section really was populated, so the round trip
+/// can't silently degrade to the trivial empty-calendar case.
+#[test]
+fn snapshot_round_trip_restores_a_populated_calendar() {
+    let jobs = burst_jobs(80, 5);
+    let span = jobs.last_deadline().as_f64() + 1.0;
+    let capacity = capacity_pattern(1, 5, span);
+    let (c_lo, c_hi) = capacity.bounds();
+    let stream = stream_text(&jobs);
+    let mut cfg = ServiceConfig::new("vdover", 7.0);
+    cfg.snapshot_every = 5;
+
+    let mut sched = by_name("vdover", 7.0, 5.0, c_lo, c_hi).unwrap();
+    let golden = serve(&capacity, &cfg, sched.as_mut(), &stream, None).unwrap();
+    assert!(!golden.crashed && golden.aborted.is_none());
+    let golden_lines: Vec<String> = golden.events.iter().map(|e| e.to_jsonl()).collect();
+
+    // Crash two thirds of the way through the stream, past many snapshots.
+    let crash_at = golden.arrivals_applied * 2 / 3;
+    assert!(
+        crash_at >= 2 * cfg.snapshot_every,
+        "crash point must land after several snapshot cadences"
+    );
+    let mut cfg_crash = cfg.clone();
+    cfg_crash.crash_after = Some(crash_at);
+    let mut journal = MemJournal::new();
+    let mut sched = by_name("vdover", 7.0, 5.0, c_lo, c_hi).unwrap();
+    let crashed = serve(
+        &capacity,
+        &cfg_crash,
+        sched.as_mut(),
+        &stream,
+        Some(&mut journal),
+    )
+    .unwrap();
+    assert!(crashed.crashed);
+
+    // The snapshot recovery resumes from (the last durable one) must carry a
+    // populated event queue: csnap1 blobs are `;`-separated with the queue
+    // as the third section, one comma-separated entry per pending event.
+    let tail = journal.synced_lines().join("\n");
+    let blob = tail
+        .lines()
+        .rev()
+        .find(|l| l.contains("\"svc\":\"snapshot\""))
+        .and_then(|l| l.split("\"blob\":\"").nth(1))
+        .and_then(|rest| rest.split('"').next())
+        .expect("durable journal holds at least one snapshot");
+    let queue_section = blob
+        .split(';')
+        .nth(2)
+        .expect("csnap1 blob has an event-queue section");
+    let pending = if queue_section.is_empty() {
+        0
+    } else {
+        queue_section.split(',').count()
+    };
+    assert!(
+        pending >= 4,
+        "snapshot must checkpoint a populated calendar, got {pending} events"
+    );
+
+    let header = journal_header(&tail).unwrap();
+    let mut fresh = by_name(&header.scheduler, header.k, 5.0, c_lo, c_hi).unwrap();
+    let recovered = recover(&capacity, fresh.as_mut(), &tail, &stream).unwrap();
+    assert!(!recovered.crashed && recovered.aborted.is_none());
+    let recovered_lines: Vec<String> = recovered.events.iter().map(|e| e.to_jsonl()).collect();
+    assert_eq!(
+        recovered_lines, golden_lines,
+        "recovery through a populated-calendar snapshot must be byte-identical"
+    );
+    assert_eq!(recovered.decisions, golden.decisions);
 }

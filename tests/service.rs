@@ -188,9 +188,67 @@ fn crash_recovery_is_byte_identical_without_snapshots() {
 #[test]
 fn crash_recovery_replays_from_genesis_when_scheduler_cannot_snapshot() {
     // EDF keeps no snapshotable state (`snapshot_state` → None), so the
-    // cadence is silently skipped and recovery replays from genesis; the
-    // result must still be byte-identical.
+    // cadence degrades to genesis replay — journaled explicitly, see
+    // below — and the recovered result must still be byte-identical.
     crash_sweep("edf", 3);
+}
+
+#[test]
+fn unsupported_snapshot_cadence_is_journaled_once_and_flagged() {
+    let instance = small_table1(4.0, 4.0, 23);
+    let (c_lo, c_hi) = instance.capacity.bounds();
+    let stream = stream_text(&instance.jobs);
+    let mut cfg = ServiceConfig::new("edf", 7.0);
+    cfg.snapshot_every = 2;
+
+    let mut journal = MemJournal::new();
+    let mut sched = by_name("edf", 7.0, 5.0, c_lo, c_hi).unwrap();
+    let outcome = serve(
+        &instance.capacity,
+        &cfg,
+        sched.as_mut(),
+        &stream,
+        Some(&mut journal),
+    )
+    .unwrap();
+    assert!(
+        outcome.snapshot_unsupported,
+        "EDF cannot checkpoint, so a configured cadence must raise the flag"
+    );
+    let lines = journal.synced_lines();
+    let records: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.starts_with("{\"svc\":\"snapshot-unsupported\""))
+        .collect();
+    assert_eq!(
+        records,
+        vec![&"{\"svc\":\"snapshot-unsupported\",\"seq\":1}".to_string()],
+        "exactly one record, at the first missed cadence point"
+    );
+    assert!(
+        !lines
+            .iter()
+            .any(|l| l.starts_with("{\"svc\":\"snapshot\",")),
+        "no snapshot blob may be journaled alongside the unsupported record"
+    );
+
+    // The journal stays recoverable, and the replayed run re-derives the
+    // flag (genesis replay hits the same cadence points).
+    let tail = lines.join("\n");
+    let mut fresh = by_name("edf", 7.0, 5.0, c_lo, c_hi).unwrap();
+    let recovered = recover(&instance.capacity, fresh.as_mut(), &tail, &stream).unwrap();
+    assert!(recovered.snapshot_unsupported);
+    assert_eq!(
+        events_jsonl(&recovered.events),
+        events_jsonl(&outcome.events)
+    );
+
+    // A snapshot-capable scheduler on the same cadence never raises it.
+    let mut sched = by_name("vdover", 7.0, 5.0, c_lo, c_hi).unwrap();
+    let mut cfg = cfg.clone();
+    cfg.scheduler = "vdover".into();
+    let outcome = serve(&instance.capacity, &cfg, sched.as_mut(), &stream, None).unwrap();
+    assert!(!outcome.snapshot_unsupported);
 }
 
 #[test]

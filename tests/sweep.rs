@@ -13,8 +13,8 @@ use cloudsched::obs::JsonlTracer;
 use cloudsched::prelude::*;
 use cloudsched::sim::{simulate_into_traced, simulate_traced, SimWorkspace};
 use cloudsched_bench::{
-    parallel_map, parse_sweep_rows, run_instance, run_instance_batch, run_instance_batch_in,
-    run_instance_in, run_sweep_bench, sweep_rows_to_json, SchedulerSpec, SweepBenchConfig,
+    parallel_map, parse_sweep_rows, run_instance, run_instance_batch_in, run_instance_in,
+    run_sweep_bench, sweep_rows_to_json, SchedulerSpec, SweepBenchConfig,
 };
 use cloudsched_core::rng::{derive_seed, Pcg32, Rng};
 use cloudsched_core::{Job, JobId, Time};
@@ -232,4 +232,32 @@ fn sweep_bench_cells_agree_and_round_trip_the_schema() {
     let json = sweep_rows_to_json(&outcome.rows);
     let back = parse_sweep_rows(&json).expect("schema round trip");
     assert_eq!(back.len(), outcome.rows.len());
+}
+
+/// Pin for the thread-count-variant `reuse_hits` bug: the BENCH_sweep
+/// report used to count *physical* arena hits, which depend on which runs
+/// each worker happened to see first (24 at one thread vs 27 at four on the
+/// shipped report). The canonical accounting folds per-run job counts
+/// through one virtual serial arena in run-index order — a pure function of
+/// the seed stream — so the reuse cell must report the same number at every
+/// thread count.
+#[test]
+fn reuse_hits_are_invariant_across_thread_counts() {
+    let cfg = SweepBenchConfig {
+        lambda: 4.0,
+        runs: 6,
+        threads: vec![1, 4],
+    };
+    let outcome = run_sweep_bench(&cfg, |_| {});
+    let reuse: Vec<(usize, u64)> = outcome
+        .rows
+        .iter()
+        .filter(|r| r.mode == "reuse")
+        .map(|r| (r.threads, r.reuse_hits))
+        .collect();
+    assert_eq!(reuse, vec![(1, reuse[0].1), (4, reuse[0].1)]);
+    assert!(
+        reuse[0].1 > 0,
+        "a multi-run reuse sweep over same-shape instances must report hits"
+    );
 }
