@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod algos;
+pub mod fleet_bench;
 pub mod harness;
 pub mod kernel_bench;
 pub mod microbench;
@@ -32,6 +33,10 @@ pub mod ratio;
 pub mod sweep_bench;
 
 pub use algos::SchedulerSpec;
+pub use fleet_bench::{
+    fleet_digest, fleet_rows_to_json, fleet_suite_run, parse_fleet_rows, run_fleet_bench,
+    FleetBenchConfig, FleetBenchRow,
+};
 pub use harness::{
     default_threads, parallel_map, parallel_map_with, run_instance, run_instance_batch,
     run_instance_batch_in, run_instance_in,

@@ -16,7 +16,9 @@
 //! cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
 //!                    [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
 //!                    [--threads N] [--trace-out FILE]
-//! cloudsched bench   [--suite kernel|sweep] [--quick] [--compare] [--out FILE]
+//! cloudsched bench   [--suite kernel|sweep|fleet] [--quick] [--compare] [--out FILE]
+//! cloudsched fleet   [--machines N] [--lambda F] [--seed N] [--policy rr|llf|p2c]
+//!                    [--scheduler NAME] [--threads N] [--horizon F] [--k F] [--delta F]
 //! cloudsched inspect [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]]
 //!                    [--scheduler NAME] [--in FILE]
 //!                    [--summary | --job N | --queues | --ratio [--seeds N]]
@@ -109,7 +111,8 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(&flags).map_err(CliError::Runtime),
         "replay" => cmd_replay(&flags).map_err(CliError::Runtime),
         "chaos" => cmd_chaos(&flags).map_err(CliError::Runtime),
-        "bench" => cmd_bench(&flags).map_err(CliError::Runtime),
+        "bench" => cmd_bench(&flags),
+        "fleet" => cmd_fleet(&flags),
         "inspect" => cmd_inspect(&flags),
         "bench-diff" => cmd_bench_diff(&flags),
         "serve" => cmd_serve(&flags),
@@ -147,7 +150,9 @@ const USAGE: &str = "usage:
   cloudsched chaos   [--lambda F] [--seed N] [--seeds N] [--scheduler NAME]
                      [--plan none|mild|harsh] [--policy strict|degrade|best-effort|all]
                      [--threads N] [--trace-out FILE]
-  cloudsched bench   [--suite kernel|sweep] [--quick] [--compare] [--out FILE]
+  cloudsched bench   [--suite kernel|sweep|fleet] [--quick] [--compare] [--out FILE]
+  cloudsched fleet   [--machines N] [--lambda F] [--seed N] [--policy rr|llf|p2c]
+                     [--scheduler NAME] [--threads N] [--horizon F] [--k F] [--delta F]
   cloudsched inspect [--trace FILE | --lambda F --seed N [--slack F] [--horizon F]] [--scheduler NAME]
                      [--in FILE] [--summary | --job N | --queues | --ratio [--seeds N]]
   cloudsched bench-diff --old FILE --new FILE [--tol PCT]
@@ -516,21 +521,220 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
 /// binary-heap event queue, recording paired `flat`/`heap` rows.
 /// `--suite sweep` measures Monte-Carlo runs/second of the Table-I panel
 /// in fresh vs reused-workspace modes across thread counts into
-/// `BENCH_sweep.json`. `--quick` selects each suite's CI smoke
-/// configuration. All timing happens inside `cloudsched-bench` behind the
-/// `obs::Clock` seam; the written report is re-parsed through the suite's
-/// strict schema validator so a malformed report fails the command.
-fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+/// `BENCH_sweep.json`. `--suite fleet` measures multi-machine fleet
+/// runs/second across fleet sizes and thread counts into
+/// `BENCH_fleet.json`, enforcing bit-identical output at every thread
+/// count. `--quick` selects each suite's CI smoke configuration. All
+/// timing happens inside `cloudsched-bench` behind the `obs::Clock` seam;
+/// the written report is re-parsed through the suite's strict schema
+/// validator so a malformed report fails the command.
+///
+/// `--compare` (flat-vs-heap event queues) only exists for the kernel
+/// suite; asking for it elsewhere is a usage error (exit 2), not a
+/// silently ignored knob.
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let suite = flags.get("suite").map(String::as_str).unwrap_or("kernel");
     let quick = flags.contains_key("quick");
-    match suite {
-        "kernel" => cmd_bench_kernel(flags, quick),
-        "sweep" => cmd_bench_sweep(flags, quick),
-        other => Err(arg_error(
-            "--suite",
-            &format!("unknown suite `{other}` (kernel|sweep)"),
-        )),
+    if flags.contains_key("compare") && suite != "kernel" {
+        return usage_err(
+            "--compare",
+            &format!(
+                "only the kernel suite has a reference event-queue backend \
+                 to compare against (got --suite {suite})"
+            ),
+        );
     }
+    match suite {
+        "kernel" => cmd_bench_kernel(flags, quick).map_err(CliError::Runtime),
+        "sweep" => cmd_bench_sweep(flags, quick).map_err(CliError::Runtime),
+        "fleet" => cmd_bench_fleet(flags, quick).map_err(CliError::Runtime),
+        other => usage_err(
+            "--suite",
+            &format!("unknown suite `{other}` (kernel|sweep|fleet)"),
+        ),
+    }
+}
+
+fn cmd_bench_fleet(flags: &HashMap<String, String>, quick: bool) -> Result<(), String> {
+    use cloudsched_bench::{
+        fleet_rows_to_json, parse_fleet_rows, run_fleet_bench, FleetBenchConfig,
+    };
+    let cfg = if quick {
+        FleetBenchConfig::quick()
+    } else {
+        FleetBenchConfig::default()
+    };
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fleet.json".into());
+    eprintln!(
+        "fleet bench: lambda {}/machine, fleets {:?}, threads {:?}, {} runs/cell",
+        cfg.lambda, cfg.machines, cfg.threads, cfg.runs
+    );
+    let rows = run_fleet_bench(&cfg, |row| {
+        eprintln!(
+            "  M={:<3} threads={:<2} {:>9.2} runs/s  {:>10.3} ms  steals={:<5} digest={}",
+            row.machines, row.threads, row.runs_per_sec, row.wall_ms, row.steals, row.digest
+        );
+    });
+    let json = fleet_rows_to_json(&rows);
+    parse_fleet_rows(&json)
+        .map_err(|e| format!("generated report failed schema validation: {e}"))?;
+    std::fs::write(&out, &json).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {} rows to {out}", rows.len());
+    Ok(())
+}
+
+/// `cloudsched fleet`: one deterministic multi-machine fleet run
+/// (`DESIGN.md` §16). Generates the fleet Table-I scenario for
+/// `--machines M` at per-machine rate `--lambda`, dispatches the shared
+/// job stream with `--policy` (default p2c), runs one `--scheduler`
+/// instance per machine over `--threads` workers, and prints the
+/// per-machine value table plus the fleet fold with its conservation
+/// check. Output is a pure function of `(seed, M, policy)` — the thread
+/// count never changes a byte of it.
+fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use cloudsched_core::rng::{derive_seed, FLEET_DISPATCH_RUN_OFFSET, SEED_STREAM_FLEET};
+    use cloudsched_insight::{fold_fleet, MachineValue};
+    use cloudsched_sched::{by_name, DispatchPolicy};
+    use cloudsched_sim::run_fleet;
+    use cloudsched_workload::FleetScenario;
+
+    reject_unknown_flags(
+        flags,
+        &[
+            "machines",
+            "lambda",
+            "seed",
+            "policy",
+            "scheduler",
+            "threads",
+            "horizon",
+            "k",
+            "delta",
+        ],
+    )?;
+    let machines: usize = match flags.get("machines") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::Usage(arg_error("--machines", &format!("{e}"))))?,
+        None => 4,
+    };
+    if machines == 0 {
+        return usage_err("--machines", "fleet requires at least one machine");
+    }
+    let lambda = match flags.get("lambda") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::Usage(arg_error("--lambda", &format!("{e}"))))?,
+        None => 8.0,
+    };
+    let run: usize = match flags.get("seed") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::Usage(arg_error("--seed", &format!("{e}"))))?,
+        None => 0,
+    };
+    let policy = DispatchPolicy::parse(flags.get("policy").map(String::as_str).unwrap_or("p2c"))
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let threads: usize = match flags.get("threads") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::Usage(arg_error("--threads", &format!("{e}"))))?,
+        None => 1,
+    };
+    let mut scenario = FleetScenario::table1(lambda, machines);
+    if let Some(v) = flags.get("horizon") {
+        let horizon: f64 = v
+            .parse()
+            .map_err(|e| CliError::Usage(arg_error("--horizon", &format!("{e}"))))?;
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return usage_err("--horizon", "must be positive and finite");
+        }
+        scenario = scenario.with_horizon(horizon);
+    }
+    let name = flags
+        .get("scheduler")
+        .map(String::as_str)
+        .unwrap_or("vdover");
+    let k = match flags.get("k") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::Usage(arg_error("--k", &format!("{e}"))))?,
+        None => scenario.base.density_hi,
+    };
+    let delta = match flags.get("delta") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::Usage(arg_error("--delta", &format!("{e}"))))?,
+        None => scenario.base.c_hi,
+    };
+    let c_lo = scenario.base.c_lo;
+    let c_hi = scenario.base.c_hi;
+    // Validate the scheduler parameters once up front so a typo is a
+    // usage error before any work happens; the factory then re-builds the
+    // validated configuration per machine.
+    by_name(name, k, delta, c_lo, c_hi).map_err(|e| CliError::Usage(e.to_string()))?;
+    let seed = derive_seed(SEED_STREAM_FLEET, lambda, run);
+    let instance = scenario
+        .generate(seed)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let mut dispatch = policy.build(derive_seed(
+        SEED_STREAM_FLEET,
+        lambda,
+        FLEET_DISPATCH_RUN_OFFSET + run,
+    ));
+    let factory = move |_m: usize| {
+        by_name(name, k, delta, c_lo, c_hi).expect("invariant: parameters validated above")
+    };
+    let report = run_fleet(
+        &instance.jobs,
+        &instance.machines,
+        dispatch.as_mut(),
+        &factory,
+        RunOptions::lean(),
+        threads,
+    );
+    // The thread count goes to stderr, never stdout: stdout is a pure
+    // function of (seed, M, policy) and the CI fleet-smoke step diffs it
+    // byte-for-byte between serial and threaded runs.
+    eprintln!("running {threads} worker(s) over {machines} machine kernels");
+    println!(
+        "fleet: M={machines} lambda={lambda}/machine scheduler={name} policy={} seed={run}",
+        policy.as_str()
+    );
+    println!(
+        "jobs={} quarantined={} steals={} readmitted={} unreclaimed={}",
+        instance.jobs.len(),
+        report.quarantined,
+        report.steals,
+        report.readmitted,
+        report.unreclaimed
+    );
+    let rows: Vec<MachineValue> = report
+        .per_machine
+        .iter()
+        .map(|m| MachineValue {
+            machine: m.machine,
+            jobs: m.jobs,
+            steals_in: m.steals_in,
+            realized: m.report.value,
+            arrived: m.report.value + m.report.expired_value + m.report.abandoned_value,
+            completed: m.report.completed,
+            missed: m.report.missed,
+        })
+        .collect();
+    let fold = fold_fleet(&rows, report.value);
+    print!("{}", fold.render());
+    if !fold.conserved {
+        return Err(CliError::Runtime(
+            "fleet fold failed conservation: per-machine rows disagree with \
+             the engine aggregate"
+                .into(),
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_bench_kernel(flags: &HashMap<String, String>, quick: bool) -> Result<(), String> {
@@ -1061,6 +1265,82 @@ mod tests {
         assert!(rows.iter().all(|r| &r.digest == digest));
         std::fs::remove_file(path).ok();
         assert!(cmd_bench(&flags_of(&["--suite", "espresso"])).is_err());
+    }
+
+    #[test]
+    fn bench_fleet_quick_writes_a_schema_valid_report() {
+        let path = std::env::temp_dir().join("cloudsched-cli-test-bench-fleet.json");
+        cmd_bench(&flags_of(&[
+            "--suite",
+            "fleet",
+            "--quick",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .expect("fleet bench");
+        let text = std::fs::read_to_string(&path).expect("report file");
+        let rows = cloudsched_bench::parse_fleet_rows(&text).expect("schema-valid report");
+        assert_eq!(rows.len(), 4, "M in {{2, 4}} x threads in {{1, 2}}");
+        for m in [2usize, 4] {
+            let group: Vec<_> = rows.iter().filter(|r| r.machines == m).collect();
+            assert_eq!(group.len(), 2);
+            assert_eq!(group[0].digest, group[1].digest, "thread-count invariance");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_compare_is_a_usage_error_outside_the_kernel_suite() {
+        for suite in ["sweep", "fleet"] {
+            match cmd_bench(&flags_of(&["--suite", suite, "--compare"])) {
+                Err(CliError::Usage(e)) => {
+                    assert!(e.contains("--compare"), "got: {e}");
+                    assert!(e.contains(suite), "got: {e}");
+                }
+                other => panic!("expected usage error for --suite {suite}, got {other:?}"),
+            }
+        }
+        // An unknown suite is likewise a usage error, not a runtime one.
+        assert!(matches!(
+            cmd_bench(&flags_of(&["--suite", "espresso"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fleet_command_runs_and_rejects_bad_flags() {
+        cmd_fleet(&flags_of(&[
+            "--machines",
+            "3",
+            "--lambda",
+            "4",
+            "--horizon",
+            "6",
+            "--threads",
+            "2",
+        ]))
+        .expect("fleet run");
+        // Every dispatch policy drives the same engine.
+        for policy in cloudsched_sched::DISPATCH_NAMES {
+            cmd_fleet(&flags_of(&[
+                "--machines",
+                "2",
+                "--lambda",
+                "3",
+                "--horizon",
+                "4",
+                "--policy",
+                policy,
+            ]))
+            .expect("fleet run under each policy");
+        }
+        let usage = |args: &[&str]| matches!(cmd_fleet(&flags_of(args)), Err(CliError::Usage(_)));
+        assert!(usage(&["--policy", "bogus"]));
+        assert!(usage(&["--machines", "0"]));
+        assert!(usage(&["--machines", "x"]));
+        assert!(usage(&["--horizon", "-1"]));
+        assert!(usage(&["--scheduler", "nonesuch"]));
+        assert!(usage(&["--frobnicate", "1"]), "unknown flag is usage");
     }
 
     #[test]

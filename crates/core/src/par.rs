@@ -67,11 +67,15 @@ where
     if n == 0 {
         return Vec::new();
     }
-    // Spawning more workers than the machine has cores buys no throughput
-    // and costs contention on the shared counter, so the requested count is
-    // capped at the detected parallelism (output is thread-count invariant,
-    // so this is a pure throughput decision).
-    let workers = threads.max(1).min(n).min(default_threads());
+    // The requested count is honored even past the detected core count:
+    // callers like the fleet bench measure serial-vs-threaded wall time and
+    // need `--threads N` to actually spawn N workers, and the determinism
+    // suites need real cross-thread interleaving at every requested count.
+    // Capping here silently turned both into serial runs on small machines.
+    // Oversubscription costs only idle workers (output is index-ordered and
+    // thread-count invariant either way); `default_threads()` remains the
+    // sizing hint for callers that want one worker per core.
+    let workers = threads.max(1).min(n);
     if workers == 1 {
         let mut state = init();
         return (0..n).map(|i| f(&mut state, i)).collect();

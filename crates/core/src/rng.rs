@@ -36,6 +36,17 @@ pub const SEED_STREAM_UNDERLOADED: u64 = 0xAB1E;
 /// `derive_seed(SEED_STREAM_TRANSFORM, 0.0, i) == 0x57E7C4 + i` exactly.
 pub const SEED_STREAM_TRANSFORM: u64 = 0x57E7C4;
 
+/// Seed stream for the multi-machine fleet suite (`bench --suite fleet` and
+/// the `cloudsched fleet` subcommand). Instance generation uses run slots
+/// `0..runs`; the power-of-two-choices dispatcher draws its own seed from
+/// run slot [`FLEET_DISPATCH_RUN_OFFSET`]` + run` so the dispatch coin flips
+/// never alias the workload draws.
+pub const SEED_STREAM_FLEET: u64 = 0xF1EE7;
+
+/// Run-slot offset separating fleet dispatch seeds from fleet instance
+/// seeds on [`SEED_STREAM_FLEET`] (far above any realistic run count).
+pub const FLEET_DISPATCH_RUN_OFFSET: usize = 1_000_000;
+
 /// Derives the RNG seed for run `run` of a sweep on `stream`, with `lambda`
 /// folded in for sweeps that vary the arrival rate (pass `0.0` otherwise).
 ///
@@ -326,6 +337,16 @@ mod tests {
         for run in 0..800 {
             assert!(seen.insert(derive_seed(SEED_STREAM_ABLATION, 0.0, run)));
             assert!(seen.insert(derive_seed(SEED_STREAM_UNDERLOADED, 0.0, run)));
+            total += 2;
+        }
+        // Fleet instance and dispatch slots, over the bench lambda.
+        for run in 0..800 {
+            assert!(seen.insert(derive_seed(SEED_STREAM_FLEET, 8.0, run)));
+            assert!(seen.insert(derive_seed(
+                SEED_STREAM_FLEET,
+                8.0,
+                FLEET_DISPATCH_RUN_OFFSET + run
+            )));
             total += 2;
         }
         assert_eq!(seen.len(), total);

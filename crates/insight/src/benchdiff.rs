@@ -1,14 +1,15 @@
 //! Structural diffs between two benchmark reports.
 //!
-//! Parses two `BENCH_kernel.json` or `BENCH_sweep.json` files with the
-//! strict parsers from `cloudsched-bench`, matches rows by configuration
-//! key, and reports per-metric deltas with a tolerance. Rows present in
+//! Parses two `BENCH_kernel.json`, `BENCH_sweep.json`, or
+//! `BENCH_fleet.json` files with the strict parsers from
+//! `cloudsched-bench`, matches rows by configuration key, and reports
+//! per-metric deltas with a tolerance. Rows present in
 //! only one file (e.g. a `--quick` run covers fewer sizes) are listed as
 //! informational, never as regressions.
 
 use std::collections::BTreeMap;
 
-use cloudsched_bench::{parse_rows, parse_sweep_rows};
+use cloudsched_bench::{parse_fleet_rows, parse_rows, parse_sweep_rows};
 
 /// One metric's old-vs-new comparison for one matched row.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,7 +31,7 @@ pub struct MetricDelta {
 /// The full diff between two reports of the same suite.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDiff {
-    /// `"kernel"` or `"sweep"`.
+    /// `"kernel"`, `"sweep"`, or `"fleet"`.
     pub suite: &'static str,
     /// Per-metric deltas for rows present in both reports, in key order.
     pub deltas: Vec<MetricDelta>,
@@ -144,8 +145,8 @@ fn match_rows<T>(
 
 /// Diffs two benchmark reports of the same suite.
 ///
-/// The suite is auto-detected: both texts must parse as kernel reports, or
-/// both as sweep reports.
+/// The suite is auto-detected: both texts must parse as kernel reports,
+/// both as sweep reports, or both as fleet reports.
 ///
 /// # Errors
 /// When the two texts parse as different suites, or neither parser accepts
@@ -190,19 +191,65 @@ pub fn diff_reports(old_text: &str, new_text: &str, tol_pct: f64) -> Result<Benc
             if parse_sweep_rows(new_text).is_ok() {
                 return Err("cannot diff a kernel report against a sweep report".into());
             }
+            if parse_fleet_rows(new_text).is_ok() {
+                return Err("cannot diff a kernel report against a fleet report".into());
+            }
             return Err(format!("new report: {e}"));
         }
         (Err(e), Ok(_)) => {
             if parse_sweep_rows(old_text).is_ok() {
                 return Err("cannot diff a sweep report against a kernel report".into());
             }
+            if parse_fleet_rows(old_text).is_ok() {
+                return Err("cannot diff a fleet report against a kernel report".into());
+            }
             return Err(format!("old report: {e}"));
         }
         (Err(_), Err(_)) => {}
     }
-    let old = parse_sweep_rows(old_text).map_err(|e| format!("old report: {e}"))?;
-    let new = parse_sweep_rows(new_text).map_err(|e| format!("new report: {e}"))?;
-    let key = |r: &cloudsched_bench::SweepBenchRow| format!("{} threads={}", r.mode, r.threads);
+    match (parse_sweep_rows(old_text), parse_sweep_rows(new_text)) {
+        (Ok(old), Ok(new)) => {
+            let key =
+                |r: &cloudsched_bench::SweepBenchRow| format!("{} threads={}", r.mode, r.threads);
+            let old: BTreeMap<_, _> = old.into_iter().map(|r| (key(&r), r)).collect();
+            let new: BTreeMap<_, _> = new.into_iter().map(|r| (key(&r), r)).collect();
+            let (deltas, only_old, only_new) =
+                match_rows(old, new, tol_pct, |k, o, n, tol, out| {
+                    out.push(worse_if_down(
+                        k,
+                        "runs_per_sec",
+                        o.runs_per_sec,
+                        n.runs_per_sec,
+                        tol,
+                    ));
+                    out.push(worse_if_up(k, "wall_ms", o.wall_ms, n.wall_ms, tol));
+                });
+            return Ok(BenchDiff {
+                suite: "sweep",
+                deltas,
+                only_old,
+                only_new,
+                tol_pct,
+            });
+        }
+        (Ok(_), Err(e)) => {
+            if parse_fleet_rows(new_text).is_ok() {
+                return Err("cannot diff a sweep report against a fleet report".into());
+            }
+            return Err(format!("new report: {e}"));
+        }
+        (Err(e), Ok(_)) => {
+            if parse_fleet_rows(old_text).is_ok() {
+                return Err("cannot diff a fleet report against a sweep report".into());
+            }
+            return Err(format!("old report: {e}"));
+        }
+        (Err(_), Err(_)) => {}
+    }
+    let old = parse_fleet_rows(old_text).map_err(|e| format!("old report: {e}"))?;
+    let new = parse_fleet_rows(new_text).map_err(|e| format!("new report: {e}"))?;
+    let key =
+        |r: &cloudsched_bench::FleetBenchRow| format!("M={} threads={}", r.machines, r.threads);
     let old: BTreeMap<_, _> = old.into_iter().map(|r| (key(&r), r)).collect();
     let new: BTreeMap<_, _> = new.into_iter().map(|r| (key(&r), r)).collect();
     let (deltas, only_old, only_new) = match_rows(old, new, tol_pct, |k, o, n, tol, out| {
@@ -216,7 +263,7 @@ pub fn diff_reports(old_text: &str, new_text: &str, tol_pct: f64) -> Result<Benc
         out.push(worse_if_up(k, "wall_ms", o.wall_ms, n.wall_ms, tol));
     });
     Ok(BenchDiff {
-        suite: "sweep",
+        suite: "fleet",
         deltas,
         only_old,
         only_new,
@@ -227,7 +274,10 @@ pub fn diff_reports(old_text: &str, new_text: &str, tol_pct: f64) -> Result<Benc
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cloudsched_bench::{rows_to_json, sweep_rows_to_json, KernelBenchRow, SweepBenchRow};
+    use cloudsched_bench::{
+        fleet_rows_to_json, rows_to_json, sweep_rows_to_json, FleetBenchRow, KernelBenchRow,
+        SweepBenchRow,
+    };
 
     fn kernel_row(scheduler: &str, n: usize, ns: f64, wall: f64) -> KernelBenchRow {
         KernelBenchRow {
@@ -334,6 +384,49 @@ mod tests {
         let diff = diff_reports(&old, &new, 10.0).expect("same suite");
         assert_eq!(diff.regressions(), 0);
         assert!(diff.render().contains("-50.0%"));
+    }
+
+    fn fleet_row(machines: usize, threads: usize, rps: f64, wall: f64) -> FleetBenchRow {
+        FleetBenchRow {
+            bench: "fleet".into(),
+            machines,
+            threads,
+            runs: 4,
+            wall_ms: wall,
+            runs_per_sec: rps,
+            steals: 3,
+            digest: "00000000deadbeef".into(),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fleet_diff_flags_throughput_drops() {
+        let old = fleet_rows_to_json(&[fleet_row(16, 1, 50.0, 80.0), fleet_row(16, 4, 50.0, 80.0)]);
+        let new =
+            fleet_rows_to_json(&[fleet_row(16, 1, 40.0, 100.0), fleet_row(16, 4, 50.0, 80.0)]);
+        let diff = diff_reports(&old, &new, 10.0).expect("same suite");
+        assert_eq!(diff.suite, "fleet");
+        assert_eq!(diff.deltas.len(), 4, "2 matched rows x 2 metrics");
+        assert_eq!(diff.regressions(), 2, "rps drop and wall rise on M=16 t=1");
+        let reg = diff.deltas.iter().find(|d| d.regression).expect("flagged");
+        assert_eq!(reg.key, "M=16 threads=1");
+    }
+
+    #[test]
+    fn fleet_and_sweep_reports_do_not_cross_diff() {
+        let fleet = fleet_rows_to_json(&[fleet_row(4, 1, 50.0, 80.0)]);
+        let sweep = sweep_rows_to_json(&[sweep_row("reuse", 4, 1000.0, 64.0)]);
+        let err = diff_reports(&sweep, &fleet, 10.0).expect_err("mixed suites");
+        assert!(err.contains("sweep report against a fleet report"), "{err}");
+        let err = diff_reports(&fleet, &sweep, 10.0).expect_err("mixed suites");
+        assert!(err.contains("fleet report against a sweep report"), "{err}");
+        let kernel = rows_to_json(&[kernel_row("EDF", 1000, 100.0, 1.0)]);
+        let err = diff_reports(&kernel, &fleet, 10.0).expect_err("mixed suites");
+        assert!(
+            err.contains("kernel report against a fleet report"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! The fleet value fold (`DESIGN.md` §16).
+//!
+//! Aggregates per-machine value accounting into one fleet-level view: an
+//! ASCII table (one row per machine, machine-index order) plus fleet
+//! totals and a *conservation* check — the machine-order sum of the
+//! per-machine realized values must reproduce the fleet's aggregate value,
+//! because the fleet engine folds its aggregate with the exact same
+//! float-addition sequence.
+//!
+//! The crate deliberately sits below `cloudsched-sim` in the dependency
+//! graph, so the fold consumes plain numbers: the caller (the `cloudsched
+//! fleet` subcommand) flattens its `FleetReport` into [`MachineValue`]
+//! rows.
+
+use cloudsched_core::numeric::approx_eq;
+
+/// One machine's value accounting, flattened out of the fleet report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineValue {
+    /// Machine index.
+    pub machine: usize,
+    /// Jobs simulated on this machine (dispatched plus stolen in).
+    pub jobs: usize,
+    /// Jobs claimed from other machines' quarantine lists.
+    pub steals_in: usize,
+    /// Value of jobs that completed by their deadline here.
+    pub realized: f64,
+    /// Value that arrived here (realized plus every loss bucket).
+    pub arrived: f64,
+    /// Jobs that completed by their deadline here.
+    pub completed: usize,
+    /// Jobs that missed their deadline here.
+    pub missed: usize,
+}
+
+/// The fleet-level fold of a set of [`MachineValue`] rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFold {
+    /// Per-machine rows, machine-index order.
+    pub rows: Vec<MachineValue>,
+    /// Machine-order sum of realized value.
+    pub realized: f64,
+    /// Machine-order sum of arrived value.
+    pub arrived: f64,
+    /// Total jobs across the fleet.
+    pub jobs: usize,
+    /// Total completions across the fleet.
+    pub completed: usize,
+    /// Total deadline misses across the fleet.
+    pub missed: usize,
+    /// Total cross-machine steals.
+    pub steals: usize,
+    /// Whether the machine-order realized sum reproduced the aggregate
+    /// value the caller's engine reported.
+    pub conserved: bool,
+}
+
+/// Folds per-machine rows into fleet totals, checking the machine-order
+/// realized sum against the engine's own aggregate (`engine_value`).
+pub fn fold_fleet(rows: &[MachineValue], engine_value: f64) -> FleetFold {
+    let mut realized = 0.0;
+    let mut arrived = 0.0;
+    let mut jobs = 0;
+    let mut completed = 0;
+    let mut missed = 0;
+    let mut steals = 0;
+    for r in rows {
+        realized += r.realized;
+        arrived += r.arrived;
+        jobs += r.jobs;
+        completed += r.completed;
+        missed += r.missed;
+        steals += r.steals_in;
+    }
+    FleetFold {
+        rows: rows.to_vec(),
+        realized,
+        arrived,
+        jobs,
+        completed,
+        missed,
+        steals,
+        conserved: approx_eq(realized, engine_value),
+    }
+}
+
+impl FleetFold {
+    /// Deterministic fixed-format table (the `cloudsched fleet` output).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "machine     jobs  steals-in  completed  missed      realized       arrived\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>7} {:>8} {:>10} {:>10} {:>7} {:>13.4} {:>13.4}\n",
+                r.machine, r.jobs, r.steals_in, r.completed, r.missed, r.realized, r.arrived
+            ));
+        }
+        out.push_str(&format!(
+            "{:>7} {:>8} {:>10} {:>10} {:>7} {:>13.4} {:>13.4}\n",
+            "fleet",
+            self.jobs,
+            self.steals,
+            self.completed,
+            self.missed,
+            self.realized,
+            self.arrived
+        ));
+        let share = if self.arrived > 0.0 {
+            // lint: allow(L001) — exact zero guard before division
+            100.0 * self.realized / self.arrived
+        } else {
+            0.0
+        };
+        out.push_str(&format!("realized share: {share:.2}%\n"));
+        out.push_str(&format!(
+            "conservation: {}\n",
+            if self.conserved {
+                "machine-order realized sum matches the engine aggregate"
+            } else {
+                "MISMATCH — per-machine rows disagree with the engine aggregate"
+            }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(machine: usize, realized: f64, arrived: f64) -> MachineValue {
+        MachineValue {
+            machine,
+            jobs: 10,
+            steals_in: machine,
+            realized,
+            arrived,
+            completed: 7,
+            missed: 3,
+        }
+    }
+
+    #[test]
+    fn fold_sums_in_machine_order_and_checks_conservation() {
+        let rows = [row(0, 5.0, 9.0), row(1, 2.5, 4.0)];
+        let fold = fold_fleet(&rows, 7.5);
+        assert!(fold.conserved);
+        assert!(approx_eq(fold.realized, 7.5));
+        assert!(approx_eq(fold.arrived, 13.0));
+        assert_eq!(fold.jobs, 20);
+        assert_eq!(fold.completed, 14);
+        assert_eq!(fold.missed, 6);
+        assert_eq!(fold.steals, 1);
+    }
+
+    #[test]
+    fn fold_flags_an_aggregate_mismatch() {
+        let rows = [row(0, 5.0, 9.0)];
+        let fold = fold_fleet(&rows, 6.0);
+        assert!(!fold.conserved);
+        assert!(fold.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn render_is_fixed_format() {
+        let fold = fold_fleet(&[row(0, 5.0, 9.0), row(1, 2.5, 4.0)], 7.5);
+        let text = fold.render();
+        assert!(text.starts_with("machine"));
+        assert!(text.contains("\n      0 "));
+        assert!(text.contains("\n  fleet "));
+        assert!(text.contains("realized share: 57.69%"));
+        assert!(text.contains("conservation: machine-order"));
+    }
+
+    #[test]
+    fn empty_fleet_renders_a_zero_share() {
+        let fold = fold_fleet(&[], 0.0);
+        assert!(fold.conserved, "0 == 0");
+        assert!(fold.render().contains("realized share: 0.00%"));
+    }
+}

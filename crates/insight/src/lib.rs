@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod benchdiff;
+pub mod fleetfold;
 pub mod ledger;
 pub mod ratio;
 pub mod timeline;
 
 pub use benchdiff::{diff_reports, BenchDiff, MetricDelta};
+pub use fleetfold::{fold_fleet, FleetFold, MachineValue};
 pub use ledger::{Bucket, LedgerEntry, LedgerReport, ValueLedger};
 pub use ratio::{measure_ratio, RatioReport, EXACT_JOB_LIMIT};
 pub use timeline::{job_timeline, queue_depth_series, render_job_timeline, render_queue_depths};

@@ -252,6 +252,14 @@ const L002_CRATES: &[&str] = &["sim", "sched", "capacity", "offline"];
 /// wall-clock user. `insight` folds traces into ledgers and ratio reports
 /// that must reproduce bit-for-bit from a trace file alone, so it inherits
 /// the full determinism contract; its file I/O stays at the cli boundary.
+/// The fleet layer is fully in scope on both sides of its seam:
+/// `sim/src/fleet.rs` (the sharded multi-machine engine — dispatch merge,
+/// steal resolution, `parallel_map_with` fan-out) and
+/// `sched/src/dispatch.rs` (the rr/llf/p2c policies) promise output that
+/// is a pure function of `(seed, M, policy)` at every thread count, so
+/// they get no carve-outs from L005/L007/L008/L009/L011: p2c seeds flow
+/// through `derive_seed` (L009) and the fan-out rides `core::par`, never
+/// raw `std::thread` (L008).
 const DETERMINISTIC_CRATES: &[&str] = &[
     "core", "capacity", "sim", "sched", "offline", "workload", "obs", "faults", "insight",
 ];

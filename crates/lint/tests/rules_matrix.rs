@@ -377,6 +377,60 @@ fn insight_is_a_deterministic_crate() {
 }
 
 #[test]
+fn fleet_engine_and_dispatch_are_fully_in_scope() {
+    // PR 10's fleet layer (`DESIGN.md` §16): the sharded multi-machine
+    // engine in `sim/src/fleet.rs` and the dispatch policies in
+    // `sched/src/dispatch.rs` promise output that is a pure function of
+    // `(seed, M, policy)` at every thread count, so both files carry the
+    // full determinism contract — no wall clock (L005), no hash-order
+    // iteration (L007), no raw thread fan-out (L008, `core::par` is the
+    // sanctioned seam), seed discipline (L009), no ambient process state
+    // (L011).
+    matrix(
+        "L005",
+        "sim",
+        "crates/sim/src/fleet.rs",
+        "pub fn f() -> Instant { Instant::now() }\n",
+        "pub fn f(t: Time) -> Time { t }\n",
+    );
+    matrix(
+        "L007",
+        "sim",
+        "crates/sim/src/fleet.rs",
+        "use std::collections::HashMap;\n\
+         pub struct Fleet { backlog: HashMap<usize, f64> }\n\
+         impl Fleet { pub fn total(&self) -> f64 { self.backlog.values().sum() } }\n",
+        "pub struct Fleet { backlog: Vec<f64> }\n\
+         impl Fleet { pub fn total(&self) -> f64 { self.backlog.iter().sum() } }\n",
+    );
+    matrix(
+        "L008",
+        "sim",
+        "crates/sim/src/fleet.rs",
+        "pub fn f() { std::thread::spawn(|| {}); }\n",
+        "pub fn f(n: usize, threads: usize) -> Vec<u64> {\n\
+         \x20   parallel_map_with(n, threads, || (), |_, i| i as u64)\n\
+         }\n",
+    );
+    matrix(
+        "L009",
+        "sched",
+        "crates/sched/src/dispatch.rs",
+        "pub fn f() -> Pcg32 { Pcg32::seed_from_u64(42) }\n",
+        "pub fn f(stream: u64, lambda: f64, run: usize) -> Pcg32 {\n\
+         \x20   Pcg32::seed_from_u64(derive_seed(stream, lambda, run))\n\
+         }\n",
+    );
+    matrix(
+        "L011",
+        "sched",
+        "crates/sched/src/dispatch.rs",
+        "pub fn f() -> Option<String> { std::env::var(\"FLEET_POLICY\").ok() }\n",
+        "pub fn f(policy: &str) -> String { policy.to_string() }\n",
+    );
+}
+
+#[test]
 fn cfg_test_regions_are_exempt_everywhere() {
     let f = lib_file(
         "sched",

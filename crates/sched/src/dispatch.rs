@@ -1,0 +1,331 @@
+//! Fleet dispatch policies (`DESIGN.md` §16).
+//!
+//! Concrete implementations of the [`Dispatch`] seam that
+//! `cloudsched_sim::fleet` drives: each policy is a value (per-fleet state,
+//! no globals) and a pure function of its own state plus the online
+//! [`FleetLoads`] view, so fleet output stays a pure function of
+//! `(seed, M, policy)`:
+//!
+//! * [`RoundRobin`] — fixed rotation, oblivious to load;
+//! * [`LeastLaxityFit`] — the machine with the largest conservative fit
+//!   laxity for this job (ties to the lowest index), the fleet analogue of
+//!   the paper's conservative-laxity reasoning;
+//! * [`PowerOfTwo`] — power-of-two-choices: two candidate machines drawn
+//!   from a seeded [`Pcg32`] (seed via [`derive_seed`] — lint rule L009),
+//!   keep the one with the larger fit laxity. The classic load-balancing
+//!   sweet spot: near-best placement at O(1) probes, fully deterministic
+//!   for a fixed seed.
+
+use cloudsched_core::rng::{Pcg32, Rng};
+use cloudsched_core::{CoreError, Job};
+use cloudsched_sim::{Dispatch, FleetLoads};
+use std::cmp::Ordering;
+
+/// Names accepted by [`DispatchPolicy::parse`], in display order.
+pub const DISPATCH_NAMES: &[&str] = &["rr", "llf", "p2c"];
+
+/// A parsed dispatch-policy name, ready to build per-fleet state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Fixed rotation.
+    RoundRobin,
+    /// Largest conservative fit laxity.
+    LeastLaxityFit,
+    /// Seeded power-of-two-choices.
+    PowerOfTwo,
+}
+
+impl DispatchPolicy {
+    /// Parses a command-line policy name.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidArgument`] for an unrecognised name.
+    pub fn parse(name: &str) -> Result<Self, CoreError> {
+        match name {
+            "rr" => Ok(DispatchPolicy::RoundRobin),
+            "llf" => Ok(DispatchPolicy::LeastLaxityFit),
+            "p2c" => Ok(DispatchPolicy::PowerOfTwo),
+            other => Err(CoreError::InvalidArgument {
+                flag: "--policy".into(),
+                reason: format!(
+                    "unknown dispatch policy `{other}` (expected one of: {})",
+                    DISPATCH_NAMES.join(", ")
+                ),
+            }),
+        }
+    }
+
+    /// Stable display name (the string [`DispatchPolicy::parse`] accepts).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "rr",
+            DispatchPolicy::LeastLaxityFit => "llf",
+            DispatchPolicy::PowerOfTwo => "p2c",
+        }
+    }
+
+    /// Builds fresh per-fleet dispatcher state. `seed` feeds the
+    /// power-of-two-choices coin flips (derive it via
+    /// [`cloudsched_core::rng::derive_seed`]); the deterministic policies
+    /// ignore it.
+    pub fn build(self, seed: u64) -> Box<dyn Dispatch> {
+        match self {
+            DispatchPolicy::RoundRobin => Box::new(RoundRobin { next: 0 }),
+            DispatchPolicy::LeastLaxityFit => Box::new(LeastLaxityFit),
+            DispatchPolicy::PowerOfTwo => Box::new(PowerOfTwo {
+                rng: Pcg32::seed_from_u64(seed),
+            }),
+        }
+    }
+}
+
+/// Fixed rotation over the machines, oblivious to load. The baseline every
+/// informed policy has to beat.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Dispatch for RoundRobin {
+    fn name(&self) -> &str {
+        "rr"
+    }
+    fn choose(&mut self, _job: &Job, loads: &FleetLoads<'_>) -> usize {
+        let m = self.next % loads.machines();
+        self.next = self.next.wrapping_add(1);
+        m
+    }
+}
+
+/// Places each job on the machine with the largest conservative fit
+/// laxity — the machine that can most comfortably absorb it at its
+/// declared floor. Ties break to the lowest machine index (exact
+/// `total_cmp`, no float-equality fuzz), keeping the choice deterministic.
+#[derive(Debug, Clone)]
+pub struct LeastLaxityFit;
+
+impl Dispatch for LeastLaxityFit {
+    fn name(&self) -> &str {
+        "llf"
+    }
+    fn choose(&mut self, job: &Job, loads: &FleetLoads<'_>) -> usize {
+        let mut best = 0usize;
+        for m in 1..loads.machines() {
+            let better = loads
+                .fit_laxity(m, job)
+                .total_cmp(&loads.fit_laxity(best, job))
+                == Ordering::Greater;
+            if better {
+                best = m;
+            }
+        }
+        best
+    }
+}
+
+/// Power-of-two-choices: draw two candidate machines from the seeded
+/// stream, keep the one with the larger conservative fit laxity (ties to
+/// the lower index). Every draw consumes exactly two RNG outputs per job
+/// regardless of the outcome, so the decision sequence is a pure function
+/// of `(seed, job sequence)`.
+#[derive(Debug, Clone)]
+pub struct PowerOfTwo {
+    rng: Pcg32,
+}
+
+impl PowerOfTwo {
+    /// Builds the policy from a derived seed (see
+    /// [`cloudsched_core::rng::derive_seed`]).
+    pub fn from_seed(seed: u64) -> Self {
+        PowerOfTwo {
+            rng: Pcg32::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Dispatch for PowerOfTwo {
+    fn name(&self) -> &str {
+        "p2c"
+    }
+    fn choose(&mut self, job: &Job, loads: &FleetLoads<'_>) -> usize {
+        let n = loads.machines();
+        let a = self.rng.next_index(n);
+        let b = self.rng.next_index(n);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let hi_better = loads
+            .fit_laxity(hi, job)
+            .total_cmp(&loads.fit_laxity(lo, job))
+            == Ordering::Greater;
+        if hi_better {
+            hi
+        } else {
+            lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_core::rng::{derive_seed, SEED_STREAM_FLEET};
+    use cloudsched_core::{JobId, JobSet, Time};
+
+    fn job(release: f64, deadline: f64, workload: f64) -> Job {
+        Job::new(
+            JobId(0),
+            Time::new(release),
+            Time::new(deadline),
+            workload,
+            1.0,
+        )
+        .expect("invariant: test job parameters are valid")
+    }
+
+    /// Drives a policy directly through the sim fleet engine's public view
+    /// by building a tiny fleet run — exercised more heavily in the bench
+    /// crate's determinism suite; here we pin the pure-policy behaviour.
+    fn loads_view(test: impl FnOnce(&FleetLoads<'_>)) {
+        use cloudsched_capacity::PiecewiseConstant;
+        use cloudsched_sim::{run_fleet, RunOptions, Scheduler};
+
+        // Capture the FleetLoads view at a known dispatch instant by
+        // wrapping the closure in a one-shot Dispatch impl.
+        struct Probe<F: FnOnce(&FleetLoads<'_>)> {
+            test: Option<F>,
+        }
+        impl<F: FnOnce(&FleetLoads<'_>)> Dispatch for Probe<F> {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn choose(&mut self, _job: &Job, loads: &FleetLoads<'_>) -> usize {
+                if let Some(test) = self.test.take() {
+                    test(loads);
+                }
+                0
+            }
+        }
+        struct Idle;
+        impl Scheduler for Idle {
+            fn name(&self) -> String {
+                "idle".into()
+            }
+            fn on_release(
+                &mut self,
+                _ctx: &mut cloudsched_sim::SimContext<'_>,
+                _job: JobId,
+            ) -> cloudsched_sim::Decision {
+                cloudsched_sim::Decision::Idle
+            }
+            fn on_completion(
+                &mut self,
+                _ctx: &mut cloudsched_sim::SimContext<'_>,
+                _job: JobId,
+            ) -> cloudsched_sim::Decision {
+                cloudsched_sim::Decision::Idle
+            }
+            fn on_deadline_miss(
+                &mut self,
+                _ctx: &mut cloudsched_sim::SimContext<'_>,
+                _job: JobId,
+            ) -> cloudsched_sim::Decision {
+                cloudsched_sim::Decision::Idle
+            }
+        }
+        let jobs =
+            JobSet::from_tuples(&[(1.0, 4.0, 1.0, 1.0)]).expect("invariant: valid test tuple");
+        let machines = vec![
+            PiecewiseConstant::constant(1.0).expect("invariant: positive rate"),
+            PiecewiseConstant::constant(2.0).expect("invariant: positive rate"),
+        ];
+        let mut probe = Probe { test: Some(test) };
+        run_fleet(
+            &jobs,
+            &machines,
+            &mut probe,
+            &|_m| Box::new(Idle),
+            RunOptions::lean(),
+            1,
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_every_listed_name() {
+        for name in DISPATCH_NAMES {
+            let p = DispatchPolicy::parse(name).expect("listed name parses");
+            assert_eq!(p.as_str(), *name);
+            assert_eq!(p.build(1).name(), *name);
+        }
+        match DispatchPolicy::parse("bogus") {
+            Err(CoreError::InvalidArgument { flag, reason }) => {
+                assert_eq!(flag, "--policy");
+                assert!(reason.contains("bogus"));
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_regardless_of_load() {
+        loads_view(|loads| {
+            let mut rr = RoundRobin { next: 0 };
+            let j = job(1.0, 4.0, 1.0);
+            let picks: Vec<usize> = (0..5).map(|_| rr.choose(&j, loads)).collect();
+            assert_eq!(picks, vec![0, 1, 0, 1, 0]);
+        });
+    }
+
+    #[test]
+    fn least_laxity_fit_prefers_the_emptier_faster_machine() {
+        loads_view(|loads| {
+            // Machine 1 has c_lo = 2 vs machine 0's c_lo = 1: double the
+            // guaranteed drain rate means strictly larger fit laxity.
+            let mut llf = LeastLaxityFit;
+            let j = job(1.0, 4.0, 1.0);
+            assert!(loads
+                .fit_laxity(1, &j)
+                .total_cmp(&loads.fit_laxity(0, &j))
+                .is_gt());
+            assert_eq!(llf.choose(&j, loads), 1);
+        });
+    }
+
+    #[test]
+    fn p2c_is_deterministic_for_a_seed_and_varies_across_seeds() {
+        loads_view(|loads| {
+            let j = job(1.0, 4.0, 1.0);
+            let picks = |seed: u64| -> Vec<usize> {
+                let mut p = PowerOfTwo::from_seed(seed);
+                (0..64).map(|_| p.choose(&j, loads)).collect()
+            };
+            let s0 = derive_seed(SEED_STREAM_FLEET, 0.0, 0);
+            assert_eq!(picks(s0), picks(s0), "same seed, same decision stream");
+            let all: Vec<Vec<usize>> = (0..8)
+                .map(|r| picks(derive_seed(SEED_STREAM_FLEET, 0.0, r)))
+                .collect();
+            assert!(
+                all.iter().any(|p| p != &all[0]),
+                "distinct seeds should disagree somewhere"
+            );
+        });
+    }
+
+    #[test]
+    fn p2c_picks_the_larger_laxity_of_its_two_probes() {
+        loads_view(|loads| {
+            // With M = 2 every p2c draw either repeats one machine (the
+            // choice is forced) or probes both — and then machine 1's
+            // strictly larger laxity must win.
+            let j = job(1.0, 4.0, 1.0);
+            let mut p = PowerOfTwo::from_seed(7);
+            for _ in 0..128 {
+                let pick = p.choose(&j, loads);
+                assert!(pick < loads.machines());
+            }
+            // Statistically machine 1 must dominate: it wins every mixed
+            // probe and half of the doubles.
+            let mut p = PowerOfTwo::from_seed(11);
+            let ones = (0..256).filter(|_| p.choose(&j, loads) == 1).count();
+            assert!(ones > 128, "machine 1 won only {ones}/256 picks");
+        });
+    }
+}

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod dover;
 pub mod edf;
 pub mod factory;
@@ -34,6 +35,7 @@ pub mod llf;
 pub mod ready;
 pub mod vdover;
 
+pub use dispatch::{DispatchPolicy, LeastLaxityFit, PowerOfTwo, RoundRobin, DISPATCH_NAMES};
 pub use dover::Dover;
 pub use edf::Edf;
 pub use factory::{by_name, SCHEDULER_NAMES};

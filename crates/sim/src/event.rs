@@ -261,9 +261,16 @@ impl Calendar {
             }
         }
         if tmin.is_finite() {
+            // Every bucket was drained into `scratch` above, so the vector
+            // can be resized in either direction: grow for a population
+            // spike, shrink back when the live population collapses (a
+            // spike would otherwise pin the bucket count — and the cost of
+            // every cursor sweep — at its high-water mark forever).
             let want = (scratch.len() / TARGET_OCCUPANCY).max(MIN_BUCKETS);
             if want > self.buckets.len() {
                 self.buckets.resize_with(want, Vec::new);
+            } else if want < self.buckets.len() {
+                self.buckets.truncate(want);
             }
             let nb = self.buckets.len();
             let span = tmax - tmin;
@@ -731,5 +738,83 @@ mod tests {
         sorted.sort();
         assert_eq!(drained, sorted, "pop order is the total order");
         assert_eq!(drained[514].time, Time::NEVER);
+    }
+
+    fn bucket_count(q: &EventQueue) -> usize {
+        match &q.backend {
+            Backend::Calendar(c) => c.buckets.len(),
+            Backend::Heap(_) => unreachable!("bucket_count is a calendar-only probe"),
+        }
+    }
+
+    /// A population spike must not pin the bucket count at its high-water
+    /// mark: after the spike drains, the next re-spread (here the
+    /// overflow-refill path) re-fits the bucket vector *down* to the small
+    /// surviving population — and the pop order still matches the
+    /// reference heap exactly.
+    #[test]
+    fn respread_shrinks_buckets_after_population_collapse() {
+        let mut q = EventQueue::new();
+        let mut heap = EventQueue::reference_heap();
+        let push = |q: &mut EventQueue, heap: &mut EventQueue, time: Time, kind: EventKind| {
+            q.push(time, kind);
+            heap.push(time, kind);
+        };
+        // Phase 1 — grow: 20k spread events force occupancy re-spreads
+        // well past MIN_BUCKETS.
+        for i in 0..20_000u64 {
+            push(
+                &mut q,
+                &mut heap,
+                t(i as f64 * 0.005),
+                EventKind::Release { job: JobId(i) },
+            );
+        }
+        let grown = bucket_count(&q);
+        assert!(
+            grown > MIN_BUCKETS,
+            "spike must grow the calendar, got {grown} buckets"
+        );
+        for _ in 0..20_000 {
+            assert_eq!(q.pop(), heap.pop(), "drain order diverged while grown");
+        }
+        assert!(q.is_empty());
+        assert_eq!(
+            bucket_count(&q),
+            grown,
+            "draining alone must not resize (shrink happens at re-spread)"
+        );
+        // Phase 2 — collapse: a small near cluster plus far-future
+        // stragglers. Draining the near window forces an overflow-refill
+        // re-spread over the tiny surviving population, which must shrink
+        // the bucket vector back down.
+        for i in 0..100u64 {
+            push(
+                &mut q,
+                &mut heap,
+                t(i as f64 * 0.01),
+                EventKind::Release { job: JobId(i) },
+            );
+        }
+        for i in 0..3u64 {
+            push(
+                &mut q,
+                &mut heap,
+                t(1.0e9 + i as f64),
+                EventKind::Deadline { job: JobId(i) },
+            );
+        }
+        loop {
+            let (a, b) = (q.pop(), heap.pop());
+            assert_eq!(a, b, "drain order diverged across the shrink");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(
+            bucket_count(&q),
+            MIN_BUCKETS,
+            "re-spread over the collapsed population must shrink the calendar"
+        );
     }
 }

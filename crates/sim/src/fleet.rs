@@ -1,0 +1,626 @@
+//! Multi-machine fleet engine (`DESIGN.md` §16).
+//!
+//! The paper's model is a single processor with time-varying capacity; the
+//! fleet engine shards it into `M` capacitated machines, each running its
+//! *own* per-machine kernel — its own calendar [`crate::event::EventQueue`],
+//! its own [`SimWorkspace`] arena, its own scheduler instance from the
+//! caller's factory, its own capacity trace — behind one deterministic
+//! dispatch layer. The result is the workload
+//! [`cloudsched_core::par::parallel_map`] was built for: `M` independent
+//! event loops with an index-ordered join.
+//!
+//! Determinism contract: [`run_fleet`]'s output is a pure function of
+//! `(jobs, machine traces, dispatcher, scheduler factory)` — in particular
+//! it is byte-identical at every `threads` value, because
+//!
+//! 1. the **dispatch phase is serial**: jobs are walked in release order
+//!    (ties by job id) through a single [`Dispatch`] policy, against
+//!    conservative per-machine backlog estimates aged by each machine's
+//!    *observed past* capacity — everything an online dispatcher may know;
+//! 2. **steals resolve in a fixed barrier order**: capacity-recovery points
+//!    (instants where a machine's rate steps *up*) are processed in
+//!    ascending `(time, machine index)` order, and at each point the
+//!    quarantine list is scanned in quarantine (release) order — no part of
+//!    the order depends on simulation timing;
+//! 3. the **simulation phase is embarrassingly parallel**: per-machine job
+//!    subsets and traces are frozen before the fan-out, machines run under
+//!    [`parallel_map_with`] (one reusable workspace per worker), and the
+//!    join is index-ordered, so aggregate sums fold in machine order.
+//!
+//! A job whose chosen machine cannot conservatively meet its deadline
+//! (negative fit laxity at release) is *quarantined*: it stays owned by
+//! that machine but becomes steal-eligible. At every capacity-recovery
+//! point the recovering machine scans the quarantine list and claims any
+//! job it can now finish in time under its recovered rate (a persistence
+//! heuristic — documented, not conservative). Unstolen quarantined jobs
+//! still simulate on their owner; every job runs on exactly one machine,
+//! so fleet value accounting is a per-machine partition.
+
+use crate::engine::{simulate_into, RunOptions};
+use crate::report::RunReport;
+use crate::scheduler::Scheduler;
+use crate::workspace::SimWorkspace;
+use cloudsched_capacity::{CapacityProfile, PiecewiseConstant};
+use cloudsched_core::numeric::approx_ge;
+use cloudsched_core::par::parallel_map_with;
+use cloudsched_core::{Job, JobId, JobSet, Time};
+use std::cmp::Ordering;
+
+/// What a dispatch policy may observe when placing one job: the
+/// conservative backlog estimate and declared class floor of every
+/// machine, all aged to the job's release instant.
+///
+/// The view is strictly *online*: backlogs drain at each machine's
+/// observed past capacity, and feasibility below is computed against the
+/// declared `c_lo` — the future of any trace is unreachable from here.
+#[derive(Debug)]
+pub struct FleetLoads<'a> {
+    now: f64,
+    backlog: &'a [f64],
+    c_lo: &'a [f64],
+}
+
+impl FleetLoads<'_> {
+    /// Number of machines in the fleet.
+    pub fn machines(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// The dispatch instant (the job's release time).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Conservative unfinished-workload estimate queued on machine `m`,
+    /// in capacity-seconds.
+    pub fn backlog(&self, m: usize) -> f64 {
+        self.backlog[m]
+    }
+
+    /// Declared capacity floor of machine `m`.
+    pub fn c_lo(&self, m: usize) -> f64 {
+        self.c_lo[m]
+    }
+
+    /// Conservative fit laxity of `job` on machine `m`: time to the
+    /// deadline minus the worst-case drain time of the machine's backlog
+    /// plus this job at the declared floor `c_lo`. Negative means the
+    /// machine cannot guarantee the deadline.
+    pub fn fit_laxity(&self, m: usize, job: &Job) -> f64 {
+        job.deadline.as_f64() - self.now - (self.backlog[m] + job.workload) / self.c_lo[m]
+    }
+}
+
+/// A deterministic dispatch policy: places each released job on a machine.
+///
+/// Implementations must be pure functions of their own state and the given
+/// view — any hidden clock, map-iteration order, or ambient randomness
+/// breaks the fleet's thread-count invariance (the lint scope enforces
+/// this for the in-tree policies in `sched::dispatch`).
+pub trait Dispatch {
+    /// Stable display name (lands in [`FleetReport::dispatcher`]).
+    fn name(&self) -> &str;
+
+    /// Chooses the machine for `job`. Must return an index
+    /// `< loads.machines()`.
+    fn choose(&mut self, job: &Job, loads: &FleetLoads<'_>) -> usize;
+}
+
+/// One machine's slice of a fleet run.
+#[derive(Debug, Clone)]
+pub struct MachineReport {
+    /// Machine index.
+    pub machine: usize,
+    /// Jobs that ended up assigned (and simulated) here.
+    pub jobs: usize,
+    /// Quarantined jobs this machine claimed from other machines at its
+    /// capacity-recovery points.
+    pub steals_in: usize,
+    /// The per-machine kernel's full report (dense job ids local to this
+    /// machine's subset, in fleet-assignment order).
+    pub report: RunReport,
+}
+
+/// Aggregate + per-machine outcome of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Name of the dispatch policy that placed the jobs.
+    pub dispatcher: String,
+    /// Fleet size `M`.
+    pub machines: usize,
+    /// Per-machine reports, in machine-index order.
+    pub per_machine: Vec<MachineReport>,
+    /// Final machine of every job, indexed by job id.
+    pub assignment: Vec<usize>,
+    /// Jobs whose chosen machine could not conservatively meet their
+    /// deadline at release (steal-eligible).
+    pub quarantined: usize,
+    /// Quarantined jobs claimed by a *different* machine at one of its
+    /// capacity-recovery points.
+    pub steals: usize,
+    /// Quarantined jobs re-claimed by their own machine after its capacity
+    /// recovered.
+    pub readmitted: usize,
+    /// Quarantined jobs no recovery point could rescue; they simulate on
+    /// their owner anyway (and mostly expire there).
+    pub unreclaimed: usize,
+    /// Total value earned across the fleet (per-machine values summed in
+    /// machine-index order).
+    pub value: f64,
+    /// `value / total arrived value`.
+    pub value_fraction: f64,
+    /// Completed jobs across the fleet.
+    pub completed: usize,
+    /// Deadline misses across the fleet.
+    pub missed: usize,
+    /// Preemptions across the fleet.
+    pub preemptions: usize,
+    /// Dispatches (context switches) across the fleet.
+    pub dispatches: usize,
+    /// Kernel events processed across the fleet.
+    pub events: usize,
+}
+
+/// One entry of the serial dispatch timeline, processed in ascending
+/// `(time, kind, index)` order. At equal times a recovery point resolves
+/// *before* a release — the barrier order that makes steals deterministic:
+/// capacity recovered at `t` is visible to a job released at `t`.
+enum Tick<'a> {
+    /// Machine `m`'s rate stepped up at this instant.
+    Recovery { machine: usize },
+    /// A job enters the fleet.
+    Release { job: &'a Job },
+}
+
+/// Runs one fleet: serial deterministic dispatch, then `M` per-machine
+/// kernels fanned out over up to `threads` workers with an index-ordered
+/// join. `make_scheduler(m)` is called once per machine (possibly from a
+/// worker thread) and must hand out independent instances.
+///
+/// # Panics
+/// If `machines` is empty, or the dispatcher returns an out-of-range
+/// machine index.
+pub fn run_fleet(
+    jobs: &JobSet,
+    machines: &[PiecewiseConstant],
+    dispatch: &mut dyn Dispatch,
+    make_scheduler: &(dyn Fn(usize) -> Box<dyn Scheduler> + Sync),
+    options: RunOptions,
+    threads: usize,
+) -> FleetReport {
+    assert!(!machines.is_empty(), "fleet requires at least one machine");
+    let m_count = machines.len();
+    let slice = jobs.as_slice();
+    let n = slice.len();
+
+    // --- dispatch phase (serial) -----------------------------------------
+    // Timeline: releases in (release, id) order merged with capacity-
+    // recovery points in (time, machine) order; recoveries win ties.
+    let mut release_order: Vec<usize> = (0..n).collect();
+    release_order.sort_by(|&a, &b| {
+        slice[a]
+            .release
+            .as_f64()
+            .total_cmp(&slice[b].release.as_f64())
+            .then(slice[a].id.cmp(&slice[b].id))
+    });
+    let mut recoveries: Vec<(f64, usize)> = Vec::new();
+    for (m, cap) in machines.iter().enumerate() {
+        let mut prev = f64::INFINITY;
+        for (i, seg) in cap.segments().enumerate() {
+            if i > 0 && seg.rate.total_cmp(&prev) == Ordering::Greater {
+                recoveries.push((seg.start.as_f64(), m));
+            }
+            prev = seg.rate;
+        }
+    }
+    recoveries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let c_lo: Vec<f64> = machines.iter().map(|c| c.bounds().0).collect();
+    let mut backlog = vec![0.0f64; m_count];
+    let mut backlog_asof = vec![0.0f64; m_count];
+    let mut assignment = vec![usize::MAX; n];
+    // Quarantine list in quarantine (release) order; `rescued` marks
+    // entries a recovery point already claimed.
+    let mut quarantine: Vec<usize> = Vec::new();
+    let mut rescued: Vec<bool> = Vec::new();
+    let mut steals_in = vec![0usize; m_count];
+    let mut steals = 0usize;
+    let mut readmitted = 0usize;
+
+    let age_all = |backlog: &mut [f64], asof: &mut [f64], now: f64| {
+        for m in 0..m_count {
+            let drained = machines[m].integrate(Time::new(asof[m]), Time::new(now));
+            backlog[m] = (backlog[m] - drained).max(0.0);
+            asof[m] = now;
+        }
+    };
+
+    let mut rel_iter = release_order.iter().peekable();
+    let mut rec_iter = recoveries.iter().peekable();
+    loop {
+        // Pick the next tick; recoveries go first on equal times.
+        let tick: (f64, Tick<'_>) = match (rel_iter.peek(), rec_iter.peek()) {
+            (None, None) => break,
+            (Some(&&j), None) => {
+                rel_iter.next();
+                (slice[j].release.as_f64(), Tick::Release { job: &slice[j] })
+            }
+            (None, Some(&&(t, m))) => {
+                rec_iter.next();
+                (t, Tick::Recovery { machine: m })
+            }
+            (Some(&&j), Some(&&(t, m))) => {
+                let r = slice[j].release.as_f64();
+                if t.total_cmp(&r) != Ordering::Greater {
+                    rec_iter.next();
+                    (t, Tick::Recovery { machine: m })
+                } else {
+                    rel_iter.next();
+                    (r, Tick::Release { job: &slice[j] })
+                }
+            }
+        };
+        let now = tick.0;
+        age_all(&mut backlog, &mut backlog_asof, now);
+        match tick.1 {
+            Tick::Release { job } => {
+                let loads = FleetLoads {
+                    now,
+                    backlog: &backlog,
+                    c_lo: &c_lo,
+                };
+                let choice = dispatch.choose(job, &loads);
+                assert!(
+                    choice < m_count,
+                    "dispatcher `{}` chose machine {choice} of a {m_count}-machine fleet",
+                    dispatch.name()
+                );
+                let infeasible = !approx_ge(loads.fit_laxity(choice, job), 0.0);
+                let pos = position_of(slice, job.id);
+                assignment[pos] = choice;
+                backlog[choice] += job.workload;
+                if infeasible {
+                    quarantine.push(pos);
+                    rescued.push(false);
+                }
+            }
+            Tick::Recovery { machine } => {
+                let rate_now = machines[machine].rate_at(Time::new(now));
+                for (qi, &pos) in quarantine.iter().enumerate() {
+                    if rescued[qi] {
+                        continue;
+                    }
+                    let job = &slice[pos];
+                    // Claim iff the recovered rate, persisting, would
+                    // finish the machine's backlog plus this job in time.
+                    let steal_laxity =
+                        job.deadline.as_f64() - now - (backlog[machine] + job.workload) / rate_now;
+                    if approx_ge(steal_laxity, 0.0) {
+                        let owner = assignment[pos];
+                        if owner != machine {
+                            backlog[owner] = (backlog[owner] - job.workload).max(0.0);
+                            backlog[machine] += job.workload;
+                            assignment[pos] = machine;
+                            steals += 1;
+                            steals_in[machine] += 1;
+                        } else {
+                            readmitted += 1;
+                        }
+                        rescued[qi] = true;
+                    }
+                }
+            }
+        }
+    }
+    let unreclaimed = rescued.iter().filter(|r| !**r).count();
+
+    // --- simulation phase (parallel fan-out, index-ordered join) ----------
+    // Freeze per-machine subsets (job-id order within a machine) with dense
+    // re-ids, as the per-machine kernel requires.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); m_count];
+    for (pos, &m) in assignment.iter().enumerate() {
+        members[m].push(pos);
+    }
+    let subsets: Vec<JobSet> = members
+        .iter()
+        .map(|idxs| {
+            let subset: Vec<Job> = idxs
+                .iter()
+                .enumerate()
+                .map(|(new_id, &pos)| {
+                    let j = &slice[pos];
+                    Job {
+                        id: JobId(new_id as u64),
+                        ..j.clone()
+                    }
+                })
+                .collect();
+            JobSet::new(subset).expect("invariant: re-indexing preserves per-job validity")
+        })
+        .collect();
+
+    let reports: Vec<RunReport> =
+        parallel_map_with(m_count, threads, SimWorkspace::new, |ws, m| {
+            let mut scheduler = make_scheduler(m);
+            simulate_into(ws, &subsets[m], &machines[m], scheduler.as_mut(), options)
+        });
+
+    // --- accounting (serial, machine-index order) -------------------------
+    let mut value = 0.0f64;
+    let (mut completed, mut missed) = (0usize, 0usize);
+    let (mut preemptions, mut dispatches, mut events) = (0usize, 0usize, 0usize);
+    let per_machine: Vec<MachineReport> = reports
+        .into_iter()
+        .enumerate()
+        .map(|(m, report)| {
+            value += report.value;
+            completed += report.completed;
+            missed += report.missed;
+            preemptions += report.preemptions;
+            dispatches += report.dispatches;
+            events += report.events;
+            MachineReport {
+                machine: m,
+                jobs: subsets[m].len(),
+                steals_in: steals_in[m],
+                report,
+            }
+        })
+        .collect();
+    let total = jobs.total_value();
+    // lint: allow(L001) — exact zero guard before division
+    let value_fraction = if total == 0.0 { 0.0 } else { value / total };
+
+    FleetReport {
+        dispatcher: dispatch.name().to_string(),
+        machines: m_count,
+        per_machine,
+        assignment,
+        quarantined: quarantine.len(),
+        steals,
+        readmitted,
+        unreclaimed,
+        value,
+        value_fraction,
+        completed,
+        missed,
+        preemptions,
+        dispatches,
+        events,
+    }
+}
+
+/// Index of `id` in the id-sorted job slice. Job sets keep dense ids in
+/// practice, but the engine only assumes sortedness.
+fn position_of(slice: &[Job], id: JobId) -> usize {
+    slice
+        .binary_search_by(|j| j.id.cmp(&id))
+        .expect("invariant: every dispatched job comes from the fleet's job set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsched_core::JobId;
+
+    /// Minimal deterministic test policy: fixed rotation.
+    struct TestRoundRobin {
+        next: usize,
+    }
+    impl Dispatch for TestRoundRobin {
+        fn name(&self) -> &str {
+            "test-rr"
+        }
+        fn choose(&mut self, _job: &Job, loads: &FleetLoads<'_>) -> usize {
+            let m = self.next % loads.machines();
+            self.next += 1;
+            m
+        }
+    }
+
+    /// Greedy best-fit: the machine with the largest conservative laxity.
+    struct TestBestFit;
+    impl Dispatch for TestBestFit {
+        fn name(&self) -> &str {
+            "test-best-fit"
+        }
+        fn choose(&mut self, job: &Job, loads: &FleetLoads<'_>) -> usize {
+            let mut best = 0usize;
+            for m in 1..loads.machines() {
+                let better = loads
+                    .fit_laxity(m, job)
+                    .total_cmp(&loads.fit_laxity(best, job))
+                    == Ordering::Greater;
+                if better {
+                    best = m;
+                }
+            }
+            best
+        }
+    }
+
+    /// FIFO test scheduler (mirrors the engine's own test scheduler).
+    struct TestFifo {
+        ready: Vec<JobId>,
+    }
+    impl TestFifo {
+        fn next_decision(&mut self, ctx: &mut crate::SimContext<'_>) -> crate::Decision {
+            if ctx.running().is_some() {
+                return crate::Decision::Continue;
+            }
+            match self.ready.first().copied() {
+                Some(j) => {
+                    self.ready.remove(0);
+                    crate::Decision::Run(j)
+                }
+                None => crate::Decision::Idle,
+            }
+        }
+    }
+    impl Scheduler for TestFifo {
+        fn name(&self) -> String {
+            "test-fifo".into()
+        }
+        fn on_release(&mut self, ctx: &mut crate::SimContext<'_>, job: JobId) -> crate::Decision {
+            self.ready.push(job);
+            self.next_decision(ctx)
+        }
+        fn on_completion(
+            &mut self,
+            ctx: &mut crate::SimContext<'_>,
+            _job: JobId,
+        ) -> crate::Decision {
+            self.next_decision(ctx)
+        }
+        fn on_deadline_miss(
+            &mut self,
+            ctx: &mut crate::SimContext<'_>,
+            job: JobId,
+        ) -> crate::Decision {
+            self.ready.retain(|&j| j != job);
+            self.next_decision(ctx)
+        }
+    }
+
+    fn factory() -> &'static (dyn Fn(usize) -> Box<dyn Scheduler> + Sync) {
+        &|_m| Box::new(TestFifo { ready: Vec::new() })
+    }
+
+    fn jobs(tuples: &[(f64, f64, f64, f64)]) -> JobSet {
+        JobSet::from_tuples(tuples).expect("invariant: test tuples are valid jobs")
+    }
+
+    fn flat(rate: f64) -> PiecewiseConstant {
+        PiecewiseConstant::constant(rate).expect("invariant: positive test rate")
+    }
+
+    /// Rate 1 until `t`, then rate `hi` forever — one recovery point at `t`.
+    fn step_up(t: f64, hi: f64) -> PiecewiseConstant {
+        PiecewiseConstant::from_durations(&[(t, 1.0), (1.0, hi)])
+            .expect("invariant: valid test profile")
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_fleet_panics() {
+        let js = jobs(&[(0.0, 1.0, 1.0, 1.0)]);
+        let mut d = TestRoundRobin { next: 0 };
+        run_fleet(&js, &[], &mut d, factory(), RunOptions::lean(), 1);
+    }
+
+    #[test]
+    fn round_robin_cycles_and_every_job_is_assigned_once() {
+        // (release, deadline, workload, value) tuples, generous deadlines.
+        let js = jobs(&[
+            (0.0, 10.0, 1.0, 1.0),
+            (0.1, 10.0, 1.0, 1.0),
+            (0.2, 10.0, 1.0, 1.0),
+            (0.3, 10.0, 1.0, 1.0),
+            (0.4, 10.0, 1.0, 1.0),
+            (0.5, 10.0, 1.0, 1.0),
+        ]);
+        let machines = vec![flat(2.0), flat(2.0), flat(2.0)];
+        let mut d = TestRoundRobin { next: 0 };
+        let report = run_fleet(&js, &machines, &mut d, factory(), RunOptions::lean(), 1);
+        assert_eq!(report.assignment, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(report.machines, 3);
+        let per: Vec<usize> = report.per_machine.iter().map(|m| m.jobs).collect();
+        assert_eq!(per, vec![2, 2, 2]);
+        assert_eq!(report.completed, 6);
+        assert!(approx_ge(report.value_fraction, 1.0));
+    }
+
+    #[test]
+    fn fleet_value_is_the_sum_of_machine_values() {
+        let js = jobs(&[
+            (0.0, 2.0, 1.0, 3.0),
+            (0.0, 2.0, 1.0, 5.0),
+            (0.5, 4.0, 2.0, 7.0),
+            (1.0, 1.5, 0.4, 2.0),
+        ]);
+        let machines = vec![flat(1.0), flat(1.0)];
+        let mut d = TestBestFit;
+        let report = run_fleet(&js, &machines, &mut d, factory(), RunOptions::lean(), 1);
+        let sum: f64 = report.per_machine.iter().map(|m| m.report.value).sum();
+        assert_eq!(report.value.to_bits(), sum.to_bits(), "exact partition");
+        let completed: usize = report.per_machine.iter().map(|m| m.report.completed).sum();
+        assert_eq!(report.completed, completed);
+    }
+
+    #[test]
+    fn infeasible_placement_quarantines_and_recovery_steals() {
+        // Machine 0 is busy (job 0 fills it); machine 1 is slow now but
+        // steps up to rate 10 at t = 1 — job 1's only hope. The dispatcher
+        // is forced to place job 1 on the saturated machine 0, where its
+        // conservative laxity is negative -> quarantine; machine 1's
+        // recovery point at t = 1 claims it (a cross-machine steal).
+        let js = jobs(&[
+            (0.0, 6.0, 5.0, 1.0), // pins machine 0 until t = 5 (feasible)
+            (0.0, 2.5, 4.0, 9.0), // infeasible behind job 0 at release
+        ]);
+        struct PinToZero;
+        impl Dispatch for PinToZero {
+            fn name(&self) -> &str {
+                "pin-0"
+            }
+            fn choose(&mut self, _job: &Job, _loads: &FleetLoads<'_>) -> usize {
+                0
+            }
+        }
+        let machines = vec![flat(1.0), step_up(1.0, 10.0)];
+        let mut d = PinToZero;
+        let report = run_fleet(&js, &machines, &mut d, factory(), RunOptions::lean(), 1);
+        assert_eq!(
+            report.quarantined, 1,
+            "only job 1's placement is infeasible"
+        );
+        assert_eq!(report.steals, 1, "machine 1's recovery claims job 1");
+        assert_eq!(
+            report.assignment[1], 1,
+            "job 1 moved to the recovering machine"
+        );
+        assert_eq!(report.per_machine[1].steals_in, 1);
+        // Stolen onto machine 1 (rate 1, then 10 from t = 1): job 1's 4
+        // units finish at t = 1.3 < its deadline 2.5.
+        assert_eq!(report.per_machine[1].report.completed, 1);
+        assert_eq!(report.unreclaimed, 0);
+    }
+
+    #[test]
+    fn output_is_identical_at_every_thread_count() {
+        let tuples: Vec<(f64, f64, f64, f64)> = (0..40)
+            .map(|i| {
+                let r = i as f64 * 0.25;
+                (
+                    r,
+                    r + 1.5 + (i % 3) as f64,
+                    0.8 + (i % 5) as f64 * 0.3,
+                    1.0 + (i % 7) as f64,
+                )
+            })
+            .collect();
+        let js = jobs(&tuples);
+        let machines = vec![step_up(2.0, 8.0), flat(1.0), step_up(4.0, 6.0), flat(3.0)];
+        let reference = {
+            let mut d = TestBestFit;
+            run_fleet(&js, &machines, &mut d, factory(), RunOptions::lean(), 1)
+        };
+        for threads in [2, 3, 8] {
+            let mut d = TestBestFit;
+            let got = run_fleet(
+                &js,
+                &machines,
+                &mut d,
+                factory(),
+                RunOptions::lean(),
+                threads,
+            );
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{reference:?}"),
+                "fleet output diverged at threads={threads}"
+            );
+        }
+    }
+}

@@ -45,6 +45,7 @@ pub mod context;
 pub mod degrade;
 pub mod engine;
 pub mod event;
+pub mod fleet;
 pub mod report;
 pub mod scheduler;
 pub mod service;
@@ -60,6 +61,7 @@ pub use engine::{
     simulate, simulate_degraded, simulate_into, simulate_into_traced, simulate_observed,
     simulate_traced, simulate_with_metrics, RunOptions,
 };
+pub use fleet::{run_fleet, Dispatch, FleetLoads, FleetReport, MachineReport};
 pub use report::{RunReport, TrajectoryPoint};
 pub use scheduler::Scheduler;
 pub use service::{

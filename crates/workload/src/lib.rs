@@ -18,6 +18,7 @@
 
 pub mod ctmc;
 pub mod dist;
+pub mod fleet;
 pub mod mmpp;
 pub mod paper;
 pub mod poisson;
@@ -25,6 +26,7 @@ pub mod traces;
 pub mod underloaded;
 
 pub use ctmc::{CtmcCapacity, CtmcState};
+pub use fleet::{FleetInstance, FleetScenario};
 pub use mmpp::{Mmpp, MmppState};
 pub use paper::{PaperScenario, ScenarioInstance};
 pub use poisson::poisson_arrivals;

@@ -5,7 +5,7 @@
 export CARGO_NET_OFFLINE := "true"
 
 # Run the full CI gauntlet.
-ci: fmt build bench-check test lint golden-trace chaos serve-smoke bench-smoke sweep-smoke
+ci: fmt build bench-check test lint golden-trace chaos serve-smoke bench-smoke sweep-smoke fleet-smoke
 
 fmt:
     cargo fmt --all --check
@@ -87,6 +87,24 @@ sweep:
 sweep-smoke:
     cargo run --release -p cloudsched-cli -- bench --suite sweep --quick --out /tmp/sweep-smoke.json
 
+# Fleet-scaling benchmark: multi-machine fleet runs/sec across fleet sizes
+# and thread counts, rewriting BENCH_fleet.json at the repo root (see
+# DESIGN.md §16). The harness refuses to emit rows whose digests diverge
+# across thread counts within a fleet size. Run on an otherwise-idle
+# multi-core machine before updating the checked-in report.
+fleet:
+    cargo run --release -p cloudsched-cli -- bench --suite fleet --out BENCH_fleet.json
+
+# CI fleet smoke (mirrors the CI step): the quick fleet configuration
+# written to a scratch file — validates the harness, the cross-thread
+# digest invariance and the JSON schema — plus one `cloudsched fleet` run
+# diffed byte-for-byte between serial and 2-thread execution.
+fleet-smoke:
+    cargo run --release -p cloudsched-cli -- bench --suite fleet --quick --out /tmp/fleet-smoke.json
+    cargo run --release -p cloudsched-cli -- fleet --machines 4 --lambda 4 --horizon 12 --threads 1 > /tmp/fleet-serial.txt
+    cargo run --release -p cloudsched-cli -- fleet --machines 4 --lambda 4 --horizon 12 --threads 2 > /tmp/fleet-threaded.txt
+    diff -u /tmp/fleet-serial.txt /tmp/fleet-threaded.txt
+
 # Value-loss ledger for one instance: where did the arrived value go?
 # E.g. `just inspect 12 7` or `just inspect 8 1 --queues`.
 inspect lambda="8" seed="1" *flags="":
@@ -109,6 +127,8 @@ bench-diff tol="50":
     cargo run --release -p cloudsched-cli -- bench-diff --old BENCH_kernel.json --new /tmp/bench-smoke.json --tol {{tol}}
     cargo run --release -p cloudsched-cli -- bench --suite sweep --quick --out /tmp/sweep-smoke.json
     cargo run --release -p cloudsched-cli -- bench-diff --old BENCH_sweep.json --new /tmp/sweep-smoke.json --tol {{tol}}
+    cargo run --release -p cloudsched-cli -- bench --suite fleet --quick --out /tmp/fleet-smoke.json
+    cargo run --release -p cloudsched-cli -- bench-diff --old BENCH_fleet.json --new /tmp/fleet-smoke.json --tol {{tol}}
 
 # Crash-recovery smoke (mirrors the CI kill-and-recover step): serve the
 # checked-in golden stream to completion, then serve it again with a seeded
